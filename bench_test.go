@@ -1,0 +1,307 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one family per
+// table and figure (§3). Step counts are attached to the benchmark output
+// as custom metrics ("steps"), so the tables can be read off `go test
+// -bench` output directly; wall-clock times per operation reproduce the
+// CPU-time figures.
+//
+// By default the sweeps stop at t = 1000 h for the methods whose cost grows
+// linearly with t (SR, and RR's V-solution), exactly where the paper's
+// crossovers become visible, keeping the default run to a few minutes. Set
+// REPRO_FULL=1 to run the complete sweep to t = 10⁵ h for both G = 20 and
+// G = 40 (tens of minutes, dominated by SR at Λt ≈ 4.4·10⁶ steps).
+package regenrand_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"regenrand"
+	"regenrand/internal/core"
+	"regenrand/internal/raid"
+	"regenrand/internal/regen"
+)
+
+var full = os.Getenv("REPRO_FULL") == "1"
+
+func sweepTimes(expensive bool) []float64 {
+	if full {
+		return []float64{1, 10, 100, 1000, 1e4, 1e5}
+	}
+	if expensive {
+		return []float64{1, 10, 100, 1000}
+	}
+	return []float64{1, 10, 100, 1000, 1e4, 1e5}
+}
+
+func gValues() []int {
+	if full {
+		return []int{20, 40}
+	}
+	return []int{20}
+}
+
+// Cached models so benchmark setup does not re-run the BFS generator.
+var (
+	modelMu    sync.Mutex
+	modelCache = map[[2]int]*raid.Model{}
+)
+
+func raidModel(b *testing.B, g int, absorbing bool) *raid.Model {
+	b.Helper()
+	modelMu.Lock()
+	defer modelMu.Unlock()
+	key := [2]int{g, boolToInt(absorbing)}
+	if m, ok := modelCache[key]; ok {
+		return m
+	}
+	m, err := raid.Build(raid.DefaultParams(g), absorbing)
+	if err != nil {
+		b.Fatal(err)
+	}
+	modelCache[key] = m
+	return m
+}
+
+func boolToInt(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// BenchmarkTable1StepsUA regenerates the RR/RRL column of Table 1: the
+// series-construction cost for the UA measure, with the per-t step count
+// reported as the "steps" metric.
+func BenchmarkTable1StepsUA(b *testing.B) {
+	for _, g := range gValues() {
+		m := raidModel(b, g, false)
+		rewards := m.UnavailabilityRewards()
+		for _, t := range sweepTimes(false) {
+			b.Run(fmt.Sprintf("G=%d/t=%g", g, t), func(b *testing.B) {
+				var steps int
+				for i := 0; i < b.N; i++ {
+					series, err := regen.Build(m.Chain, rewards, m.Pristine, core.DefaultOptions(), t)
+					if err != nil {
+						b.Fatal(err)
+					}
+					steps = series.Steps()
+				}
+				b.ReportMetric(float64(steps), "steps")
+			})
+		}
+	}
+}
+
+// BenchmarkTable1StepsUARSD regenerates the RSD column of Table 1: the
+// detection-limited stepping cost for UA.
+func BenchmarkTable1StepsUARSD(b *testing.B) {
+	for _, g := range gValues() {
+		m := raidModel(b, g, false)
+		rewards := m.UnavailabilityRewards()
+		for _, t := range sweepTimes(false) {
+			b.Run(fmt.Sprintf("G=%d/t=%g", g, t), func(b *testing.B) {
+				var steps int
+				for i := 0; i < b.N; i++ {
+					s, err := regenrand.NewRSD(m.Chain, rewards, regenrand.DefaultOptions())
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := s.TRR([]float64{t})
+					if err != nil {
+						b.Fatal(err)
+					}
+					steps = res[0].Steps
+				}
+				b.ReportMetric(float64(steps), "steps")
+			})
+		}
+	}
+}
+
+// BenchmarkFig3UA regenerates Figure 3: per-(method, t) solution times for
+// the UA measure (RRL vs RR vs RSD).
+func BenchmarkFig3UA(b *testing.B) {
+	for _, g := range gValues() {
+		m := raidModel(b, g, false)
+		rewards := m.UnavailabilityRewards()
+		for _, method := range []string{"RRL", "RR", "RSD"} {
+			expensive := method == "RR"
+			for _, t := range sweepTimes(expensive) {
+				b.Run(fmt.Sprintf("G=%d/%s/t=%g", g, method, t), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						s := newSolverBench(b, method, m, rewards)
+						if _, err := s.TRR([]float64{t}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable2StepsUR regenerates the RR/RRL column of Table 2 (UR
+// measure on the absorbing model).
+func BenchmarkTable2StepsUR(b *testing.B) {
+	for _, g := range gValues() {
+		m := raidModel(b, g, true)
+		rewards := m.UnreliabilityRewards()
+		for _, t := range sweepTimes(false) {
+			b.Run(fmt.Sprintf("G=%d/t=%g", g, t), func(b *testing.B) {
+				var steps int
+				for i := 0; i < b.N; i++ {
+					series, err := regen.Build(m.Chain, rewards, m.Pristine, core.DefaultOptions(), t)
+					if err != nil {
+						b.Fatal(err)
+					}
+					steps = series.Steps()
+				}
+				b.ReportMetric(float64(steps), "steps")
+			})
+		}
+	}
+}
+
+// BenchmarkFig4UR regenerates Figure 4: per-(method, t) solution times for
+// the UR measure (RRL vs RR vs SR).
+func BenchmarkFig4UR(b *testing.B) {
+	for _, g := range gValues() {
+		m := raidModel(b, g, true)
+		rewards := m.UnreliabilityRewards()
+		for _, method := range []string{"RRL", "RR", "SR"} {
+			expensive := method == "RR" || method == "SR"
+			for _, t := range sweepTimes(expensive) {
+				b.Run(fmt.Sprintf("G=%d/%s/t=%g", g, method, t), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						s := newSolverBench(b, method, m, rewards)
+						if _, err := s.TRR([]float64{t}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func newSolverBench(b *testing.B, method string, m *raid.Model, rewards []float64) regenrand.Solver {
+	b.Helper()
+	var s regenrand.Solver
+	var err error
+	switch method {
+	case "SR":
+		s, err = regenrand.NewSR(m.Chain, rewards, regenrand.DefaultOptions())
+	case "RSD":
+		s, err = regenrand.NewRSD(m.Chain, rewards, regenrand.DefaultOptions())
+	case "RR":
+		s, err = regenrand.NewRR(m.Chain, rewards, m.Pristine, regenrand.DefaultOptions())
+	case "RRL":
+		s, err = regenrand.NewRRL(m.Chain, rewards, m.Pristine, regenrand.DefaultOptions())
+	default:
+		b.Fatalf("unknown method %s", method)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkAblationTFactor regenerates the §2.2 design study: inversion
+// cost as the period factor κ (T = κt) sweeps from Crump's 1 to Piessens'
+// 16, with the abscissa count as a metric.
+func BenchmarkAblationTFactor(b *testing.B) {
+	m := raidModel(b, 20, true)
+	rewards := m.UnreliabilityRewards()
+	for _, kappa := range []float64{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("kappa=%g", kappa), func(b *testing.B) {
+			var absc int
+			for i := 0; i < b.N; i++ {
+				s, err := regenrand.NewRRLWithConfig(m.Chain, rewards, m.Pristine,
+					regenrand.DefaultOptions(), regenrand.RRLConfig{TFactor: kappa})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.TRR([]float64{1000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				absc = res[0].Abscissae
+			}
+			b.ReportMetric(float64(absc), "abscissae")
+		})
+	}
+}
+
+// BenchmarkAblationAcceleration measures the epsilon-algorithm ablation at
+// a tolerance where the raw series still converges (the paper-strength
+// ε=1e-12 setting does not converge at all without acceleration, which is
+// the stronger statement made by TestAccelerationAblation).
+func BenchmarkAblationAcceleration(b *testing.B) {
+	m := raidModel(b, 20, true)
+	rewards := m.UnreliabilityRewards()
+	opts := regenrand.DefaultOptions()
+	opts.Epsilon = 1e-6
+	for _, accel := range []bool{true, false} {
+		b.Run(fmt.Sprintf("accelerate=%v", accel), func(b *testing.B) {
+			var absc int
+			for i := 0; i < b.N; i++ {
+				s, err := regenrand.NewRRLWithConfig(m.Chain, rewards, m.Pristine, opts,
+					regenrand.RRLConfig{DisableAcceleration: !accel})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.TRR([]float64{1000})
+				if err != nil {
+					b.Skip("raw series did not converge (expected at tight tolerances):", err)
+				}
+				absc = res[0].Abscissae
+			}
+			b.ReportMetric(float64(absc), "abscissae")
+		})
+	}
+}
+
+// BenchmarkExtensionAU measures adaptive uniformization (the §1
+// related-work method) against the mission times where it shines, with its
+// step count as a metric (compare the SR rows of BenchmarkFig4UR).
+func BenchmarkExtensionAU(b *testing.B) {
+	m := raidModel(b, 20, true)
+	rewards := m.UnreliabilityRewards()
+	for _, t := range []float64{0.1, 1, 10, 100} {
+		b.Run(fmt.Sprintf("t=%g", t), func(b *testing.B) {
+			var steps int
+			for i := 0; i < b.N; i++ {
+				s, err := regenrand.NewAU(m.Chain, rewards, regenrand.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.TRR([]float64{t})
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps = res[0].Steps
+			}
+			b.ReportMetric(float64(steps), "steps")
+		})
+	}
+}
+
+// BenchmarkKernelVecMat measures the hot sparse kernel on the G=20 RAID
+// DTMC, the operation whose count the paper's step tables tally.
+func BenchmarkKernelVecMat(b *testing.B) {
+	m := raidModel(b, 20, false)
+	d, err := m.Chain.Uniformize(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := m.Chain.Initial()
+	dst := make([]float64, m.Chain.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Step(dst, src)
+		src, dst = dst, src
+	}
+	b.ReportMetric(float64(m.Chain.NumTransitions()), "nnz")
+}

@@ -1,0 +1,48 @@
+package regenrand_test
+
+import (
+	"fmt"
+	"log"
+
+	"regenrand"
+)
+
+// ExampleNewRRL computes the point unavailability of a repairable component
+// with the paper's RRL method.
+func ExampleNewRRL() {
+	b := regenrand.NewBuilder(2)
+	if err := b.AddTransition(0, 1, 0.1); err != nil { // failure, 0.1/h
+		log.Fatal(err)
+	}
+	if err := b.AddTransition(1, 0, 2.0); err != nil { // repair, 2/h
+		log.Fatal(err)
+	}
+	if err := b.SetInitial(0, 1); err != nil {
+		log.Fatal(err)
+	}
+	model, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	solver, err := regenrand.NewRRL(model, []float64{0, 1}, 0, regenrand.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := solver.TRR([]float64{100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Analytic steady value: 0.1/(0.1+2.0) ≈ 0.047619.
+	fmt.Printf("UA(100h) = %.6f\n", res[0].Value)
+	// Output: UA(100h) = 0.047619
+}
+
+// ExampleBuildRAID builds the paper's G=20 RAID availability model.
+func ExampleBuildRAID() {
+	m, err := regenrand.BuildRAID(regenrand.DefaultRAIDParams(20), false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("states=%d\n", m.Chain.N())
+	// Output: states=3841
+}

@@ -1,0 +1,233 @@
+package adaptive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"regenrand/internal/core"
+	"regenrand/internal/ctmc"
+	"regenrand/internal/expm"
+	"regenrand/internal/uniform"
+)
+
+func twoState(t *testing.T, lambda, mu float64) *ctmc.CTMC {
+	t.Helper()
+	b := ctmc.NewBuilder(2)
+	if err := b.AddTransition(0, 1, lambda); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddTransition(1, 0, mu); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetInitial(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAUTwoStateAnalytic(t *testing.T) {
+	lambda, mu := 0.2, 1.8
+	c := twoState(t, lambda, mu)
+	s, err := New(c, []float64{0, 1}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := []float64{0, 0.5, 2, 20}
+	res, err := s.TRR(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := lambda + mu
+	for i, tt := range ts {
+		want := lambda / sum * (1 - math.Exp(-sum*tt))
+		if math.Abs(res[i].Value-want) > 2e-12 {
+			t.Errorf("t=%v: AU=%v want %v (err %g)", tt, res[i].Value, want, res[i].Value-want)
+		}
+	}
+}
+
+func TestAUMatchesSRRandomModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 8; trial++ {
+		c, err := ctmc.Random(rng, ctmc.RandomOptions{
+			States: 5 + rng.Intn(20), ExtraDegree: 2, Absorbing: rng.Intn(3),
+			SpreadInitial: trial%2 == 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rewards := ctmc.RandomRewards(rng, c, 2.0, false)
+		au, err := New(c, rewards, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := uniform.New(c, rewards, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := []float64{0.3, 3, 30}
+		a, err := au.TRR(ts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		b, err := sr.TRR(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ts {
+			if diff := math.Abs(a[i].Value - b[i].Value); diff > 5e-12 {
+				t.Errorf("trial %d t=%v: AU=%v SR=%v diff %g", trial, ts[i], a[i].Value, b[i].Value, diff)
+			}
+		}
+		am, err := au.MRR(ts)
+		if err != nil {
+			t.Fatalf("trial %d MRR: %v", trial, err)
+		}
+		bm, err := sr.MRR(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ts {
+			if diff := math.Abs(am[i].Value - bm[i].Value); diff > 5e-12 {
+				t.Errorf("trial %d MRR t=%v: AU=%v SR=%v diff %g", trial, ts[i], am[i].Value, bm[i].Value, diff)
+			}
+		}
+	}
+}
+
+func TestAUMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	c, err := ctmc.Random(rng, ctmc.RandomOptions{States: 12, ExtraDegree: 2, Absorbing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewards := ctmc.RandomRewards(rng, c, 1.0, true)
+	s, err := New(c, rewards, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{1, 8} {
+		res, err := s.TRR([]float64{tt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := expm.TRR(c, rewards, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res[0].Value-want) > 1e-10 {
+			t.Errorf("t=%v: AU=%v oracle=%v", tt, res[0].Value, want)
+		}
+	}
+}
+
+// The defining behaviour of AU (paper §1): for a model whose rates grow
+// away from the initial state — a fault-free dependability model — the
+// adaptive rate starts orders of magnitude below Λ and far fewer jumps are
+// needed for small missions.
+func TestAUFewerStepsOnExpandingModel(t *testing.T) {
+	// Pristine state fails slowly (1e-3), repairs are fast (Λ driven to 4).
+	b := ctmc.NewBuilder(4)
+	_ = b.AddTransition(0, 1, 1e-3)
+	_ = b.AddTransition(1, 2, 1e-3)
+	_ = b.AddTransition(1, 0, 4)
+	_ = b.AddTransition(2, 3, 1e-3)
+	_ = b.AddTransition(2, 1, 4)
+	_ = b.AddTransition(3, 2, 4)
+	_ = b.SetInitial(0, 1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewards := []float64{0, 0, 0, 1}
+	au, err := New(c, rewards, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := uniform.New(c, rewards, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := []float64{1.0}
+	a, err := au.TRR(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sr.TRR(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a[0].Value-s[0].Value) > 5e-12 {
+		t.Fatalf("AU=%v SR=%v disagree", a[0].Value, s[0].Value)
+	}
+	if a[0].Steps >= s[0].Steps {
+		t.Errorf("AU steps %d should be below SR steps %d at t=1", a[0].Steps, s[0].Steps)
+	}
+}
+
+func TestAUValidation(t *testing.T) {
+	c := twoState(t, 1, 1)
+	if _, err := New(c, []float64{0, -1}, core.DefaultOptions()); err == nil {
+		t.Error("want error for negative reward")
+	}
+	s, err := New(c, []float64{0, 1}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TRR(nil); err == nil {
+		t.Error("want error for empty batch")
+	}
+	if _, err := s.TRR([]float64{-1}); err == nil {
+		t.Error("want error for negative time")
+	}
+}
+
+func TestBirthDistPoissonLimit(t *testing.T) {
+	// Constant birth rates reduce to a Poisson distribution.
+	lam := 3.0
+	tt := 2.0
+	lambdas := make([]float64, 40)
+	for i := range lambdas {
+		lambdas[i] = lam
+	}
+	p, _, err := birthDist(lambdas, tt, 1e-14, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 20; k++ {
+		want := math.Exp(-lam*tt) * math.Pow(lam*tt, float64(k)) / fact(k)
+		if math.Abs(p[k]-want) > 1e-12 {
+			t.Errorf("p[%d]=%v want Poisson %v", k, p[k], want)
+		}
+	}
+}
+
+func TestBirthDistSojournsSumToT(t *testing.T) {
+	lambdas := []float64{0.5, 1.5, 2.5, 2.5, 2.5, 2.5, 2.5, 2.5, 2.5, 2.5, 2.5, 2.5, 2.5, 2.5, 2.5, 2.5, 2.5, 2.5, 2.5, 2.5}
+	tt := 1.7
+	_, soj, err := birthDist(lambdas, tt, 1e-13, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range soj {
+		sum += v
+	}
+	// Σ_k sojourn = t (including overflow bucket).
+	if math.Abs(sum-tt) > 1e-9 {
+		t.Errorf("sojourns sum to %v want %v", sum, tt)
+	}
+}
+
+func fact(k int) float64 {
+	f := 1.0
+	for i := 2; i <= k; i++ {
+		f *= float64(i)
+	}
+	return f
+}

@@ -1,0 +1,72 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	p := New("CPU times", "t (h)", "seconds")
+	p.Add("RRL", Point{1, 0.01}, Point{10, 0.02}, Point{100, 0.13}, Point{1e5, 0.17})
+	p.Add("SR", Point{1, 0.005}, Point{10, 0.02}, Point{100, 0.11}, Point{1e5, 97})
+	out := p.Render(60, 16)
+	if !strings.Contains(out, "CPU times") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* RRL") || !strings.Contains(out, "o SR") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("markers missing from grid")
+	}
+	// The SR curve must end in the top-right region (high t, high cost):
+	// find the last grid row that is near the top and contains 'o'.
+	lines := strings.Split(out, "\n")
+	topThird := lines[2 : 2+5]
+	found := false
+	for _, l := range topThird {
+		if strings.Contains(l, "o") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("SR end point not in the top rows:\n%s", out)
+	}
+}
+
+func TestRenderSkipsNonPositive(t *testing.T) {
+	p := New("x", "t", "s")
+	p.Add("a", Point{0, 1}, Point{-1, 2}, Point{1, 0})
+	out := p.Render(30, 10)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	p := New("empty", "t", "s")
+	out := p.Render(30, 10)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("want no-data message, got:\n%s", out)
+	}
+}
+
+func TestRenderSingleValueRanges(t *testing.T) {
+	p := New("flat", "t", "s")
+	p.Add("a", Point{5, 2}, Point{5, 2})
+	out := p.Render(30, 10)
+	if !strings.Contains(out, "*") {
+		t.Errorf("marker missing:\n%s", out)
+	}
+}
+
+func TestManySeriesMarkers(t *testing.T) {
+	p := New("m", "t", "s")
+	for i := 0; i < 10; i++ {
+		p.Add(strings.Repeat("s", i+1), Point{float64(i + 1), float64(i + 1)})
+	}
+	out := p.Render(40, 12)
+	if len(out) == 0 {
+		t.Fatal("empty")
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	o := Options{Epsilon: 1e-10}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if o.UniformizationFactor != 1 {
+		t.Errorf("factor default = %v want 1", o.UniformizationFactor)
+	}
+	for _, bad := range []Options{
+		{Epsilon: 0},
+		{Epsilon: -1e-3},
+		{Epsilon: 1},
+		{Epsilon: 2},
+		{Epsilon: 1e-6, UniformizationFactor: 0.5},
+	} {
+		b := bad
+		if err := b.Validate(); err == nil {
+			t.Errorf("options %+v should be rejected", bad)
+		}
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if o.Epsilon != 1e-12 || o.UniformizationFactor != 1 {
+		t.Errorf("defaults %+v do not match the paper", o)
+	}
+	if err := o.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckTimes(t *testing.T) {
+	if err := CheckTimes([]float64{0, 1, 1e5}); err != nil {
+		t.Error(err)
+	}
+	for _, bad := range [][]float64{
+		nil,
+		{},
+		{-1},
+		{math.Inf(1)},
+		{math.NaN()},
+		{1, -2, 3},
+	} {
+		if err := CheckTimes(bad); err == nil {
+			t.Errorf("times %v should be rejected", bad)
+		}
+	}
+}
+
+func TestCheckRewards(t *testing.T) {
+	rmax, err := CheckRewards([]float64{0, 2.5, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmax != 2.5 {
+		t.Errorf("rmax=%v want 2.5", rmax)
+	}
+	if _, err := CheckRewards([]float64{0, 1}, 3); err == nil {
+		t.Error("length mismatch should be rejected")
+	}
+	if _, err := CheckRewards([]float64{-1, 0, 0}, 3); err == nil {
+		t.Error("negative reward should be rejected")
+	}
+	if _, err := CheckRewards([]float64{0, math.NaN(), 0}, 3); err == nil {
+		t.Error("NaN reward should be rejected")
+	}
+	if _, err := CheckRewards([]float64{0, math.Inf(1), 0}, 3); err == nil {
+		t.Error("infinite reward should be rejected")
+	}
+	// All-zero rewards are legal (zero measure).
+	if rmax, err := CheckRewards([]float64{0, 0}, 2); err != nil || rmax != 0 {
+		t.Errorf("zero rewards: rmax=%v err=%v", rmax, err)
+	}
+}
+
+func TestMaxTime(t *testing.T) {
+	if got := MaxTime([]float64{3, 7, 2}); got != 7 {
+		t.Errorf("MaxTime=%v want 7", got)
+	}
+	if got := MaxTime(nil); got != 0 {
+		t.Errorf("MaxTime(nil)=%v want 0", got)
+	}
+}

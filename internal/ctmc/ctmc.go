@@ -1,0 +1,246 @@
+// Package ctmc represents finite homogeneous continuous-time Markov chains
+// (CTMCs) and their uniformization, the common substrate of every transient
+// solver in this module.
+//
+// The model class follows the paper: the state space is Ω = S ∪ {f_1..f_A}
+// where the f_i are absorbing and every state of S has a path to every other
+// state of S (for A = 0 the chain is irreducible). A chain is built either
+// from explicit transitions via Builder or programmatically (see Random* in
+// random.go and package raid).
+package ctmc
+
+import (
+	"fmt"
+	"math"
+
+	"regenrand/internal/sparse"
+)
+
+// CTMC is an immutable continuous-time Markov chain. Construct one with a
+// Builder.
+type CTMC struct {
+	n int
+	// rates holds the off-diagonal transition rates in gather (in-edge) form.
+	rates *sparse.Matrix
+	// outRate[i] is the total exit rate of state i (0 for absorbing states).
+	outRate []float64
+	// initial is the initial probability distribution.
+	initial []float64
+	// absorbing lists the indices of absorbing states in increasing order.
+	absorbing []int
+	names     []string
+}
+
+// Builder accumulates states and transitions of a CTMC. The zero value is
+// not ready for use; call NewBuilder.
+type Builder struct {
+	n       int
+	entries []sparse.Entry
+	initial map[int]float64
+	names   []string
+}
+
+// NewBuilder returns a Builder for a chain with n states (indices 0..n-1).
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, initial: make(map[int]float64)}
+}
+
+// AddTransition adds a transition from state i to state j with the given
+// positive rate. Parallel transitions are summed. Self loops are rejected
+// (they are meaningless in a CTMC generator).
+func (b *Builder) AddTransition(i, j int, rate float64) error {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		return fmt.Errorf("ctmc: transition (%d→%d) out of range for n=%d", i, j, b.n)
+	}
+	if i == j {
+		return fmt.Errorf("ctmc: self loop on state %d", i)
+	}
+	if !(rate > 0) || math.IsInf(rate, 0) {
+		return fmt.Errorf("ctmc: invalid rate %v on transition %d→%d", rate, i, j)
+	}
+	b.entries = append(b.entries, sparse.Entry{Row: i, Col: j, Val: rate})
+	return nil
+}
+
+// SetInitial sets the initial probability of state i.
+func (b *Builder) SetInitial(i int, p float64) error {
+	if i < 0 || i >= b.n {
+		return fmt.Errorf("ctmc: initial state %d out of range", i)
+	}
+	if p < 0 || p > 1+1e-12 {
+		return fmt.Errorf("ctmc: invalid initial probability %v", p)
+	}
+	b.initial[i] = p
+	return nil
+}
+
+// SetNames attaches diagnostic state names; len(names) must equal n.
+func (b *Builder) SetNames(names []string) error {
+	if len(names) != b.n {
+		return fmt.Errorf("ctmc: %d names for %d states", len(names), b.n)
+	}
+	b.names = names
+	return nil
+}
+
+// Build validates the accumulated model and returns the immutable CTMC.
+// The initial distribution must sum to 1 within 1e-9.
+func (b *Builder) Build() (*CTMC, error) {
+	if b.n <= 0 {
+		return nil, fmt.Errorf("ctmc: empty state space")
+	}
+	m, err := sparse.NewFromEntries(b.n, b.entries)
+	if err != nil {
+		return nil, err
+	}
+	c := &CTMC{
+		n:       b.n,
+		rates:   m,
+		outRate: make([]float64, b.n),
+		initial: make([]float64, b.n),
+		names:   b.names,
+	}
+	for _, e := range m.Entries() {
+		c.outRate[e.Row] += e.Val
+	}
+	var tot float64
+	for i, p := range b.initial {
+		c.initial[i] = p
+		tot += p
+	}
+	if math.Abs(tot-1) > 1e-9 {
+		return nil, fmt.Errorf("ctmc: initial distribution sums to %v, want 1", tot)
+	}
+	for i := 0; i < b.n; i++ {
+		if c.outRate[i] == 0 {
+			c.absorbing = append(c.absorbing, i)
+		}
+	}
+	return c, nil
+}
+
+// N returns the number of states.
+func (c *CTMC) N() int { return c.n }
+
+// NumTransitions returns the number of distinct transitions (nonzero
+// off-diagonal generator entries).
+func (c *CTMC) NumTransitions() int { return c.rates.NNZ() }
+
+// OutRate returns the total exit rate of state i.
+func (c *CTMC) OutRate(i int) float64 { return c.outRate[i] }
+
+// MaxOutRate returns Λ = max_i OutRate(i), the randomization rate used by
+// every solver (the paper's Λ).
+func (c *CTMC) MaxOutRate() float64 {
+	var max float64
+	for _, r := range c.outRate {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// Rate returns the transition rate from i to j (0 if absent). O(in-degree).
+func (c *CTMC) Rate(i, j int) float64 { return c.rates.At(i, j) }
+
+// Initial returns a copy of the initial distribution.
+func (c *CTMC) Initial() []float64 {
+	out := make([]float64, c.n)
+	copy(out, c.initial)
+	return out
+}
+
+// Absorbing returns the indices of absorbing states in increasing order.
+// The returned slice must not be modified.
+func (c *CTMC) Absorbing() []int { return c.absorbing }
+
+// IsAbsorbing reports whether state i has no outgoing transitions.
+func (c *CTMC) IsAbsorbing(i int) bool { return c.outRate[i] == 0 }
+
+// Name returns the diagnostic name of state i, or its index as a string.
+func (c *CTMC) Name(i int) string {
+	if c.names != nil {
+		return c.names[i]
+	}
+	return fmt.Sprintf("s%d", i)
+}
+
+// Transitions returns all transitions as sparse entries (rate triplets).
+func (c *CTMC) Transitions() []sparse.Entry { return c.rates.Entries() }
+
+// RateVecMat computes dst = src·R, where R is the off-diagonal rate matrix
+// (no diagonal). It is the kernel adaptive uniformization steps with, since
+// its per-step diagonal depends on the adaptive rate.
+func (c *CTMC) RateVecMat(dst, src []float64) { c.rates.VecMat(dst, src) }
+
+// OutRates returns a copy of the total exit rates of all states.
+func (c *CTMC) OutRates() []float64 {
+	out := make([]float64, c.n)
+	copy(out, c.outRate)
+	return out
+}
+
+// DTMC is the uniformized (randomized) discrete-time chain
+// P = I + Q/Lambda, stored in gather form for fast stepping of row
+// distributions.
+type DTMC struct {
+	// P is the stochastic transition matrix including diagonal entries.
+	P *sparse.Matrix
+	// Lambda is the randomization rate.
+	Lambda float64
+	n      int
+}
+
+// Uniformize returns the randomized DTMC of c at rate Λ = MaxOutRate()·factor.
+// factor must be ≥ 1; the paper (and all reproduced experiments) use
+// factor = 1, i.e. Λ equal to the maximum output rate.
+func (c *CTMC) Uniformize(factor float64) (*DTMC, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("ctmc: uniformization factor %v < 1", factor)
+	}
+	lambda := c.MaxOutRate() * factor
+	if lambda == 0 {
+		return nil, fmt.Errorf("ctmc: chain has no transitions")
+	}
+	entries := c.rates.Entries()
+	for i := range entries {
+		entries[i].Val /= lambda
+	}
+	for i := 0; i < c.n; i++ {
+		diag := 1 - c.outRate[i]/lambda
+		// Guard against -0/rounding for the states attaining the maximum.
+		if diag < 0 {
+			diag = 0
+		}
+		if diag > 0 {
+			entries = append(entries, sparse.Entry{Row: i, Col: i, Val: diag})
+		}
+	}
+	p, err := sparse.NewFromEntries(c.n, entries)
+	if err != nil {
+		return nil, err
+	}
+	return &DTMC{P: p, Lambda: lambda, n: c.n}, nil
+}
+
+// N returns the number of states of the DTMC.
+func (d *DTMC) N() int { return d.n }
+
+// Step computes dst = src·P. dst and src must not alias.
+func (d *DTMC) Step(dst, src []float64) { d.P.VecMat(dst, src) }
+
+// RowSumsCheck verifies that every row of P sums to 1 within tol; it is a
+// diagnostic used by tests and model validation.
+func (d *DTMC) RowSumsCheck(tol float64) error {
+	sums := make([]float64, d.n)
+	for _, e := range d.P.Entries() {
+		sums[e.Row] += e.Val
+	}
+	for i, s := range sums {
+		if math.Abs(s-1) > tol {
+			return fmt.Errorf("ctmc: DTMC row %d sums to %v", i, s)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+package ctmc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoState builds the canonical repairable 2-state availability model:
+// up --lambda--> down, down --mu--> up.
+func twoState(t *testing.T, lambda, mu float64) *CTMC {
+	t.Helper()
+	b := NewBuilder(2)
+	if err := b.AddTransition(0, 1, lambda); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddTransition(1, 0, mu); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetInitial(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuilderBasics(t *testing.T) {
+	c := twoState(t, 0.1, 2.0)
+	if c.N() != 2 {
+		t.Fatalf("N=%d", c.N())
+	}
+	if c.NumTransitions() != 2 {
+		t.Fatalf("transitions=%d", c.NumTransitions())
+	}
+	if got := c.Rate(0, 1); got != 0.1 {
+		t.Errorf("Rate(0,1)=%v", got)
+	}
+	if got := c.OutRate(1); got != 2.0 {
+		t.Errorf("OutRate(1)=%v", got)
+	}
+	if got := c.MaxOutRate(); got != 2.0 {
+		t.Errorf("MaxOutRate=%v", got)
+	}
+	if len(c.Absorbing()) != 0 {
+		t.Errorf("unexpected absorbing states %v", c.Absorbing())
+	}
+}
+
+func TestBuilderRejectsBadInput(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddTransition(0, 0, 1); err == nil {
+		t.Error("want error for self loop")
+	}
+	if err := b.AddTransition(0, 5, 1); err == nil {
+		t.Error("want error for out-of-range")
+	}
+	if err := b.AddTransition(0, 1, -1); err == nil {
+		t.Error("want error for negative rate")
+	}
+	if err := b.AddTransition(0, 1, 0); err == nil {
+		t.Error("want error for zero rate")
+	}
+	if err := b.AddTransition(0, 1, math.Inf(1)); err == nil {
+		t.Error("want error for infinite rate")
+	}
+	if err := b.SetInitial(3, 1); err == nil {
+		t.Error("want error for out-of-range initial state")
+	}
+	if err := b.SetInitial(0, -0.5); err == nil {
+		t.Error("want error for negative probability")
+	}
+}
+
+func TestBuildRequiresNormalizedInitial(t *testing.T) {
+	b := NewBuilder(2)
+	_ = b.AddTransition(0, 1, 1)
+	_ = b.SetInitial(0, 0.25)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("want error for non-normalized initial distribution")
+	}
+}
+
+func TestParallelTransitionsAreSummed(t *testing.T) {
+	b := NewBuilder(2)
+	_ = b.AddTransition(0, 1, 1.0)
+	_ = b.AddTransition(0, 1, 2.5)
+	_ = b.AddTransition(1, 0, 1.0)
+	_ = b.SetInitial(0, 1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Rate(0, 1); got != 3.5 {
+		t.Errorf("Rate(0,1)=%v want 3.5", got)
+	}
+	if c.NumTransitions() != 2 {
+		t.Errorf("transitions=%d want 2", c.NumTransitions())
+	}
+}
+
+func TestAbsorbingDetection(t *testing.T) {
+	b := NewBuilder(3)
+	_ = b.AddTransition(0, 1, 1)
+	_ = b.AddTransition(1, 0, 1)
+	_ = b.AddTransition(1, 2, 0.5)
+	_ = b.SetInitial(0, 1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs := c.Absorbing()
+	if len(abs) != 1 || abs[0] != 2 {
+		t.Fatalf("absorbing=%v want [2]", abs)
+	}
+	if !c.IsAbsorbing(2) || c.IsAbsorbing(0) {
+		t.Error("IsAbsorbing misclassifies")
+	}
+}
+
+func TestUniformizeStochastic(t *testing.T) {
+	c := twoState(t, 0.3, 1.7)
+	d, err := c.Uniformize(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Lambda != 1.7 {
+		t.Errorf("Lambda=%v want 1.7", d.Lambda)
+	}
+	if err := d.RowSumsCheck(1e-14); err != nil {
+		t.Error(err)
+	}
+	// P(0,0) = 1 - 0.3/1.7
+	if got, want := d.P.At(0, 0), 1-0.3/1.7; math.Abs(got-want) > 1e-15 {
+		t.Errorf("P(0,0)=%v want %v", got, want)
+	}
+	// State 1 attains the max rate: no diagonal entry.
+	if got := d.P.At(1, 1); got != 0 {
+		t.Errorf("P(1,1)=%v want 0", got)
+	}
+}
+
+func TestUniformizeFactor(t *testing.T) {
+	c := twoState(t, 1, 1)
+	if _, err := c.Uniformize(0.5); err == nil {
+		t.Fatal("want error for factor < 1")
+	}
+	d, err := c.Uniformize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Lambda != 2 {
+		t.Errorf("Lambda=%v want 2", d.Lambda)
+	}
+	if err := d.RowSumsCheck(1e-14); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformizeRejectsEmptyChain(t *testing.T) {
+	b := NewBuilder(1)
+	_ = b.SetInitial(0, 1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Uniformize(1); err == nil {
+		t.Fatal("want error for chain with no transitions")
+	}
+}
+
+func TestStepPreservesMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c, err := Random(rng, RandomOptions{States: 60, ExtraDegree: 3, Absorbing: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Uniformize(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := c.Initial()
+	next := make([]float64, c.N())
+	for step := 0; step < 200; step++ {
+		d.Step(next, pi)
+		pi, next = next, pi
+	}
+	var mass float64
+	for _, p := range pi {
+		mass += p
+	}
+	if math.Abs(mass-1) > 1e-12 {
+		t.Errorf("mass after 200 steps = %v", mass)
+	}
+}
+
+func TestRandomGeneratorShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c, err := Random(rng, RandomOptions{States: 20, Absorbing: 3, ExtraDegree: 2, SpreadInitial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 23 {
+		t.Fatalf("N=%d want 23", c.N())
+	}
+	if len(c.Absorbing()) != 3 {
+		t.Fatalf("absorbing=%v want 3 states", c.Absorbing())
+	}
+	init := c.Initial()
+	var tot float64
+	for _, p := range init {
+		tot += p
+	}
+	if math.Abs(tot-1) > 1e-12 {
+		t.Errorf("initial sums to %v", tot)
+	}
+	r := RandomRewards(rng, c, 2.0, true)
+	for i := 0; i < 20; i++ {
+		if r[i] != 0 {
+			t.Fatalf("transient state %d has reward %v in absorbingOnly mode", i, r[i])
+		}
+	}
+}
+
+// Property: uniformization at any factor ≥ 1 yields a stochastic matrix and
+// preserves the embedded jump structure (off-diagonal proportionality).
+func TestUniformizeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := Random(rng, RandomOptions{States: 2 + rng.Intn(25), ExtraDegree: rng.Intn(4), Absorbing: rng.Intn(3)})
+		if err != nil {
+			return false
+		}
+		factor := 1 + rng.Float64()*3
+		d, err := c.Uniformize(factor)
+		if err != nil {
+			return false
+		}
+		if err := d.RowSumsCheck(1e-12); err != nil {
+			return false
+		}
+		// Spot-check off-diagonal proportionality on a few entries.
+		for _, e := range c.Transitions()[:min(5, c.NumTransitions())] {
+			if math.Abs(d.P.At(e.Row, e.Col)-e.Val/d.Lambda) > 1e-14 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,114 @@
+package ctmc
+
+import (
+	"math/rand"
+)
+
+// RandomOptions controls the random model generators used by the
+// cross-validation and property tests.
+type RandomOptions struct {
+	// States is the number of non-absorbing states (must be ≥ 2).
+	States int
+	// Absorbing is the number of absorbing states to append (≥ 0).
+	Absorbing int
+	// ExtraDegree is the expected number of random extra transitions per
+	// state beyond the connectivity ring.
+	ExtraDegree int
+	// RateSpread multiplies a uniform(0,1] sample to produce each rate;
+	// defaults to 1 when zero. Large spreads produce stiff chains.
+	RateSpread float64
+	// SpreadInitial selects a random initial distribution over the first
+	// min(4, States) states rather than a point mass at state 0. Point-mass
+	// initial distributions exercise the paper's α_r = 1 case; spread ones
+	// exercise the V_{K,L} primed chain.
+	SpreadInitial bool
+}
+
+// Random builds a random CTMC whose non-absorbing part is strongly connected
+// (it contains a directed ring) and, when opt.Absorbing > 0, every absorbing
+// state is reachable. The generator is deterministic given rng's state.
+func Random(rng *rand.Rand, opt RandomOptions) (*CTMC, error) {
+	n := opt.States
+	if n < 2 {
+		n = 2
+	}
+	spread := opt.RateSpread
+	if spread <= 0 {
+		spread = 1
+	}
+	total := n + opt.Absorbing
+	b := NewBuilder(total)
+	// Connectivity ring over the transient part.
+	for i := 0; i < n; i++ {
+		if err := b.AddTransition(i, (i+1)%n, spread*(0.05+rng.Float64())); err != nil {
+			return nil, err
+		}
+	}
+	// Random extra edges.
+	for i := 0; i < n; i++ {
+		for d := 0; d < opt.ExtraDegree; d++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			if err := b.AddTransition(i, j, spread*(0.05+rng.Float64())); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Edges into absorbing states: each absorbing state gets at least one
+	// incoming edge; each transient state may feed any absorbing state.
+	for a := 0; a < opt.Absorbing; a++ {
+		src := rng.Intn(n)
+		if err := b.AddTransition(src, n+a, spread*0.02*(0.1+rng.Float64())); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n && opt.Absorbing > 0; i++ {
+		if rng.Float64() < 0.3 {
+			a := rng.Intn(opt.Absorbing)
+			if err := b.AddTransition(i, n+a, spread*0.02*(0.1+rng.Float64())); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if opt.SpreadInitial {
+		k := 4
+		if k > n {
+			k = n
+		}
+		w := make([]float64, k)
+		var tot float64
+		for i := range w {
+			w[i] = rng.Float64() + 0.1
+			tot += w[i]
+		}
+		for i := range w {
+			if err := b.SetInitial(i, w[i]/tot); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if err := b.SetInitial(0, 1); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// RandomRewards returns a non-negative reward vector for c with maximum
+// value close to max. When absorbingOnly is true only absorbing states
+// receive nonzero rewards (the unreliability-style measure of the paper).
+func RandomRewards(rng *rand.Rand, c *CTMC, max float64, absorbingOnly bool) []float64 {
+	r := make([]float64, c.N())
+	if absorbingOnly {
+		for _, a := range c.Absorbing() {
+			r[a] = max * (0.5 + 0.5*rng.Float64())
+		}
+		return r
+	}
+	for i := range r {
+		r[i] = max * rng.Float64()
+	}
+	return r
+}

@@ -1,0 +1,111 @@
+package ctmc
+
+import (
+	"fmt"
+)
+
+// CheckModelClass verifies that c belongs to the model class of the paper:
+// the non-absorbing states S form one strongly connected component, every
+// absorbing state is reachable from S, and the initial distribution places
+// no mass on absorbing states. It is O(states + transitions) (Tarjan's
+// algorithm) and intended as an opt-in validation before long solves.
+func CheckModelClass(c *CTMC) error {
+	n := c.n
+	// Forward adjacency.
+	adj := make([][]int32, n)
+	for _, e := range c.rates.Entries() {
+		adj[e.Row] = append(adj[e.Row], int32(e.Col))
+	}
+	// Iterative Tarjan SCC.
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack, callStack []int
+	childIdx := make([]int, n)
+	next := 0
+	numComp := 0
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		callStack = append(callStack[:0], start)
+		index[start], low[start] = next, next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		childIdx[start] = 0
+		for len(callStack) > 0 {
+			v := callStack[len(callStack)-1]
+			if childIdx[v] < len(adj[v]) {
+				w := int(adj[v][childIdx[v]])
+				childIdx[v]++
+				if index[w] == unvisited {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					childIdx[w] = 0
+					callStack = append(callStack, w)
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := callStack[len(callStack)-1]
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = numComp
+					if w == v {
+						break
+					}
+				}
+				numComp++
+			}
+		}
+	}
+	// All non-absorbing states must share one component.
+	transientComp := -1
+	for i := 0; i < n; i++ {
+		if c.IsAbsorbing(i) {
+			continue
+		}
+		if transientComp == -1 {
+			transientComp = comp[i]
+		} else if comp[i] != transientComp {
+			return fmt.Errorf("ctmc: non-absorbing states are not strongly connected (states %s and split component containing %s)",
+				c.Name(i), c.Name(i))
+		}
+	}
+	if transientComp == -1 {
+		return fmt.Errorf("ctmc: no non-absorbing states")
+	}
+	// Every absorbing state needs an incoming transition.
+	hasIn := make([]bool, n)
+	for _, e := range c.rates.Entries() {
+		hasIn[e.Col] = true
+	}
+	for _, f := range c.Absorbing() {
+		if !hasIn[f] {
+			return fmt.Errorf("ctmc: absorbing state %s is unreachable", c.Name(f))
+		}
+		if c.initial[f] != 0 {
+			return fmt.Errorf("ctmc: initial mass %v on absorbing state %s", c.initial[f], c.Name(f))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package ctmc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCheckModelClassAcceptsPaperClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 10; trial++ {
+		c, err := Random(rng, RandomOptions{States: 4 + rng.Intn(20), ExtraDegree: 2, Absorbing: rng.Intn(3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckModelClass(c); err != nil {
+			t.Errorf("trial %d: valid model rejected: %v", trial, err)
+		}
+	}
+}
+
+func TestCheckModelClassRejectsDisconnected(t *testing.T) {
+	// Two 2-cycles with a one-way bridge: states {0,1} cannot be reached
+	// back from {2,3}.
+	b := NewBuilder(4)
+	_ = b.AddTransition(0, 1, 1)
+	_ = b.AddTransition(1, 0, 1)
+	_ = b.AddTransition(1, 2, 0.5)
+	_ = b.AddTransition(2, 3, 1)
+	_ = b.AddTransition(3, 2, 1)
+	_ = b.SetInitial(0, 1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckModelClass(c); err == nil {
+		t.Fatal("want rejection of non-strongly-connected transient part")
+	}
+}
+
+func TestCheckModelClassRejectsInitialMassOnAbsorbing(t *testing.T) {
+	b := NewBuilder(3)
+	_ = b.AddTransition(0, 1, 1)
+	_ = b.AddTransition(1, 0, 1)
+	_ = b.AddTransition(1, 2, 0.5)
+	_ = b.SetInitial(0, 0.5)
+	_ = b.SetInitial(2, 0.5)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckModelClass(c); err == nil {
+		t.Fatal("want rejection of initial mass on absorbing state")
+	}
+}
+
+func TestCheckModelClassRejectsAllAbsorbing(t *testing.T) {
+	b := NewBuilder(2)
+	_ = b.SetInitial(0, 1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckModelClass(c); err == nil {
+		t.Fatal("want rejection of chain with no transitions")
+	}
+}
+
+func TestCheckModelClassTwoState(t *testing.T) {
+	b := NewBuilder(2)
+	_ = b.AddTransition(0, 1, 1)
+	_ = b.AddTransition(1, 0, 2)
+	_ = b.SetInitial(0, 1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckModelClass(c); err != nil {
+		t.Errorf("irreducible 2-state chain rejected: %v", err)
+	}
+}

@@ -1,0 +1,133 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randMat(rng *rand.Rand, n int) *Mat {
+	m := NewMat(n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMat(rng, 7)
+	p := Mul(a, Eye(7))
+	q := Mul(Eye(7), a)
+	for i := range a.Data {
+		if p.Data[i] != a.Data[i] || q.Data[i] != a.Data[i] {
+			t.Fatal("multiplication by identity changed the matrix")
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := NewMat(2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	b := NewMat(2)
+	b.Set(0, 0, 5)
+	b.Set(0, 1, 6)
+	b.Set(1, 0, 7)
+	b.Set(1, 1, 8)
+	c := Mul(a, b)
+	want := [4]float64{19, 22, 43, 50}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("Mul mismatch: got %v want %v", c.Data, want)
+		}
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b := randMat(rng, 5), randMat(rng, 5)
+	s := Sub(Add(a, b), b)
+	for i := range s.Data {
+		if math.Abs(s.Data[i]-a.Data[i]) > 1e-14 {
+			t.Fatal("Add/Sub roundtrip failed")
+		}
+	}
+	d := Scale(2, a)
+	for i := range d.Data {
+		if d.Data[i] != 2*a.Data[i] {
+			t.Fatal("Scale failed")
+		}
+	}
+}
+
+func TestNorm1(t *testing.T) {
+	m := NewMat(2)
+	m.Set(0, 0, 1)
+	m.Set(1, 0, -3)
+	m.Set(0, 1, 2)
+	m.Set(1, 1, 1)
+	if got := m.Norm1(); got != 4 {
+		t.Errorf("Norm1=%v want 4", got)
+	}
+}
+
+func TestLUSolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(30)
+		a := randMat(rng, n)
+		// Diagonal dominance to guarantee nonsingularity.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		b := randMat(rng, n)
+		lu, err := Factorize(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := lu.Solve(b)
+		ax := Mul(a, x)
+		for i := range ax.Data {
+			if math.Abs(ax.Data[i]-b.Data[i]) > 1e-9 {
+				t.Fatalf("trial %d: residual %v at %d", trial, ax.Data[i]-b.Data[i], i)
+			}
+		}
+	}
+}
+
+func TestLUDetectsSingular(t *testing.T) {
+	a := NewMat(2) // zero matrix
+	if _, err := Factorize(a); err == nil {
+		t.Fatal("want error for singular matrix")
+	}
+	// Rank-1 matrix.
+	b := NewMat(2)
+	b.Set(0, 0, 1)
+	b.Set(0, 1, 2)
+	b.Set(1, 0, 2)
+	b.Set(1, 1, 4)
+	if _, err := Factorize(b); err == nil {
+		t.Fatal("want error for rank-deficient matrix")
+	}
+}
+
+func TestLUPivoting(t *testing.T) {
+	// Requires row exchange: zero pivot in position (0,0).
+	a := NewMat(2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	lu, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := lu.Solve(Eye(2))
+	// Inverse of the permutation matrix is itself.
+	if math.Abs(x.At(0, 1)-1) > 1e-15 || math.Abs(x.At(1, 0)-1) > 1e-15 {
+		t.Errorf("inverse of permutation wrong: %v", x.Data)
+	}
+}

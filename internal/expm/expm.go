@@ -1,0 +1,175 @@
+// Package expm computes dense matrix exponentials with the Higham (2005)
+// scaling-and-squaring algorithm using a degree-13 Padé approximant. It is
+// the independent ground-truth oracle for the randomization solvers: for a
+// CTMC with generator Q, the transient distribution is π(t) = π(0)·e^{Qt},
+// and e^{Qt} computed here shares no code path with the solvers under test.
+package expm
+
+import (
+	"fmt"
+
+	"regenrand/internal/ctmc"
+	"regenrand/internal/dense"
+)
+
+// theta13 is Higham's θ₁₃ threshold for the degree-13 Padé approximant.
+const theta13 = 5.371920351148152
+
+// pade13 holds the degree-13 Padé coefficients.
+var pade13 = [...]float64{
+	64764752532480000, 32382376266240000, 7771770303897600,
+	1187353796428800, 129060195264000, 10559470521600,
+	670442572800, 33522128640, 1323241920,
+	40840800, 960960, 16380, 182, 1,
+}
+
+// Exp returns e^A.
+func Exp(a *dense.Mat) (*dense.Mat, error) {
+	n := a.N
+	norm := a.Norm1()
+	s := 0
+	for norm/float64(int64(1)<<uint(s)) > theta13 {
+		s++
+		if s > 60 {
+			return nil, fmt.Errorf("expm: norm %v too large", norm)
+		}
+	}
+	as := dense.Scale(1/float64(int64(1)<<uint(s)), a)
+
+	a2 := dense.Mul(as, as)
+	a4 := dense.Mul(a2, a2)
+	a6 := dense.Mul(a2, a4)
+
+	// U = A·(A6·(b13·A6 + b11·A4 + b9·A2) + b7·A6 + b5·A4 + b3·A2 + b1·I)
+	tmp := dense.Add(dense.Add(dense.Scale(pade13[13], a6), dense.Scale(pade13[11], a4)), dense.Scale(pade13[9], a2))
+	u := dense.Mul(a6, tmp)
+	u = dense.Add(u, dense.Scale(pade13[7], a6))
+	u = dense.Add(u, dense.Scale(pade13[5], a4))
+	u = dense.Add(u, dense.Scale(pade13[3], a2))
+	u = dense.Add(u, dense.Scale(pade13[1], dense.Eye(n)))
+	u = dense.Mul(as, u)
+
+	// V = A6·(b12·A6 + b10·A4 + b8·A2) + b6·A6 + b4·A4 + b2·A2 + b0·I
+	tmp = dense.Add(dense.Add(dense.Scale(pade13[12], a6), dense.Scale(pade13[10], a4)), dense.Scale(pade13[8], a2))
+	v := dense.Mul(a6, tmp)
+	v = dense.Add(v, dense.Scale(pade13[6], a6))
+	v = dense.Add(v, dense.Scale(pade13[4], a4))
+	v = dense.Add(v, dense.Scale(pade13[2], a2))
+	v = dense.Add(v, dense.Scale(pade13[0], dense.Eye(n)))
+
+	// Solve (V−U)·R = (V+U).
+	lu, err := dense.Factorize(dense.Sub(v, u))
+	if err != nil {
+		return nil, fmt.Errorf("expm: Padé denominator singular: %w", err)
+	}
+	r := lu.Solve(dense.Add(v, u))
+	for i := 0; i < s; i++ {
+		r = dense.Mul(r, r)
+	}
+	return r, nil
+}
+
+// Generator returns the dense generator matrix Q of c (Q[i,j] = rate i→j,
+// Q[i,i] = −Σ_j rate i→j).
+func Generator(c *ctmc.CTMC) *dense.Mat {
+	q := dense.NewMat(c.N())
+	for _, e := range c.Transitions() {
+		q.Set(e.Row, e.Col, q.At(e.Row, e.Col)+e.Val)
+		q.Set(e.Row, e.Row, q.At(e.Row, e.Row)-e.Val)
+	}
+	return q
+}
+
+// TransientDistribution returns π(t) = π(0)·e^{Qt} for the chain c.
+// It is O(n³) and meant for oracle comparisons on small models.
+func TransientDistribution(c *ctmc.CTMC, t float64) ([]float64, error) {
+	e, err := Exp(dense.Scale(t, Generator(c)))
+	if err != nil {
+		return nil, err
+	}
+	n := c.N()
+	pi0 := c.Initial()
+	pi := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += pi0[i] * e.At(i, j)
+		}
+		pi[j] = s
+	}
+	return pi, nil
+}
+
+// TRR returns the oracle transient reward rate Σ_i π_i(t)·r_i.
+func TRR(c *ctmc.CTMC, rewards []float64, t float64) (float64, error) {
+	pi, err := TransientDistribution(c, t)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for i, p := range pi {
+		s += p * rewards[i]
+	}
+	return s, nil
+}
+
+// MRR returns the oracle mean reward rate (1/t)∫₀ᵗ TRR dτ computed by
+// adaptive Simpson quadrature over the oracle TRR. tol is the absolute
+// integration tolerance on the integral (not divided by t).
+func MRR(c *ctmc.CTMC, rewards []float64, t, tol float64) (float64, error) {
+	if t == 0 {
+		return TRR(c, rewards, 0)
+	}
+	f := func(x float64) (float64, error) { return TRR(c, rewards, x) }
+	integral, err := adaptiveSimpson(f, 0, t, tol, 18)
+	if err != nil {
+		return 0, err
+	}
+	return integral / t, nil
+}
+
+func adaptiveSimpson(f func(float64) (float64, error), a, b, tol float64, depth int) (float64, error) {
+	fa, err := f(a)
+	if err != nil {
+		return 0, err
+	}
+	fb, err := f(b)
+	if err != nil {
+		return 0, err
+	}
+	m := (a + b) / 2
+	fm, err := f(m)
+	if err != nil {
+		return 0, err
+	}
+	whole := (b - a) / 6 * (fa + 4*fm + fb)
+	return simpsonAux(f, a, b, fa, fm, fb, whole, tol, depth)
+}
+
+func simpsonAux(f func(float64) (float64, error), a, b, fa, fm, fb, whole, tol float64, depth int) (float64, error) {
+	m := (a + b) / 2
+	lm, rm := (a+m)/2, (m+b)/2
+	flm, err := f(lm)
+	if err != nil {
+		return 0, err
+	}
+	frm, err := f(rm)
+	if err != nil {
+		return 0, err
+	}
+	left := (m - a) / 6 * (fa + 4*flm + fm)
+	right := (b - m) / 6 * (fm + 4*frm + fb)
+	diff := left + right - whole
+	if depth <= 0 || diff < tol*15 && diff > -tol*15 {
+		return left + right + diff/15, nil
+	}
+	l, err := simpsonAux(f, a, m, fa, flm, fm, left, tol/2, depth-1)
+	if err != nil {
+		return 0, err
+	}
+	r, err := simpsonAux(f, m, b, fm, frm, fb, right, tol/2, depth-1)
+	if err != nil {
+		return 0, err
+	}
+	return l + r, nil
+}

@@ -1,0 +1,187 @@
+package expm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"regenrand/internal/ctmc"
+	"regenrand/internal/dense"
+)
+
+func TestExpDiagonal(t *testing.T) {
+	a := dense.NewMat(3)
+	a.Set(0, 0, -1)
+	a.Set(1, 1, 0.5)
+	a.Set(2, 2, 2)
+	e, err := Exp(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range []float64{-1, 0.5, 2} {
+		if got, want := e.At(i, i), math.Exp(d); math.Abs(got-want) > 1e-13*want {
+			t.Errorf("e^diag[%d]=%v want %v", i, got, want)
+		}
+	}
+	if e.At(0, 1) != 0 {
+		t.Error("off-diagonal of diagonal exponential must be 0")
+	}
+}
+
+func TestExpNilpotent(t *testing.T) {
+	// A = [[0,1],[0,0]]: e^A = [[1,1],[0,1]].
+	a := dense.NewMat(2)
+	a.Set(0, 1, 1)
+	e, err := Exp(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [4]float64{1, 1, 0, 1}
+	for i, w := range want {
+		if math.Abs(e.Data[i]-w) > 1e-14 {
+			t.Fatalf("e^nilpotent = %v want %v", e.Data, want)
+		}
+	}
+}
+
+func TestExpLargeNormScaling(t *testing.T) {
+	// Exercise the squaring phase: A = diag(-50, 30).
+	a := dense.NewMat(2)
+	a.Set(0, 0, -50)
+	a.Set(1, 1, 30)
+	e, err := Exp(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.At(1, 1), math.Exp(30); math.Abs(got-want) > 1e-10*want {
+		t.Errorf("e^30=%v want %v", got, want)
+	}
+	if got, want := e.At(0, 0), math.Exp(-50); math.Abs(got-want) > 1e-10*want {
+		t.Errorf("e^-50=%v want %v", got, want)
+	}
+}
+
+func TestExpAdditionPropertyCommuting(t *testing.T) {
+	// For a single matrix, e^A·e^A = e^{2A}.
+	rng := rand.New(rand.NewSource(4))
+	a := dense.NewMat(6)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64() * 0.7
+	}
+	ea, err := Exp(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2a, err := Exp(dense.Scale(2, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := dense.Mul(ea, ea)
+	for i := range prod.Data {
+		if math.Abs(prod.Data[i]-e2a.Data[i]) > 1e-10*(1+math.Abs(e2a.Data[i])) {
+			t.Fatalf("e^A·e^A ≠ e^{2A} at %d: %v vs %v", i, prod.Data[i], e2a.Data[i])
+		}
+	}
+}
+
+func build2State(t *testing.T, lambda, mu float64) *ctmc.CTMC {
+	t.Helper()
+	b := ctmc.NewBuilder(2)
+	if err := b.AddTransition(0, 1, lambda); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddTransition(1, 0, mu); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetInitial(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Analytic unavailability of the 2-state model started up:
+// P[down](t) = λ/(λ+μ)·(1 − e^{−(λ+μ)t}).
+func TestTransientDistributionTwoState(t *testing.T) {
+	lambda, mu := 0.2, 1.5
+	c := build2State(t, lambda, mu)
+	for _, tt := range []float64{0, 0.1, 1, 5, 40} {
+		pi, err := TransientDistribution(c, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := lambda / (lambda + mu) * (1 - math.Exp(-(lambda+mu)*tt))
+		if math.Abs(pi[1]-want) > 1e-12 {
+			t.Errorf("t=%v: P[down]=%v want %v", tt, pi[1], want)
+		}
+		if math.Abs(pi[0]+pi[1]-1) > 1e-12 {
+			t.Errorf("t=%v: mass=%v", tt, pi[0]+pi[1])
+		}
+	}
+}
+
+// e^{Qt} of a generator has row sums 1 (stochastic semigroup).
+func TestGeneratorExponentialStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c, err := ctmc.Random(rng, ctmc.RandomOptions{States: 15, ExtraDegree: 3, Absorbing: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Exp(dense.Scale(3.7, Generator(c)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.N()
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			v := e.At(i, j)
+			if v < -1e-12 {
+				t.Fatalf("negative probability e^{Qt}[%d,%d]=%v", i, j, v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-11 {
+			t.Fatalf("row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestTRRAndMRRTwoState(t *testing.T) {
+	lambda, mu := 0.3, 2.0
+	c := build2State(t, lambda, mu)
+	rewards := []float64{0, 1} // unavailability
+	tt := 2.5
+	got, err := TRR(c, rewards, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := lambda + mu
+	want := lambda / s * (1 - math.Exp(-s*tt))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("TRR=%v want %v", got, want)
+	}
+	// MRR analytic: (1/t)∫ UA = λ/s − λ/(s²t)·(1−e^{−st})
+	gotM, err := MRR(c, rewards, tt, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantM := lambda/s - lambda/(s*s*tt)*(1-math.Exp(-s*tt))
+	if math.Abs(gotM-wantM) > 1e-9 {
+		t.Errorf("MRR=%v want %v", gotM, wantM)
+	}
+}
+
+func TestMRRAtZero(t *testing.T) {
+	c := build2State(t, 1, 1)
+	v, err := MRR(c, []float64{3, 0}, 0, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 {
+		t.Errorf("MRR(0)=%v want reward of initial state", v)
+	}
+}

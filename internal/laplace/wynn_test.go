@@ -1,0 +1,80 @@
+package laplace
+
+import (
+	"math"
+	"testing"
+)
+
+// Wynn's epsilon algorithm must accelerate a geometric series to its limit
+// far faster than the raw partial sums.
+func TestWynnGeometricSeries(t *testing.T) {
+	w := newWynn(true)
+	sum := 0.0
+	var est float64
+	for k := 0; k < 12; k++ {
+		sum += math.Pow(0.5, float64(k))
+		est = w.push(sum)
+	}
+	// Raw partial sum after 12 terms is off by ~2^-11 ≈ 5e-4; the epsilon
+	// table resolves a geometric series essentially exactly.
+	if math.Abs(est-2) > 1e-10 {
+		t.Errorf("accelerated estimate %v want 2", est)
+	}
+}
+
+// An alternating logarithmic series: Σ (-1)^{k+1}/k = ln 2, a classic
+// epsilon-algorithm benchmark where raw sums converge like 1/n.
+func TestWynnAlternatingHarmonic(t *testing.T) {
+	w := newWynn(true)
+	sum := 0.0
+	var est float64
+	for k := 1; k <= 25; k++ {
+		sum += math.Pow(-1, float64(k+1)) / float64(k)
+		est = w.push(sum)
+	}
+	if math.Abs(est-math.Ln2) > 1e-12 {
+		t.Errorf("accelerated estimate %v want ln2=%v (err %g)", est, math.Ln2, est-math.Ln2)
+	}
+	// Raw partial sum is off by ~1/50 — the acceleration must beat it by
+	// many orders of magnitude.
+	if math.Abs(sum-math.Ln2) < 1e-3 {
+		t.Fatal("test premise broken: raw sum too accurate")
+	}
+}
+
+// A sequence that converges exactly in finitely many steps exercises the
+// delta == 0 freeze path.
+func TestWynnExactConvergenceFreeze(t *testing.T) {
+	w := newWynn(true)
+	seq := []float64{1, 1.5, 1.75, 2, 2, 2, 2}
+	var est float64
+	for _, s := range seq {
+		est = w.push(s)
+	}
+	if est != 2 {
+		t.Errorf("frozen estimate %v want 2", est)
+	}
+}
+
+// Disabled acceleration passes raw sums through unchanged.
+func TestWynnDisabled(t *testing.T) {
+	w := newWynn(false)
+	for _, s := range []float64{1, 4, 9} {
+		if got := w.push(s); got != s {
+			t.Errorf("pass-through got %v want %v", got, s)
+		}
+	}
+}
+
+// The sliding window must keep the table width bounded.
+func TestWynnWidthCap(t *testing.T) {
+	w := newWynn(true)
+	sum := 0.0
+	for k := 0; k < 500; k++ {
+		sum += math.Pow(0.9, float64(k))
+		w.push(sum)
+	}
+	if len(w.diag) > wynnMaxWidth {
+		t.Errorf("diagonal width %d exceeds cap %d", len(w.diag), wynnMaxWidth)
+	}
+}

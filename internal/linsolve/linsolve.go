@@ -1,0 +1,92 @@
+// Package linsolve computes the steady-state distribution of an irreducible
+// CTMC, the preprocessing step of randomization with steady-state detection
+// (RSD). The solver runs Gauss–Seidel sweeps on the fixed point π = πP of a
+// strictly aperiodic uniformized chain and falls back to power iteration if
+// the sweeps stagnate; the returned vector is certified by an explicit
+// residual check.
+package linsolve
+
+import (
+	"fmt"
+
+	"regenrand/internal/ctmc"
+	"regenrand/internal/sparse"
+)
+
+// maxSweeps bounds Gauss–Seidel sweeps; the models in this module converge
+// in hundreds to a few thousand sweeps.
+const maxSweeps = 50000
+
+// SteadyState returns the stationary distribution π of the irreducible CTMC
+// c with residual ‖πP − π‖₁ ≤ tol, where P is the uniformized chain. It
+// returns an error if c has absorbing states or the iteration fails to
+// converge.
+func SteadyState(c *ctmc.CTMC, tol float64) ([]float64, error) {
+	if len(c.Absorbing()) > 0 {
+		return nil, fmt.Errorf("linsolve: chain has absorbing states; steady state is degenerate")
+	}
+	if tol <= 0 {
+		return nil, fmt.Errorf("linsolve: tolerance %v must be positive", tol)
+	}
+	// A factor > 1 guarantees a strictly positive diagonal, hence an
+	// aperiodic P and geometric convergence of both iterations below.
+	d, err := c.Uniformize(1.05)
+	if err != nil {
+		return nil, err
+	}
+	n := d.N()
+	diag := make([]float64, n)
+	for j := 0; j < n; j++ {
+		diag[j] = d.P.At(j, j)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	prev := make([]float64, n)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		copy(prev, x)
+		for j := 0; j < n; j++ {
+			src, val := d.P.InEdges(j)
+			var num float64
+			for p, i := range src {
+				if int(i) == j {
+					continue
+				}
+				num += x[i] * val[p]
+			}
+			x[j] = num / (1 - diag[j])
+		}
+		normalize(x)
+		if sparse.L1Diff(x, prev) < tol/4 {
+			if r := residual(d, x); r <= tol {
+				return x, nil
+			}
+		}
+	}
+	// Fall back to certified power iteration from the current iterate.
+	next := make([]float64, n)
+	for it := 0; it < maxSweeps; it++ {
+		d.Step(next, x)
+		normalize(next)
+		x, next = next, x
+		if it%32 == 0 && residual(d, x) <= tol {
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("linsolve: steady state did not converge to residual %v in %d iterations", tol, 2*maxSweeps)
+}
+
+// residual returns ‖xP − x‖₁.
+func residual(d *ctmc.DTMC, x []float64) float64 {
+	y := make([]float64, len(x))
+	d.Step(y, x)
+	return sparse.L1Diff(y, x)
+}
+
+func normalize(x []float64) {
+	s := sparse.Sum(x)
+	for i := range x {
+		x[i] /= s
+	}
+}

@@ -1,0 +1,159 @@
+// Package mcio reads and writes CTMC models with reward structures in a
+// small line-oriented text format, so models built by external tools can be
+// solved with this module and generated models (e.g. the RAID benchmark)
+// can be exported for inspection.
+//
+// Format (one directive or transition per line, '#' starts a comment):
+//
+//	ctmc
+//	states 4
+//	initial 0 1.0
+//	reward 3 1.0
+//	0 1 0.5      # from to rate
+//	1 0 2.0
+//
+// The "ctmc" header is mandatory and must come first. "states" must precede
+// any state-referencing line. "initial" and "reward" may repeat; rewards
+// default to 0 and the initial distribution must sum to 1. Transitions are
+// triples "from to rate" with 0-based state indices.
+package mcio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"regenrand/internal/ctmc"
+)
+
+// Read parses a model and its reward vector.
+func Read(r io.Reader) (*ctmc.CTMC, []float64, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	sawHeader := false
+	var builder *ctmc.Builder
+	var rewards []float64
+	n := -1
+
+	fail := func(format string, args ...interface{}) error {
+		return fmt.Errorf("mcio: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if !sawHeader {
+			if len(fields) != 1 || fields[0] != "ctmc" {
+				return nil, nil, fail("expected header %q, got %q", "ctmc", strings.Join(fields, " "))
+			}
+			sawHeader = true
+			continue
+		}
+		switch fields[0] {
+		case "states":
+			if n >= 0 {
+				return nil, nil, fail("duplicate states directive")
+			}
+			if len(fields) != 2 {
+				return nil, nil, fail("states takes one argument")
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v <= 0 {
+				return nil, nil, fail("invalid state count %q", fields[1])
+			}
+			n = v
+			builder = ctmc.NewBuilder(n)
+			rewards = make([]float64, n)
+		case "initial":
+			if builder == nil {
+				return nil, nil, fail("initial before states")
+			}
+			if len(fields) != 3 {
+				return nil, nil, fail("initial takes state and probability")
+			}
+			s, err1 := strconv.Atoi(fields[1])
+			p, err2 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil {
+				return nil, nil, fail("invalid initial entry %q", strings.Join(fields[1:], " "))
+			}
+			if err := builder.SetInitial(s, p); err != nil {
+				return nil, nil, fail("%v", err)
+			}
+		case "reward":
+			if builder == nil {
+				return nil, nil, fail("reward before states")
+			}
+			if len(fields) != 3 {
+				return nil, nil, fail("reward takes state and rate")
+			}
+			s, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil || s < 0 || s >= n {
+				return nil, nil, fail("invalid reward entry %q", strings.Join(fields[1:], " "))
+			}
+			rewards[s] = v
+		default:
+			if builder == nil {
+				return nil, nil, fail("transition before states")
+			}
+			if len(fields) != 3 {
+				return nil, nil, fail("expected %q, got %q", "from to rate", strings.Join(fields, " "))
+			}
+			from, err1 := strconv.Atoi(fields[0])
+			to, err2 := strconv.Atoi(fields[1])
+			rate, err3 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, nil, fail("invalid transition %q", strings.Join(fields, " "))
+			}
+			if err := builder.AddTransition(from, to, rate); err != nil {
+				return nil, nil, fail("%v", err)
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, nil, fmt.Errorf("mcio: %w", err)
+	}
+	if !sawHeader {
+		return nil, nil, fmt.Errorf("mcio: empty input (missing %q header)", "ctmc")
+	}
+	if builder == nil {
+		return nil, nil, fmt.Errorf("mcio: missing states directive")
+	}
+	model, err := builder.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("mcio: %w", err)
+	}
+	return model, rewards, nil
+}
+
+// Write serializes a model and reward vector in the package format.
+// rewards may be nil.
+func Write(w io.Writer, c *ctmc.CTMC, rewards []float64) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "ctmc")
+	fmt.Fprintf(bw, "states %d\n", c.N())
+	for i, p := range c.Initial() {
+		if p != 0 {
+			fmt.Fprintf(bw, "initial %d %.17g\n", i, p)
+		}
+	}
+	for i, r := range rewards {
+		if r != 0 {
+			fmt.Fprintf(bw, "reward %d %.17g\n", i, r)
+		}
+	}
+	for _, e := range c.Transitions() {
+		fmt.Fprintf(bw, "%d %d %.17g\n", e.Row, e.Col, e.Val)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,117 @@
+package mcio
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"regenrand/internal/ctmc"
+)
+
+const sample = `
+# two-state availability model
+ctmc
+states 2
+initial 0 1.0
+reward 1 1.0
+0 1 0.25
+1 0 2.0
+`
+
+func TestReadSample(t *testing.T) {
+	c, rewards, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 2 {
+		t.Fatalf("N=%d", c.N())
+	}
+	if got := c.Rate(0, 1); got != 0.25 {
+		t.Errorf("rate(0,1)=%v", got)
+	}
+	if rewards[0] != 0 || rewards[1] != 1 {
+		t.Errorf("rewards=%v", rewards)
+	}
+	init := c.Initial()
+	if init[0] != 1 {
+		t.Errorf("initial=%v", init)
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 10; trial++ {
+		c, err := ctmc.Random(rng, ctmc.RandomOptions{
+			States: 3 + rng.Intn(20), ExtraDegree: 2, Absorbing: rng.Intn(3),
+			SpreadInitial: trial%2 == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rewards := ctmc.RandomRewards(rng, c, 3, false)
+		var sb strings.Builder
+		if err := Write(&sb, c, rewards); err != nil {
+			t.Fatal(err)
+		}
+		c2, rewards2, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, sb.String())
+		}
+		if c2.N() != c.N() {
+			t.Fatalf("N %d != %d", c2.N(), c.N())
+		}
+		for _, e := range c.Transitions() {
+			if got := c2.Rate(e.Row, e.Col); math.Abs(got-e.Val) > 1e-15*e.Val {
+				t.Fatalf("rate(%d,%d): %v != %v", e.Row, e.Col, got, e.Val)
+			}
+		}
+		for i := range rewards {
+			if rewards2[i] != rewards[i] {
+				t.Fatalf("reward[%d]: %v != %v", i, rewards2[i], rewards[i])
+			}
+		}
+		i1, i2 := c.Initial(), c2.Initial()
+		for i := range i1 {
+			if math.Abs(i1[i]-i2[i]) > 1e-15 {
+				t.Fatalf("initial[%d]: %v != %v", i, i1[i], i2[i])
+			}
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"missing header", "states 2\n0 1 1.0\n"},
+		{"missing states", "ctmc\n0 1 1.0\n"},
+		{"duplicate states", "ctmc\nstates 2\nstates 3\n"},
+		{"bad state count", "ctmc\nstates zero\n"},
+		{"negative state count", "ctmc\nstates -1\n"},
+		{"initial before states", "ctmc\ninitial 0 1\nstates 2\n"},
+		{"bad transition arity", "ctmc\nstates 2\n0 1\n"},
+		{"bad rate", "ctmc\nstates 2\n0 1 fast\n"},
+		{"self loop", "ctmc\nstates 2\ninitial 0 1\n0 0 1.0\n"},
+		{"out of range", "ctmc\nstates 2\ninitial 0 1\n0 5 1.0\n"},
+		{"reward out of range", "ctmc\nstates 2\nreward 9 1\n"},
+		{"unnormalized initial", "ctmc\nstates 2\ninitial 0 0.5\n0 1 1\n1 0 1\n"},
+	}
+	for _, c := range cases {
+		if _, _, err := Read(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	in := "# leading comment\n\nctmc\n\nstates 2 # trailing\ninitial 0 1.0\n0 1 1.5 # rate\n1 0 0.5\n"
+	c, _, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rate(0, 1) != 1.5 {
+		t.Errorf("rate=%v", c.Rate(0, 1))
+	}
+}

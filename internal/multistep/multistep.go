@@ -1,0 +1,265 @@
+// Package multistep implements Reibman & Trivedi's multistep randomization,
+// the other related-work baseline of the paper's introduction: instead of
+// stepping the randomized chain one jump at a time, the transition matrix
+// over a time block δ,
+//
+//	Π(δ) = Σ_k e^{−Λδ}(Λδ)^k/k! · P^k,
+//
+// is materialized once (a dense n×n matrix — the "fill-in" the paper points
+// out) and the distribution is advanced R = ⌊t/δ⌋ blocks at a time plus one
+// remainder block. The block truncation budgets are chosen so the total
+// error stays within ε.
+//
+// The method trades Λt sparse vector products for Λδ·n row products (the
+// build) plus t/δ dense vector–matrix products, and n² memory. It pays off
+// only when t is large and n is moderate; on the paper's RAID models the
+// win over SR is marginal, which is precisely why the paper dismisses the
+// approach ("introduces fill-in in the transition probability matrix") in
+// favour of regenerative randomization. The implementation exists to make
+// that comparison concrete.
+package multistep
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"regenrand/internal/core"
+	"regenrand/internal/ctmc"
+	"regenrand/internal/dense"
+	"regenrand/internal/poisson"
+	"regenrand/internal/sparse"
+)
+
+// maxStates bounds the dense fill-in (n² float64): 6000 states ≈ 288 MB.
+const maxStates = 6000
+
+// Solver is the multistep randomization solver (TRR only; the cumulative
+// measure would need per-block sojourn matrices and is out of the method's
+// historical scope).
+type Solver struct {
+	model   *ctmc.CTMC
+	rewards []float64
+	opts    core.Options
+	rmax    float64
+	dtmc    *ctmc.DTMC
+
+	// BlockSteps m fixes δ = m/Λ. Zero selects a balance point
+	// m = sqrt(Λt·n/nnz) at first solve.
+	blockSteps int
+
+	// cached block matrix and its δ.
+	block *dense.Mat
+	m     int
+
+	stats core.Stats
+}
+
+// New returns a multistep solver. blockSteps fixes the number of
+// randomization steps per block (0 = automatic).
+func New(model *ctmc.CTMC, rewards []float64, blockSteps int, opts core.Options) (*Solver, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	rmax, err := core.CheckRewards(rewards, model.N())
+	if err != nil {
+		return nil, err
+	}
+	if model.N() > maxStates {
+		return nil, fmt.Errorf("multistep: %d states exceed the dense fill-in cap %d", model.N(), maxStates)
+	}
+	if blockSteps < 0 {
+		return nil, fmt.Errorf("multistep: negative block size %d", blockSteps)
+	}
+	d, err := model.Uniformize(opts.UniformizationFactor)
+	if err != nil {
+		return nil, err
+	}
+	r := make([]float64, len(rewards))
+	copy(r, rewards)
+	s := &Solver{model: model, rewards: r, opts: opts, rmax: rmax, dtmc: d, blockSteps: blockSteps}
+	s.stats.DetectionStep = -1
+	return s, nil
+}
+
+// Name returns "MS".
+func (s *Solver) Name() string { return "MS" }
+
+// Stats returns cost counters accumulated since the solver was created.
+func (s *Solver) Stats() core.Stats { return s.stats }
+
+// chooseBlock picks m balancing build cost (m·n·nnz) against the stepping
+// cost (Λt/m·n²) for the largest requested horizon.
+func (s *Solver) chooseBlock(tmax float64) int {
+	if s.blockSteps > 0 {
+		return s.blockSteps
+	}
+	n := float64(s.model.N())
+	nnz := float64(s.model.NumTransitions() + s.model.N())
+	m := int(math.Sqrt(s.dtmc.Lambda * tmax * n / nnz))
+	if m < 8 {
+		m = 8
+	}
+	return m
+}
+
+// buildBlock materializes Π(δ) for m randomization steps with row-sum
+// truncation error at most epsBlock.
+func (s *Solver) buildBlock(m int, epsBlock float64) (*dense.Mat, error) {
+	n := s.model.N()
+	lamDelta := float64(m)
+	w, err := poisson.NewWindow(lamDelta, epsBlock)
+	if err != nil {
+		return nil, err
+	}
+	// D starts as the identity; accumulate A += w_k·D with D ← D·P.
+	d := dense.Eye(n)
+	buf := dense.NewMat(n)
+	acc := dense.NewMat(n)
+	addWeighted := func(wk float64) {
+		if wk == 0 {
+			return
+		}
+		for i := range acc.Data {
+			acc.Data[i] += wk * d.Data[i]
+		}
+	}
+	addWeighted(w.Weight(0))
+	for k := 1; k <= w.Right; k++ {
+		s.rowsTimesP(buf, d)
+		d, buf = buf, d
+		s.stats.MatVecs += n
+		addWeighted(w.Weight(k))
+	}
+	s.stats.BuildSteps += w.Right
+	return acc, nil
+}
+
+// rowsTimesP computes dst = src·P row-wise, parallel over rows.
+func (s *Solver) rowsTimesP(dst, src *dense.Mat) {
+	n := src.N
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				s.dtmc.P.VecMat(dst.Data[i*n:(i+1)*n], src.Data[i*n:(i+1)*n])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// vecTimesDense computes dst = src·M for a dense row-major M.
+func vecTimesDense(dst, src []float64, m *dense.Mat) {
+	n := m.N
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		xi := src[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			dst[j] += xi * v
+		}
+	}
+}
+
+// TRR implements core.Solver (transient reward rate only).
+func (s *Solver) TRR(ts []float64) ([]core.Result, error) {
+	if err := core.CheckTimes(ts); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	tmax := core.MaxTime(ts)
+	results := make([]core.Result, len(ts))
+	if tmax == 0 {
+		for i := range ts {
+			results[i] = core.Result{T: 0, Value: sparse.Dot(s.model.Initial(), s.rewards)}
+		}
+		return results, nil
+	}
+	m := s.chooseBlock(tmax)
+	delta := float64(m) / s.dtmc.Lambda
+	// Worst-case number of composed blocks across the batch.
+	maxBlocks := int(tmax/delta) + 2
+	epsTotal := s.opts.Epsilon
+	if s.rmax > 0 {
+		epsTotal = s.opts.Epsilon / s.rmax
+	}
+	if epsTotal >= 1 {
+		epsTotal = 0.5
+	}
+	epsBlock := epsTotal / float64(maxBlocks)
+	if s.block == nil || s.m != m {
+		blockStart := time.Now()
+		b, err := s.buildBlock(m, epsBlock)
+		if err != nil {
+			return nil, fmt.Errorf("multistep: %w", err)
+		}
+		s.block, s.m = b, m
+		s.stats.Setup += time.Since(blockStart)
+	}
+	for i, t := range ts {
+		if t == 0 {
+			results[i] = core.Result{T: 0, Value: sparse.Dot(s.model.Initial(), s.rewards)}
+			continue
+		}
+		blocks := int(t / delta)
+		rem := t - float64(blocks)*delta
+		pi := s.model.Initial()
+		buf := make([]float64, len(pi))
+		for b := 0; b < blocks; b++ {
+			vecTimesDense(buf, pi, s.block)
+			pi, buf = buf, pi
+		}
+		if rem > 0 {
+			// Remainder block directly by sparse randomization.
+			w, err := poisson.NewWindow(s.dtmc.Lambda*rem, epsBlock)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]float64, len(pi))
+			for j, p := range pi {
+				out[j] = w.Weight(0) * p
+			}
+			for k := 1; k <= w.Right; k++ {
+				s.dtmc.Step(buf, pi)
+				pi, buf = buf, pi
+				if wk := w.Weight(k); wk > 0 {
+					for j, p := range pi {
+						out[j] += wk * p
+					}
+				}
+				s.stats.MatVecs++
+			}
+			pi = out
+		}
+		results[i] = core.Result{T: t, Value: sparse.Dot(pi, s.rewards), Steps: blocks*m + int(s.dtmc.Lambda*rem)}
+	}
+	s.stats.Solve += time.Since(start)
+	return results, nil
+}
+
+// MRR is not provided by the multistep method; it returns an error
+// directing callers to the other solvers.
+func (s *Solver) MRR(ts []float64) ([]core.Result, error) {
+	return nil, fmt.Errorf("multistep: MRR is not supported by multistep randomization; use SR, RSD, RR or RRL")
+}
+
+var _ core.Solver = (*Solver)(nil)

@@ -1,0 +1,188 @@
+package multistep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"regenrand/internal/core"
+	"regenrand/internal/ctmc"
+	"regenrand/internal/expm"
+	"regenrand/internal/uniform"
+)
+
+func twoState(t *testing.T, lambda, mu float64) *ctmc.CTMC {
+	t.Helper()
+	b := ctmc.NewBuilder(2)
+	if err := b.AddTransition(0, 1, lambda); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddTransition(1, 0, mu); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetInitial(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMSTwoStateAnalytic(t *testing.T) {
+	lambda, mu := 0.3, 1.7
+	c := twoState(t, lambda, mu)
+	s, err := New(c, []float64{0, 1}, 16, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := []float64{0, 0.5, 3, 40, 400}
+	res, err := s.TRR(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := lambda + mu
+	for i, tt := range ts {
+		want := lambda / sum * (1 - math.Exp(-sum*tt))
+		if math.Abs(res[i].Value-want) > 2e-12 {
+			t.Errorf("t=%v: MS=%v want %v (err %g)", tt, res[i].Value, want, res[i].Value-want)
+		}
+	}
+}
+
+func TestMSMatchesSRRandomModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 6; trial++ {
+		c, err := ctmc.Random(rng, ctmc.RandomOptions{
+			States: 5 + rng.Intn(25), ExtraDegree: 2, Absorbing: rng.Intn(3),
+			SpreadInitial: trial%2 == 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rewards := ctmc.RandomRewards(rng, c, 2.0, false)
+		ms, err := New(c, rewards, 0, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := uniform.New(c, rewards, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := []float64{0.7, 7, 70}
+		a, err := ms.TRR(ts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		b, err := sr.TRR(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ts {
+			if diff := math.Abs(a[i].Value - b[i].Value); diff > 1e-11 {
+				t.Errorf("trial %d t=%v: MS=%v SR=%v diff %g", trial, ts[i], a[i].Value, b[i].Value, diff)
+			}
+		}
+	}
+}
+
+func TestMSMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	c, err := ctmc.Random(rng, ctmc.RandomOptions{States: 14, ExtraDegree: 2, Absorbing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewards := ctmc.RandomRewards(rng, c, 1.0, true)
+	s, err := New(c, rewards, 32, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{2, 15} {
+		res, err := s.TRR([]float64{tt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := expm.TRR(c, rewards, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res[0].Value-want) > 1e-10 {
+			t.Errorf("t=%v: MS=%v oracle=%v", tt, res[0].Value, want)
+		}
+	}
+}
+
+func TestMSExactBlockMultiple(t *testing.T) {
+	// When t is an exact multiple of δ, no remainder block runs and the
+	// answer must still be right (boundary path).
+	lambda, mu := 0.5, 1.5
+	c := twoState(t, lambda, mu) // Λ = 1.5
+	m := 30                      // δ = 20 time units
+	s, err := New(c, []float64{0, 1}, m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := 40.0 // exactly 2 blocks
+	res, err := s.TRR([]float64{tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := lambda + mu
+	want := lambda / sum * (1 - math.Exp(-sum*tt))
+	if math.Abs(res[0].Value-want) > 2e-12 {
+		t.Errorf("MS=%v want %v", res[0].Value, want)
+	}
+}
+
+func TestMSValidation(t *testing.T) {
+	c := twoState(t, 1, 1)
+	if _, err := New(c, []float64{0, 1}, -1, core.DefaultOptions()); err == nil {
+		t.Error("want error for negative block size")
+	}
+	s, err := New(c, []float64{0, 1}, 0, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MRR([]float64{1}); err == nil {
+		t.Error("MRR should be rejected by the multistep method")
+	}
+	if _, err := s.TRR([]float64{-2}); err == nil {
+		t.Error("want error for negative time")
+	}
+}
+
+func TestMSRejectsHugeModels(t *testing.T) {
+	n := maxStates + 1
+	b := ctmc.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		_ = b.AddTransition(i, i+1, 1)
+	}
+	_ = b.AddTransition(n-1, 0, 1)
+	_ = b.SetInitial(0, 1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(c, make([]float64, n), 0, core.DefaultOptions()); err == nil {
+		t.Error("want rejection above the dense fill-in cap")
+	}
+}
+
+func TestMSBlockReuseAcrossCalls(t *testing.T) {
+	c := twoState(t, 0.4, 1.6)
+	s, err := New(c, []float64{0, 1}, 24, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TRR([]float64{10}); err != nil {
+		t.Fatal(err)
+	}
+	built := s.Stats().BuildSteps
+	if _, err := s.TRR([]float64{20}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().BuildSteps != built {
+		t.Errorf("block was rebuilt: %d → %d", built, s.Stats().BuildSteps)
+	}
+}

@@ -1,0 +1,227 @@
+package poisson
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPMFSmallValues(t *testing.T) {
+	// Hand-checked values.
+	cases := []struct {
+		lambda float64
+		k      int
+		want   float64
+	}{
+		{1, 0, math.Exp(-1)},
+		{1, 1, math.Exp(-1)},
+		{1, 2, math.Exp(-1) / 2},
+		{2, 3, 8.0 / 6.0 * math.Exp(-2)},
+		{0, 0, 1},
+		{0, 3, 0},
+		{5, -1, 0},
+	}
+	for _, c := range cases {
+		got := PMF(c.lambda, c.k)
+		if math.Abs(got-c.want) > 1e-14*(1+c.want) {
+			t.Errorf("PMF(%g,%d)=%v want %v", c.lambda, c.k, got, c.want)
+		}
+	}
+}
+
+func TestPMFRecurrenceConsistency(t *testing.T) {
+	// log-space evaluation must agree with the recurrence p(k+1)=p(k)·λ/(k+1)
+	for _, lambda := range []float64{0.5, 3, 47.3, 1000, 2.4e6} {
+		k0 := int(lambda)
+		p := PMF(lambda, k0)
+		for k := k0; k < k0+50; k++ {
+			p2 := PMF(lambda, k+1)
+			want := p * lambda / float64(k+1)
+			if math.Abs(p2-want) > 1e-10*want {
+				t.Fatalf("lambda=%g k=%d: PMF=%v recurrence=%v", lambda, k, p2, want)
+			}
+			p = p2
+		}
+	}
+}
+
+func TestWindowMass(t *testing.T) {
+	for _, lambda := range []float64{0.1, 1, 10, 100, 1e4, 2.4e6} {
+		for _, eps := range []float64{1e-6, 1e-12} {
+			w, err := NewWindow(lambda, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var mass float64
+			for _, p := range w.Weights {
+				mass += p
+			}
+			if missing := 1 - mass; missing > eps || missing < -1e-12 {
+				t.Errorf("lambda=%g eps=%g: window mass %v misses %v > eps", lambda, eps, mass, missing)
+			}
+			if w.LeftTail > eps/2+1e-300 {
+				t.Errorf("lambda=%g: left tail bound %v exceeds eps/2", lambda, w.LeftTail)
+			}
+			if w.RightTail > eps/2+1e-300 {
+				t.Errorf("lambda=%g: right tail bound %v exceeds eps/2", lambda, w.RightTail)
+			}
+		}
+	}
+}
+
+func TestWindowRejectsBadInput(t *testing.T) {
+	if _, err := NewWindow(math.Inf(1), 1e-6); err == nil {
+		t.Error("want error for infinite lambda")
+	}
+	if _, err := NewWindow(-1, 1e-6); err == nil {
+		t.Error("want error for negative lambda")
+	}
+	if _, err := NewWindow(10, 0); err == nil {
+		t.Error("want error for eps=0")
+	}
+	if _, err := NewWindow(10, 2); err == nil {
+		t.Error("want error for eps≥1")
+	}
+}
+
+func TestWindowWeightAccessor(t *testing.T) {
+	w, err := NewWindow(50, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Weight(w.Left-1) != 0 || w.Weight(w.Right+1) != 0 {
+		t.Error("out-of-window weights must be 0")
+	}
+	if got, want := w.Weight(50), PMF(50, 50); math.Abs(got-want) > 1e-13 {
+		t.Errorf("Weight(50)=%v want %v", got, want)
+	}
+}
+
+func TestTailUpperIsUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		lambda := math.Exp(rng.Float64()*10 - 2) // 0.13 .. ~3000
+		k := int(lambda) + 1 + rng.Intn(200)
+		bound := TailUpper(lambda, k)
+		// Exact tail by direct summation.
+		exact := 0.0
+		p := PMF(lambda, k)
+		for n := k; p > 1e-300 && n < k+100000; n++ {
+			exact += p
+			p *= lambda / float64(n+1)
+		}
+		if bound < exact {
+			t.Errorf("lambda=%g k=%d: bound %v < exact %v", lambda, k, bound, exact)
+		}
+		if exact > 1e-200 && bound > 100*exact && bound < 1 {
+			t.Errorf("lambda=%g k=%d: bound %v is loose vs exact %v", lambda, k, bound, exact)
+		}
+	}
+}
+
+func TestLeftTailUpperIsUpperBound(t *testing.T) {
+	for _, lambda := range []float64{30, 100, 5000} {
+		for frac := 0.3; frac < 0.95; frac += 0.15 {
+			k := int(frac * lambda)
+			bound := LeftTailUpper(lambda, k)
+			exact := 0.0
+			for n := 0; n < k; n++ {
+				exact += PMF(lambda, n)
+			}
+			if bound < exact {
+				t.Errorf("lambda=%g k=%d: left bound %v < exact %v", lambda, k, bound, exact)
+			}
+		}
+	}
+	if LeftTailUpper(10, 0) != 0 {
+		t.Error("P[N < 0] must be 0")
+	}
+}
+
+func TestTailsMonotoneAndAnchored(t *testing.T) {
+	w, err := NewWindow(1000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tails := w.Tails()
+	if len(tails) != len(w.Weights)+1 {
+		t.Fatalf("tails length %d want %d", len(tails), len(w.Weights)+1)
+	}
+	for i := 1; i < len(tails); i++ {
+		if tails[i] > tails[i-1]+1e-15 {
+			t.Fatalf("tails not non-increasing at %d", i)
+		}
+	}
+	// P[N ≥ Left] should be ≈ 1 (all but the left tail).
+	if tails[0] < 1-1e-10 || tails[0] > 1+1e-10 {
+		t.Errorf("P[N ≥ Left] = %v, want ≈1", tails[0])
+	}
+}
+
+func TestMeanExcessUpperBound(t *testing.T) {
+	// Exact comparison for K above the mean.
+	for _, lambda := range []float64{5, 80, 1200} {
+		for _, off := range []float64{0, 2, 5} {
+			K := int(lambda + off*math.Sqrt(lambda))
+			bound := MeanExcessUpper(lambda, K)
+			exact := 0.0
+			p := PMF(lambda, K+1)
+			for n := K + 1; p > 1e-300 && n < K+1000000; n++ {
+				exact += float64(n-K) * p
+				p *= lambda / float64(n+1)
+			}
+			if bound < exact {
+				t.Errorf("lambda=%g K=%d: bound %v < exact %v", lambda, K, bound, exact)
+			}
+			if bound > 1.2*exact+1e-290 {
+				t.Errorf("lambda=%g K=%d: bound %v loose vs exact %v", lambda, K, bound, exact)
+			}
+		}
+	}
+	// Below the mean, the bound is lambda.
+	if got := MeanExcessUpper(100, 10); got != 100 {
+		t.Errorf("MeanExcessUpper below mean = %v want lambda", got)
+	}
+}
+
+// Property: the window always contains the mode and the weights are unimodal.
+func TestWindowUnimodalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lambda := math.Exp(rng.Float64()*14 - 2) // up to ~1.6e5
+		w, err := NewWindow(lambda, 1e-12)
+		if err != nil {
+			return false
+		}
+		mode := int(lambda)
+		if mode < w.Left || mode > w.Right {
+			return false
+		}
+		// Rising to the mode, falling after.
+		for k := w.Left; k < mode; k++ {
+			if w.Weight(k) > w.Weight(k+1)*(1+1e-12) {
+				return false
+			}
+		}
+		for k := mode + 1; k < w.Right; k++ {
+			if w.Weight(k) < w.Weight(k+1)*(1-1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroLambdaWindow(t *testing.T) {
+	w, err := NewWindow(0, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Left != 0 || w.Right != 0 || w.Weight(0) != 1 {
+		t.Errorf("lambda=0 window should be the point mass at 0, got %+v", w)
+	}
+}

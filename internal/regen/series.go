@@ -1,0 +1,321 @@
+// Package regen implements regenerative randomization (the paper's "RR"
+// method) and the construction shared with its Laplace-inversion variant.
+//
+// Given the randomized DTMC X̂ (rate Λ) and a regenerative state r, the
+// method characterizes the model by scalar series obtained while stepping
+// vectors of the size of the original chain:
+//
+//	u_0 = e_r,  u_{k+1} = zero_{r,F}(u_k·P)
+//	a(k) = ‖u_k‖₁            survival probability (no return to r, no absorption)
+//	b(k) = u_k·r̄ / a(k)      conditional reward rate
+//	q_k  = (u_k·P)_r / a(k)   regeneration probability
+//	v^i_k = (u_k·P)_{f_i}/a(k) absorption probabilities
+//	w_k  = a(k+1)/a(k)        continuation probability
+//
+// plus primed series from the non-regenerative part of the initial
+// distribution when α_r < 1. The truncated transformed chain V_{K,L} built
+// from these series (Figure 1 of the paper) reproduces TRR and MRR of the
+// original model within ε/2 for all t up to a target horizon; the remaining
+// ε/2 is spent solving V_{K,L}, either by standard randomization (RR, this
+// package) or in closed form in the Laplace domain (RRL, package rrl).
+package regen
+
+import (
+	"fmt"
+	"math"
+
+	"regenrand/internal/core"
+	"regenrand/internal/ctmc"
+	"regenrand/internal/poisson"
+	"regenrand/internal/sparse"
+)
+
+// underflowFloor stops the series construction once the surviving mass is
+// numerically negligible for any conceivable error budget.
+const underflowFloor = 1e-280
+
+// Series is the regenerative-randomization characterization of a model,
+// truncated at K (and L for the primed chain).
+type Series struct {
+	// Lambda is the randomization rate Λ.
+	Lambda float64
+	// Regen is the regenerative state index in the original model.
+	Regen int
+	// AlphaR is the initial probability of the regenerative state.
+	AlphaR float64
+	// K is the truncation level of the regenerative chain: A and B have
+	// K+1 entries (indices 0..K); Q and each V[i] have K entries (0..K−1).
+	K int
+	A []float64 // a(k)
+	B []float64 // b(k)
+	Q []float64 // q_k
+	V [][]float64
+	// L, AP, BP, QP, VP are the primed-chain counterparts; they are nil and
+	// L = -1 when AlphaR = 1.
+	L  int
+	AP []float64
+	BP []float64
+	QP []float64
+	VP [][]float64
+	// Absorbing lists the model indices of the absorbing states, aligned
+	// with the first index of V and VP.
+	Absorbing []int
+	// RewardsAbsorbing holds the reward rates of the absorbing states.
+	RewardsAbsorbing []float64
+	// RMax is the maximum reward rate of the model.
+	RMax float64
+	// Eps is the total error budget ε the series was built for; the model
+	// truncation consumed ε/2 of it at horizon Horizon.
+	Eps float64
+	// Horizon is the largest time the truncation is certified for.
+	Horizon float64
+}
+
+// Steps returns the number of full-model DTMC steps the construction used,
+// the quantity reported in Tables 1 and 2 of the paper (K when α_r = 1,
+// K + L otherwise).
+func (s *Series) Steps() int {
+	if s.L < 0 {
+		return s.K
+	}
+	return s.K + s.L
+}
+
+// StepsFor returns the construction steps that would have sufficed for the
+// (smaller) horizon t, i.e. the K(t) + L(t) of a per-t run as tabulated in
+// the paper. It scans the stored series with the same stopping rule used
+// during construction. t must be ≤ Horizon.
+func (s *Series) StepsFor(t float64) int {
+	lam := s.Lambda * t
+	budget := s.budgetK()
+	k := s.K
+	for cand := 0; cand < s.K; cand++ {
+		if truncErrS(s.RMax, s.A, cand, lam) <= budget {
+			k = cand
+			break
+		}
+	}
+	if s.L < 0 {
+		return k
+	}
+	l := s.L
+	for cand := 0; cand < s.L; cand++ {
+		if truncErrP(s.RMax, s.AP, cand, lam) <= budget {
+			l = cand
+			break
+		}
+	}
+	return k + l
+}
+
+func (s *Series) budgetK() float64 {
+	if s.AlphaR < 1 {
+		return s.Eps / 4
+	}
+	return s.Eps / 2
+}
+
+// truncErrS bounds the measure error caused by truncating the regenerative
+// chain at K for mission time with Poisson mean lam:
+//
+//	r_max · min( Q(K+1), a(K)·E[(N−K)⁺] )
+//
+// The truncated and untruncated transformed chains can be coupled until the
+// first jump out of s_K, which requires a run of K consecutive
+// non-regenerative steps after a visit to r at some step m (probability
+// a(K)) plus one further Poisson event by time t (probability Q(m+K+1));
+// the union bound over m gives a(K)·Σ_m Q(m+K+1) = a(K)·E[(N−K)⁺], and any
+// such jump also requires at least K+1 events in total, giving the Q(K+1)
+// cap.
+func truncErrS(rmax float64, a []float64, K int, lam float64) float64 {
+	if K >= len(a) {
+		return math.Inf(1)
+	}
+	tail := poisson.TailUpper(lam, K+1)
+	run := a[K] * poisson.MeanExcessUpper(lam, K)
+	if run < tail {
+		tail = run
+	}
+	return rmax * tail
+}
+
+// truncErrP bounds the error of truncating the primed chain at L: the chain
+// is traversed once, so jumping out of s'_L requires surviving L steps
+// (probability a'(L)) and at least L+1 Poisson events by time t.
+func truncErrP(rmax float64, ap []float64, L int, lam float64) float64 {
+	if L >= len(ap) {
+		return math.Inf(1)
+	}
+	tail := poisson.TailUpper(lam, L+1)
+	if ap[L] < tail {
+		tail = ap[L]
+	}
+	return rmax * tail
+}
+
+// chainState steps one restricted chain (regenerative or primed).
+type chainState struct {
+	u, buf  []float64
+	a, b, q []float64
+	v       [][]float64
+	done    bool
+}
+
+func newChainState(n, nAbs int, u0 []float64, rewards []float64, a0 float64) *chainState {
+	cs := &chainState{
+		u:   u0,
+		buf: make([]float64, n),
+		v:   make([][]float64, nAbs),
+	}
+	cs.a = append(cs.a, a0)
+	if a0 > 0 {
+		cs.b = append(cs.b, sparse.Dot(u0, rewards)/a0)
+	} else {
+		cs.b = append(cs.b, 0)
+		cs.done = true
+	}
+	return cs
+}
+
+// step advances the chain one randomized step, recording a, b, q, v.
+func (cs *chainState) step(d *ctmc.DTMC, regen int, absorbing []int, rewards []float64) {
+	d.Step(cs.buf, cs.u)
+	ak := cs.a[len(cs.a)-1]
+	ret := cs.buf[regen]
+	cs.buf[regen] = 0
+	cs.q = append(cs.q, ret/ak)
+	for i, f := range absorbing {
+		cs.v[i] = append(cs.v[i], cs.buf[f]/ak)
+		cs.buf[f] = 0
+	}
+	cs.u, cs.buf = cs.buf, cs.u
+	next := sparse.Sum(cs.u)
+	cs.a = append(cs.a, next)
+	if next > 0 {
+		cs.b = append(cs.b, sparse.Dot(cs.u, rewards)/next)
+	} else {
+		cs.b = append(cs.b, 0)
+		cs.done = true
+	}
+	if next < underflowFloor {
+		cs.done = true
+	}
+}
+
+// Build constructs the regenerative-randomization series for the model with
+// the given reward structure, regenerative state, error budget opts.Epsilon
+// and time horizon (the largest t the caller will evaluate). The model
+// truncation consumes ε/2 (split ε/4 + ε/4 between the two chains when
+// α_r < 1), exactly as in §2 of the paper.
+func Build(model *ctmc.CTMC, rewards []float64, regen int, opts core.Options, horizon float64) (*Series, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	rmax, err := core.CheckRewards(rewards, model.N())
+	if err != nil {
+		return nil, err
+	}
+	if regen < 0 || regen >= model.N() {
+		return nil, fmt.Errorf("regen: regenerative state %d out of range", regen)
+	}
+	if model.IsAbsorbing(regen) {
+		return nil, fmt.Errorf("regen: regenerative state %d is absorbing", regen)
+	}
+	if horizon <= 0 || math.IsInf(horizon, 0) || math.IsNaN(horizon) {
+		return nil, fmt.Errorf("regen: invalid horizon %v", horizon)
+	}
+	init := model.Initial()
+	for _, f := range model.Absorbing() {
+		if init[f] != 0 {
+			return nil, fmt.Errorf("regen: initial probability %v on absorbing state %d (the paper assumes P[X(0)=f_i]=0)", init[f], f)
+		}
+	}
+	d, err := model.Uniformize(opts.UniformizationFactor)
+	if err != nil {
+		return nil, err
+	}
+	absorbing := model.Absorbing()
+	n := model.N()
+	lam := d.Lambda * horizon
+
+	s := &Series{
+		Lambda:    d.Lambda,
+		Regen:     regen,
+		AlphaR:    init[regen],
+		Absorbing: absorbing,
+		RMax:      rmax,
+		Eps:       opts.Epsilon,
+		Horizon:   horizon,
+		L:         -1,
+	}
+	s.RewardsAbsorbing = make([]float64, len(absorbing))
+	for i, f := range absorbing {
+		s.RewardsAbsorbing[i] = rewards[f]
+	}
+
+	budget := s.budgetK()
+
+	// Regenerative chain: u_0 = e_r.
+	u0 := make([]float64, n)
+	u0[regen] = 1
+	main := newChainState(n, len(absorbing), u0, rewards, 1)
+	for !main.done {
+		K := len(main.a) - 1 // candidate truncation at the current level
+		if truncErrS(rmax, main.a, K, lam) <= budget {
+			break
+		}
+		main.step(d, regen, absorbing, rewards)
+	}
+	s.K = len(main.a) - 1
+	// Trim to the smallest certified K.
+	for K := 0; K < s.K; K++ {
+		if truncErrS(rmax, main.a, K, lam) <= budget {
+			s.K = K
+			break
+		}
+	}
+	s.A = main.a[:s.K+1]
+	s.B = main.b[:s.K+1]
+	s.Q = main.q[:min(s.K, len(main.q))]
+	s.V = make([][]float64, len(absorbing))
+	for i := range s.V {
+		s.V[i] = main.v[i][:min(s.K, len(main.v[i]))]
+	}
+
+	if s.AlphaR < 1 {
+		// Primed chain: u'_0 = initial distribution without r.
+		up0 := make([]float64, n)
+		copy(up0, init)
+		up0[regen] = 0
+		prime := newChainState(n, len(absorbing), up0, rewards, 1-s.AlphaR)
+		for !prime.done {
+			L := len(prime.a) - 1
+			if truncErrP(rmax, prime.a, L, lam) <= budget {
+				break
+			}
+			prime.step(d, regen, absorbing, rewards)
+		}
+		s.L = len(prime.a) - 1
+		for L := 0; L < s.L; L++ {
+			if truncErrP(rmax, prime.a, L, lam) <= budget {
+				s.L = L
+				break
+			}
+		}
+		s.AP = prime.a[:s.L+1]
+		s.BP = prime.b[:s.L+1]
+		s.QP = prime.q[:min(s.L, len(prime.q))]
+		s.VP = make([][]float64, len(absorbing))
+		for i := range s.VP {
+			s.VP[i] = prime.v[i][:min(s.L, len(prime.v[i]))]
+		}
+	}
+	return s, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

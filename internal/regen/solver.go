@@ -1,0 +1,186 @@
+package regen
+
+import (
+	"fmt"
+	"time"
+
+	"regenrand/internal/core"
+	"regenrand/internal/ctmc"
+	"regenrand/internal/uniform"
+)
+
+// Solver is the original regenerative randomization method (the paper's
+// "RR"): build the truncated transformed chain V_{K,L}, then solve it with
+// standard randomization. Half of the error budget goes to the model
+// truncation, half to the V solution, as in the paper.
+type Solver struct {
+	model   *ctmc.CTMC
+	rewards []float64
+	regen   int
+	opts    core.Options
+
+	series *Series
+	vmodel *VModel
+	vsolve *uniform.Solver
+
+	stats core.Stats
+}
+
+// New validates the inputs and returns an RR solver for the given
+// regenerative state. The series construction is deferred to the first
+// TRR/MRR call, whose largest time fixes the truncation horizon.
+func New(model *ctmc.CTMC, rewards []float64, regenState int, opts core.Options) (*Solver, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := core.CheckRewards(rewards, model.N()); err != nil {
+		return nil, err
+	}
+	if regenState < 0 || regenState >= model.N() || model.IsAbsorbing(regenState) {
+		return nil, fmt.Errorf("regen: invalid regenerative state %d", regenState)
+	}
+	r := make([]float64, len(rewards))
+	copy(r, rewards)
+	s := &Solver{model: model, rewards: r, regen: regenState, opts: opts}
+	s.stats.DetectionStep = -1
+	return s, nil
+}
+
+// Name returns "RR".
+func (s *Solver) Name() string { return "RR" }
+
+// Stats returns cost counters accumulated since the solver was created.
+func (s *Solver) Stats() core.Stats { return s.stats }
+
+// Series returns the underlying series (nil before the first solve).
+func (s *Solver) Series() *Series { return s.series }
+
+// ensure builds (or rebuilds, if the horizon grew) the series, the V model
+// and its SR solver.
+func (s *Solver) ensure(horizon float64) error {
+	if s.series != nil && horizon <= s.series.Horizon {
+		return nil
+	}
+	start := time.Now()
+	series, err := Build(s.model, s.rewards, s.regen, s.opts, horizon)
+	if err != nil {
+		return err
+	}
+	vm, err := series.BuildV()
+	if err != nil {
+		return err
+	}
+	vopts := s.opts
+	vopts.Epsilon = s.opts.Epsilon / 2
+	vs, err := uniform.New(vm.Chain, vm.Rewards, vopts)
+	if err != nil {
+		return fmt.Errorf("regen: solving V: %w", err)
+	}
+	s.series, s.vmodel, s.vsolve = series, vm, vs
+	s.stats.BuildSteps += series.Steps()
+	s.stats.MatVecs += series.Steps()
+	s.stats.Setup += time.Since(start)
+	return nil
+}
+
+func (s *Solver) run(ts []float64, mrr bool) ([]core.Result, error) {
+	if err := core.CheckTimes(ts); err != nil {
+		return nil, err
+	}
+	if err := s.ensure(core.MaxTime(ts)); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var res []core.Result
+	var err error
+	if mrr {
+		res, err = s.vsolve.MRR(ts)
+	} else {
+		res, err = s.vsolve.TRR(ts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("regen: solving V: %w", err)
+	}
+	for i := range res {
+		s.stats.VSolveSteps += res[i].Steps
+		// The paper's step count for RR is the model-construction cost.
+		if res[i].T > 0 {
+			res[i].Steps = s.series.StepsFor(res[i].T)
+		} else {
+			res[i].Steps = 0
+		}
+	}
+	s.stats.Solve += time.Since(start)
+	return res, nil
+}
+
+// TRR implements core.Solver.
+func (s *Solver) TRR(ts []float64) ([]core.Result, error) { return s.run(ts, false) }
+
+// MRR implements core.Solver.
+func (s *Solver) MRR(ts []float64) ([]core.Result, error) { return s.run(ts, true) }
+
+// TRRBounds returns certified enclosures of TRR(t): the plain RR value is a
+// lower bound and adding r_max·P[V(t) = a] (the mass absorbed in the
+// truncation state, computed by SR on V with an indicator reward) an upper
+// bound — the bounding construction of Carrasco's companion report.
+func (s *Solver) TRRBounds(ts []float64) ([]core.Bounds, error) {
+	return s.boundsRun(ts, false)
+}
+
+// MRRBounds returns certified enclosures of MRR(t).
+func (s *Solver) MRRBounds(ts []float64) ([]core.Bounds, error) {
+	return s.boundsRun(ts, true)
+}
+
+func (s *Solver) boundsRun(ts []float64, mrr bool) ([]core.Bounds, error) {
+	var values []core.Result
+	var err error
+	if mrr {
+		values, err = s.MRR(ts)
+	} else {
+		values, err = s.TRR(ts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Truncation-state occupancy via the same V chain with an indicator
+	// reward on a.
+	ind := make([]float64, s.vmodel.Chain.N())
+	ind[s.vmodel.TruncIndex] = 1
+	vopts := s.opts
+	vopts.Epsilon = s.opts.Epsilon / 2
+	vabs, err := uniform.New(s.vmodel.Chain, ind, vopts)
+	if err != nil {
+		return nil, fmt.Errorf("regen: bounding solver: %w", err)
+	}
+	var mass []core.Result
+	if mrr {
+		mass, err = vabs.MRR(ts)
+	} else {
+		mass, err = vabs.TRR(ts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("regen: bounding solver: %w", err)
+	}
+	rmax := s.series.RMax
+	eps := s.opts.Epsilon
+	out := make([]core.Bounds, len(ts))
+	for i := range ts {
+		m := mass[i].Value
+		if m < 0 {
+			m = 0
+		}
+		if m > 1 {
+			m = 1
+		}
+		lo := values[i].Value - eps
+		if lo < 0 {
+			lo = 0
+		}
+		out[i] = core.Bounds{T: ts[i], Lower: lo, Upper: values[i].Value + rmax*m + eps}
+	}
+	return out, nil
+}
+
+var _ core.BoundingSolver = (*Solver)(nil)

@@ -1,0 +1,119 @@
+package regen
+
+import (
+	"fmt"
+
+	"regenrand/internal/ctmc"
+)
+
+// VModel is the truncated transformed CTMC V_{K,L} (V_K when α_r = 1) of
+// Figure 1 of the paper, together with its reward structure and the state
+// index map needed to interpret solutions.
+type VModel struct {
+	// Chain is the transformed CTMC.
+	Chain *ctmc.CTMC
+	// Rewards is the reward vector (b(k) on s_k, b'(k) on s'_k, 0 on the
+	// truncation state a, and the original absorbing rewards on f_i).
+	Rewards []float64
+	// SIndex(k) = k for s_k; PrimeIndex, TruncIndex, AbsIndex locate the
+	// other states.
+	PrimeOffset int // index of s'_0, -1 if no primed chain
+	TruncIndex  int // index of the absorbing truncation state "a"
+	AbsOffset   int // index of f_1
+	NumAbs      int
+}
+
+// BuildV materializes V_{K,L} from the series. The construction places
+// s_0..s_K first, then s'_0..s'_L (if present), then a, then f_1..f_A.
+// Rate bookkeeping: every non-absorbing state has total exit rate Λ up to
+// rounding (s_0's implicit self loop q_0Λ is dropped — self loops cancel in
+// a CTMC generator).
+func (s *Series) BuildV() (*VModel, error) {
+	primed := s.L >= 0
+	n := s.K + 1
+	primeOffset := -1
+	if primed {
+		primeOffset = n
+		n += s.L + 1
+	}
+	truncIdx := n
+	n++
+	absOffset := n
+	n += len(s.Absorbing)
+
+	b := ctmc.NewBuilder(n)
+	lam := s.Lambda
+
+	addChain := func(offset int, K int, a, bv, q []float64, v [][]float64) error {
+		for k := 0; k < K; k++ {
+			if a[k] <= 0 {
+				break // unreachable tail
+			}
+			w := a[k+1] / a[k]
+			if w > 0 {
+				if err := b.AddTransition(offset+k, offset+k+1, w*lam); err != nil {
+					return err
+				}
+			}
+			// Return to s_0; the k = 0 entry of the regenerative chain is a
+			// self loop and is omitted (offset 0 identifies the s-chain).
+			if q[k] > 0 && !(offset == 0 && k == 0) {
+				if err := b.AddTransition(offset+k, 0, q[k]*lam); err != nil {
+					return err
+				}
+			}
+			for i := range v {
+				if v[i][k] > 0 {
+					if err := b.AddTransition(offset+k, absOffset+i, v[i][k]*lam); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		// Truncation: s_K → a at rate Λ (mass that would continue past K).
+		if a[K] > 0 {
+			if err := b.AddTransition(offset+K, truncIdx, lam); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := addChain(0, s.K, s.A, s.B, s.Q, s.V); err != nil {
+		return nil, fmt.Errorf("regen: building V: %w", err)
+	}
+	if primed {
+		if err := addChain(primeOffset, s.L, s.AP, s.BP, s.QP, s.VP); err != nil {
+			return nil, fmt.Errorf("regen: building V primed chain: %w", err)
+		}
+	}
+
+	if err := b.SetInitial(0, s.AlphaR); err != nil {
+		return nil, err
+	}
+	if primed {
+		if err := b.SetInitial(primeOffset, 1-s.AlphaR); err != nil {
+			return nil, err
+		}
+	}
+	chain, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("regen: building V: %w", err)
+	}
+
+	rewards := make([]float64, n)
+	copy(rewards[:s.K+1], s.B)
+	if primed {
+		copy(rewards[primeOffset:primeOffset+s.L+1], s.BP)
+	}
+	copy(rewards[absOffset:], s.RewardsAbsorbing)
+
+	return &VModel{
+		Chain:       chain,
+		Rewards:     rewards,
+		PrimeOffset: primeOffset,
+		TruncIndex:  truncIdx,
+		AbsOffset:   absOffset,
+		NumAbs:      len(s.Absorbing),
+	}, nil
+}

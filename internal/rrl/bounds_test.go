@@ -1,0 +1,149 @@
+package rrl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"regenrand/internal/core"
+	"regenrand/internal/ctmc"
+	"regenrand/internal/regen"
+	"regenrand/internal/uniform"
+)
+
+// Bounds must enclose the true value (from SR) and be at most ~ε wide.
+func TestTRRBoundsEncloseTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 6; trial++ {
+		c, err := ctmc.Random(rng, ctmc.RandomOptions{
+			States: 5 + rng.Intn(15), ExtraDegree: 2, Absorbing: rng.Intn(2),
+			SpreadInitial: trial%2 == 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rewards := ctmc.RandomRewards(rng, c, 2.0, false)
+		s, err := New(c, rewards, 0, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := uniform.New(c, rewards, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := []float64{0.5, 5, 50}
+		bounds, err := s.TRRBounds(ts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		truth, err := sr.TRR(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ts {
+			b := bounds[i]
+			v := truth[i].Value
+			if v < b.Lower-1e-12 || v > b.Upper+1e-12 {
+				t.Errorf("trial %d t=%v: truth %v outside [%v, %v]", trial, ts[i], v, b.Lower, b.Upper)
+			}
+			if b.Upper-b.Lower > 10*core.DefaultEpsilon+1e-11 {
+				t.Errorf("trial %d t=%v: bound width %g too wide", trial, ts[i], b.Upper-b.Lower)
+			}
+			if b.Lower > b.Upper {
+				t.Errorf("trial %d t=%v: inverted bounds", trial, ts[i])
+			}
+		}
+		mb, err := s.MRRBounds(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mtruth, err := sr.MRR(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ts {
+			if mtruth[i].Value < mb[i].Lower-1e-12 || mtruth[i].Value > mb[i].Upper+1e-12 {
+				t.Errorf("trial %d MRR t=%v: truth %v outside [%v, %v]",
+					trial, ts[i], mtruth[i].Value, mb[i].Lower, mb[i].Upper)
+			}
+		}
+	}
+}
+
+// RR and RRL bounding paths must agree with each other.
+func TestBoundsRRvsRRL(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	c, err := ctmc.Random(rng, ctmc.RandomOptions{States: 10, ExtraDegree: 2, Absorbing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewards := ctmc.RandomRewards(rng, c, 1.5, false)
+	rrlS, err := New(c, rewards, 0, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrS, err := regen.New(c, rewards, 0, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := []float64{1, 10}
+	a, err := rrlS.TRRBounds(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rrS.TRRBounds(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ts {
+		if math.Abs(a[i].Lower-b[i].Lower) > 1e-11 || math.Abs(a[i].Upper-b[i].Upper) > 1e-11 {
+			t.Errorf("t=%v: RRL bounds [%v,%v] vs RR bounds [%v,%v]",
+				ts[i], a[i].Lower, a[i].Upper, b[i].Lower, b[i].Upper)
+		}
+	}
+}
+
+// On a deliberately coarse truncation (large ε) the truncation mass becomes
+// visible and the upper bound must still enclose the truth while the lower
+// bound stays below it.
+func TestBoundsCoarseTruncation(t *testing.T) {
+	b := ctmc.NewBuilder(3)
+	_ = b.AddTransition(0, 1, 0.2)
+	_ = b.AddTransition(1, 0, 1.0)
+	_ = b.AddTransition(1, 2, 0.2)
+	_ = b.AddTransition(2, 1, 1.0)
+	_ = b.SetInitial(0, 1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewards := []float64{0, 0.5, 1}
+	coarse := core.Options{Epsilon: 1e-4, UniformizationFactor: 1}
+	s, err := New(c, rewards, 0, coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := uniform.New(c, rewards, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := []float64{10, 100}
+	bounds, err := s.TRRBounds(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := sr.TRR(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ts {
+		if truth[i].Value < bounds[i].Lower-1e-9 || truth[i].Value > bounds[i].Upper+1e-9 {
+			t.Errorf("t=%v: truth %v outside coarse bounds [%v, %v]",
+				ts[i], truth[i].Value, bounds[i].Lower, bounds[i].Upper)
+		}
+		// Width ≤ r_max·mass + 2ε margin ≤ ε/2 + 2ε = 2.5ε.
+		if w := bounds[i].Upper - bounds[i].Lower; w > 2.5e-4+1e-9 {
+			t.Errorf("t=%v: coarse bound width %g exceeds budget", ts[i], w)
+		}
+	}
+}

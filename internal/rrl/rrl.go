@@ -1,0 +1,417 @@
+// Package rrl implements regenerative randomization with Laplace transform
+// inversion — the new method of the paper ("RRL").
+//
+// RRL shares the series construction of package regen but replaces the
+// randomization solution of the truncated transformed chain V_{K,L} with a
+// closed-form expression of its Laplace transform (§2.1):
+//
+//	TRR̃(s) = [ Σ_{k≤K} c(k) z^k + (Λ/s) Σ_{k<K} (Σ_i r_{f_i} v^i_k) a(k) z^k ] · p̃_0(s)
+//	        + Σ_{k≤L} c'(k) z^{k+1}/Λ + (1/s) Σ_{k<L} (Σ_i r_{f_i} v'^i_k) a'(k) z^{k+1}
+//	p̃_0(s) = A(s)/B(s),  z = Λ/(s+Λ),  c(k) = a(k)b(k)
+//	B(s)   = s Σ_{k≤K} a(k) z^k + Λ Σ_{k<K} (Σ_i v^i_k) a(k) z^k + Λ a(K) z^K
+//	A(s)   = 1 − (s/(s+Λ)) Σ_{k≤L} a'(k) z^k
+//	         − (Λ/(s+Λ)) Σ_{k<L} (Σ_i v'^i_k) a'(k) z^k − a'(L) z^{L+1}
+//
+// (A(s) = 1 when α_r = 1), evaluated at the abscissae demanded by the
+// Durbin/Crump/Piessens inversion of package laplace with T = 8t. MRR is
+// obtained by inverting C̃(s) = TRR̃(s)/s and dividing by t.
+package rrl
+
+import (
+	"fmt"
+	"time"
+
+	"regenrand/internal/core"
+	"regenrand/internal/ctmc"
+	"regenrand/internal/laplace"
+	"regenrand/internal/regen"
+	"regenrand/internal/sparse"
+)
+
+// Config holds the RRL-specific inversion knobs; the zero value reproduces
+// the paper (T = 8t, epsilon-algorithm acceleration on).
+type Config struct {
+	// TFactor is the period multiplier κ in T = κt (0 → 8, the paper's
+	// choice after experimenting over 1..16).
+	TFactor float64
+	// DisableAcceleration turns off Wynn's epsilon algorithm (ablation).
+	DisableAcceleration bool
+}
+
+// Solver is the RRL solver.
+type Solver struct {
+	model   *ctmc.CTMC
+	rewards []float64
+	regen   int
+	opts    core.Options
+	conf    Config
+
+	series *regen.Series
+	tf     *transform
+
+	stats core.Stats
+}
+
+// New returns an RRL solver with the paper's inversion configuration.
+func New(model *ctmc.CTMC, rewards []float64, regenState int, opts core.Options) (*Solver, error) {
+	return NewWithConfig(model, rewards, regenState, opts, Config{})
+}
+
+// NewWithConfig returns an RRL solver with explicit inversion settings.
+func NewWithConfig(model *ctmc.CTMC, rewards []float64, regenState int, opts core.Options, conf Config) (*Solver, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := core.CheckRewards(rewards, model.N()); err != nil {
+		return nil, err
+	}
+	if regenState < 0 || regenState >= model.N() || model.IsAbsorbing(regenState) {
+		return nil, fmt.Errorf("rrl: invalid regenerative state %d", regenState)
+	}
+	if conf.TFactor == 0 {
+		conf.TFactor = laplace.DefaultTFactor
+	}
+	if conf.TFactor < 1 {
+		return nil, fmt.Errorf("rrl: TFactor %v < 1", conf.TFactor)
+	}
+	r := make([]float64, len(rewards))
+	copy(r, rewards)
+	s := &Solver{model: model, rewards: r, regen: regenState, opts: opts, conf: conf}
+	s.stats.DetectionStep = -1
+	return s, nil
+}
+
+// Name returns "RRL".
+func (s *Solver) Name() string { return "RRL" }
+
+// Stats returns cost counters accumulated since the solver was created.
+func (s *Solver) Stats() core.Stats { return s.stats }
+
+// Series returns the underlying series (nil before the first solve).
+func (s *Solver) Series() *regen.Series { return s.series }
+
+func (s *Solver) ensure(horizon float64) error {
+	if s.series != nil && horizon <= s.series.Horizon {
+		return nil
+	}
+	start := time.Now()
+	series, err := regen.Build(s.model, s.rewards, s.regen, s.opts, horizon)
+	if err != nil {
+		return err
+	}
+	s.series = series
+	s.tf = newTransform(series)
+	s.stats.BuildSteps += series.Steps()
+	s.stats.MatVecs += series.Steps()
+	s.stats.Setup += time.Since(start)
+	return nil
+}
+
+func (s *Solver) run(ts []float64, mrr bool) ([]core.Result, error) {
+	if err := core.CheckTimes(ts); err != nil {
+		return nil, err
+	}
+	if err := s.ensure(core.MaxTime(ts)); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	eps := s.opts.Epsilon
+	results := make([]core.Result, len(ts))
+	for i, t := range ts {
+		if t == 0 {
+			results[i] = core.Result{T: 0, Value: sparse.Dot(s.model.Initial(), s.rewards)}
+			continue
+		}
+		T := s.conf.TFactor * t
+		var opt laplace.Options
+		var f func(complex128) complex128
+		if mrr {
+			opt = laplace.Options{
+				TFactor:    s.conf.TFactor,
+				Damping:    laplace.DampingCumulative(s.series.RMax, eps, t, T),
+				Tol:        t * eps / 100,
+				Accelerate: !s.conf.DisableAcceleration,
+			}
+			f = s.tf.cumulative
+		} else {
+			opt = laplace.Options{
+				TFactor:    s.conf.TFactor,
+				Damping:    laplace.DampingTRR(s.series.RMax, eps/4, T),
+				Tol:        eps / 100,
+				Accelerate: !s.conf.DisableAcceleration,
+			}
+			f = s.tf.trr
+		}
+		res, err := laplace.Invert(f, t, opt)
+		if err != nil {
+			return nil, fmt.Errorf("rrl: t=%v: %w", t, err)
+		}
+		value := res.Value
+		if mrr {
+			value /= t
+		}
+		results[i] = core.Result{
+			T:         t,
+			Value:     value,
+			Steps:     s.series.StepsFor(t),
+			Abscissae: res.Abscissae,
+		}
+		s.stats.Abscissae += res.Abscissae
+	}
+	s.stats.Solve += time.Since(start)
+	return results, nil
+}
+
+// TRR implements core.Solver.
+func (s *Solver) TRR(ts []float64) ([]core.Result, error) { return s.run(ts, false) }
+
+// MRR implements core.Solver.
+func (s *Solver) MRR(ts []float64) ([]core.Result, error) { return s.run(ts, true) }
+
+// TRRBounds returns certified enclosures of TRR(t): the plain RRL value is
+// a lower bound (the truncation state earns reward 0 where the exact
+// process earns ≥ 0), and adding r_max·P[V(t) = a] — with the truncation
+// mass obtained by inverting p̃_a(s) = (Λ/s)a(K)z^K p̃₀ + a'(L)z^{L+1}/s —
+// gives an upper bound. Both sides carry the inversion error ε/2.
+func (s *Solver) TRRBounds(ts []float64) ([]core.Bounds, error) {
+	return s.bounds(ts, false)
+}
+
+// MRRBounds returns certified enclosures of MRR(t); the upper correction is
+// (r_max/t)∫₀ᵗ P[V = a], obtained by inverting p̃_a(s)/s.
+func (s *Solver) MRRBounds(ts []float64) ([]core.Bounds, error) {
+	return s.bounds(ts, true)
+}
+
+func (s *Solver) bounds(ts []float64, mrr bool) ([]core.Bounds, error) {
+	var values []core.Result
+	var err error
+	if mrr {
+		values, err = s.MRR(ts)
+	} else {
+		values, err = s.TRR(ts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	eps := s.opts.Epsilon
+	out := make([]core.Bounds, len(ts))
+	for i, t := range ts {
+		if t == 0 {
+			out[i] = core.Bounds{T: 0, Lower: values[i].Value, Upper: values[i].Value}
+			continue
+		}
+		T := s.conf.TFactor * t
+		var f func(complex128) complex128
+		var opt laplace.Options
+		if mrr {
+			f = func(z complex128) complex128 { return s.tf.truncMass(z) / z }
+			opt = laplace.Options{
+				TFactor:    s.conf.TFactor,
+				Damping:    laplace.DampingCumulative(1, eps, t, T),
+				Tol:        t * eps / 100,
+				Accelerate: !s.conf.DisableAcceleration,
+			}
+		} else {
+			f = s.tf.truncMass
+			opt = laplace.Options{
+				TFactor:    s.conf.TFactor,
+				Damping:    laplace.DampingTRR(1, eps/4, T),
+				Tol:        eps / 100,
+				Accelerate: !s.conf.DisableAcceleration,
+			}
+		}
+		res, err := laplace.Invert(f, t, opt)
+		if err != nil {
+			return nil, fmt.Errorf("rrl: truncation mass at t=%v: %w", t, err)
+		}
+		mass := res.Value
+		if mrr {
+			mass /= t
+		}
+		// Clamp the inverted mass to its probabilistic range.
+		if mass < 0 {
+			mass = 0
+		}
+		if mass > 1 {
+			mass = 1
+		}
+		// The margin covers the ε/2 inversion budget plus the
+		// double-precision floor of the Durbin series (cf.
+		// laplace.Options.NoiseRel): the series cannot be summed more
+		// accurately than ~1e-12 relative to r_max in double precision.
+		margin := eps
+		if floor := 1e-12 * s.series.RMax; floor > margin {
+			margin = floor
+		}
+		lo := values[i].Value
+		hi := lo + s.series.RMax*mass + margin
+		lo -= margin
+		if lo < 0 {
+			lo = 0
+		}
+		out[i] = core.Bounds{T: t, Lower: lo, Upper: hi}
+		s.stats.Abscissae += res.Abscissae
+	}
+	return out, nil
+}
+
+var _ core.BoundingSolver = (*Solver)(nil)
+
+// TransformTRR exposes the closed-form transform TRR̃(s) for tests and
+// diagnostics. It is only valid after a solve has built the series.
+func (s *Solver) TransformTRR(z complex128) complex128 {
+	if s.tf == nil {
+		return 0
+	}
+	return s.tf.trr(z)
+}
+
+var _ core.Solver = (*Solver)(nil)
+
+// transform evaluates the closed-form Laplace transforms of V_{K,L}.
+type transform struct {
+	lambda float64
+	alphaR float64
+	k, l   int
+	// Coefficient vectors over z^k. All are premultiplied by a(k) (or
+	// a'(k)) so each evaluation is one Horner pass per polynomial.
+	a   []float64 // a(k), k ≤ K
+	c   []float64 // a(k)b(k), k ≤ K
+	vs  []float64 // Σ_i v^i_k a(k), k < K
+	vr  []float64 // Σ_i r_{f_i} v^i_k a(k), k < K
+	ap  []float64
+	cp  []float64
+	vsp []float64
+	vrp []float64
+}
+
+func newTransform(s *regen.Series) *transform {
+	tf := &transform{lambda: s.Lambda, alphaR: s.AlphaR, k: s.K, l: s.L}
+	tf.a = s.A
+	tf.c = make([]float64, s.K+1)
+	for k := 0; k <= s.K; k++ {
+		tf.c[k] = s.A[k] * s.B[k]
+	}
+	tf.vs = make([]float64, s.K)
+	tf.vr = make([]float64, s.K)
+	for k := 0; k < s.K; k++ {
+		var sv, svr float64
+		for i := range s.V {
+			sv += s.V[i][k]
+			svr += s.RewardsAbsorbing[i] * s.V[i][k]
+		}
+		tf.vs[k] = sv * s.A[k]
+		tf.vr[k] = svr * s.A[k]
+	}
+	tf.c = trimZero(tf.c)
+	tf.vs = trimZero(tf.vs)
+	tf.vr = trimZero(tf.vr)
+	if s.L >= 0 {
+		tf.ap = s.AP
+		tf.cp = make([]float64, s.L+1)
+		for k := 0; k <= s.L; k++ {
+			tf.cp[k] = s.AP[k] * s.BP[k]
+		}
+		tf.vsp = make([]float64, s.L)
+		tf.vrp = make([]float64, s.L)
+		for k := 0; k < s.L; k++ {
+			var sv, svr float64
+			for i := range s.VP {
+				sv += s.VP[i][k]
+				svr += s.RewardsAbsorbing[i] * s.VP[i][k]
+			}
+			tf.vsp[k] = sv * s.AP[k]
+			tf.vrp[k] = svr * s.AP[k]
+		}
+		tf.cp = trimZero(tf.cp)
+		tf.vsp = trimZero(tf.vsp)
+		tf.vrp = trimZero(tf.vrp)
+	}
+	return tf
+}
+
+// horner evaluates Σ_k coef[k]·z^k.
+func horner(coef []float64, z complex128) complex128 {
+	var acc complex128
+	for i := len(coef) - 1; i >= 0; i-- {
+		acc = acc*z + complex(coef[i], 0)
+	}
+	return acc
+}
+
+// trimZero returns nil for an all-zero coefficient vector so the transform
+// evaluation can skip the Horner pass entirely — the common case for the
+// paper's measures (UR has c ≡ 0; UA has no absorbing states, so v ≡ 0).
+func trimZero(coef []float64) []float64 {
+	for _, c := range coef {
+		if c != 0 {
+			return coef
+		}
+	}
+	return nil
+}
+
+// zpow returns z^n by binary exponentiation.
+func zpow(z complex128, n int) complex128 {
+	result := complex(1, 0)
+	for n > 0 {
+		if n&1 == 1 {
+			result *= z
+		}
+		z *= z
+		n >>= 1
+	}
+	return result
+}
+
+// trr evaluates TRR̃(s).
+func (tf *transform) trr(s complex128) complex128 {
+	lam := complex(tf.lambda, 0)
+	z := lam / (s + lam)
+	sa := horner(tf.a, z)
+	sc := horner(tf.c, z)
+	svs := horner(tf.vs, z)
+	svr := horner(tf.vr, z)
+
+	b := s*sa + lam*svs + lam*complex(tf.a[tf.k], 0)*zpow(z, tf.k)
+
+	aNum := complex(1, 0)
+	var primed complex128
+	if tf.l >= 0 {
+		sap := horner(tf.ap, z)
+		svsp := horner(tf.vsp, z)
+		scp := horner(tf.cp, z)
+		svrp := horner(tf.vrp, z)
+		aNum = 1 - s/(s+lam)*sap - lam/(s+lam)*svsp -
+			complex(tf.ap[tf.l], 0)*zpow(z, tf.l+1)
+		primed = z/lam*scp + z/s*svrp
+	}
+	p0 := aNum / b
+	return (sc+lam/s*svr)*p0 + primed
+}
+
+// cumulative evaluates C̃(s) = TRR̃(s)/s, the transform of t·MRR(t).
+func (tf *transform) cumulative(s complex128) complex128 {
+	return tf.trr(s) / s
+}
+
+// truncMass evaluates p̃_a(s), the transform of the probability of the
+// truncation state a: s·p̃_a = Λ(p̃_K + p̃'_L).
+func (tf *transform) truncMass(s complex128) complex128 {
+	lam := complex(tf.lambda, 0)
+	z := lam / (s + lam)
+	sa := horner(tf.a, z)
+	b := s*sa + lam*horner(tf.vs, z) + lam*complex(tf.a[tf.k], 0)*zpow(z, tf.k)
+	aNum := complex(1, 0)
+	var primed complex128
+	if tf.l >= 0 {
+		sap := horner(tf.ap, z)
+		svsp := horner(tf.vsp, z)
+		aNum = 1 - s/(s+lam)*sap - lam/(s+lam)*svsp -
+			complex(tf.ap[tf.l], 0)*zpow(z, tf.l+1)
+		primed = complex(tf.ap[tf.l], 0) * zpow(z, tf.l+1) / s
+	}
+	p0 := aNum / b
+	return lam/s*complex(tf.a[tf.k], 0)*zpow(z, tf.k)*p0 + primed
+}

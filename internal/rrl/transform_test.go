@@ -1,0 +1,175 @@
+package rrl
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"regenrand/internal/core"
+	"regenrand/internal/ctmc"
+	"regenrand/internal/regen"
+)
+
+// For the 2-state repairable model the transformed chain V_K is exact
+// (a(2) = 0), so the closed-form transform must equal the analytic Laplace
+// transform of TRR(t) = λ/(λ+μ)·(1−e^{−(λ+μ)t}):
+//
+//	TRR̃(s) = λ / (s (s + λ + μ))
+//
+// at every point of the complex plane the inversion visits. This pins the
+// §2.1 formulas themselves, independent of the inversion machinery.
+func TestClosedFormTransformExactTwoState(t *testing.T) {
+	lambda, mu := 0.5, 1.5
+	b := ctmc.NewBuilder(2)
+	if err := b.AddTransition(0, 1, lambda); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddTransition(1, 0, mu); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetInitial(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := regen.Build(c, []float64{0, 1}, 0, core.DefaultOptions(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.K != 2 {
+		t.Fatalf("expected exact truncation K=2, got %d", series.K)
+	}
+	tf := newTransform(series)
+	for _, s := range []complex128{
+		complex(0.3, 0), complex(0.05, 2), complex(1, -7),
+		complex(2.4e-5, 0.39), complex(10, 100),
+	} {
+		got := tf.trr(s)
+		want := complex(lambda, 0) / (s * (s + complex(lambda+mu, 0)))
+		if cmplx.Abs(got-want) > 1e-13*cmplx.Abs(want) {
+			t.Errorf("s=%v: transform %v want %v", s, got, want)
+		}
+	}
+}
+
+// Same idea for an absorbing model: 0 → 1 (absorbing) at rate μ with
+// reward 1 on state 1 gives UR(t) = 1 − e^{−μt}, so
+// TRR̃(s) = μ/(s(s+μ)).
+func TestClosedFormTransformExactAbsorbing(t *testing.T) {
+	mu := 0.8
+	b := ctmc.NewBuilder(2)
+	if err := b.AddTransition(0, 1, mu); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetInitial(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := regen.Build(c, []float64{0, 1}, 0, core.DefaultOptions(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := newTransform(series)
+	for _, s := range []complex128{complex(0.2, 0), complex(0.01, 1.5), complex(3, -4)} {
+		got := tf.trr(s)
+		want := complex(mu, 0) / (s * (s + complex(mu, 0)))
+		if cmplx.Abs(got-want) > 1e-12*cmplx.Abs(want) {
+			t.Errorf("s=%v: transform %v want %v", s, got, want)
+		}
+	}
+	// And the cumulative transform is TRR̃/s.
+	s := complex(0.7, 0.3)
+	if got, want := tf.cumulative(s), tf.trr(s)/s; cmplx.Abs(got-want) > 1e-15 {
+		t.Errorf("cumulative mismatch: %v vs %v", got, want)
+	}
+}
+
+// The primed-chain formulas (α_r < 1): start the 2-state chain in the
+// stationary-ish mixed distribution and compare the transform against the
+// analytic solution with that initial condition:
+// TRR(t) = π_down(∞) + (α_down − π_down(∞)) e^{−(λ+μ)t}.
+func TestClosedFormTransformPrimedChain(t *testing.T) {
+	lambda, mu := 0.4, 1.6
+	alphaDown := 0.3
+	b := ctmc.NewBuilder(2)
+	if err := b.AddTransition(0, 1, lambda); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddTransition(1, 0, mu); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetInitial(0, 1-alphaDown); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetInitial(1, alphaDown); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := regen.Build(c, []float64{0, 1}, 0, core.DefaultOptions(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.L < 0 {
+		t.Fatal("primed chain expected for α_r < 1")
+	}
+	tf := newTransform(series)
+	pinf := lambda / (lambda + mu)
+	rate := lambda + mu
+	for _, s := range []complex128{complex(0.15, 0), complex(0.02, 0.9), complex(1.2, -2.5)} {
+		got := tf.trr(s)
+		want := complex(pinf, 0)/s + complex(alphaDown-pinf, 0)/(s+complex(rate, 0))
+		if cmplx.Abs(got-want) > 1e-12*(1+cmplx.Abs(want)) {
+			t.Errorf("s=%v: transform %v want %v", s, got, want)
+		}
+	}
+}
+
+// Hand-computed series values for the 2-state chain: Λ = μ (μ > λ),
+// P(0,0) = 1−λ/Λ, P(0,1) = λ/Λ, P(1,0) = 1. Starting at r = 0:
+// a(1) = λ/Λ (survive = move to state 1), q_0 = 1−λ/Λ,
+// a(2) = 0 (state 1 returns to r with certainty), q_1 = 1.
+func TestSeriesHandComputedTwoState(t *testing.T) {
+	lambda, mu := 0.5, 1.5
+	b := ctmc.NewBuilder(2)
+	_ = b.AddTransition(0, 1, lambda)
+	_ = b.AddTransition(1, 0, mu)
+	_ = b.SetInitial(0, 1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewards := []float64{2, 7}
+	series, err := regen.Build(c, rewards, 0, core.DefaultOptions(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam := mu // Λ = max out rate
+	if series.Lambda != lam {
+		t.Fatalf("Λ=%v want %v", series.Lambda, lam)
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"a(0)", series.A[0], 1},
+		{"a(1)", series.A[1], lambda / lam},
+		{"a(2)", series.A[2], 0},
+		{"q_0", series.Q[0], 1 - lambda/lam},
+		{"q_1", series.Q[1], 1},
+		{"b(0)", series.B[0], 2},
+		{"b(1)", series.B[1], 7},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 1e-15 {
+			t.Errorf("%s = %v want %v", c.name, c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package sparse provides the sparse-matrix and vector kernels used by all
+// randomization-based transient solvers in this module.
+//
+// Matrices are stored in an "in-edge" (gather) compressed sparse row layout:
+// row j holds the entries of column j of the underlying matrix M, so that the
+// vector–matrix product y = x·M is computed as a gather
+//
+//	y[j] = Σ_{i : M[i,j] ≠ 0} x[i]·M[i,j]
+//
+// which parallelizes over destination rows without write conflicts. This is
+// the natural layout for stepping the row-distribution of a discrete-time
+// Markov chain, the single hot loop of every solver in this repository.
+package sparse
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Entry is one (row, col, value) triplet of a sparse matrix.
+type Entry struct {
+	Row, Col int
+	Val      float64
+}
+
+// Matrix is an n×n sparse matrix stored by in-edges (gather CSR, i.e. CSR of
+// the transpose). The zero value is an empty 0×0 matrix.
+type Matrix struct {
+	n int
+	// inPtr has length n+1; the in-edges of destination j are
+	// inSrc[inPtr[j]:inPtr[j+1]] with values inVal[inPtr[j]:inPtr[j+1]].
+	inPtr []int
+	inSrc []int32
+	inVal []float64
+}
+
+// NewFromEntries builds an n×n matrix from triplets. Entries with identical
+// (row, col) are summed. It returns an error if an index is out of range.
+func NewFromEntries(n int, entries []Entry) (*Matrix, error) {
+	counts := make([]int, n+1)
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= n || e.Col < 0 || e.Col >= n {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of range for n=%d", e.Row, e.Col, n)
+		}
+		counts[e.Col+1]++
+	}
+	m := &Matrix{n: n, inPtr: make([]int, n+1)}
+	for j := 0; j < n; j++ {
+		m.inPtr[j+1] = m.inPtr[j] + counts[j+1]
+	}
+	nnz := m.inPtr[n]
+	m.inSrc = make([]int32, nnz)
+	m.inVal = make([]float64, nnz)
+	next := make([]int, n)
+	copy(next, m.inPtr[:n])
+	for _, e := range entries {
+		p := next[e.Col]
+		m.inSrc[p] = int32(e.Row)
+		m.inVal[p] = e.Val
+		next[e.Col] = p + 1
+	}
+	m.dedupe()
+	return m, nil
+}
+
+// dedupe merges duplicate (row, col) entries within each in-edge row by
+// sorting sources and summing runs. Rows are typically tiny, so insertion
+// sort is used.
+func (m *Matrix) dedupe() {
+	out := 0
+	newPtr := make([]int, m.n+1)
+	for j := 0; j < m.n; j++ {
+		lo, hi := m.inPtr[j], m.inPtr[j+1]
+		// Insertion sort of inSrc[lo:hi] with inVal carried along.
+		for i := lo + 1; i < hi; i++ {
+			s, v := m.inSrc[i], m.inVal[i]
+			k := i
+			for k > lo && m.inSrc[k-1] > s {
+				m.inSrc[k], m.inVal[k] = m.inSrc[k-1], m.inVal[k-1]
+				k--
+			}
+			m.inSrc[k], m.inVal[k] = s, v
+		}
+		start := out
+		for i := lo; i < hi; i++ {
+			if out > start && m.inSrc[out-1] == m.inSrc[i] {
+				m.inVal[out-1] += m.inVal[i]
+			} else {
+				m.inSrc[out] = m.inSrc[i]
+				m.inVal[out] = m.inVal[i]
+				out++
+			}
+		}
+		newPtr[j+1] = out
+	}
+	m.inPtr = newPtr
+	m.inSrc = m.inSrc[:out]
+	m.inVal = m.inVal[:out]
+}
+
+// Dim returns the matrix dimension n.
+func (m *Matrix) Dim() int { return m.n }
+
+// NNZ returns the number of stored entries.
+func (m *Matrix) NNZ() int { return len(m.inVal) }
+
+// At returns M[i,j]. It is O(in-degree of j) and intended for tests and
+// diagnostics, not for hot loops.
+func (m *Matrix) At(i, j int) float64 {
+	for p := m.inPtr[j]; p < m.inPtr[j+1]; p++ {
+		if int(m.inSrc[p]) == i {
+			return m.inVal[p]
+		}
+	}
+	return 0
+}
+
+// Entries returns all stored entries as triplets, in column-major order.
+func (m *Matrix) Entries() []Entry {
+	es := make([]Entry, 0, m.NNZ())
+	for j := 0; j < m.n; j++ {
+		for p := m.inPtr[j]; p < m.inPtr[j+1]; p++ {
+			es = append(es, Entry{Row: int(m.inSrc[p]), Col: j, Val: m.inVal[p]})
+		}
+	}
+	return es
+}
+
+// parallelThreshold is the number of stored entries below which VecMat runs
+// serially; tiny matrices do not amortize goroutine start-up.
+const parallelThreshold = 1 << 15
+
+// VecMat computes dst = src·M (row vector times matrix). dst and src must
+// both have length Dim() and must not alias.
+func (m *Matrix) VecMat(dst, src []float64) {
+	if len(dst) != m.n || len(src) != m.n {
+		panic("sparse: VecMat dimension mismatch")
+	}
+	if m.NNZ() >= parallelThreshold {
+		m.vecMatParallel(dst, src)
+		return
+	}
+	m.vecMatRange(dst, src, 0, m.n)
+}
+
+// vecMatRange computes dst[j] for j in [lo, hi).
+func (m *Matrix) vecMatRange(dst, src []float64, lo, hi int) {
+	inPtr, inSrc, inVal := m.inPtr, m.inSrc, m.inVal
+	for j := lo; j < hi; j++ {
+		var sum float64
+		for p := inPtr[j]; p < inPtr[j+1]; p++ {
+			sum += src[inSrc[p]] * inVal[p]
+		}
+		dst[j] = sum
+	}
+}
+
+// vecMatParallel splits destination rows over GOMAXPROCS workers. Row ranges
+// are balanced by stored-entry count so that skewed in-degree distributions
+// (absorbing states, regeneration hubs) do not serialize the product.
+func (m *Matrix) vecMatParallel(dst, src []float64) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m.n {
+		workers = m.n
+	}
+	if workers <= 1 {
+		m.vecMatRange(dst, src, 0, m.n)
+		return
+	}
+	var wg sync.WaitGroup
+	per := (m.NNZ() + workers - 1) / workers
+	lo := 0
+	for w := 0; w < workers && lo < m.n; w++ {
+		hi := lo
+		target := (w + 1) * per
+		for hi < m.n && m.inPtr[hi] < target {
+			hi++
+		}
+		if w == workers-1 {
+			hi = m.n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			m.vecMatRange(dst, src, lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// InEdges returns views of the source indices and values of the in-edges of
+// destination j, i.e. the nonzero entries of column j. The views alias the
+// matrix storage and must not be modified.
+func (m *Matrix) InEdges(j int) ([]int32, []float64) {
+	lo, hi := m.inPtr[j], m.inPtr[j+1]
+	return m.inSrc[lo:hi], m.inVal[lo:hi]
+}
+
+// Dot returns the inner product x·y using Kahan compensated summation, which
+// keeps the millions-of-terms accumulations in the randomization solvers at
+// working precision.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("sparse: Dot dimension mismatch")
+	}
+	var sum, comp float64
+	for i, xv := range x {
+		term := xv*y[i] - comp
+		t := sum + term
+		comp = (t - sum) - term
+		sum = t
+	}
+	return sum
+}
+
+// Sum returns Σ x[i] with Kahan compensated summation.
+func Sum(x []float64) float64 {
+	var sum, comp float64
+	for _, v := range x {
+		term := v - comp
+		t := sum + term
+		comp = (t - sum) - term
+		sum = t
+	}
+	return sum
+}
+
+// L1Diff returns ‖x − y‖₁.
+func L1Diff(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("sparse: L1Diff dimension mismatch")
+	}
+	var sum float64
+	for i, xv := range x {
+		d := xv - y[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum
+}
+
+// Accumulator is a Kahan compensated scalar accumulator for long series.
+// The zero value is ready to use.
+type Accumulator struct {
+	sum, comp float64
+}
+
+// Add folds v into the running sum.
+func (a *Accumulator) Add(v float64) {
+	term := v - a.comp
+	t := a.sum + term
+	a.comp = (t - a.sum) - term
+	a.sum = t
+}
+
+// Value returns the current compensated sum.
+func (a *Accumulator) Value() float64 { return a.sum }

@@ -1,0 +1,231 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func denseVecMat(n int, entries []Entry, src []float64) []float64 {
+	dst := make([]float64, n)
+	for _, e := range entries {
+		dst[e.Col] += src[e.Row] * e.Val
+	}
+	return dst
+}
+
+func TestNewFromEntriesBasic(t *testing.T) {
+	m, err := NewFromEntries(3, []Entry{
+		{0, 1, 2.0},
+		{1, 2, 3.0},
+		{2, 0, 4.0},
+		{0, 0, 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim() != 3 || m.NNZ() != 4 {
+		t.Fatalf("dim=%d nnz=%d, want 3,4", m.Dim(), m.NNZ())
+	}
+	if got := m.At(0, 1); got != 2.0 {
+		t.Errorf("At(0,1)=%g want 2", got)
+	}
+	if got := m.At(1, 0); got != 0 {
+		t.Errorf("At(1,0)=%g want 0", got)
+	}
+}
+
+func TestNewFromEntriesOutOfRange(t *testing.T) {
+	if _, err := NewFromEntries(2, []Entry{{0, 2, 1}}); err == nil {
+		t.Fatal("want error for out-of-range column")
+	}
+	if _, err := NewFromEntries(2, []Entry{{-1, 0, 1}}); err == nil {
+		t.Fatal("want error for negative row")
+	}
+}
+
+func TestDuplicateEntriesAreSummed(t *testing.T) {
+	m, err := NewFromEntries(2, []Entry{
+		{0, 1, 1.5},
+		{0, 1, 2.5},
+		{1, 1, 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz=%d want 2 after dedupe", m.NNZ())
+	}
+	if got := m.At(0, 1); got != 4.0 {
+		t.Errorf("At(0,1)=%g want 4", got)
+	}
+}
+
+func TestVecMatAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		nnz := rng.Intn(4 * n)
+		entries := make([]Entry, nnz)
+		for i := range entries {
+			entries[i] = Entry{rng.Intn(n), rng.Intn(n), rng.NormFloat64()}
+		}
+		m, err := NewFromEntries(n, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = rng.NormFloat64()
+		}
+		dst := make([]float64, n)
+		m.VecMat(dst, src)
+		want := denseVecMat(n, entries, src)
+		for j := range dst {
+			if math.Abs(dst[j]-want[j]) > 1e-12*(1+math.Abs(want[j])) {
+				t.Fatalf("trial %d: dst[%d]=%g want %g", trial, j, dst[j], want[j])
+			}
+		}
+	}
+}
+
+func TestVecMatParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 2000
+	entries := make([]Entry, 0, 40*n)
+	for i := 0; i < n; i++ {
+		deg := 10 + rng.Intn(50)
+		for d := 0; d < deg; d++ {
+			entries = append(entries, Entry{i, rng.Intn(n), rng.Float64()})
+		}
+	}
+	m, err := NewFromEntries(n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() < parallelThreshold {
+		t.Fatalf("test matrix too small to exercise parallel path: nnz=%d", m.NNZ())
+	}
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = rng.Float64()
+	}
+	serial := make([]float64, n)
+	m.vecMatRange(serial, src, 0, n)
+	par := make([]float64, n)
+	m.vecMatParallel(par, src)
+	for j := range par {
+		if par[j] != serial[j] {
+			t.Fatalf("parallel and serial differ at %d: %g vs %g", j, par[j], serial[j])
+		}
+	}
+}
+
+func TestEntriesRoundTrip(t *testing.T) {
+	in := []Entry{{0, 1, 2}, {2, 2, -1}, {1, 0, 0.5}}
+	m, err := NewFromEntries(3, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Entries()
+	if len(out) != len(in) {
+		t.Fatalf("got %d entries want %d", len(out), len(in))
+	}
+	m2, err := NewFromEntries(3, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != m2.At(i, j) {
+				t.Fatalf("round trip differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestDotKahanVersusNaive(t *testing.T) {
+	// A series engineered so naive summation loses precision: many tiny terms
+	// around a large one.
+	n := 100001
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = 1e-10
+		y[i] = 1.0
+	}
+	x[0] = 1e10
+	got := Dot(x, y)
+	want := 1e10 + 1e-10*float64(n-1)
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("Dot=%v want %v", got, want)
+	}
+}
+
+func TestSumMatchesAccumulator(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 1000)
+	var acc Accumulator
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		acc.Add(x[i])
+	}
+	if s := Sum(x); math.Abs(s-acc.Value()) > 1e-12 {
+		t.Errorf("Sum=%v Accumulator=%v", s, acc.Value())
+	}
+}
+
+func TestL1Diff(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{0, 4, 3}
+	if got := L1Diff(x, y); got != 3 {
+		t.Errorf("L1Diff=%g want 3", got)
+	}
+}
+
+func TestVecMatPanicsOnMismatch(t *testing.T) {
+	m, _ := NewFromEntries(2, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on dimension mismatch")
+		}
+	}()
+	m.VecMat(make([]float64, 3), make([]float64, 2))
+}
+
+// Property: for random stochastic-like matrices, VecMat preserves total mass
+// when every row sums to 1.
+func TestVecMatMassPreservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		var entries []Entry
+		for i := 0; i < n; i++ {
+			deg := 1 + rng.Intn(4)
+			w := make([]float64, deg)
+			var tot float64
+			for d := range w {
+				w[d] = rng.Float64() + 1e-3
+				tot += w[d]
+			}
+			for d := range w {
+				entries = append(entries, Entry{i, rng.Intn(n), w[d] / tot})
+			}
+		}
+		m, err := NewFromEntries(n, entries)
+		if err != nil {
+			return false
+		}
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = rng.Float64()
+		}
+		dst := make([]float64, n)
+		m.VecMat(dst, src)
+		return math.Abs(Sum(dst)-Sum(src)) < 1e-10*(1+Sum(src))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,248 @@
+// Package uniform implements the standard randomization (uniformization)
+// method for the transient analysis of CTMCs — the paper's "SR" baseline.
+//
+// With Λ the maximum output rate and P = I + Q/Λ the randomized DTMC,
+//
+//	TRR(t) = Σ_{k≥0} e^{−Λt}(Λt)^k/k! · ρ_k,    ρ_k = π(0)P^k · r̄
+//	MRR(t) = (1/(Λt)) Σ_{k≥0} P[N_{Λt} ≥ k+1] · ρ_k
+//
+// truncated with the Poisson window of package poisson so the discarded mass
+// contributes at most ε. One stepping pass over the DTMC serves a whole
+// batch of time points: only the scalar sequence ρ_k is stored.
+package uniform
+
+import (
+	"fmt"
+	"time"
+
+	"regenrand/internal/core"
+	"regenrand/internal/ctmc"
+	"regenrand/internal/poisson"
+	"regenrand/internal/sparse"
+)
+
+// Solver is the standard randomization solver. Create one with New; it may
+// be reused for several TRR/MRR batches and caches the stepped reward
+// sequence across calls.
+type Solver struct {
+	model   *ctmc.CTMC
+	rewards []float64
+	opts    core.Options
+	rmax    float64
+
+	dtmc *ctmc.DTMC
+	// rho[k] = π(0)P^k · r̄ for all steps computed so far.
+	rho []float64
+	// pi is the current distribution π(0)P^{len(rho)-1}; buf is scratch.
+	pi, buf []float64
+
+	stats core.Stats
+}
+
+// New validates the inputs and returns an SR solver.
+func New(model *ctmc.CTMC, rewards []float64, opts core.Options) (*Solver, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	rmax, err := core.CheckRewards(rewards, model.N())
+	if err != nil {
+		return nil, err
+	}
+	d, err := model.Uniformize(opts.UniformizationFactor)
+	if err != nil {
+		return nil, err
+	}
+	r := make([]float64, len(rewards))
+	copy(r, rewards)
+	s := &Solver{model: model, rewards: r, opts: opts, rmax: rmax, dtmc: d}
+	s.stats.DetectionStep = -1
+	return s, nil
+}
+
+// Name returns "SR".
+func (s *Solver) Name() string { return "SR" }
+
+// Stats returns cost counters accumulated since the solver was created.
+func (s *Solver) Stats() core.Stats { return s.stats }
+
+// Lambda returns the randomization rate Λ.
+func (s *Solver) Lambda() float64 { return s.dtmc.Lambda }
+
+// ensureRho extends the cached ρ sequence so that ρ_0..ρ_upTo are available.
+func (s *Solver) ensureRho(upTo int) {
+	if s.rho == nil {
+		s.pi = s.model.Initial()
+		s.buf = make([]float64, s.model.N())
+		s.rho = append(s.rho, sparse.Dot(s.pi, s.rewards))
+	}
+	for len(s.rho) <= upTo {
+		s.dtmc.Step(s.buf, s.pi)
+		s.pi, s.buf = s.buf, s.pi
+		s.rho = append(s.rho, sparse.Dot(s.pi, s.rewards))
+		s.stats.BuildSteps++
+		s.stats.MatVecs++
+	}
+}
+
+// trrWindow returns the Poisson window needed for TRR at time t so that the
+// discarded probability mass contributes at most eps to the measure.
+func (s *Solver) trrWindow(t float64) (*poisson.Window, error) {
+	lam := s.dtmc.Lambda * t
+	epsW := s.opts.Epsilon
+	if s.rmax > 0 {
+		epsW = s.opts.Epsilon / s.rmax
+	}
+	if epsW >= 1 {
+		epsW = 0.5
+	}
+	return poisson.NewWindow(lam, epsW)
+}
+
+// TruncationWindow returns the Poisson window SR uses for TRR at time t
+// without running the stepping pass; its Right field is the method's per-t
+// step count (the quantity tabulated for SR in Table 2 of the paper).
+func (s *Solver) TruncationWindow(t float64) (*poisson.Window, error) {
+	return s.trrWindow(t)
+}
+
+// TRR implements core.Solver.
+func (s *Solver) TRR(ts []float64) ([]core.Result, error) {
+	if err := core.CheckTimes(ts); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	results := make([]core.Result, len(ts))
+	// One pass: find the largest right truncation point first.
+	windows := make([]*poisson.Window, len(ts))
+	maxR := 0
+	for i, t := range ts {
+		if t == 0 {
+			continue
+		}
+		w, err := s.trrWindow(t)
+		if err != nil {
+			return nil, fmt.Errorf("uniform: t=%v: %w", t, err)
+		}
+		windows[i] = w
+		if w.Right > maxR {
+			maxR = w.Right
+		}
+	}
+	s.ensureRho(maxR)
+	for i, t := range ts {
+		if t == 0 {
+			s.ensureRho(0)
+			results[i] = core.Result{T: 0, Value: s.rho[0]}
+			continue
+		}
+		w := windows[i]
+		var acc sparse.Accumulator
+		for k := w.Left; k <= w.Right; k++ {
+			acc.Add(w.Weight(k) * s.rho[k])
+		}
+		results[i] = core.Result{T: t, Value: acc.Value(), Steps: w.Right}
+	}
+	s.stats.Solve += time.Since(start)
+	return results, nil
+}
+
+// mrrTruncation returns the right truncation point R and the upper
+// cumulative values Q(k) so that the discarded part of the MRR series is at
+// most eps. It extends the TRR window until the mean-excess bound
+// (r_max/λ)·E[(N−R−1)⁺] ≤ eps holds.
+func (s *Solver) mrrTruncation(t float64) (w *poisson.Window, R int, tails []float64, err error) {
+	lam := s.dtmc.Lambda * t
+	// Build a window with generous margin so R lies inside it.
+	epsW := s.opts.Epsilon * 1e-4
+	if s.rmax > 0 {
+		epsW = s.opts.Epsilon / s.rmax * 1e-4
+	}
+	if epsW >= 1 {
+		epsW = 0.5
+	}
+	if epsW < 1e-290 {
+		epsW = 1e-290
+	}
+	w, err = poisson.NewWindow(lam, epsW)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	tails = w.Tails()
+	// excess(K) = Σ_{j>K} Q(j); beyond the window bound it by the
+	// mean-excess remainder.
+	rem := poisson.MeanExcessUpper(lam, w.Right+1)
+	target := s.opts.Epsilon * lam
+	if s.rmax > 0 {
+		target = s.opts.Epsilon * lam / s.rmax
+	}
+	// Walk left from the window end while the suffix stays below target.
+	excess := rem
+	R = w.Right
+	for k := w.Right; k > w.Left; k-- {
+		q := tails[k+1-w.Left] // Q(k+1), the term gained by truncating at k−1
+		if excess+q > target {
+			break
+		}
+		excess += q
+		R = k - 1
+	}
+	return w, R, tails, nil
+}
+
+// MRR implements core.Solver.
+func (s *Solver) MRR(ts []float64) ([]core.Result, error) {
+	if err := core.CheckTimes(ts); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	results := make([]core.Result, len(ts))
+	type plan struct {
+		w     *poisson.Window
+		R     int
+		tails []float64
+	}
+	plans := make([]plan, len(ts))
+	maxR := 0
+	for i, t := range ts {
+		if t == 0 {
+			continue
+		}
+		w, R, tails, err := s.mrrTruncation(t)
+		if err != nil {
+			return nil, fmt.Errorf("uniform: t=%v: %w", t, err)
+		}
+		plans[i] = plan{w, R, tails}
+		if R > maxR {
+			maxR = R
+		}
+	}
+	s.ensureRho(maxR)
+	for i, t := range ts {
+		if t == 0 {
+			s.ensureRho(0)
+			results[i] = core.Result{T: 0, Value: s.rho[0]}
+			continue
+		}
+		p := plans[i]
+		lam := s.dtmc.Lambda * t
+		var acc sparse.Accumulator
+		for k := 0; k <= p.R; k++ {
+			// Q(k+1): inside the window from tails, 1 to its left.
+			var q float64
+			switch {
+			case k+1 < p.w.Left:
+				q = 1
+			case k+1 > p.w.Right+1:
+				q = 0
+			default:
+				q = p.tails[k+1-p.w.Left]
+			}
+			acc.Add(q * s.rho[k])
+		}
+		results[i] = core.Result{T: t, Value: acc.Value() / lam, Steps: p.R}
+	}
+	s.stats.Solve += time.Since(start)
+	return results, nil
+}
+
+var _ core.Solver = (*Solver)(nil)

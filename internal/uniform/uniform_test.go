@@ -1,0 +1,253 @@
+package uniform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"regenrand/internal/core"
+	"regenrand/internal/ctmc"
+	"regenrand/internal/expm"
+)
+
+func twoState(t *testing.T, lambda, mu float64) *ctmc.CTMC {
+	t.Helper()
+	b := ctmc.NewBuilder(2)
+	if err := b.AddTransition(0, 1, lambda); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddTransition(1, 0, mu); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetInitial(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTRRTwoStateAnalytic(t *testing.T) {
+	lambda, mu := 0.2, 1.8
+	c := twoState(t, lambda, mu)
+	s, err := New(c, []float64{0, 1}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := []float64{0, 0.5, 1, 3, 10, 100}
+	res, err := s.TRR(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := lambda + mu
+	for i, tt := range ts {
+		want := lambda / sum * (1 - math.Exp(-sum*tt))
+		if math.Abs(res[i].Value-want) > 1e-12 {
+			t.Errorf("t=%v: TRR=%v want %v", tt, res[i].Value, want)
+		}
+	}
+}
+
+func TestMRRTwoStateAnalytic(t *testing.T) {
+	lambda, mu := 0.3, 1.1
+	c := twoState(t, lambda, mu)
+	s, err := New(c, []float64{0, 1}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := []float64{0.5, 2, 25}
+	res, err := s.MRR(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := lambda + mu
+	for i, tt := range ts {
+		want := lambda/sum - lambda/(sum*sum*tt)*(1-math.Exp(-sum*tt))
+		if math.Abs(res[i].Value-want) > 1e-12 {
+			t.Errorf("t=%v: MRR=%v want %v", tt, res[i].Value, want)
+		}
+	}
+}
+
+// Erlang absorption: chain 0→1→…→n−1→absorbing, all rates μ. The
+// probability of absorption by time t is the Erlang(n, μ) CDF, a TRR with
+// reward 1 on the absorbing state.
+func TestTRRErlangAbsorption(t *testing.T) {
+	n, mu := 5, 2.0
+	b := ctmc.NewBuilder(n + 1)
+	for i := 0; i < n; i++ {
+		if err := b.AddTransition(i, i+1, mu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = b.SetInitial(0, 1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewards := make([]float64, n+1)
+	rewards[n] = 1
+	s, err := New(c, rewards, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := []float64{0.3, 1, 2.5, 8}
+	res, err := s.TRR(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range ts {
+		// Erlang CDF: 1 − Σ_{k<n} e^{−μt}(μt)^k/k!
+		sum := 0.0
+		term := 1.0
+		for k := 0; k < n; k++ {
+			if k > 0 {
+				term *= mu * tt / float64(k)
+			}
+			sum += term
+		}
+		want := 1 - math.Exp(-mu*tt)*sum
+		if math.Abs(res[i].Value-want) > 1e-12 {
+			t.Errorf("t=%v: UR=%v want %v", tt, res[i].Value, want)
+		}
+	}
+}
+
+func TestTRRMatchesExpmOracleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		c, err := ctmc.Random(rng, ctmc.RandomOptions{
+			States: 5 + rng.Intn(25), ExtraDegree: 2, Absorbing: rng.Intn(3),
+			SpreadInitial: trial%2 == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rewards := ctmc.RandomRewards(rng, c, 3.0, false)
+		s, err := New(c, rewards, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := []float64{0.1, 1.5, 7}
+		res, err := s.TRR(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tt := range ts {
+			want, err := expm.TRR(c, rewards, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(res[i].Value-want) > 1e-9 {
+				t.Errorf("trial %d t=%v: TRR=%v oracle=%v", trial, tt, res[i].Value, want)
+			}
+		}
+	}
+}
+
+func TestMRRMatchesOracleQuadrature(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	c, err := ctmc.Random(rng, ctmc.RandomOptions{States: 12, ExtraDegree: 2, Absorbing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewards := ctmc.RandomRewards(rng, c, 2.0, false)
+	s, err := New(c, rewards, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := 4.0
+	res, err := s.MRR([]float64{tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := expm.MRR(c, rewards, tt, 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res[0].Value-want) > 1e-8 {
+		t.Errorf("MRR=%v oracle=%v", res[0].Value, want)
+	}
+}
+
+func TestStepsGrowWithTime(t *testing.T) {
+	c := twoState(t, 1, 1)
+	s, err := New(c, []float64{0, 1}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.TRR([]float64{1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res[0].Steps < res[1].Steps && res[1].Steps < res[2].Steps) {
+		t.Errorf("steps not increasing: %d %d %d", res[0].Steps, res[1].Steps, res[2].Steps)
+	}
+	// SR steps for large Λt are ≈ Λt + O(sqrt): here Λ = 1 (max out rate),
+	// t=100 ⇒ ≥ 100.
+	if res[2].Steps < 100 {
+		t.Errorf("steps at t=100: %d, want ≥ Λt = 100", res[2].Steps)
+	}
+}
+
+func TestRhoCacheReuse(t *testing.T) {
+	c := twoState(t, 0.5, 1.5)
+	s, err := New(c, []float64{1, 0}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TRR([]float64{50}); err != nil {
+		t.Fatal(err)
+	}
+	steps1 := s.Stats().BuildSteps
+	// A smaller time must not re-step.
+	if _, err := s.TRR([]float64{10}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().BuildSteps != steps1 {
+		t.Errorf("cache not reused: %d → %d", steps1, s.Stats().BuildSteps)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c := twoState(t, 1, 1)
+	if _, err := New(c, []float64{0, -1}, core.DefaultOptions()); err == nil {
+		t.Error("want error for negative reward")
+	}
+	if _, err := New(c, []float64{0}, core.DefaultOptions()); err == nil {
+		t.Error("want error for reward length mismatch")
+	}
+	if _, err := New(c, []float64{0, 1}, core.Options{Epsilon: 0}); err == nil {
+		t.Error("want error for epsilon 0")
+	}
+	s, err := New(c, []float64{0, 1}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TRR(nil); err == nil {
+		t.Error("want error for empty time batch")
+	}
+	if _, err := s.TRR([]float64{-1}); err == nil {
+		t.Error("want error for negative time")
+	}
+	if _, err := s.MRR([]float64{math.NaN()}); err == nil {
+		t.Error("want error for NaN time")
+	}
+}
+
+func TestZeroRewards(t *testing.T) {
+	c := twoState(t, 1, 1)
+	s, err := New(c, []float64{0, 0}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.TRR([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Value != 0 {
+		t.Errorf("zero rewards give %v", res[0].Value)
+	}
+}

@@ -1,0 +1,72 @@
+package uniform
+
+import (
+	"testing"
+
+	"regenrand/internal/core"
+	"regenrand/internal/ctmc"
+)
+
+// TruncationWindow must reproduce the step counts the solver itself
+// reports, without triggering any stepping.
+func TestTruncationWindowMatchesSolve(t *testing.T) {
+	b := ctmc.NewBuilder(3)
+	_ = b.AddTransition(0, 1, 0.3)
+	_ = b.AddTransition(1, 0, 1.1)
+	_ = b.AddTransition(1, 2, 0.2)
+	_ = b.AddTransition(2, 0, 0.9)
+	_ = b.SetInitial(0, 1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(c, []float64{0, 0.5, 1}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := []float64{1, 50, 2000}
+	var want []int
+	for _, tt := range ts {
+		w, err := s.TruncationWindow(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, w.Right)
+	}
+	if s.Stats().BuildSteps != 0 {
+		t.Fatalf("TruncationWindow stepped the model: %d steps", s.Stats().BuildSteps)
+	}
+	res, err := s.TRR(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ts {
+		if res[i].Steps != want[i] {
+			t.Errorf("t=%v: window Right=%d but solver reported %d", ts[i], want[i], res[i].Steps)
+		}
+	}
+}
+
+// The window grows with tighter epsilon.
+func TestTruncationWindowEpsilonMonotone(t *testing.T) {
+	b := ctmc.NewBuilder(2)
+	_ = b.AddTransition(0, 1, 1)
+	_ = b.AddTransition(1, 0, 1)
+	_ = b.SetInitial(0, 1)
+	c, _ := b.Build()
+	prev := 0
+	for _, eps := range []float64{1e-4, 1e-8, 1e-12} {
+		s, err := New(c, []float64{0, 1}, core.Options{Epsilon: eps, UniformizationFactor: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := s.TruncationWindow(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Right <= prev {
+			t.Errorf("eps=%g: Right=%d not larger than %d", eps, w.Right, prev)
+		}
+		prev = w.Right
+	}
+}

@@ -1,0 +1,201 @@
+package regenrand_test
+
+import (
+	"math"
+	"testing"
+
+	"regenrand"
+)
+
+func buildTwoState(t *testing.T) *regenrand.CTMC {
+	t.Helper()
+	b := regenrand.NewBuilder(2)
+	if err := b.AddTransition(0, 1, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddTransition(1, 0, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetInitial(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestFacadeAllMethodsAgree exercises the public API end to end: the four
+// methods of the paper must agree within their combined error bounds on
+// both measures.
+func TestFacadeAllMethodsAgree(t *testing.T) {
+	model := buildTwoState(t)
+	rewards := []float64{0, 1}
+	opts := regenrand.DefaultOptions()
+
+	solvers := map[string]regenrand.Solver{}
+	var err error
+	if solvers["SR"], err = regenrand.NewSR(model, rewards, opts); err != nil {
+		t.Fatal(err)
+	}
+	if solvers["RSD"], err = regenrand.NewRSD(model, rewards, opts); err != nil {
+		t.Fatal(err)
+	}
+	if solvers["RR"], err = regenrand.NewRR(model, rewards, 0, opts); err != nil {
+		t.Fatal(err)
+	}
+	if solvers["RRL"], err = regenrand.NewRRL(model, rewards, 0, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := []float64{0.5, 5, 50, 500}
+	lambda, mu := 0.25, 2.0
+	s := lambda + mu
+	for name, solver := range solvers {
+		if solver.Name() != name {
+			t.Errorf("solver %s reports name %s", name, solver.Name())
+		}
+		res, err := solver.TRR(ts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, tt := range ts {
+			want := lambda / s * (1 - math.Exp(-s*tt))
+			if math.Abs(res[i].Value-want) > 2e-12 {
+				t.Errorf("%s t=%v: %v want %v", name, tt, res[i].Value, want)
+			}
+		}
+		mres, err := solver.MRR(ts)
+		if err != nil {
+			t.Fatalf("%s MRR: %v", name, err)
+		}
+		for i, tt := range ts {
+			want := lambda/s - lambda/(s*s*tt)*(1-math.Exp(-s*tt))
+			if math.Abs(mres[i].Value-want) > 2e-12 {
+				t.Errorf("%s MRR t=%v: %v want %v", name, tt, mres[i].Value, want)
+			}
+		}
+	}
+}
+
+// TestRAIDFourMethodCrossValidation is the central integration test: on a
+// moderate RAID instance all four methods must produce identical UA values
+// within 2ε, and the three applicable methods identical UR values.
+func TestRAIDFourMethodCrossValidation(t *testing.T) {
+	params := regenrand.DefaultRAIDParams(8)
+	opts := regenrand.DefaultOptions()
+	ts := []float64{1, 10, 100, 1000}
+
+	// Availability (irreducible): SR, RSD, RR, RRL.
+	ua, err := regenrand.BuildRAID(params, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uaRewards := ua.UnavailabilityRewards()
+	var uaVals [][]regenrand.Result
+	for _, mk := range []func() (regenrand.Solver, error){
+		func() (regenrand.Solver, error) { return regenrand.NewSR(ua.Chain, uaRewards, opts) },
+		func() (regenrand.Solver, error) { return regenrand.NewRSD(ua.Chain, uaRewards, opts) },
+		func() (regenrand.Solver, error) { return regenrand.NewRR(ua.Chain, uaRewards, ua.Pristine, opts) },
+		func() (regenrand.Solver, error) { return regenrand.NewRRL(ua.Chain, uaRewards, ua.Pristine, opts) },
+	} {
+		s, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.TRR(ts)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		uaVals = append(uaVals, res)
+	}
+	for i := range ts {
+		ref := uaVals[0][i].Value
+		for m := 1; m < len(uaVals); m++ {
+			if math.Abs(uaVals[m][i].Value-ref) > 2.5e-12 {
+				t.Errorf("UA t=%v: method %d gives %v, SR gives %v", ts[i], m, uaVals[m][i].Value, ref)
+			}
+		}
+	}
+
+	// Unreliability (absorbing): SR, RR, RRL.
+	ur, err := regenrand.BuildRAID(params, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urRewards := ur.UnreliabilityRewards()
+	var urVals [][]regenrand.Result
+	for _, mk := range []func() (regenrand.Solver, error){
+		func() (regenrand.Solver, error) { return regenrand.NewSR(ur.Chain, urRewards, opts) },
+		func() (regenrand.Solver, error) { return regenrand.NewRR(ur.Chain, urRewards, ur.Pristine, opts) },
+		func() (regenrand.Solver, error) { return regenrand.NewRRL(ur.Chain, urRewards, ur.Pristine, opts) },
+	} {
+		s, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.TRR(ts)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		urVals = append(urVals, res)
+	}
+	for i := range ts {
+		ref := urVals[0][i].Value
+		for m := 1; m < len(urVals); m++ {
+			if math.Abs(urVals[m][i].Value-ref) > 2.5e-12 {
+				t.Errorf("UR t=%v: method %d gives %v, SR gives %v", ts[i], m, urVals[m][i].Value, ref)
+			}
+		}
+	}
+}
+
+// TestRAIDStateCountFacade pins the paper's reported model sizes through
+// the public API.
+func TestRAIDStateCountFacade(t *testing.T) {
+	m, err := regenrand.BuildRAID(regenrand.DefaultRAIDParams(20), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Chain.N() != 3841 {
+		t.Errorf("G=20 states = %d, paper reports 3841", m.Chain.N())
+	}
+}
+
+func TestSteadyStateFacade(t *testing.T) {
+	model := buildTwoState(t)
+	pi, err := regenrand.SteadyState(model, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[1]-0.25/2.25) > 1e-11 {
+		t.Errorf("pi[1]=%v want %v", pi[1], 0.25/2.25)
+	}
+}
+
+func TestOracleFacade(t *testing.T) {
+	model := buildTwoState(t)
+	got, err := regenrand.OracleTRR(model, []float64{0, 1}, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.25 / 2.25 * (1 - math.Exp(-2.25*2))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("oracle %v want %v", got, want)
+	}
+}
+
+func TestRegenSeriesFacade(t *testing.T) {
+	model := buildTwoState(t)
+	series, err := regenrand.BuildRegenSeries(model, []float64{0, 1}, 0, regenrand.DefaultOptions(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.A[0] != 1 || series.Lambda != 2.0 {
+		t.Errorf("series basics wrong: a(0)=%v Λ=%v", series.A[0], series.Lambda)
+	}
+	if got := series.Steps(); got != series.K {
+		t.Errorf("Steps()=%d want K=%d for α_r=1", got, series.K)
+	}
+}

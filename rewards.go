@@ -1,0 +1,41 @@
+package regenrand
+
+import (
+	"fmt"
+
+	"regenrand/internal/ctmc"
+)
+
+// IndicatorRewards returns a reward vector of length n with reward 1 on the
+// listed states and 0 elsewhere — the shape of the paper's UA and UR
+// measures. It returns an error for out-of-range or repeated states.
+func IndicatorRewards(n int, states ...int) ([]float64, error) {
+	r := make([]float64, n)
+	for _, s := range states {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("regenrand: indicator state %d out of range for n=%d", s, n)
+		}
+		if r[s] != 0 {
+			return nil, fmt.Errorf("regenrand: indicator state %d repeated", s)
+		}
+		r[s] = 1
+	}
+	return r, nil
+}
+
+// RewardsFrom builds a reward vector by evaluating f at every state index;
+// f must return non-negative finite values (validated by the solvers).
+func RewardsFrom(n int, f func(state int) float64) []float64 {
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = f(i)
+	}
+	return r
+}
+
+// CheckModelClass verifies that the model belongs to the class the paper's
+// methods assume: the non-absorbing states are strongly connected, every
+// absorbing state is reachable, and the initial distribution has no mass on
+// absorbing states. The solvers validate cheap properties themselves; this
+// O(states + transitions) check is the full structural validation.
+func CheckModelClass(model *CTMC) error { return ctmc.CheckModelClass(model) }

@@ -1,0 +1,48 @@
+package regenrand_test
+
+import (
+	"testing"
+
+	"regenrand"
+)
+
+func TestIndicatorRewards(t *testing.T) {
+	r, err := regenrand.IndicatorRewards(4, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 0, 1}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("got %v want %v", r, want)
+		}
+	}
+	if _, err := regenrand.IndicatorRewards(2, 5); err == nil {
+		t.Error("want error for out-of-range state")
+	}
+	if _, err := regenrand.IndicatorRewards(3, 1, 1); err == nil {
+		t.Error("want error for repeated state")
+	}
+}
+
+func TestRewardsFrom(t *testing.T) {
+	r := regenrand.RewardsFrom(3, func(i int) float64 { return float64(i * i) })
+	if r[0] != 0 || r[1] != 1 || r[2] != 4 {
+		t.Errorf("got %v", r)
+	}
+}
+
+func TestCheckModelClassFacade(t *testing.T) {
+	model := buildTwoState(t)
+	if err := regenrand.CheckModelClass(model); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	// RAID UR model (absorbing) also belongs to the class.
+	m, err := regenrand.BuildRAID(regenrand.DefaultRAIDParams(4), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := regenrand.CheckModelClass(m.Chain); err != nil {
+		t.Errorf("RAID UR model rejected: %v", err)
+	}
+}

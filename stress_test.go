@@ -1,0 +1,199 @@
+package regenrand_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"regenrand"
+	"regenrand/internal/ctmc"
+)
+
+// TestStiffModels drives the solvers across six orders of magnitude of rate
+// spread — the regime dependability models live in (failure rates 1e-5,
+// repair rates ~1) and the declared motivation for stiffness-tolerant
+// methods in the paper's §1.
+func TestStiffModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	for _, spread := range []float64{1e2, 1e4, 1e6} {
+		// A repairable system: ring of degradation levels with slow failure
+		// and fast repair.
+		n := 6
+		b := regenrand.NewBuilder(n)
+		for i := 0; i < n-1; i++ {
+			if err := b.AddTransition(i, i+1, 1/spread*(1+rng.Float64())); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.AddTransition(i+1, i, 1+rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.SetInitial(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		model, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rewards := make([]float64, n)
+		rewards[n-1] = 1
+		rrl, err := regenrand.NewRRL(model, rewards, 0, regenrand.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := []float64{1, 100, 1e4}
+		res, err := rrl.TRR(ts)
+		if err != nil {
+			t.Fatalf("spread %g: %v", spread, err)
+		}
+		for i, tt := range ts {
+			oracle, err := regenrand.OracleTRR(model, rewards, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(res[i].Value-oracle) > 1e-10 {
+				t.Errorf("spread %g t=%v: RRL=%v oracle=%v", spread, tt, res[i].Value, oracle)
+			}
+		}
+		// Stiffness payoff: for spread 1e6 and t=1e4, K must be tiny
+		// against Λt ≈ 2e4 (the chain regenerates almost every step).
+		if spread == 1e6 {
+			if res[2].Steps > 100 {
+				t.Errorf("stiff chain needed K=%d, expected regeneration to keep it small", res[2].Steps)
+			}
+		}
+	}
+}
+
+// TestMediumScaleBirthDeath cross-validates RRL and RSD on a 2000-state
+// birth–death chain — a model an order of magnitude beyond the oracle's
+// reach, validated by inter-method agreement.
+func TestMediumScaleBirthDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale model")
+	}
+	n := 2000
+	b := regenrand.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		if err := b.AddTransition(i, i+1, 0.4); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddTransition(i+1, i, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.SetInitial(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	model, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reward: queue length fraction (performability-style ramp).
+	rewards := regenrand.RewardsFrom(n, func(i int) float64 { return float64(i) / float64(n) })
+
+	opts := regenrand.DefaultOptions()
+	rrl, err := regenrand.NewRRL(model, rewards, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsd, err := regenrand.NewRSD(model, rewards, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := regenrand.NewSR(model, rewards, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := []float64{1, 10, 100}
+	a, err := rrl.TRR(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := rsd.TRR(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sr.TRR(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ts {
+		if diff := math.Abs(a[i].Value - d[i].Value); diff > 5e-12 {
+			t.Errorf("t=%v: RRL=%v SR=%v diff %g", ts[i], a[i].Value, d[i].Value, diff)
+		}
+		if diff := math.Abs(c[i].Value - d[i].Value); diff > 5e-12 {
+			t.Errorf("t=%v: RSD=%v SR=%v diff %g", ts[i], c[i].Value, d[i].Value, diff)
+		}
+	}
+}
+
+// TestRareEventMeasure checks accuracy for very small probabilities (UR at
+// short horizons), where absolute error bounds must not be polluted by
+// relative effects.
+func TestRareEventMeasure(t *testing.T) {
+	m, err := regenrand.BuildRAID(regenrand.DefaultRAIDParams(6), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewards := m.UnreliabilityRewards()
+	opts := regenrand.DefaultOptions()
+	rrl, err := regenrand.NewRRL(m.Chain, rewards, m.Pristine, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := regenrand.NewSR(m.Chain, rewards, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := []float64{0.01, 0.1}
+	a, err := rrl.TRR(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sr.TRR(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ts {
+		if a[i].Value < 0 {
+			t.Errorf("t=%v: negative probability %v", ts[i], a[i].Value)
+		}
+		if diff := math.Abs(a[i].Value - b[i].Value); diff > 2e-12 {
+			t.Errorf("t=%v: RRL=%v SR=%v", ts[i], a[i].Value, b[i].Value)
+		}
+		// UR(0.01) for this model is ~1e-10; the answers must retain it.
+		if b[i].Value > 0 && a[i].Value == 0 {
+			t.Errorf("t=%v: rare event lost to underflow", ts[i])
+		}
+	}
+}
+
+// TestUniformizationFactorInvariance: the measures must not depend on the
+// randomization rate chosen above the minimum.
+func TestUniformizationFactorInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	model, err := ctmc.Random(rng, ctmc.RandomOptions{States: 12, ExtraDegree: 2, Absorbing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewards := ctmc.RandomRewards(rng, model, 1, false)
+	var ref float64
+	for i, factor := range []float64{1, 1.3, 2.5} {
+		opts := regenrand.DefaultOptions()
+		opts.UniformizationFactor = factor
+		s, err := regenrand.NewRRL(model, rewards, 0, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.TRR([]float64{5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res[0].Value
+		} else if math.Abs(res[0].Value-ref) > 5e-12 {
+			t.Errorf("factor %v: %v differs from factor-1 value %v", factor, res[0].Value, ref)
+		}
+	}
+}
