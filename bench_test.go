@@ -288,6 +288,71 @@ func BenchmarkExtensionAU(b *testing.B) {
 	}
 }
 
+// BenchmarkRRLBatch measures a multi-time-point RRL sweep on one solver:
+// the series is built once for the largest horizon and the independent
+// per-t inversions fan out over the worker pool, so this row is the one
+// that scales with cores (each t is an independent Durbin series).
+func BenchmarkRRLBatch(b *testing.B) {
+	m := raidModel(b, 20, false)
+	rewards := m.UnavailabilityRewards()
+	ts := []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 1e4, 2e4, 5e4, 1e5}
+	for _, measure := range []string{"TRR", "MRR"} {
+		b.Run(measure, func(b *testing.B) {
+			s, err := regenrand.NewRRL(m.Chain, rewards, m.Pristine, regenrand.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Build the series outside the timed loop: the batch fan-out is
+			// what this benchmark isolates.
+			if _, err := s.TRR(ts[len(ts)-1:]); err != nil {
+				b.Fatal(err)
+			}
+			var absc int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var res []regenrand.Result
+				var err error
+				if measure == "TRR" {
+					res, err = s.TRR(ts)
+				} else {
+					res, err = s.MRR(ts)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				absc = 0
+				for _, r := range res {
+					absc += r.Abscissae
+				}
+			}
+			b.ReportMetric(float64(absc), "abscissae")
+		})
+	}
+}
+
+// BenchmarkKernelStepFused measures the fused stepping kernel (product +
+// ℓ₁ mass + reward dot in one pass) against the three-pass composition it
+// replaced; compare with BenchmarkKernelVecMat, which is the product alone.
+// The stochastic step conserves mass, so the iterated vector stays in the
+// normal floating-point range (no zeroing here — a zeroed regenerative
+// state would decay the vector into denormals and poison the timing).
+func BenchmarkKernelStepFused(b *testing.B) {
+	m := raidModel(b, 20, false)
+	d, err := m.Chain.Uniformize(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rewards := m.UnavailabilityRewards()
+	src := m.Chain.Initial()
+	dst := make([]float64, m.Chain.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.StepFused(dst, src, rewards, nil, nil)
+		src, dst = dst, src
+	}
+	b.ReportMetric(float64(m.Chain.NumTransitions()), "nnz")
+}
+
 // BenchmarkKernelVecMat measures the hot sparse kernel on the G=20 RAID
 // DTMC, the operation whose count the paper's step tables tally.
 func BenchmarkKernelVecMat(b *testing.B) {

@@ -1,0 +1,142 @@
+// Command benchjson runs the module's Benchmark* suite and emits a
+// BENCH_<date>.json trajectory file, so performance can be diffed
+// PR-over-PR instead of eyeballed from `go test -bench` text.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-bench regex] [-benchtime 1x] [-short] [-out file]
+//
+// The tool shells out to `go test -run ^$ -bench <regex>` on the module
+// root, parses the standard benchmark output lines
+//
+//	BenchmarkName-8   12  94034813 ns/op  171 steps
+//
+// (including custom metrics such as "steps", "abscissae" and "nnz"), and
+// writes a JSON document with one entry per benchmark plus run metadata
+// (date, go version, GOMAXPROCS, CPU line). Typical workflow: run it at the
+// base commit and at the head commit, then diff the two files or feed them
+// to any plotting tool.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one benchmark row.
+type Entry struct {
+	// Name is the full benchmark name including sub-benchmark path, with
+	// the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iters is the measured iteration count.
+	Iters int64 `json:"iters"`
+	// NsPerOp is the reported wall time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds custom metrics: steps, abscissae, nnz, ...
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the emitted document.
+type File struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	CPU        string  `json:"cpu,omitempty"`
+	Bench      string  `json:"bench_regex"`
+	BenchTime  string  `json:"benchtime"`
+	Entries    []Entry `json:"entries"`
+}
+
+// benchLine matches "BenchmarkX/sub-8  10  123.4 ns/op  5 steps  7 extra".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.e+]+) ns/op(.*)$`)
+
+// metricPair matches trailing "<value> <unit>" pairs.
+var metricPair = regexp.MustCompile(`([0-9.e+-]+) ([A-Za-z_/]+)`)
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "value passed to go test -benchtime")
+	short := flag.Bool("short", false, "pass -short to go test")
+	out := flag.String("out", "", "output path (default BENCH_<yyyy-mm-dd>.json)")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, *pkg}
+	if *short {
+		args = append(args, "-short")
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test failed: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+
+	doc := File{
+		Date:       time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Bench:      *bench,
+		BenchTime:  *benchtime,
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			doc.CPU = cpu
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Name: m[1], Iters: iters, NsPerOp: ns}
+		for _, pair := range metricPair.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[pair[2]] = v
+		}
+		doc.Entries = append(doc.Entries, e)
+	}
+	if len(doc.Entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines parsed")
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d entries to %s\n", len(doc.Entries), path)
+}

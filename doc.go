@@ -45,6 +45,27 @@
 // returned value (down to the double-precision floor of ~1e-13 relative;
 // the paper's experiments use ε = 1e-12).
 //
+// # Execution layer
+//
+// The solvers share a fused, pooled and batch-parallel execution layer.
+// The randomization step — vector–matrix product, zeroing of
+// regenerative/absorbing destinations, ℓ₁ mass and reward dot-product — is
+// one kernel pass (sparse.Matrix.StepFused) for SR, RSD, the RR/RRL series
+// build and AU (MS runs its dense block build on the same worker pool
+// instead); the RRL transform evaluates
+// its eight coefficient polynomials in a single interleaved sweep per
+// abscissa; and batches of time points fan out over a persistent worker
+// pool (internal/par), since each Laplace inversion and each Poisson-window
+// sum is independent. Parallel execution is deterministic: kernel
+// reductions use fixed chunk boundaries with ordered compensated partials,
+// so every result is bitwise-identical for every GOMAXPROCS setting.
+// Solvers remain single-caller objects (see core.Solver's concurrency
+// contract); parallelism is internal.
+//
+// Performance is tracked PR-over-PR with cmd/benchjson, which runs the
+// Benchmark* suite and emits a BENCH_<date>.json trajectory file; see the
+// "Performance notes" section of ROADMAP.md for the current numbers.
+//
 // The package also ships the paper's evaluation workload: parametric
 // dependability models of a level-5 RAID array (BuildRAID), and a harness
 // (cmd/paperrepro) that regenerates every table and figure of the paper's

@@ -1,0 +1,3 @@
+module regenrand
+
+go 1.24

@@ -51,6 +51,10 @@ type Solver struct {
 	lambdas  []float64
 	active   []bool
 	frontier []int32
+	// diag caches 1 − q_j/Λ_k for the fused affine step; it is rebuilt only
+	// when the adaptive rate diagLam changes (the active set grew).
+	diag    []float64
+	diagLam float64
 
 	stats core.Stats
 }
@@ -121,15 +125,22 @@ func (s *Solver) extend(upTo int) {
 			s.lambdas = append(s.lambdas, 0)
 			continue
 		}
-		// π_{k+1} = π_k (I + Q/Λ_k).
-		s.model.RateVecMat(s.buf, s.pi)
-		for j := range s.buf {
-			s.buf[j] = s.buf[j]/lam + s.pi[j]*(1-s.out[j]/lam)
+		// π_{k+1} = π_k (I + Q/Λ_k), with the rate product, the diagonal
+		// combine and the reward dot ρ_{k+1} fused into one kernel pass.
+		if s.diagLam != lam {
+			if s.diag == nil {
+				s.diag = make([]float64, len(s.out))
+			}
+			for j, q := range s.out {
+				s.diag[j] = 1 - q/lam
+			}
+			s.diagLam = lam
 		}
+		_, dot := s.model.RateStepAffine(s.buf, s.pi, 1/lam, s.diag, s.rewards)
 		s.pi, s.buf = s.buf, s.pi
 		s.stats.BuildSteps++
 		s.stats.MatVecs++
-		s.rho = append(s.rho, sparse.Dot(s.pi, s.rewards))
+		s.rho = append(s.rho, dot)
 		// Expand the active set by one hop and update Λ.
 		var next []int32
 		lamNext := lam

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -89,8 +90,63 @@ type Stats struct {
 	Setup, Solve time.Duration
 }
 
+// StatsAccum is a mutex-guarded Stats accumulator. Solvers that fan their
+// per-time-point work out over the worker pool funnel every counter update
+// through an accumulator so Stats stays consistent under the race detector;
+// counter sums are order-independent, so the final Stats is deterministic
+// regardless of worker scheduling. The zero value is ready to use (with
+// DetectionStep reported as -1 until set).
+type StatsAccum struct {
+	mu     sync.Mutex
+	s      Stats
+	detSet bool
+}
+
+// Add folds the additive counters and durations of d into the accumulator.
+// d.DetectionStep is ignored; use SetDetectionStep.
+func (a *StatsAccum) Add(d Stats) {
+	a.mu.Lock()
+	a.s.BuildSteps += d.BuildSteps
+	a.s.VSolveSteps += d.VSolveSteps
+	a.s.MatVecs += d.MatVecs
+	a.s.Abscissae += d.Abscissae
+	a.s.Setup += d.Setup
+	a.s.Solve += d.Solve
+	a.mu.Unlock()
+}
+
+// AddAbscissae adds n Laplace-transform evaluations.
+func (a *StatsAccum) AddAbscissae(n int) { a.Add(Stats{Abscissae: n}) }
+
+// SetDetectionStep records the steady-state detection step.
+func (a *StatsAccum) SetDetectionStep(k int) {
+	a.mu.Lock()
+	a.s.DetectionStep = k
+	a.detSet = true
+	a.mu.Unlock()
+}
+
+// Snapshot returns the accumulated Stats. DetectionStep is -1 unless
+// SetDetectionStep was called.
+func (a *StatsAccum) Snapshot() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := a.s
+	if !a.detSet {
+		out.DetectionStep = -1
+	}
+	return out
+}
+
 // Solver computes the paper's two measures at batches of time points.
-// Implementations are safe for sequential reuse but not for concurrent use.
+//
+// Concurrency contract: implementations are safe for sequential reuse but
+// NOT for concurrent use — callers must not invoke methods of one Solver
+// from multiple goroutines. Implementations may parallelize internally
+// (fused kernel chunks, per-time-point fan-out over the worker pool of
+// package par); when they do, they must (1) produce results
+// bitwise-identical to a serial run for every GOMAXPROCS setting, and
+// (2) keep Stats accumulation race-free (see StatsAccum).
 type Solver interface {
 	// Name returns the method acronym used in the paper (SR, RSD, RR, RRL).
 	Name() string

@@ -174,6 +174,15 @@ func (c *CTMC) Transitions() []sparse.Entry { return c.rates.Entries() }
 // its per-step diagonal depends on the adaptive rate.
 func (c *CTMC) RateVecMat(dst, src []float64) { c.rates.VecMat(dst, src) }
 
+// RateStepAffine computes dst[j] = (src·R)[j]·alpha + src[j]·diag[j] over
+// the off-diagonal rate matrix and returns the fused compensated ℓ₁ mass
+// and reward dot-product of dst — one pass instead of the product, the
+// diagonal combine, and the reward dot adaptive uniformization used to make
+// separately. See sparse.Matrix.StepAffine for the determinism contract.
+func (c *CTMC) RateStepAffine(dst, src []float64, alpha float64, diag, rewards []float64) (sum, dot float64) {
+	return c.rates.StepAffine(dst, src, alpha, diag, rewards)
+}
+
 // OutRates returns a copy of the total exit rates of all states.
 func (c *CTMC) OutRates() []float64 {
 	out := make([]float64, c.n)
@@ -229,6 +238,15 @@ func (d *DTMC) N() int { return d.n }
 
 // Step computes dst = src·P. dst and src must not alias.
 func (d *DTMC) Step(dst, src []float64) { d.P.VecMat(dst, src) }
+
+// StepFused computes dst = src·P, zeroes the destinations listed in zero
+// (sorted ascending; pre-zero values are recorded in zeroVals when non-nil),
+// and returns the compensated ℓ₁ mass and reward dot-product of the
+// surviving entries in the same pass — the fused randomization step every
+// solver's hot loop runs on. See sparse.Matrix.StepFused.
+func (d *DTMC) StepFused(dst, src, rewards []float64, zero []int32, zeroVals []float64) (sum, dot float64) {
+	return d.P.StepFused(dst, src, rewards, zero, zeroVals)
+}
 
 // RowSumsCheck verifies that every row of P sums to 1 within tol; it is a
 // diagnostic used by tests and model validation.

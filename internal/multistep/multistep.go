@@ -22,13 +22,12 @@ package multistep
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 	"time"
 
 	"regenrand/internal/core"
 	"regenrand/internal/ctmc"
 	"regenrand/internal/dense"
+	"regenrand/internal/par"
 	"regenrand/internal/poisson"
 	"regenrand/internal/sparse"
 )
@@ -122,9 +121,14 @@ func (s *Solver) buildBlock(m int, epsBlock float64) (*dense.Mat, error) {
 		if wk == 0 {
 			return
 		}
-		for i := range acc.Data {
-			acc.Data[i] += wk * d.Data[i]
-		}
+		// The O(n²) axpy fans out over row blocks on the worker pool.
+		par.For(n, func(i int) {
+			row := acc.Data[i*n : (i+1)*n]
+			src := d.Data[i*n : (i+1)*n]
+			for j := range row {
+				row[j] += wk * src[j]
+			}
+		})
 	}
 	addWeighted(w.Weight(0))
 	for k := 1; k <= w.Right; k++ {
@@ -137,29 +141,14 @@ func (s *Solver) buildBlock(m int, epsBlock float64) (*dense.Mat, error) {
 	return acc, nil
 }
 
-// rowsTimesP computes dst = src·P row-wise, parallel over rows.
+// rowsTimesP computes dst = src·P row-wise on the persistent worker pool.
+// Each row product runs serially (the outer loop already saturates the
+// cores), replacing the former per-call goroutine spawn per row block.
 func (s *Solver) rowsTimesP(dst, src *dense.Mat) {
 	n := src.N
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				s.dtmc.P.VecMat(dst.Data[i*n:(i+1)*n], src.Data[i*n:(i+1)*n])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	par.For(n, func(i int) {
+		s.dtmc.P.VecMatSerial(dst.Data[i*n:(i+1)*n], src.Data[i*n:(i+1)*n])
+	})
 }
 
 // vecTimesDense computes dst = src·M for a dense row-major M.

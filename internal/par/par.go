@@ -1,0 +1,101 @@
+// Package par provides the persistent worker pool shared by the compute
+// kernels and batch solvers of this module.
+//
+// Hot loops used to spawn goroutines per call (per vector–matrix product,
+// per dense block row sweep), paying scheduler start-up latency millions of
+// times per solve. The pool starts its workers once, on first parallel use,
+// and hands them closures over an unbuffered channel: a hand-off reaches
+// only a worker that is idle at that instant, and when none is, the work
+// runs on a freshly spawned goroutine instead of queueing. Work therefore
+// never waits behind busy workers, so nested parallel sections cannot
+// deadlock (they are merely wasteful — kernels avoid them).
+//
+// Determinism contract: For guarantees only that fn(i) is called exactly
+// once for every i in [0, n); the assignment of indices to workers and their
+// interleaving are unspecified. Callers that need results independent of
+// GOMAXPROCS must write to i-indexed slots and perform any order-sensitive
+// reduction themselves afterwards (see sparse.Matrix.StepFused for the
+// canonical pattern).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	startOnce sync.Once
+	tasks     chan func()
+)
+
+// start launches the persistent workers. The pool is sized to the physical
+// machine (NumCPU) rather than GOMAXPROCS so later GOMAXPROCS increases can
+// still be served; For caps the concurrency of each call at GOMAXPROCS(0)
+// observed at call time. The task channel is unbuffered on purpose: a send
+// succeeds only when a worker is idle and receiving right now, so work can
+// never queue behind workers that are themselves blocked inside a nested
+// For — the non-blocking send in For falls through to a plain goroutine
+// instead.
+func start() {
+	n := runtime.NumCPU()
+	if n < 1 {
+		n = 1
+	}
+	tasks = make(chan func())
+	for i := 0; i < n; i++ {
+		go func() {
+			for f := range tasks {
+				f()
+			}
+		}()
+	}
+}
+
+// For runs fn(i) for every i in [0, n), using up to GOMAXPROCS workers from
+// the persistent pool. The calling goroutine participates, so For never
+// blocks waiting for pool capacity. It returns when all n calls have
+// completed. fn must not call For on the same data it is indexed over, and
+// panics in fn are not recovered.
+func For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	startOnce.Do(start)
+	var next int64
+	var wg sync.WaitGroup
+	loop := func() {
+		defer wg.Done()
+		for {
+			i := atomic.AddInt64(&next, 1) - 1
+			if i >= int64(n) {
+				return
+			}
+			fn(int(i))
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers-1; w++ {
+		select {
+		case tasks <- loop:
+			// An idle worker took the job directly (unbuffered send).
+		default:
+			// No worker is idle — possibly because they are all blocked
+			// inside a nested parallel section waiting on this very call.
+			// Run as a plain goroutine rather than queueing behind them.
+			go loop()
+		}
+	}
+	loop()
+	wg.Wait()
+}

@@ -23,6 +23,7 @@ package regen
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"regenrand/internal/core"
 	"regenrand/internal/ctmc"
@@ -83,28 +84,22 @@ func (s *Series) Steps() int {
 
 // StepsFor returns the construction steps that would have sufficed for the
 // (smaller) horizon t, i.e. the K(t) + L(t) of a per-t run as tabulated in
-// the paper. It scans the stored series with the same stopping rule used
-// during construction. t must be ≤ Horizon.
+// the paper. The truncation-error bounds are monotone non-increasing in the
+// candidate level, so the smallest certified level is found by binary search
+// (O(log K) Poisson-tail evaluations instead of the former O(K) scan — this
+// runs once per requested time point). t must be ≤ Horizon.
 func (s *Series) StepsFor(t float64) int {
 	lam := s.Lambda * t
 	budget := s.budgetK()
-	k := s.K
-	for cand := 0; cand < s.K; cand++ {
-		if truncErrS(s.RMax, s.A, cand, lam) <= budget {
-			k = cand
-			break
-		}
-	}
+	k := sort.Search(s.K, func(cand int) bool {
+		return truncErrS(s.RMax, s.A, cand, lam) <= budget
+	})
 	if s.L < 0 {
 		return k
 	}
-	l := s.L
-	for cand := 0; cand < s.L; cand++ {
-		if truncErrP(s.RMax, s.AP, cand, lam) <= budget {
-			l = cand
-			break
-		}
-	}
+	l := sort.Search(s.L, func(cand int) bool {
+		return truncErrP(s.RMax, s.AP, cand, lam) <= budget
+	})
 	return k + l
 }
 
@@ -153,19 +148,53 @@ func truncErrP(rmax float64, ap []float64, L int, lam float64) float64 {
 	return rmax * tail
 }
 
-// chainState steps one restricted chain (regenerative or primed).
-type chainState struct {
-	u, buf  []float64
-	a, b, q []float64
-	v       [][]float64
-	done    bool
+// zeroPlan precomputes the sorted list of destinations a series step zeroes
+// (the regenerative state plus every absorbing state) and where each lands
+// in the StepFused zeroVals output.
+type zeroPlan struct {
+	zero     []int32
+	regenPos int
+	absPos   []int
 }
 
-func newChainState(n, nAbs int, u0 []float64, rewards []float64, a0 float64) *chainState {
+func newZeroPlan(regen int, absorbing []int) *zeroPlan {
+	p := &zeroPlan{absPos: make([]int, len(absorbing))}
+	p.zero = make([]int32, 0, len(absorbing)+1)
+	p.zero = append(p.zero, int32(regen))
+	for _, f := range absorbing {
+		p.zero = append(p.zero, int32(f))
+	}
+	sort.Slice(p.zero, func(i, j int) bool { return p.zero[i] < p.zero[j] })
+	for i, z := range p.zero {
+		if int(z) == regen {
+			p.regenPos = i
+		}
+	}
+	for i, f := range absorbing {
+		for j, z := range p.zero {
+			if int(z) == f {
+				p.absPos[i] = j
+			}
+		}
+	}
+	return p
+}
+
+// chainState steps one restricted chain (regenerative or primed).
+type chainState struct {
+	u, buf   []float64
+	zeroVals []float64
+	a, b, q  []float64
+	v        [][]float64
+	done     bool
+}
+
+func newChainState(n int, plan *zeroPlan, u0 []float64, rewards []float64, a0 float64) *chainState {
 	cs := &chainState{
-		u:   u0,
-		buf: make([]float64, n),
-		v:   make([][]float64, nAbs),
+		u:        u0,
+		buf:      make([]float64, n),
+		zeroVals: make([]float64, len(plan.zero)),
+		v:        make([][]float64, len(plan.absPos)),
 	}
 	cs.a = append(cs.a, a0)
 	if a0 > 0 {
@@ -177,22 +206,21 @@ func newChainState(n, nAbs int, u0 []float64, rewards []float64, a0 float64) *ch
 	return cs
 }
 
-// step advances the chain one randomized step, recording a, b, q, v.
-func (cs *chainState) step(d *ctmc.DTMC, regen int, absorbing []int, rewards []float64) {
-	d.Step(cs.buf, cs.u)
+// step advances the chain one randomized step, recording a, b, q, v. The
+// vector–matrix product, the zeroing of the regenerative and absorbing
+// destinations, the surviving ℓ₁ mass a(k+1) and the reward dot-product all
+// come out of the single fused kernel pass.
+func (cs *chainState) step(d *ctmc.DTMC, plan *zeroPlan, rewards []float64) {
+	next, dot := d.StepFused(cs.buf, cs.u, rewards, plan.zero, cs.zeroVals)
 	ak := cs.a[len(cs.a)-1]
-	ret := cs.buf[regen]
-	cs.buf[regen] = 0
-	cs.q = append(cs.q, ret/ak)
-	for i, f := range absorbing {
-		cs.v[i] = append(cs.v[i], cs.buf[f]/ak)
-		cs.buf[f] = 0
+	cs.q = append(cs.q, cs.zeroVals[plan.regenPos]/ak)
+	for i, p := range plan.absPos {
+		cs.v[i] = append(cs.v[i], cs.zeroVals[p]/ak)
 	}
 	cs.u, cs.buf = cs.buf, cs.u
-	next := sparse.Sum(cs.u)
 	cs.a = append(cs.a, next)
 	if next > 0 {
-		cs.b = append(cs.b, sparse.Dot(cs.u, rewards)/next)
+		cs.b = append(cs.b, dot/next)
 	} else {
 		cs.b = append(cs.b, 0)
 		cs.done = true
@@ -255,24 +283,27 @@ func Build(model *ctmc.CTMC, rewards []float64, regen int, opts core.Options, ho
 
 	budget := s.budgetK()
 
+	plan := newZeroPlan(regen, absorbing)
+
 	// Regenerative chain: u_0 = e_r.
 	u0 := make([]float64, n)
 	u0[regen] = 1
-	main := newChainState(n, len(absorbing), u0, rewards, 1)
+	main := newChainState(n, plan, u0, rewards, 1)
 	for !main.done {
 		K := len(main.a) - 1 // candidate truncation at the current level
 		if truncErrS(rmax, main.a, K, lam) <= budget {
 			break
 		}
-		main.step(d, regen, absorbing, rewards)
+		main.step(d, plan, rewards)
 	}
 	s.K = len(main.a) - 1
-	// Trim to the smallest certified K.
-	for K := 0; K < s.K; K++ {
-		if truncErrS(rmax, main.a, K, lam) <= budget {
-			s.K = K
-			break
-		}
+	// Trim to the smallest certified K; the bound is monotone non-increasing
+	// in the candidate level (both the Poisson tail and the mean-excess·a(K)
+	// branch shrink as K grows), so binary search replaces the former scan.
+	if K := sort.Search(s.K, func(cand int) bool {
+		return truncErrS(rmax, main.a, cand, lam) <= budget
+	}); K < s.K {
+		s.K = K
 	}
 	s.A = main.a[:s.K+1]
 	s.B = main.b[:s.K+1]
@@ -287,20 +318,19 @@ func Build(model *ctmc.CTMC, rewards []float64, regen int, opts core.Options, ho
 		up0 := make([]float64, n)
 		copy(up0, init)
 		up0[regen] = 0
-		prime := newChainState(n, len(absorbing), up0, rewards, 1-s.AlphaR)
+		prime := newChainState(n, plan, up0, rewards, 1-s.AlphaR)
 		for !prime.done {
 			L := len(prime.a) - 1
 			if truncErrP(rmax, prime.a, L, lam) <= budget {
 				break
 			}
-			prime.step(d, regen, absorbing, rewards)
+			prime.step(d, plan, rewards)
 		}
 		s.L = len(prime.a) - 1
-		for L := 0; L < s.L; L++ {
-			if truncErrP(rmax, prime.a, L, lam) <= budget {
-				s.L = L
-				break
-			}
+		if L := sort.Search(s.L, func(cand int) bool {
+			return truncErrP(rmax, prime.a, cand, lam) <= budget
+		}); L < s.L {
+			s.L = L
 		}
 		s.AP = prime.a[:s.L+1]
 		s.BP = prime.b[:s.L+1]

@@ -1,0 +1,113 @@
+package regen
+
+import (
+	"math/rand"
+	"testing"
+
+	"regenrand/internal/core"
+	"regenrand/internal/ctmc"
+	"regenrand/internal/raid"
+)
+
+// linearTrim is the pre-binary-search scan: the smallest candidate level
+// whose truncation error meets the budget, found from 0 upward.
+func linearTrimS(rmax float64, a []float64, upper int, lam, budget float64) int {
+	for cand := 0; cand < upper; cand++ {
+		if truncErrS(rmax, a, cand, lam) <= budget {
+			return cand
+		}
+	}
+	return upper
+}
+
+func linearTrimP(rmax float64, ap []float64, upper int, lam, budget float64) int {
+	for cand := 0; cand < upper; cand++ {
+		if truncErrP(rmax, ap, cand, lam) <= budget {
+			return cand
+		}
+	}
+	return upper
+}
+
+// The binary-search trim in Build and StepsFor must select exactly the same
+// truncation levels as the former linear scan; the error bounds are monotone
+// in the candidate level, which this test exercises over random chains.
+func TestBinarySearchTrimMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 8; trial++ {
+		c, err := ctmc.Random(rng, ctmc.RandomOptions{
+			States: 5 + rng.Intn(20), ExtraDegree: 2, Absorbing: rng.Intn(2),
+			SpreadInitial: trial%2 == 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rewards := ctmc.RandomRewards(rng, c, 1.5, false)
+		horizon := 10 + 100*rng.Float64()
+		s, err := Build(c, rewards, 0, core.DefaultOptions(), horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget := s.budgetK()
+		for _, frac := range []float64{1e-3, 0.03, 0.3, 1} {
+			tt := frac * horizon
+			lam := s.Lambda * tt
+			wantK := linearTrimS(s.RMax, s.A, s.K, lam, budget)
+			wantL := 0
+			if s.L >= 0 {
+				wantL = linearTrimP(s.RMax, s.AP, s.L, lam, budget)
+			}
+			if got, want := s.StepsFor(tt), wantK+wantL; got != want {
+				t.Errorf("trial %d t=%g: StepsFor=%d linear scan %d", trial, tt, got, want)
+			}
+		}
+	}
+}
+
+// Regression: pin the truncation levels the G=20 RAID models build at the
+// paper's settings, so any change to the trim logic or the error bounds
+// shows up as a diff here, not as a silent cost regression.
+func TestRAIDTruncationLevelsPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("G=20 RAID build is a second-scale test")
+	}
+	for _, tc := range []struct {
+		name      string
+		absorbing bool
+		horizon   float64
+		wantK     int
+	}{
+		// Values produced by the construction stopping rule at these
+		// settings; the binary-search trim must keep selecting them (the
+		// bounds and the stepping rule are unchanged, only the scan that
+		// applies them moved to sort.Search).
+		{"UA/t=1000", false, 1000, 2720},
+		{"UR/t=1000", true, 1000, 2719},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := raid.Build(raid.DefaultParams(20), tc.absorbing)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rewards []float64
+			if tc.absorbing {
+				rewards = m.UnreliabilityRewards()
+			} else {
+				rewards = m.UnavailabilityRewards()
+			}
+			s, err := Build(m.Chain, rewards, m.Pristine, core.DefaultOptions(), tc.horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.L != -1 {
+				t.Errorf("RAID starts in the regenerative state: want L=-1, got %d", s.L)
+			}
+			if s.K != tc.wantK {
+				t.Errorf("K=%d want %d", s.K, tc.wantK)
+			}
+			if got := s.StepsFor(tc.horizon); got != s.K {
+				t.Errorf("StepsFor(horizon)=%d want K=%d", got, s.K)
+			}
+		})
+	}
+}

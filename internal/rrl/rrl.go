@@ -15,6 +15,15 @@
 // (A(s) = 1 when α_r = 1), evaluated at the abscissae demanded by the
 // Durbin/Crump/Piessens inversion of package laplace with T = 8t. MRR is
 // obtained by inverting C̃(s) = TRR̃(s)/s and dividing by t.
+//
+// The four series per chain are stored as one interleaved coefficient array
+// ([a|c|vs|vr] packed per degree) and evaluated in a single ascending pass
+// with four accumulators; the top powers z^K and z^{L+1} fall out of the
+// same pass, so each abscissa costs one sweep over one contiguous array
+// instead of the former eight Horner passes plus two binary
+// exponentiations. The independent time points of a batch fan out over the
+// worker pool of package par — each inversion is embarrassingly parallel —
+// with results bitwise-identical to a serial run.
 package rrl
 
 import (
@@ -24,6 +33,7 @@ import (
 	"regenrand/internal/core"
 	"regenrand/internal/ctmc"
 	"regenrand/internal/laplace"
+	"regenrand/internal/par"
 	"regenrand/internal/regen"
 	"regenrand/internal/sparse"
 )
@@ -49,7 +59,7 @@ type Solver struct {
 	series *regen.Series
 	tf     *transform
 
-	stats core.Stats
+	stats core.StatsAccum
 }
 
 // New returns an RRL solver with the paper's inversion configuration.
@@ -76,16 +86,14 @@ func NewWithConfig(model *ctmc.CTMC, rewards []float64, regenState int, opts cor
 	}
 	r := make([]float64, len(rewards))
 	copy(r, rewards)
-	s := &Solver{model: model, rewards: r, regen: regenState, opts: opts, conf: conf}
-	s.stats.DetectionStep = -1
-	return s, nil
+	return &Solver{model: model, rewards: r, regen: regenState, opts: opts, conf: conf}, nil
 }
 
 // Name returns "RRL".
 func (s *Solver) Name() string { return "RRL" }
 
 // Stats returns cost counters accumulated since the solver was created.
-func (s *Solver) Stats() core.Stats { return s.stats }
+func (s *Solver) Stats() core.Stats { return s.stats.Snapshot() }
 
 // Series returns the underlying series (nil before the first solve).
 func (s *Solver) Series() *regen.Series { return s.series }
@@ -101,9 +109,11 @@ func (s *Solver) ensure(horizon float64) error {
 	}
 	s.series = series
 	s.tf = newTransform(series)
-	s.stats.BuildSteps += series.Steps()
-	s.stats.MatVecs += series.Steps()
-	s.stats.Setup += time.Since(start)
+	s.stats.Add(core.Stats{
+		BuildSteps: series.Steps(),
+		MatVecs:    series.Steps(),
+		Setup:      time.Since(start),
+	})
 	return nil
 }
 
@@ -116,11 +126,23 @@ func (s *Solver) run(ts []float64, mrr bool) ([]core.Result, error) {
 	}
 	start := time.Now()
 	eps := s.opts.Epsilon
-	results := make([]core.Result, len(ts))
-	for i, t := range ts {
+	var rho0 float64
+	for _, t := range ts {
 		if t == 0 {
-			results[i] = core.Result{T: 0, Value: sparse.Dot(s.model.Initial(), s.rewards)}
-			continue
+			rho0 = sparse.Dot(s.model.Initial(), s.rewards)
+			break
+		}
+	}
+	results := make([]core.Result, len(ts))
+	errs := make([]error, len(ts))
+	// Each time point inverts independently against the shared read-only
+	// transform; the batch fans out over the worker pool, writing i-indexed
+	// slots so results match a serial run bitwise.
+	par.For(len(ts), func(i int) {
+		t := ts[i]
+		if t == 0 {
+			results[i] = core.Result{T: 0, Value: rho0}
+			return
 		}
 		T := s.conf.TFactor * t
 		var opt laplace.Options
@@ -144,7 +166,8 @@ func (s *Solver) run(ts []float64, mrr bool) ([]core.Result, error) {
 		}
 		res, err := laplace.Invert(f, t, opt)
 		if err != nil {
-			return nil, fmt.Errorf("rrl: t=%v: %w", t, err)
+			errs[i] = fmt.Errorf("rrl: t=%v: %w", t, err)
+			return
 		}
 		value := res.Value
 		if mrr {
@@ -156,9 +179,14 @@ func (s *Solver) run(ts []float64, mrr bool) ([]core.Result, error) {
 			Steps:     s.series.StepsFor(t),
 			Abscissae: res.Abscissae,
 		}
-		s.stats.Abscissae += res.Abscissae
+		s.stats.AddAbscissae(res.Abscissae)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	s.stats.Solve += time.Since(start)
+	s.stats.Add(core.Stats{Solve: time.Since(start)})
 	return results, nil
 }
 
@@ -196,10 +224,14 @@ func (s *Solver) bounds(ts []float64, mrr bool) ([]core.Bounds, error) {
 	}
 	eps := s.opts.Epsilon
 	out := make([]core.Bounds, len(ts))
-	for i, t := range ts {
+	errs := make([]error, len(ts))
+	// The truncation-mass inversions are as independent as the value
+	// inversions; fan them out the same way.
+	par.For(len(ts), func(i int) {
+		t := ts[i]
 		if t == 0 {
 			out[i] = core.Bounds{T: 0, Lower: values[i].Value, Upper: values[i].Value}
-			continue
+			return
 		}
 		T := s.conf.TFactor * t
 		var f func(complex128) complex128
@@ -223,7 +255,8 @@ func (s *Solver) bounds(ts []float64, mrr bool) ([]core.Bounds, error) {
 		}
 		res, err := laplace.Invert(f, t, opt)
 		if err != nil {
-			return nil, fmt.Errorf("rrl: truncation mass at t=%v: %w", t, err)
+			errs[i] = fmt.Errorf("rrl: truncation mass at t=%v: %w", t, err)
+			return
 		}
 		mass := res.Value
 		if mrr {
@@ -251,7 +284,12 @@ func (s *Solver) bounds(ts []float64, mrr bool) ([]core.Bounds, error) {
 			lo = 0
 		}
 		out[i] = core.Bounds{T: t, Lower: lo, Upper: hi}
-		s.stats.Abscissae += res.Abscissae
+		s.stats.AddAbscissae(res.Abscissae)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -270,121 +308,101 @@ func (s *Solver) TransformTRR(z complex128) complex128 {
 var _ core.Solver = (*Solver)(nil)
 
 // transform evaluates the closed-form Laplace transforms of V_{K,L}.
+//
+// The coefficient vectors over z^k — a(k), c(k) = a(k)b(k), the summed
+// absorption series vs(k) = Σ_i v^i_k a(k) and vr(k) = Σ_i r_{f_i} v^i_k
+// a(k), all premultiplied by a(k) — are interleaved per degree into one
+// contiguous array so each abscissa is a single cache-friendly sweep.
 type transform struct {
 	lambda float64
-	alphaR float64
 	k, l   int
-	// Coefficient vectors over z^k. All are premultiplied by a(k) (or
-	// a'(k)) so each evaluation is one Horner pass per polynomial.
-	a   []float64 // a(k), k ≤ K
-	c   []float64 // a(k)b(k), k ≤ K
-	vs  []float64 // Σ_i v^i_k a(k), k < K
-	vr  []float64 // Σ_i r_{f_i} v^i_k a(k), k < K
-	ap  []float64
-	cp  []float64
-	vsp []float64
-	vrp []float64
+	// aK = a(K) and apL = a'(L), the truncation-head coefficients that
+	// multiply z^K and z^{L+1} outside the polynomial sums.
+	aK, apL float64
+	// packed holds [a(k) | c(k) | vs(k) | vr(k)] for k = 0..K (vs, vr are
+	// zero at k = K: those series only run to K−1).
+	packed []float64
+	// packedP is the primed-chain counterpart over k = 0..L; nil when
+	// α_r = 1.
+	packedP []float64
 }
 
 func newTransform(s *regen.Series) *transform {
-	tf := &transform{lambda: s.Lambda, alphaR: s.AlphaR, k: s.K, l: s.L}
-	tf.a = s.A
-	tf.c = make([]float64, s.K+1)
-	for k := 0; k <= s.K; k++ {
-		tf.c[k] = s.A[k] * s.B[k]
-	}
-	tf.vs = make([]float64, s.K)
-	tf.vr = make([]float64, s.K)
-	for k := 0; k < s.K; k++ {
-		var sv, svr float64
-		for i := range s.V {
-			sv += s.V[i][k]
-			svr += s.RewardsAbsorbing[i] * s.V[i][k]
-		}
-		tf.vs[k] = sv * s.A[k]
-		tf.vr[k] = svr * s.A[k]
-	}
-	tf.c = trimZero(tf.c)
-	tf.vs = trimZero(tf.vs)
-	tf.vr = trimZero(tf.vr)
+	tf := &transform{lambda: s.Lambda, k: s.K, l: s.L, aK: s.A[s.K]}
+	tf.packed = packSeries(s.A, s.B, s.V, s.RewardsAbsorbing, s.K)
 	if s.L >= 0 {
-		tf.ap = s.AP
-		tf.cp = make([]float64, s.L+1)
-		for k := 0; k <= s.L; k++ {
-			tf.cp[k] = s.AP[k] * s.BP[k]
-		}
-		tf.vsp = make([]float64, s.L)
-		tf.vrp = make([]float64, s.L)
-		for k := 0; k < s.L; k++ {
-			var sv, svr float64
-			for i := range s.VP {
-				sv += s.VP[i][k]
-				svr += s.RewardsAbsorbing[i] * s.VP[i][k]
-			}
-			tf.vsp[k] = sv * s.AP[k]
-			tf.vrp[k] = svr * s.AP[k]
-		}
-		tf.cp = trimZero(tf.cp)
-		tf.vsp = trimZero(tf.vsp)
-		tf.vrp = trimZero(tf.vrp)
+		tf.apL = s.AP[s.L]
+		tf.packedP = packSeries(s.AP, s.BP, s.VP, s.RewardsAbsorbing, s.L)
 	}
 	return tf
 }
 
-// horner evaluates Σ_k coef[k]·z^k.
-func horner(coef []float64, z complex128) complex128 {
-	var acc complex128
-	for i := len(coef) - 1; i >= 0; i-- {
-		acc = acc*z + complex(coef[i], 0)
-	}
-	return acc
-}
-
-// trimZero returns nil for an all-zero coefficient vector so the transform
-// evaluation can skip the Horner pass entirely — the common case for the
-// paper's measures (UR has c ≡ 0; UA has no absorbing states, so v ≡ 0).
-func trimZero(coef []float64) []float64 {
-	for _, c := range coef {
-		if c != 0 {
-			return coef
+// packSeries interleaves the four premultiplied coefficient series of one
+// chain (truncated at level top) into a single [a|c|vs|vr]-per-degree array.
+func packSeries(a, b []float64, v [][]float64, rAbs []float64, top int) []float64 {
+	packed := make([]float64, 4*(top+1))
+	for k := 0; k <= top; k++ {
+		packed[4*k] = a[k]
+		packed[4*k+1] = a[k] * b[k]
+		if k < top {
+			var sv, svr float64
+			for i := range v {
+				sv += v[i][k]
+				svr += rAbs[i] * v[i][k]
+			}
+			packed[4*k+2] = sv * a[k]
+			packed[4*k+3] = svr * a[k]
 		}
 	}
-	return nil
+	return packed
 }
 
-// zpow returns z^n by binary exponentiation.
-func zpow(z complex128, n int) complex128 {
-	result := complex(1, 0)
-	for n > 0 {
-		if n&1 == 1 {
-			result *= z
+// evalPacked evaluates the four interleaved polynomials at z in one
+// ascending pass with a shared running power, returning
+//
+//	sa = Σ a(k)z^k,  sc = Σ c(k)z^k,  svs = Σ vs(k)z^k,  svr = Σ vr(k)z^k
+//
+// and zTop = z^top as a byproduct of the same pass (replacing the separate
+// binary exponentiations the old evaluator ran per abscissa). Coefficients
+// are real, so each term costs two real multiply-adds per series instead of
+// a complex Horner multiply.
+func evalPacked(packed []float64, z complex128) (sa, sc, svs, svr, zTop complex128) {
+	zr, zi := real(z), imag(z)
+	pr, pi := 1.0, 0.0
+	var sar, sai, scr, sci, svsr, svsi, svrr, svri float64
+	n := len(packed)
+	for base := 0; base < n; base += 4 {
+		c0, c1, c2, c3 := packed[base], packed[base+1], packed[base+2], packed[base+3]
+		sar += c0 * pr
+		sai += c0 * pi
+		scr += c1 * pr
+		sci += c1 * pi
+		svsr += c2 * pr
+		svsi += c2 * pi
+		svrr += c3 * pr
+		svri += c3 * pi
+		if base+4 < n {
+			pr, pi = pr*zr-pi*zi, pr*zi+pi*zr
 		}
-		z *= z
-		n >>= 1
 	}
-	return result
+	return complex(sar, sai), complex(scr, sci), complex(svsr, svsi), complex(svrr, svri),
+		complex(pr, pi)
 }
 
 // trr evaluates TRR̃(s).
 func (tf *transform) trr(s complex128) complex128 {
 	lam := complex(tf.lambda, 0)
 	z := lam / (s + lam)
-	sa := horner(tf.a, z)
-	sc := horner(tf.c, z)
-	svs := horner(tf.vs, z)
-	svr := horner(tf.vr, z)
+	sa, sc, svs, svr, zK := evalPacked(tf.packed, z)
 
-	b := s*sa + lam*svs + lam*complex(tf.a[tf.k], 0)*zpow(z, tf.k)
+	b := s*sa + lam*svs + lam*complex(tf.aK, 0)*zK
 
 	aNum := complex(1, 0)
 	var primed complex128
 	if tf.l >= 0 {
-		sap := horner(tf.ap, z)
-		svsp := horner(tf.vsp, z)
-		scp := horner(tf.cp, z)
-		svrp := horner(tf.vrp, z)
+		sap, scp, svsp, svrp, zL := evalPacked(tf.packedP, z)
 		aNum = 1 - s/(s+lam)*sap - lam/(s+lam)*svsp -
-			complex(tf.ap[tf.l], 0)*zpow(z, tf.l+1)
+			complex(tf.apL, 0)*(zL*z)
 		primed = z/lam*scp + z/s*svrp
 	}
 	p0 := aNum / b
@@ -401,17 +419,17 @@ func (tf *transform) cumulative(s complex128) complex128 {
 func (tf *transform) truncMass(s complex128) complex128 {
 	lam := complex(tf.lambda, 0)
 	z := lam / (s + lam)
-	sa := horner(tf.a, z)
-	b := s*sa + lam*horner(tf.vs, z) + lam*complex(tf.a[tf.k], 0)*zpow(z, tf.k)
+	sa, _, svs, _, zK := evalPacked(tf.packed, z)
+	b := s*sa + lam*svs + lam*complex(tf.aK, 0)*zK
 	aNum := complex(1, 0)
 	var primed complex128
 	if tf.l >= 0 {
-		sap := horner(tf.ap, z)
-		svsp := horner(tf.vsp, z)
+		sap, _, svsp, _, zL := evalPacked(tf.packedP, z)
+		zL1 := zL * z
 		aNum = 1 - s/(s+lam)*sap - lam/(s+lam)*svsp -
-			complex(tf.ap[tf.l], 0)*zpow(z, tf.l+1)
-		primed = complex(tf.ap[tf.l], 0) * zpow(z, tf.l+1) / s
+			complex(tf.apL, 0)*zL1
+		primed = complex(tf.apL, 0) * zL1 / s
 	}
 	p0 := aNum / b
-	return lam/s*complex(tf.a[tf.k], 0)*zpow(z, tf.k)*p0 + primed
+	return lam/s*complex(tf.aK, 0)*zK*p0 + primed
 }

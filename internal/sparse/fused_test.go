@@ -1,0 +1,242 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// randomStochastic builds a dense-ish random matrix with the given expected
+// in-degree, large enough to cross the parallel threshold when wanted.
+func randomKernelMatrix(t *testing.T, rng *rand.Rand, n, deg int) *Matrix {
+	t.Helper()
+	entries := make([]Entry, 0, n*deg)
+	for i := 0; i < n; i++ {
+		for d := 0; d < deg; d++ {
+			entries = append(entries, Entry{i, rng.Intn(n), rng.Float64()})
+		}
+	}
+	m, err := NewFromEntries(n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// ulpDiff returns the distance in units-in-the-last-place between a and b.
+func ulpDiff(a, b float64) uint64 {
+	if a == b {
+		return 0
+	}
+	ua, ub := math.Float64bits(a), math.Float64bits(b)
+	if (ua^ub)&(1<<63) != 0 {
+		return math.MaxUint64 // opposite signs
+	}
+	if ua > ub {
+		return ua - ub
+	}
+	return ub - ua
+}
+
+// StepFused must reproduce the composition it replaces — VecMat, then
+// zeroing, then Sum and Dot — to within a couple of ulps (the chunked
+// compensated reduction may differ from the single-sweep Kahan sums in the
+// very last bits, never more).
+func TestStepFusedMatchesComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(300)
+		deg := 1 + rng.Intn(8)
+		m := randomKernelMatrix(t, rng, n, deg)
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = rng.Float64()
+		}
+		rewards := make([]float64, n)
+		for i := range rewards {
+			rewards[i] = 2 * rng.Float64()
+		}
+		var zero []int32
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.05 {
+				zero = append(zero, int32(i))
+			}
+		}
+		zeroVals := make([]float64, len(zero))
+
+		// Reference composition.
+		ref := make([]float64, n)
+		m.VecMat(ref, src)
+		refVals := make([]float64, len(zero))
+		for i, z := range zero {
+			refVals[i] = ref[z]
+			ref[z] = 0
+		}
+		refSum := Sum(ref)
+		refDot := Dot(ref, rewards)
+
+		dst := make([]float64, n)
+		sum, dot := m.StepFused(dst, src, rewards, zero, zeroVals)
+		for j := range dst {
+			if dst[j] != ref[j] {
+				t.Fatalf("trial %d: dst[%d]=%g ref %g", trial, j, dst[j], ref[j])
+			}
+		}
+		for i := range zero {
+			if zeroVals[i] != refVals[i] {
+				t.Fatalf("trial %d: zeroVals[%d]=%g ref %g", trial, i, zeroVals[i], refVals[i])
+			}
+		}
+		if d := ulpDiff(sum, refSum); d > 2 {
+			t.Errorf("trial %d: sum %v vs composition %v (%d ulp)", trial, sum, refSum, d)
+		}
+		if d := ulpDiff(dot, refDot); d > 2 {
+			t.Errorf("trial %d: dot %v vs composition %v (%d ulp)", trial, dot, refDot, d)
+		}
+	}
+}
+
+// StepFused results must be bitwise-identical across GOMAXPROCS settings:
+// the chunk decomposition and reduction order are fixed by the matrix.
+func TestStepFusedBitwiseAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 3000
+	m := randomKernelMatrix(t, rng, n, 12)
+	if m.NNZ() < parallelThreshold {
+		t.Fatalf("matrix too small to exercise the parallel path: nnz=%d", m.NNZ())
+	}
+	src := make([]float64, n)
+	rewards := make([]float64, n)
+	for i := range src {
+		src[i] = rng.Float64()
+		rewards[i] = rng.Float64()
+	}
+	zero := []int32{7, 123, 1500, 2999}
+
+	type out struct {
+		sum, dot float64
+		dst      []float64
+		vals     []float64
+	}
+	runWith := func(procs int) out {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		dst := make([]float64, n)
+		vals := make([]float64, len(zero))
+		sum, dot := m.StepFused(dst, src, rewards, zero, vals)
+		return out{sum, dot, dst, vals}
+	}
+
+	base := runWith(1)
+	for _, procs := range []int{2, 4, 8} {
+		got := runWith(procs)
+		if math.Float64bits(got.sum) != math.Float64bits(base.sum) ||
+			math.Float64bits(got.dot) != math.Float64bits(base.dot) {
+			t.Errorf("GOMAXPROCS=%d: sum/dot %v/%v differ from serial %v/%v",
+				procs, got.sum, got.dot, base.sum, base.dot)
+		}
+		for j := range got.dst {
+			if math.Float64bits(got.dst[j]) != math.Float64bits(base.dst[j]) {
+				t.Fatalf("GOMAXPROCS=%d: dst[%d] differs", procs, j)
+			}
+		}
+		for i := range got.vals {
+			if math.Float64bits(got.vals[i]) != math.Float64bits(base.vals[i]) {
+				t.Fatalf("GOMAXPROCS=%d: zeroVals[%d] differs", procs, i)
+			}
+		}
+	}
+}
+
+// Same bitwise-stability contract for the affine kernel.
+func TestStepAffineBitwiseAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 2500
+	m := randomKernelMatrix(t, rng, n, 10)
+	src := make([]float64, n)
+	diag := make([]float64, n)
+	rewards := make([]float64, n)
+	for i := range src {
+		src[i] = rng.Float64()
+		diag[i] = rng.Float64()
+		rewards[i] = rng.Float64()
+	}
+	dst1 := make([]float64, n)
+	old := runtime.GOMAXPROCS(1)
+	sum1, dot1 := m.StepAffine(dst1, src, 0.25, diag, rewards)
+	runtime.GOMAXPROCS(8)
+	dst8 := make([]float64, n)
+	sum8, dot8 := m.StepAffine(dst8, src, 0.25, diag, rewards)
+	runtime.GOMAXPROCS(old)
+	if math.Float64bits(sum1) != math.Float64bits(sum8) || math.Float64bits(dot1) != math.Float64bits(dot8) {
+		t.Errorf("StepAffine sum/dot differ across GOMAXPROCS: %v/%v vs %v/%v", sum1, dot1, sum8, dot8)
+	}
+	for j := range dst1 {
+		if math.Float64bits(dst1[j]) != math.Float64bits(dst8[j]) {
+			t.Fatalf("StepAffine dst[%d] differs across GOMAXPROCS", j)
+		}
+	}
+}
+
+// StepAffine must agree with the unfused composition it replaces.
+func TestStepAffineMatchesComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	n := 200
+	m := randomKernelMatrix(t, rng, n, 5)
+	src := make([]float64, n)
+	diag := make([]float64, n)
+	rewards := make([]float64, n)
+	for i := range src {
+		src[i] = rng.Float64()
+		diag[i] = rng.Float64()
+		rewards[i] = 3 * rng.Float64()
+	}
+	alpha := 0.125
+	ref := make([]float64, n)
+	m.VecMat(ref, src)
+	for j := range ref {
+		ref[j] = ref[j]*alpha + src[j]*diag[j]
+	}
+	dst := make([]float64, n)
+	sum, dot := m.StepAffine(dst, src, alpha, diag, rewards)
+	for j := range dst {
+		if math.Abs(dst[j]-ref[j]) > 1e-15*(1+math.Abs(ref[j])) {
+			t.Fatalf("dst[%d]=%g ref %g", j, dst[j], ref[j])
+		}
+	}
+	if d := ulpDiff(sum, Sum(ref)); d > 4 {
+		t.Errorf("sum %v vs composition %v (%d ulp)", sum, Sum(ref), d)
+	}
+	if d := ulpDiff(dot, Dot(ref, rewards)); d > 4 {
+		t.Errorf("dot %v vs composition %v (%d ulp)", dot, Dot(ref, rewards), d)
+	}
+}
+
+// The chunk decomposition must tile [0, n) exactly.
+func TestChunkInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(500)
+		deg := rng.Intn(6)
+		entries := make([]Entry, 0, n*deg)
+		for i := 0; i < n; i++ {
+			for d := 0; d < deg; d++ {
+				entries = append(entries, Entry{i, rng.Intn(n), 1})
+			}
+		}
+		m, err := NewFromEntries(n, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := m.chunks
+		if ch[0] != 0 || ch[len(ch)-1] != n {
+			t.Fatalf("n=%d deg=%d: chunks %v do not span [0,%d]", n, deg, ch, n)
+		}
+		for i := 1; i < len(ch); i++ {
+			if ch[i] <= ch[i-1] {
+				t.Fatalf("n=%d: non-increasing chunk boundary %v", n, ch)
+			}
+		}
+	}
+}

@@ -10,12 +10,21 @@
 // which parallelizes over destination rows without write conflicts. This is
 // the natural layout for stepping the row-distribution of a discrete-time
 // Markov chain, the single hot loop of every solver in this repository.
+//
+// Destination rows are pre-partitioned into chunks balanced by stored-entry
+// count. The chunk boundaries depend only on the matrix, never on
+// GOMAXPROCS, and every reduction (StepFused, StepAffine) accumulates one
+// compensated partial per chunk and folds the partials in chunk order — so
+// results are bitwise-identical whether the chunks run serially or on the
+// worker pool of package par.
 package sparse
 
 import (
 	"fmt"
-	"runtime"
+	"sort"
 	"sync"
+
+	"regenrand/internal/par"
 )
 
 // Entry is one (row, col, value) triplet of a sparse matrix.
@@ -33,6 +42,15 @@ type Matrix struct {
 	inPtr []int
 	inSrc []int32
 	inVal []float64
+	// chunks holds destination-row boundaries balanced by stored-entry
+	// count: chunk c covers rows [chunks[c], chunks[c+1]). It is computed
+	// once at construction and depends only on the matrix, which makes
+	// every chunked reduction deterministic across worker counts.
+	chunks []int
+	// partials recycles the per-chunk scratch of the fused reductions so
+	// the hot stepping loops do not allocate per call; a pool (rather than
+	// one buffer) keeps concurrent use of a shared matrix safe.
+	partials sync.Pool
 }
 
 // NewFromEntries builds an n×n matrix from triplets. Entries with identical
@@ -61,6 +79,7 @@ func NewFromEntries(n int, entries []Entry) (*Matrix, error) {
 		next[e.Col] = p + 1
 	}
 	m.dedupe()
+	m.buildChunks()
 	return m, nil
 }
 
@@ -99,6 +118,54 @@ func (m *Matrix) dedupe() {
 	m.inVal = m.inVal[:out]
 }
 
+// chunkTargetNNZ is the stored-entry budget per chunk: large enough that the
+// per-chunk dispatch and partial-reduction overhead is negligible, small
+// enough that a 16-core machine gets full occupancy on the paper's RAID
+// models (G=20 has ~22k entries → ~11 chunks).
+const chunkTargetNNZ = 2048
+
+// maxChunks caps the partial-sum table of the chunked reductions.
+const maxChunks = 512
+
+// buildChunks precomputes destination-row boundaries balanced by
+// stored-entry count. Boundaries are a pure function of the matrix.
+func (m *Matrix) buildChunks() {
+	nnz := len(m.inVal)
+	c := nnz / chunkTargetNNZ
+	if c < 1 {
+		c = 1
+	}
+	if c > maxChunks {
+		c = maxChunks
+	}
+	if c > m.n {
+		c = m.n
+	}
+	if c < 1 {
+		c = 1
+	}
+	m.chunks = make([]int, 0, c+1)
+	m.chunks = append(m.chunks, 0)
+	lo := 0
+	for w := 1; w <= c && lo < m.n; w++ {
+		hi := lo
+		target := w * nnz / c
+		for hi < m.n && m.inPtr[hi] < target {
+			hi++
+		}
+		if w == c {
+			hi = m.n
+		}
+		if hi > lo {
+			m.chunks = append(m.chunks, hi)
+			lo = hi
+		}
+	}
+	if m.chunks[len(m.chunks)-1] != m.n {
+		m.chunks = append(m.chunks, m.n)
+	}
+}
+
 // Dim returns the matrix dimension n.
 func (m *Matrix) Dim() int { return m.n }
 
@@ -127,9 +194,9 @@ func (m *Matrix) Entries() []Entry {
 	return es
 }
 
-// parallelThreshold is the number of stored entries below which VecMat runs
-// serially; tiny matrices do not amortize goroutine start-up.
-const parallelThreshold = 1 << 15
+// parallelThreshold is the number of stored entries below which the kernels
+// run serially; tiny matrices do not amortize even pool dispatch.
+const parallelThreshold = 1 << 14
 
 // VecMat computes dst = src·M (row vector times matrix). dst and src must
 // both have length Dim() and must not alias.
@@ -140,6 +207,16 @@ func (m *Matrix) VecMat(dst, src []float64) {
 	if m.NNZ() >= parallelThreshold {
 		m.vecMatParallel(dst, src)
 		return
+	}
+	m.vecMatRange(dst, src, 0, m.n)
+}
+
+// VecMatSerial computes dst = src·M strictly on the calling goroutine. It is
+// the kernel for callers that are themselves inside a parallel section (e.g.
+// the multistep block build, which parallelizes over matrix rows).
+func (m *Matrix) VecMatSerial(dst, src []float64) {
+	if len(dst) != m.n || len(src) != m.n {
+		panic("sparse: VecMat dimension mismatch")
 	}
 	m.vecMatRange(dst, src, 0, m.n)
 }
@@ -156,38 +233,190 @@ func (m *Matrix) vecMatRange(dst, src []float64, lo, hi int) {
 	}
 }
 
-// vecMatParallel splits destination rows over GOMAXPROCS workers. Row ranges
-// are balanced by stored-entry count so that skewed in-degree distributions
-// (absorbing states, regeneration hubs) do not serialize the product.
+// vecMatParallel runs the precomputed chunks on the persistent worker pool.
+// Chunks write disjoint destination ranges, so no synchronization beyond the
+// pool barrier is needed and the result is identical to the serial product.
 func (m *Matrix) vecMatParallel(dst, src []float64) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m.n {
-		workers = m.n
-	}
-	if workers <= 1 {
-		m.vecMatRange(dst, src, 0, m.n)
-		return
-	}
-	var wg sync.WaitGroup
-	per := (m.NNZ() + workers - 1) / workers
-	lo := 0
-	for w := 0; w < workers && lo < m.n; w++ {
-		hi := lo
-		target := (w + 1) * per
-		for hi < m.n && m.inPtr[hi] < target {
-			hi++
+	nc := len(m.chunks) - 1
+	par.For(nc, func(c int) {
+		m.vecMatRange(dst, src, m.chunks[c], m.chunks[c+1])
+	})
+}
+
+// fusedPartial is one chunk's compensated partial sums, padded to a cache
+// line so concurrent chunk workers do not false-share.
+type fusedPartial struct {
+	sum, sumC, dot, dotC float64
+	_                    [4]float64
+}
+
+// getPartials returns a zeroed per-chunk scratch slice from the matrix's
+// pool; putPartials recycles it. The pool stores slice pointers and the
+// same pointer is handed back, so steady-state stepping is allocation-free.
+func (m *Matrix) getPartials() *[]fusedPartial {
+	if v := m.partials.Get(); v != nil {
+		ptr := v.(*[]fusedPartial)
+		p := *ptr
+		for i := range p {
+			p[i] = fusedPartial{}
 		}
-		if w == workers-1 {
-			hi = m.n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			m.vecMatRange(dst, src, lo, hi)
-		}(lo, hi)
-		lo = hi
+		return ptr
 	}
-	wg.Wait()
+	p := make([]fusedPartial, len(m.chunks)-1)
+	return &p
+}
+
+func (m *Matrix) putPartials(p *[]fusedPartial) {
+	m.partials.Put(p)
+}
+
+// runChunks executes rangeFn once per chunk — on the worker pool when the
+// matrix is large enough, serially otherwise — and returns the partials
+// reduced in chunk order. Both execution modes visit identical chunks, so
+// the result is a pure function of (matrix, rangeFn).
+func (m *Matrix) runChunks(rangeFn func(p *fusedPartial, lo, hi int)) (sum, dot float64) {
+	nc := len(m.chunks) - 1
+	ptr := m.getPartials()
+	partials := *ptr
+	if m.NNZ() >= parallelThreshold {
+		par.For(nc, func(c int) {
+			rangeFn(&partials[c], m.chunks[c], m.chunks[c+1])
+		})
+	} else {
+		for c := 0; c < nc; c++ {
+			rangeFn(&partials[c], m.chunks[c], m.chunks[c+1])
+		}
+	}
+	sum, dot = reducePartials(partials)
+	m.putPartials(ptr)
+	return sum, dot
+}
+
+// stepFusedRange processes destination rows [lo, hi): it computes the gather
+// product into dst, diverts the rows listed in zero (sorted ascending) to
+// zeroVals and zeroes them in dst, and accumulates the compensated ℓ₁ mass
+// and reward dot-product of the surviving rows into p.
+func (m *Matrix) stepFusedRange(p *fusedPartial, dst, src, rewards []float64, zero []int32, zeroVals []float64, lo, hi int) {
+	inPtr, inSrc, inVal := m.inPtr, m.inSrc, m.inVal
+	zi := sort.Search(len(zero), func(i int) bool { return int(zero[i]) >= lo })
+	sum, sumC := p.sum, p.sumC
+	dot, dotC := p.dot, p.dotC
+	for j := lo; j < hi; j++ {
+		var s float64
+		for q := inPtr[j]; q < inPtr[j+1]; q++ {
+			s += src[inSrc[q]] * inVal[q]
+		}
+		if zi < len(zero) && int(zero[zi]) == j {
+			if zeroVals != nil {
+				zeroVals[zi] = s
+			}
+			dst[j] = 0
+			zi++
+			continue
+		}
+		dst[j] = s
+		// Kahan-compensated ℓ₁ mass.
+		y := s - sumC
+		t := sum + y
+		sumC = (t - sum) - y
+		sum = t
+		if rewards != nil {
+			y = s*rewards[j] - dotC
+			t = dot + y
+			dotC = (t - dot) - y
+			dot = t
+		}
+	}
+	p.sum, p.sumC = sum, sumC
+	p.dot, p.dotC = dot, dotC
+}
+
+// StepFused computes dst = src·M, zeroes dst at the destinations listed in
+// zero, and returns the Kahan-compensated sums
+//
+//	sum = Σ_j dst[j]         (the ℓ₁ mass of the stepped vector)
+//	dot = Σ_j dst[j]·rewards[j]
+//
+// over the surviving (non-zeroed) destinations, all in a single pass over
+// the matrix. It fuses the three full-vector passes (VecMat, Sum, Dot) that
+// every randomization step used to make. zero must be sorted ascending; it
+// and rewards may be nil. When zeroVals is non-nil (same length as zero) it
+// receives the pre-zeroing products — the regeneration and absorption
+// probabilities the series construction records.
+//
+// The reduction runs over the matrix's precomputed chunks with per-chunk
+// compensated partials folded in chunk order, so the result is
+// bitwise-identical for every GOMAXPROCS setting.
+func (m *Matrix) StepFused(dst, src, rewards []float64, zero []int32, zeroVals []float64) (sum, dot float64) {
+	if len(dst) != m.n || len(src) != m.n {
+		panic("sparse: StepFused dimension mismatch")
+	}
+	if rewards != nil && len(rewards) != m.n {
+		panic("sparse: StepFused rewards length mismatch")
+	}
+	if zeroVals != nil && len(zeroVals) != len(zero) {
+		panic("sparse: StepFused zeroVals length mismatch")
+	}
+	return m.runChunks(func(p *fusedPartial, lo, hi int) {
+		m.stepFusedRange(p, dst, src, rewards, zero, zeroVals, lo, hi)
+	})
+}
+
+// reducePartials folds per-chunk compensated partials in chunk order with a
+// second Kahan level, independent of how the chunks were executed.
+func reducePartials(partials []fusedPartial) (sum, dot float64) {
+	var sAcc, dAcc Accumulator
+	for i := range partials {
+		sAcc.Add(partials[i].sum)
+		sAcc.Add(-partials[i].sumC)
+		dAcc.Add(partials[i].dot)
+		dAcc.Add(-partials[i].dotC)
+	}
+	return sAcc.Value(), dAcc.Value()
+}
+
+// stepAffineRange is the chunk worker of StepAffine.
+func (m *Matrix) stepAffineRange(p *fusedPartial, dst, src []float64, alpha float64, diag, rewards []float64, lo, hi int) {
+	inPtr, inSrc, inVal := m.inPtr, m.inSrc, m.inVal
+	sum, sumC := p.sum, p.sumC
+	dot, dotC := p.dot, p.dotC
+	for j := lo; j < hi; j++ {
+		var s float64
+		for q := inPtr[j]; q < inPtr[j+1]; q++ {
+			s += src[inSrc[q]] * inVal[q]
+		}
+		s = s*alpha + src[j]*diag[j]
+		dst[j] = s
+		y := s - sumC
+		t := sum + y
+		sumC = (t - sum) - y
+		sum = t
+		if rewards != nil {
+			y = s*rewards[j] - dotC
+			t = dot + y
+			dotC = (t - dot) - y
+			dot = t
+		}
+	}
+	p.sum, p.sumC = sum, sumC
+	p.dot, p.dotC = dot, dotC
+}
+
+// StepAffine computes dst[j] = (src·M)[j]·alpha + src[j]·diag[j] and returns
+// the compensated ℓ₁ mass and reward dot-product of dst in the same pass —
+// the step kernel of adaptive uniformization, where M is the off-diagonal
+// rate matrix, alpha = 1/Λ_k and diag[j] = 1 − q_j/Λ_k. The same
+// chunk-deterministic reduction as StepFused applies.
+func (m *Matrix) StepAffine(dst, src []float64, alpha float64, diag, rewards []float64) (sum, dot float64) {
+	if len(dst) != m.n || len(src) != m.n || len(diag) != m.n {
+		panic("sparse: StepAffine dimension mismatch")
+	}
+	if rewards != nil && len(rewards) != m.n {
+		panic("sparse: StepAffine rewards length mismatch")
+	}
+	return m.runChunks(func(p *fusedPartial, lo, hi int) {
+		m.stepAffineRange(p, dst, src, alpha, diag, rewards, lo, hi)
+	})
 }
 
 // InEdges returns views of the source indices and values of the in-edges of

@@ -96,7 +96,9 @@ func (s *Solver) Lambda() float64 { return s.dtmc.Lambda }
 // DetectionStep returns k* if steady state has been detected, else -1.
 func (s *Solver) DetectionStep() int { return s.detect }
 
-// ensureRho extends ρ_0..ρ_upTo, stopping early at the detection step.
+// ensureRho extends ρ_0..ρ_upTo, stopping early at the detection step. The
+// vector–matrix product and the reward dot ρ_k share one fused kernel pass;
+// only the ℓ₁ distance to π* for detection remains a separate sweep.
 func (s *Solver) ensureRho(upTo int) {
 	if s.rho == nil {
 		s.pi = s.model.Initial()
@@ -105,9 +107,9 @@ func (s *Solver) ensureRho(upTo int) {
 		s.checkDetection(0)
 	}
 	for len(s.rho) <= upTo && s.detect < 0 {
-		s.dtmc.Step(s.buf, s.pi)
+		_, dot := s.dtmc.StepFused(s.buf, s.pi, s.rewards, nil, nil)
 		s.pi, s.buf = s.buf, s.pi
-		s.rho = append(s.rho, sparse.Dot(s.pi, s.rewards))
+		s.rho = append(s.rho, dot)
 		s.stats.BuildSteps++
 		s.stats.MatVecs++
 		s.checkDetection(len(s.rho) - 1)

@@ -17,6 +17,7 @@ import (
 
 	"regenrand/internal/core"
 	"regenrand/internal/ctmc"
+	"regenrand/internal/par"
 	"regenrand/internal/poisson"
 	"regenrand/internal/sparse"
 )
@@ -69,6 +70,8 @@ func (s *Solver) Stats() core.Stats { return s.stats }
 func (s *Solver) Lambda() float64 { return s.dtmc.Lambda }
 
 // ensureRho extends the cached ρ sequence so that ρ_0..ρ_upTo are available.
+// Each extension step is one fused kernel pass: the vector–matrix product
+// and the reward dot-product ρ_k come out of the same sweep over the matrix.
 func (s *Solver) ensureRho(upTo int) {
 	if s.rho == nil {
 		s.pi = s.model.Initial()
@@ -76,9 +79,9 @@ func (s *Solver) ensureRho(upTo int) {
 		s.rho = append(s.rho, sparse.Dot(s.pi, s.rewards))
 	}
 	for len(s.rho) <= upTo {
-		s.dtmc.Step(s.buf, s.pi)
+		_, dot := s.dtmc.StepFused(s.buf, s.pi, s.rewards, nil, nil)
 		s.pi, s.buf = s.buf, s.pi
-		s.rho = append(s.rho, sparse.Dot(s.pi, s.rewards))
+		s.rho = append(s.rho, dot)
 		s.stats.BuildSteps++
 		s.stats.MatVecs++
 	}
@@ -129,11 +132,15 @@ func (s *Solver) TRR(ts []float64) ([]core.Result, error) {
 		}
 	}
 	s.ensureRho(maxR)
-	for i, t := range ts {
+	// The per-t weighted sums read the shared ρ cache and write disjoint
+	// result slots, so the batch fans out over the worker pool; each sum is
+	// computed exactly as in a serial run, making the results
+	// bitwise-identical for every GOMAXPROCS setting.
+	par.For(len(ts), func(i int) {
+		t := ts[i]
 		if t == 0 {
-			s.ensureRho(0)
 			results[i] = core.Result{T: 0, Value: s.rho[0]}
-			continue
+			return
 		}
 		w := windows[i]
 		var acc sparse.Accumulator
@@ -141,7 +148,7 @@ func (s *Solver) TRR(ts []float64) ([]core.Result, error) {
 			acc.Add(w.Weight(k) * s.rho[k])
 		}
 		results[i] = core.Result{T: t, Value: acc.Value(), Steps: w.Right}
-	}
+	})
 	s.stats.Solve += time.Since(start)
 	return results, nil
 }
@@ -217,11 +224,12 @@ func (s *Solver) MRR(ts []float64) ([]core.Result, error) {
 		}
 	}
 	s.ensureRho(maxR)
-	for i, t := range ts {
+	// Per-t series sums fan out over the worker pool; see TRR.
+	par.For(len(ts), func(i int) {
+		t := ts[i]
 		if t == 0 {
-			s.ensureRho(0)
 			results[i] = core.Result{T: 0, Value: s.rho[0]}
-			continue
+			return
 		}
 		p := plans[i]
 		lam := s.dtmc.Lambda * t
@@ -240,7 +248,7 @@ func (s *Solver) MRR(ts []float64) ([]core.Result, error) {
 			acc.Add(q * s.rho[k])
 		}
 		results[i] = core.Result{T: t, Value: acc.Value() / lam, Steps: p.R}
-	}
+	})
 	s.stats.Solve += time.Since(start)
 	return results, nil
 }
