@@ -330,6 +330,90 @@ func BenchmarkRRLBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkCompileQueryReuse quantifies the compile/query split on the
+// G=20 RAID availability model: the classic construct-and-solve path pays
+// the uniformization and the full series stepping per solver, while a
+// second query against an already-compiled model pays only coefficient
+// binding (new rewards) or transform inversion (new time batch). The
+// acceptance target is ≥5× for the compiled second query over the classic
+// path.
+func BenchmarkCompileQueryReuse(b *testing.B) {
+	m := raidModel(b, 20, false)
+	rewards := m.UnavailabilityRewards()
+	opts := regenrand.DefaultOptions()
+	ts := []float64{1, 10, 100, 1000}
+
+	// freshRewards returns a distinct performability-style vector per call,
+	// so the rebinding benchmarks never hit the measure cache. The maximum
+	// reward is pinned at 1 so every binding certifies the same truncation
+	// level — the steady state of a server rotating reward structures of one
+	// scale — rather than re-extending the shared series every iteration.
+	iter := 0
+	freshRewards := func() []float64 {
+		iter++
+		salt := iter
+		return regenrand.RewardsFrom(m.Chain.N(), func(i int) float64 {
+			return float64((i*31+salt)%8) / 7
+		})
+	}
+
+	b.Run("classic-construct-and-solve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := regenrand.NewRRL(m.Chain, rewards, m.Pristine, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.TRR(ts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled-new-time-batch", func(b *testing.B) {
+		cm, err := regenrand.Compile(m.Chain, regenrand.CompileOptions{Options: opts, RegenState: m.Pristine})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cm.Query(regenrand.Query{Rewards: rewards, Times: ts}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tsi := []float64{0.5 + float64(i%7), 40 + float64(i%13), 1000}
+			if _, err := cm.Query(regenrand.Query{Rewards: rewards, Times: tsi}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled-new-rewards", func(b *testing.B) {
+		cm, err := regenrand.Compile(m.Chain, regenrand.CompileOptions{Options: opts, RegenState: m.Pristine})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cm.Query(regenrand.Query{Rewards: freshRewards(), Times: ts}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cm.Query(regenrand.Query{Rewards: freshRewards(), Times: ts}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("classic-new-rewards", func(b *testing.B) {
+		// The old path for a new rewards vector: a fresh solver and a fresh
+		// series build every time.
+		for i := 0; i < b.N; i++ {
+			s, err := regenrand.NewRRL(m.Chain, freshRewards(), m.Pristine, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.TRR(ts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkKernelStepFused measures the fused stepping kernel (product +
 // ℓ₁ mass + reward dot in one pass) against the three-pass composition it
 // replaced; compare with BenchmarkKernelVecMat, which is the product alone.

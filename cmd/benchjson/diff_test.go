@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name string, entries []Entry) string {
+	t.Helper()
+	f := File{Date: "2026-01-01T00:00:00Z", CPU: "test-cpu", Entries: entries}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffFlagsRegressionsAndImprovements(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBench(t, dir, "old.json", []Entry{
+		{Name: "BenchmarkSame", NsPerOp: 1000},
+		{Name: "BenchmarkWorse", NsPerOp: 1000},
+		{Name: "BenchmarkBetter", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+	})
+	newPath := writeBench(t, dir, "new.json", []Entry{
+		{Name: "BenchmarkSame", NsPerOp: 1050},  // +5%: inside threshold
+		{Name: "BenchmarkWorse", NsPerOp: 1300}, // +30%: regression
+		{Name: "BenchmarkBetter", NsPerOp: 600}, // -40%: improvement
+		{Name: "BenchmarkNew", NsPerOp: 77},     // added
+	})
+	var sb strings.Builder
+	regressions, err := diffFiles(&sb, oldPath, newPath, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if regressions != 1 {
+		t.Fatalf("want 1 regression, got %d\n%s", regressions, out)
+	}
+	for _, want := range []string{
+		"BenchmarkWorse", "REGRESSION",
+		"BenchmarkBetter", "improvement",
+		"BenchmarkNew", "(added)",
+		"BenchmarkGone", "(removed)",
+		"1 regression(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "BenchmarkSame") && strings.Contains(out, "BenchmarkSame  REGRESSION") {
+		t.Errorf("within-threshold benchmark flagged:\n%s", out)
+	}
+}
+
+func TestDiffNoRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBench(t, dir, "old.json", []Entry{{Name: "BenchmarkA", NsPerOp: 100}})
+	newPath := writeBench(t, dir, "new.json", []Entry{{Name: "BenchmarkA", NsPerOp: 99}})
+	var sb strings.Builder
+	regressions, err := diffFiles(&sb, oldPath, newPath, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Fatalf("want 0 regressions:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "no regressions flagged") {
+		t.Errorf("missing all-clear line:\n%s", sb.String())
+	}
+}

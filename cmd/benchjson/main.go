@@ -5,6 +5,7 @@
 // Usage:
 //
 //	go run ./cmd/benchjson [-bench regex] [-benchtime 1x] [-short] [-out file]
+//	go run ./cmd/benchjson -diff old.json new.json [-threshold 10] [-failon-regress]
 //
 // The tool shells out to `go test -run ^$ -bench <regex>` on the module
 // root, parses the standard benchmark output lines
@@ -14,14 +15,17 @@
 // (including custom metrics such as "steps", "abscissae" and "nnz"), and
 // writes a JSON document with one entry per benchmark plus run metadata
 // (date, go version, GOMAXPROCS, CPU line). Typical workflow: run it at the
-// base commit and at the head commit, then diff the two files or feed them
-// to any plotting tool.
+// base commit and at the head commit, then compare the two files with
+// -diff, which prints per-benchmark ns/op deltas, flags regressions beyond
+// the threshold (default 10%), and with -failon-regress exits nonzero so CI
+// can gate on it.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"regexp"
@@ -67,7 +71,26 @@ func main() {
 	short := flag.Bool("short", false, "pass -short to go test")
 	out := flag.String("out", "", "output path (default BENCH_<yyyy-mm-dd>.json)")
 	pkg := flag.String("pkg", ".", "package to benchmark")
+	diff := flag.Bool("diff", false, "compare two BENCH_*.json files (old new) instead of running benchmarks")
+	threshold := flag.Float64("threshold", 10, "with -diff: flag ns/op growth beyond this percentage as a regression")
+	failOnRegress := flag.Bool("failon-regress", false, "with -diff: exit 1 if any regression is flagged")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		regressions, err := diffFiles(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if regressions > 0 && *failOnRegress {
+			os.Exit(1)
+		}
+		return
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, *pkg}
 	if *short {
@@ -139,4 +162,75 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: wrote %d entries to %s\n", len(doc.Entries), path)
+}
+
+// loadFile reads one BENCH_*.json document.
+func loadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// diffFiles prints per-benchmark ns/op deltas between two trajectory files
+// and returns the number of flagged regressions (ns/op growth beyond
+// threshold percent). Benchmarks present in only one file are listed as
+// added/removed and never flagged.
+func diffFiles(w io.Writer, oldPath, newPath string, threshold float64) (int, error) {
+	oldF, err := loadFile(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newF, err := loadFile(newPath)
+	if err != nil {
+		return 0, err
+	}
+	oldBy := make(map[string]Entry, len(oldF.Entries))
+	for _, e := range oldF.Entries {
+		oldBy[e.Name] = e
+	}
+	fmt.Fprintf(w, "benchjson diff: %s (%s) → %s (%s), regression threshold %+.0f%%\n",
+		oldPath, oldF.Date, newPath, newF.Date, threshold)
+	if oldF.CPU != newF.CPU && oldF.CPU != "" && newF.CPU != "" {
+		fmt.Fprintf(w, "WARNING: CPU differs (%q vs %q); deltas may reflect hardware, not code\n", oldF.CPU, newF.CPU)
+	}
+	regressions := 0
+	seen := make(map[string]bool, len(newF.Entries))
+	for _, e := range newF.Entries {
+		seen[e.Name] = true
+		o, ok := oldBy[e.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-60s %14s → %12.0f ns/op  (added)\n", e.Name, "—", e.NsPerOp)
+			continue
+		}
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = (e.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		flag := ""
+		switch {
+		case delta > threshold:
+			flag = "  REGRESSION"
+			regressions++
+		case delta < -threshold:
+			flag = "  improvement"
+		}
+		fmt.Fprintf(w, "  %-60s %12.0f → %12.0f ns/op  %+7.1f%%%s\n", e.Name, o.NsPerOp, e.NsPerOp, delta, flag)
+	}
+	for _, o := range oldF.Entries {
+		if !seen[o.Name] {
+			fmt.Fprintf(w, "  %-60s %12.0f → %14s ns/op  (removed)\n", o.Name, o.NsPerOp, "—")
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "benchjson diff: %d regression(s) beyond %.0f%%\n", regressions, threshold)
+	} else {
+		fmt.Fprintln(w, "benchjson diff: no regressions flagged")
+	}
+	return regressions, nil
 }

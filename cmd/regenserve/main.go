@@ -1,0 +1,416 @@
+// Command regenserve is a small HTTP/JSON service over the compile/query
+// split: clients upload CTMC models once, the service compiles them into
+// immutable shared artifacts (LRU-cached by content hash), and many
+// concurrent clients then evaluate batches of {method, measure, rewards,
+// times} queries against one compiled model — the serving pattern the
+// paper's one-time-construction/many-cheap-queries structure was built for.
+//
+// API (all request/response bodies are JSON):
+//
+//	POST /v1/compile   {"model": {...}, "regen_state": 0, "epsilon": 1e-12}
+//	                   → {"model_id": "...", "states": n, "transitions": nnz}
+//	POST /v1/query     {"model_id": "...", "queries": [{"method": "RRL",
+//	                    "measure": "TRR", "rewards": [...], "times": [...]}]}
+//	                   or with an inline "model" instead of "model_id"
+//	                   → {"results": [{"results": [...], "error": ""}]}
+//	GET  /healthz      → {"ok": true, "cached_models": k}
+//
+// The model encoding is {"states": n, "transitions": [[from, to, rate],
+// ...], "initial": [[state, probability], ...]}. A model_id is the content
+// key of the compile (model fingerprint + options), so re-uploading the
+// same model is free and ids are stable across restarts.
+//
+// Run with -selfcheck to start on an ephemeral port, drive a sample
+// compile + concurrent batch query against the live server over HTTP, and
+// exit 0/1 — the CI smoke mode.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"regenrand"
+)
+
+// modelJSON is the wire encoding of a CTMC.
+type modelJSON struct {
+	States      int         `json:"states"`
+	Transitions [][]float64 `json:"transitions"`
+	Initial     [][]float64 `json:"initial"`
+}
+
+// compileRequest configures one compile.
+type compileRequest struct {
+	Model *modelJSON `json:"model"`
+	// RegenState is the regenerative state (-1 = none). Defaults to 0, the
+	// paper's fault-free initial state.
+	RegenState *int `json:"regen_state,omitempty"`
+	// Epsilon is the error bound (default 1e-12, the paper's choice).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// DisableRetention trades rebinding speed for memory; see
+	// regenrand.CompileOptions.
+	DisableRetention bool `json:"disable_retention,omitempty"`
+}
+
+type compileResponse struct {
+	ModelID     string `json:"model_id"`
+	States      int    `json:"states"`
+	Transitions int    `json:"transitions"`
+}
+
+type queryJSON struct {
+	Method     string    `json:"method,omitempty"`
+	Measure    string    `json:"measure,omitempty"`
+	Rewards    []float64 `json:"rewards"`
+	Times      []float64 `json:"times"`
+	BlockSteps int       `json:"block_steps,omitempty"`
+}
+
+type queryRequest struct {
+	ModelID string     `json:"model_id,omitempty"`
+	Model   *modelJSON `json:"model,omitempty"`
+	// Compile options for inline models; ignored with model_id.
+	RegenState       *int        `json:"regen_state,omitempty"`
+	Epsilon          float64     `json:"epsilon,omitempty"`
+	DisableRetention bool        `json:"disable_retention,omitempty"`
+	Queries          []queryJSON `json:"queries"`
+}
+
+type resultJSON struct {
+	T         float64 `json:"t"`
+	Value     float64 `json:"value"`
+	Steps     int     `json:"steps,omitempty"`
+	Abscissae int     `json:"abscissae,omitempty"`
+}
+
+type queryResultJSON struct {
+	Results []resultJSON `json:"results,omitempty"`
+	Error   string       `json:"error,omitempty"`
+}
+
+type queryResponse struct {
+	ModelID string            `json:"model_id"`
+	Results []queryResultJSON `json:"results"`
+}
+
+// server shares one compile cache across every request.
+type server struct {
+	cache *regenrand.CompileCache
+}
+
+func (m *modelJSON) build() (*regenrand.CTMC, error) {
+	if m == nil {
+		return nil, fmt.Errorf("missing model")
+	}
+	b := regenrand.NewBuilder(m.States)
+	for i, tr := range m.Transitions {
+		if len(tr) != 3 {
+			return nil, fmt.Errorf("transition %d: want [from, to, rate], got %d fields", i, len(tr))
+		}
+		from, to := int(tr[0]), int(tr[1])
+		if float64(from) != tr[0] || float64(to) != tr[1] {
+			return nil, fmt.Errorf("transition %d: non-integer state index", i)
+		}
+		if err := b.AddTransition(from, to, tr[2]); err != nil {
+			return nil, err
+		}
+	}
+	for i, in := range m.Initial {
+		if len(in) != 2 {
+			return nil, fmt.Errorf("initial %d: want [state, probability]", i)
+		}
+		if err := b.SetInitial(int(in[0]), in[1]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// compileOptions translates the wire options.
+func compileOptions(regenState *int, epsilon float64, disableRetention bool) regenrand.CompileOptions {
+	opts := regenrand.DefaultOptions()
+	if epsilon != 0 {
+		opts.Epsilon = epsilon
+	}
+	rs := 0
+	if regenState != nil {
+		rs = *regenState
+	}
+	if rs < 0 {
+		rs = regenrand.NoRegen
+	}
+	return regenrand.CompileOptions{Options: opts, RegenState: rs, DisableRetention: disableRetention}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req compileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	model, err := req.Model.build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "building model: %v", err)
+		return
+	}
+	cm, err := s.cache.Compile(model, compileOptions(req.RegenState, req.Epsilon, req.DisableRetention))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "compiling: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, compileResponse{
+		ModelID:     cm.Key(),
+		States:      cm.Model().N(),
+		Transitions: cm.Model().NumTransitions(),
+	})
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	var cm *regenrand.CompiledModel
+	switch {
+	case req.ModelID != "":
+		var ok bool
+		cm, ok = s.cache.Get(req.ModelID)
+		if !ok {
+			writeError(w, http.StatusNotFound, "model %s not cached (evicted or never compiled); re-POST /v1/compile", req.ModelID)
+			return
+		}
+	case req.Model != nil:
+		model, err := req.Model.build()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "building model: %v", err)
+			return
+		}
+		cm, err = s.cache.Compile(model, compileOptions(req.RegenState, req.Epsilon, req.DisableRetention))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "compiling: %v", err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "need model_id or model")
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "no queries")
+		return
+	}
+	qs := make([]regenrand.Query, len(req.Queries))
+	for i, q := range req.Queries {
+		qs[i] = regenrand.Query{
+			Method:     regenrand.Method(q.Method),
+			Measure:    regenrand.MeasureKind(q.Measure),
+			Rewards:    q.Rewards,
+			Times:      q.Times,
+			BlockSteps: q.BlockSteps,
+		}
+	}
+	batch := cm.QueryBatch(qs)
+	resp := queryResponse{ModelID: cm.Key(), Results: make([]queryResultJSON, len(batch))}
+	for i, qr := range batch {
+		if qr.Err != nil {
+			resp.Results[i].Error = qr.Err.Error()
+			continue
+		}
+		rs := make([]resultJSON, len(qr.Results))
+		for j, res := range qr.Results {
+			rs[j] = resultJSON{T: res.T, Value: res.Value, Steps: res.Steps, Abscissae: res.Abscissae}
+		}
+		resp.Results[i].Results = rs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "cached_models": s.cache.Len()})
+}
+
+func newMux(s *server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/compile", s.handleCompile)
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func main() {
+	addr := flag.String("addr", ":8347", "listen address")
+	cacheSize := flag.Int("cache", 64, "compiled-model LRU capacity")
+	selfcheck := flag.Bool("selfcheck", false, "start on an ephemeral port, run a sample compile + concurrent batch query, exit")
+	flag.Parse()
+
+	srv := &server{cache: regenrand.NewCompileCache(*cacheSize)}
+	mux := newMux(srv)
+
+	if *selfcheck {
+		if err := runSelfcheck(mux); err != nil {
+			fmt.Fprintf(os.Stderr, "regenserve selfcheck: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("regenserve selfcheck: OK")
+		return
+	}
+
+	log.Printf("regenserve: listening on %s (cache capacity %d)", *addr, *cacheSize)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// runSelfcheck exercises the live HTTP surface: compile a small RAID
+// availability model, then hit it with concurrent batch queries across
+// methods and check the answers agree with each other within the error
+// bound.
+func runSelfcheck(mux *http.ServeMux) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: mux}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// A 2-parity-group RAID availability model, built via the public API
+	// and re-encoded to the wire format.
+	rm, err := regenrand.BuildRAID(regenrand.DefaultRAIDParams(2), false)
+	if err != nil {
+		return err
+	}
+	model := &modelJSON{States: rm.Chain.N()}
+	for _, tr := range rm.Chain.Transitions() {
+		model.Transitions = append(model.Transitions, []float64{float64(tr.Row), float64(tr.Col), tr.Val})
+	}
+	init := rm.Chain.Initial()
+	for i, p := range init {
+		if p > 0 {
+			model.Initial = append(model.Initial, []float64{float64(i), p})
+		}
+	}
+
+	post := func(path string, req, resp any) error {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		r, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			var e map[string]string
+			_ = json.NewDecoder(r.Body).Decode(&e)
+			return fmt.Errorf("%s: HTTP %d: %s", path, r.StatusCode, e["error"])
+		}
+		return json.NewDecoder(r.Body).Decode(resp)
+	}
+
+	var comp compileResponse
+	if err := post("/v1/compile", compileRequest{Model: model}, &comp); err != nil {
+		return err
+	}
+	if comp.States != rm.Chain.N() {
+		return fmt.Errorf("compile reported %d states, want %d", comp.States, rm.Chain.N())
+	}
+
+	rewards := rm.UnavailabilityRewards()
+	times := []float64{1, 10, 100}
+	queries := []queryJSON{
+		{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: times},
+		{Method: "SR", Measure: "TRR", Rewards: rewards, Times: times},
+		{Method: "RR", Measure: "MRR", Rewards: rewards, Times: times},
+		{Method: "RRL", Measure: "MRR", Rewards: rewards, Times: times},
+	}
+
+	// Many concurrent clients sharing the one compiled model.
+	const clients = 8
+	responses := make([]queryResponse, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			errs[c] = post("/v1/query", queryRequest{ModelID: comp.ModelID, Queries: queries}, &responses[c])
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			return fmt.Errorf("client %d: %w", c, err)
+		}
+	}
+	for c, resp := range responses {
+		if len(resp.Results) != len(queries) {
+			return fmt.Errorf("client %d: %d results, want %d", c, len(resp.Results), len(queries))
+		}
+		for i, qr := range resp.Results {
+			if qr.Error != "" {
+				return fmt.Errorf("client %d query %d: %s", c, i, qr.Error)
+			}
+			if len(qr.Results) != len(times) {
+				return fmt.Errorf("client %d query %d: %d values", c, i, len(qr.Results))
+			}
+		}
+		// RRL and SR must agree on TRR within the combined error bound.
+		for j := range times {
+			a, b := resp.Results[0].Results[j].Value, resp.Results[1].Results[j].Value
+			if math.Abs(a-b) > 1e-9 {
+				return fmt.Errorf("client %d: RRL %v vs SR %v at t=%v", c, a, b, times[j])
+			}
+		}
+		// All clients must see bitwise-identical answers.
+		for i := range resp.Results {
+			for j := range resp.Results[i].Results {
+				if resp.Results[i].Results[j] != responses[0].Results[i].Results[j] {
+					return fmt.Errorf("client %d disagrees with client 0 on query %d", c, i)
+				}
+			}
+		}
+	}
+	fmt.Printf("regenserve selfcheck: %d clients × %d queries × %d times on a %d-state model in %v\n",
+		clients, len(queries), len(times), comp.States, time.Since(start).Round(time.Millisecond))
+
+	// Unknown id must 404.
+	r, err := http.Post(base+"/v1/query", "application/json",
+		bytes.NewReader([]byte(`{"model_id":"nope","queries":[{"times":[1],"rewards":[]}]}`)))
+	if err != nil {
+		return err
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("unknown model id: HTTP %d, want 404", r.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,363 @@
+package regenrand
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sync"
+
+	"regenrand/internal/adaptive"
+	"regenrand/internal/cache"
+	"regenrand/internal/core"
+	"regenrand/internal/ctmc"
+	"regenrand/internal/multistep"
+	"regenrand/internal/regen"
+	"regenrand/internal/rrl"
+	"regenrand/internal/sparse"
+	"regenrand/internal/ssd"
+	"regenrand/internal/uniform"
+)
+
+// NoRegen marks a compile without regenerative structure: the compiled
+// model then serves the SR/RSD/AU/MS methods but not RR/RRL.
+const NoRegen = -1
+
+// CompileOptions configures the compile phase.
+type CompileOptions struct {
+	// Options carries the solver configuration (ε, randomization factor)
+	// every query against the compiled model runs under. The zero value is
+	// not valid; use DefaultOptions or set Epsilon explicitly.
+	Options Options
+	// RegenState is the regenerative state whose series the compile phase
+	// builds (the paper uses the fault-free initial state, index 0 — the
+	// zero value). Set NoRegen (-1) to skip the regenerative artifacts;
+	// other negative values are rejected.
+	RegenState int
+	// DisableRetention drops the stepped vectors of the regenerative series
+	// after compilation. Binding a new reward vector then re-runs the fused
+	// stepping pass instead of a sweep of dot products: memory falls from
+	// O(states · K) to O(states), queries over already-bound rewards are
+	// unaffected. The thin wrapper constructors (NewSR, NewRRL, ...) compile
+	// in this mode.
+	DisableRetention bool
+}
+
+// CompiledModel is the immutable, goroutine-safe artifact of the compile
+// phase: the uniformized sparse chain with its fused-kernel chunk plan, the
+// AU adjacency, and — when a regenerative state was given — the reward-free
+// regeneration series with retained step vectors. Reward-dependent layers
+// are added as cheap CompiledMeasure views, so one compile serves TRR, MRR,
+// availability and reliability measures under many reward vectors; see
+// Query and QueryBatch for the evaluation engine.
+//
+// All methods are safe for concurrent use, and query results are a pure
+// function of the request (never of the order requests arrive in), so
+// concurrent and serial evaluation of the same queries agree bitwise.
+type CompiledModel struct {
+	model *ctmc.CTMC
+	opts  core.Options
+	copts CompileOptions
+	key   string
+
+	dtmc  *ctmc.DTMC
+	basis *regen.Basis // nil when compiled with NoRegen
+
+	adjOnce sync.Once
+	adj     [][]int32 // AU adjacency, built on first AU query
+
+	measures *cache.LRU[string, *CompiledMeasure]
+}
+
+// measureCacheCap bounds the number of reward-vector views kept per
+// compiled model; eviction only drops cached coefficient bindings, never
+// correctness.
+const measureCacheCap = 128
+
+// Compile runs the compile phase: it validates the model/options pair,
+// uniformizes the generator once, and prepares the shared artifacts every
+// query draws on. The expensive regenerative series construction itself is
+// lazy — it grows on demand as queries push the certified horizon — but is
+// performed at most once per compiled model and shared by every measure
+// and every goroutine.
+func Compile(model *CTMC, copts CompileOptions) (*CompiledModel, error) {
+	opts := copts.Options
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if copts.RegenState < NoRegen {
+		return nil, fmt.Errorf("regenrand: regenerative state %d out of range (use NoRegen to compile without one)", copts.RegenState)
+	}
+	copts.Options = opts // normalized, so equivalent compiles share a key
+	cm := &CompiledModel{
+		model:    model,
+		opts:     opts,
+		copts:    copts,
+		key:      compileKey(model, copts),
+		measures: cache.New[string, *CompiledMeasure](measureCacheCap),
+	}
+	var err error
+	if copts.RegenState >= 0 {
+		cm.basis, err = regen.NewBasis(model, copts.RegenState, opts, !copts.DisableRetention)
+		if err != nil {
+			return nil, err
+		}
+		cm.dtmc = cm.basis.DTMC()
+	} else {
+		cm.dtmc, err = model.Uniformize(opts.UniformizationFactor)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cm, nil
+}
+
+// compileKey is the content key of a compile: generator fingerprint,
+// regeneration state and options. Two Compile calls with equal keys produce
+// interchangeable artifacts.
+func compileKey(model *CTMC, copts CompileOptions) string {
+	fp := model.Fingerprint()
+	var tail [26]byte
+	binary.LittleEndian.PutUint64(tail[0:8], uint64(int64(copts.RegenState)))
+	binary.LittleEndian.PutUint64(tail[8:16], math.Float64bits(copts.Options.Epsilon))
+	binary.LittleEndian.PutUint64(tail[16:24], math.Float64bits(copts.Options.UniformizationFactor))
+	if copts.DisableRetention {
+		tail[24] = 1
+	}
+	return hex.EncodeToString(fp[:]) + hex.EncodeToString(tail[:])
+}
+
+// Model returns the compiled generator.
+func (cm *CompiledModel) Model() *CTMC { return cm.model }
+
+// Options returns the normalized solver options of the compile.
+func (cm *CompiledModel) Options() Options { return cm.opts }
+
+// RegenState returns the compiled regenerative state, or NoRegen.
+func (cm *CompiledModel) RegenState() int {
+	if cm.basis == nil {
+		return NoRegen
+	}
+	return cm.copts.RegenState
+}
+
+// Key returns the content key of this compile (the CompileCache key): a hex
+// string derived from the generator fingerprint, regeneration state and
+// options.
+func (cm *CompiledModel) Key() string { return cm.key }
+
+// BuildSteps reports the full-model DTMC steps stored in the shared series
+// so far (0 without retained regenerative structure) — the amortized
+// construction cost every query reuses.
+func (cm *CompiledModel) BuildSteps() int {
+	if cm.basis == nil {
+		return 0
+	}
+	return cm.basis.Steps()
+}
+
+// adjacency returns the shared AU adjacency, built on first use.
+func (cm *CompiledModel) adjacency() [][]int32 {
+	cm.adjOnce.Do(func() { cm.adj = adaptive.Adjacency(cm.model) })
+	return cm.adj
+}
+
+// Measure returns the compiled view of one reward vector, creating and
+// caching it on first use. Views are cheap: the expensive shared artifacts
+// live on the CompiledModel; the view holds the reward binding and the
+// per-method evaluation caches.
+func (cm *CompiledModel) Measure(rewards []float64) (*CompiledMeasure, error) {
+	if _, err := core.CheckRewards(rewards, cm.model.N()); err != nil {
+		return nil, err
+	}
+	return cm.measures.GetOrCreate(rewardsKey(rewards), func() (*CompiledMeasure, error) {
+		return cm.newMeasure(rewards)
+	})
+}
+
+// rewardsKey is a content hash of the vector, hashed incrementally so a
+// query's measure lookup allocates a fixed 32-byte key regardless of the
+// model size (the byte-exact alternative would materialize 8n bytes per
+// Query call).
+func rewardsKey(rewards []float64) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, r := range rewards {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(r))
+		h.Write(buf[:])
+	}
+	return string(h.Sum(nil))
+}
+
+func (cm *CompiledModel) newMeasure(rewards []float64) (*CompiledMeasure, error) {
+	r := make([]float64, len(rewards))
+	copy(r, rewards)
+	m := &CompiledMeasure{
+		cm:      cm,
+		rewards: r,
+		series:  cache.New[uint64, *regen.Series](16),
+		rrEvals: cache.New[klKey, *regen.VEvaluator](8),
+		rrlEvs:  cache.New[klKey, *rrl.Evaluator](8),
+	}
+	if cm.basis != nil {
+		bind, err := cm.basis.Bind(r)
+		if err != nil {
+			return nil, err
+		}
+		m.binding = bind
+	}
+	return m, nil
+}
+
+// klKey identifies a truncation level pair.
+type klKey struct{ k, l int }
+
+// CompiledMeasure is the reward-dependent layer over a CompiledModel: one
+// reward vector, its series binding, and per-method evaluation caches.
+// Obtain one with CompiledModel.Measure; methods are safe for concurrent
+// use.
+type CompiledMeasure struct {
+	cm      *CompiledModel
+	rewards []float64
+	binding *regen.Binding // nil when the model compiled with NoRegen
+
+	// series caches the bound series per horizon (keyed by the float bits);
+	// rrEvals/rrlEvs cache evaluators per truncation level, so distinct
+	// horizons that truncate identically share one artifact.
+	series  *cache.LRU[uint64, *regen.Series]
+	rrEvals *cache.LRU[klKey, *regen.VEvaluator]
+	rrlEvs  *cache.LRU[klKey, *rrl.Evaluator]
+
+	// The shared single-caller solvers each get their own mutex, so queries
+	// on one measure serialize per (measure, method) pair, not across
+	// methods.
+	srMu  sync.Mutex
+	sr    *uniform.Solver
+	rsdMu sync.Mutex
+	rsd   *ssd.Solver
+	auMu  sync.Mutex
+	au    *adaptive.Solver
+}
+
+// Rewards returns the bound reward vector (shared; do not modify).
+func (m *CompiledMeasure) Rewards() []float64 { return m.rewards }
+
+// seriesSource exposes the measure's binding as the SeriesSource the
+// wrapper solvers consume (nil when compiled with NoRegen — returned as an
+// untyped nil so callers can test it).
+func (m *CompiledMeasure) seriesSource() regen.SeriesSource {
+	if m.binding == nil {
+		return nil
+	}
+	return m.binding
+}
+
+// rho0 is π(0)·r̄, the t = 0 shortcut.
+func (m *CompiledMeasure) rho0() float64 {
+	return sparse.Dot(m.cm.model.Initial(), m.rewards)
+}
+
+// seriesFor returns the series certified for the horizon, cached per
+// distinct horizon. Results are a pure function of the horizon, so queries
+// stay order-independent.
+func (m *CompiledMeasure) seriesFor(horizon float64) (*regen.Series, error) {
+	if m.binding == nil {
+		return nil, fmt.Errorf("regenrand: model was compiled without a regenerative state; RR/RRL queries need CompileOptions.RegenState")
+	}
+	return m.series.GetOrCreate(math.Float64bits(horizon), func() (*regen.Series, error) {
+		return m.binding.SeriesFor(horizon)
+	})
+}
+
+// rrlEvaluator returns the packed-transform evaluator of the series,
+// shared across horizons with identical truncation levels.
+func (m *CompiledMeasure) rrlEvaluator(s *regen.Series) (*rrl.Evaluator, error) {
+	return m.rrlEvs.GetOrCreate(klKey{s.K, s.L}, func() (*rrl.Evaluator, error) {
+		return rrl.NewEvaluator(s, m.rho0, m.cm.opts.Epsilon, RRLConfig{}), nil
+	})
+}
+
+// rrEvaluator returns the V_{K,L} evaluator of the series.
+func (m *CompiledMeasure) rrEvaluator(s *regen.Series) (*regen.VEvaluator, error) {
+	return m.rrEvals.GetOrCreate(klKey{s.K, s.L}, func() (*regen.VEvaluator, error) {
+		return regen.NewVEvaluator(s, m.cm.opts)
+	})
+}
+
+// srSolver returns the shared SR solver of this measure; callers hold
+// m.srMu while creating and using it (uniform.Solver is a single-caller
+// object whose cached reward sequence is deterministic, so serialized
+// access keeps results order-independent).
+func (m *CompiledMeasure) srSolver() (*uniform.Solver, error) {
+	if m.sr == nil {
+		s, err := uniform.NewFromDTMC(m.cm.model, m.cm.dtmc, m.rewards, m.cm.opts)
+		if err != nil {
+			return nil, err
+		}
+		m.sr = s
+	}
+	return m.sr, nil
+}
+
+func (m *CompiledMeasure) rsdSolver() (*ssd.Solver, error) {
+	if m.rsd == nil {
+		s, err := ssd.NewFromDTMC(m.cm.model, m.cm.dtmc, m.rewards, m.cm.opts)
+		if err != nil {
+			return nil, err
+		}
+		m.rsd = s
+	}
+	return m.rsd, nil
+}
+
+func (m *CompiledMeasure) auSolver() (*adaptive.Solver, error) {
+	if m.au == nil {
+		s, err := adaptive.NewShared(m.cm.model, m.rewards, m.cm.opts, m.cm.adjacency())
+		if err != nil {
+			return nil, err
+		}
+		m.au = s
+	}
+	return m.au, nil
+}
+
+// CompileCache is an LRU of compiled models keyed by content: repeated
+// compiles of the same (generator, regeneration state, options) triple
+// return the shared artifact, and concurrent misses compile once. It is the
+// artifact cache the serving layer (cmd/regenserve) shares across requests.
+type CompileCache struct {
+	lru *cache.LRU[string, *CompiledModel]
+}
+
+// NewCompileCache returns a cache holding at most capacity compiled models.
+func NewCompileCache(capacity int) *CompileCache {
+	return &CompileCache{lru: cache.New[string, *CompiledModel](capacity)}
+}
+
+// Compile returns the cached compiled model for the key of (model, copts),
+// compiling on first use.
+func (c *CompileCache) Compile(model *CTMC, copts CompileOptions) (*CompiledModel, error) {
+	opts := copts.Options
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	copts.Options = opts // normalized, so equivalent options share a key
+	return c.lru.GetOrCreate(compileKey(model, copts), func() (*CompiledModel, error) {
+		return Compile(model, copts)
+	})
+}
+
+// Get returns the cached compiled model with the given content key, if
+// present (the serving layer resolves model ids without re-uploading).
+func (c *CompileCache) Get(key string) (*CompiledModel, bool) { return c.lru.Get(key) }
+
+// Len returns the number of cached compiled models.
+func (c *CompileCache) Len() int { return c.lru.Len() }
+
+// MS-specific note: multistep solvers cache their dense block keyed by call
+// history, so the engine evaluates each MS query on a fresh solver (sharing
+// only the DTMC); see msSolver in query.go.
+func (m *CompiledMeasure) msSolver(blockSteps int) (*multistep.Solver, error) {
+	return multistep.NewFromDTMC(m.cm.model, m.cm.dtmc, m.rewards, blockSteps, m.cm.opts)
+}

@@ -19,19 +19,67 @@
 //   - MS  — multistep randomization (Reibman & Trivedi), the related-work
 //     methods the paper's introduction positions RR/RRL against.
 //
-// RR and RRL additionally implement BoundingSolver, producing certified
-// two-sided enclosures of each measure (the construction of the companion
-// technical report).
-//
 // Two measures are supported at batches of time points: the transient
 // reward rate TRR(t) = E[r_{X(t)}] and the mean reward rate
 // MRR(t) = (1/t)∫₀ᵗ TRR(τ)dτ. Dependability measures are special cases:
-// point unavailability UA(t) (reward 1 on down states of an irreducible
-// model), unreliability UR(t) (reward 1 on an absorbing failure state),
-// interval unavailability (MRR of UA rewards), and general performability
-// rewards.
+// point unavailability UA(t), unreliability UR(t), interval unavailability,
+// and general performability rewards. Every solver guarantees an absolute
+// error at most Options.Epsilon on each returned value (down to the
+// double-precision floor of ~1e-13 relative; the paper uses ε = 1e-12).
 //
-// A model is described with a Builder:
+// # Compile/query lifecycle
+//
+// The paper's central economics are that the expensive work — uniformizing
+// the generator and stepping out the regenerative series that characterizes
+// the transformed chain V_{K,L} — is done once, after which every measure
+// and time point is cheap. The package is structured around exactly that
+// split. Compile produces an immutable, goroutine-safe CompiledModel
+// holding the shared artifacts: the uniformized sparse chain with its
+// fused-kernel chunk plan, and (when a regenerative state is given) the
+// reward-free regeneration statistics with their stepped vectors retained.
+// Reward vectors are then layered on as cheap views, so one compile serves
+// TRR, MRR, availability and reliability measures under many reward
+// structures:
+//
+//	model, _ := b.Build() // a Builder-constructed CTMC
+//	cm, _ := regenrand.Compile(model, regenrand.CompileOptions{
+//		Options:    regenrand.DefaultOptions(),
+//		RegenState: 0, // the fault-free initial state
+//	})
+//
+//	// First rewards vector: point unavailability.
+//	ua, _ := regenrand.IndicatorRewards(model.N(), downStates...)
+//	resUA, _ := cm.Query(regenrand.Query{
+//		Method: regenrand.MethodRRL, Measure: regenrand.MeasureTRR,
+//		Rewards: ua, Times: []float64{1, 10, 100, 1000},
+//	})
+//
+//	// Second rewards vector against the SAME compiled artifacts: only the
+//	// coefficient binding and the inversion are paid, not the build.
+//	perf := regenrand.RewardsFrom(model.N(), throughputOf)
+//	resPerf, _ := cm.Query(regenrand.Query{
+//		Method: regenrand.MethodRRL, Measure: regenrand.MeasureMRR,
+//		Rewards: perf, Times: []float64{1, 10, 100, 1000},
+//	})
+//
+// QueryBatch fans a slice of such requests out over the worker pool, and
+// QueryBounds returns the certified two-sided enclosures of RR/RRL. Query
+// results are a pure function of the request: N goroutines sharing one
+// CompiledModel get answers bitwise-identical to a serial run, which is
+// what makes the compiled artifact a sound unit of sharing for a server
+// (see cmd/regenserve, an HTTP/JSON facade over exactly this API, with a
+// CompileCache keying compiled models by generator content hash so
+// repeated compiles are free).
+//
+// On the paper's G=20 RAID model, a second query against an already
+// compiled model is ~20× faster than the classic construct-and-solve path
+// for a new time batch and ~7× faster for a new rewards vector (see
+// "Performance notes" in ROADMAP.md). Retention of the stepped vectors
+// costs O(states·K) memory; CompileOptions.DisableRetention trades the
+// rebinding speed back for O(states) memory.
+//
+// The classic constructors remain and are thin wrappers over the same
+// machinery, with unchanged semantics and bitwise-identical outputs:
 //
 //	b := regenrand.NewBuilder(2)
 //	b.AddTransition(0, 1, 1e-3) // failure
@@ -41,9 +89,10 @@
 //	solver, _ := regenrand.NewRRL(model, []float64{0, 1}, 0, regenrand.DefaultOptions())
 //	results, _ := solver.TRR([]float64{1, 10, 100, 1000})
 //
-// Every solver guarantees an absolute error at most Options.Epsilon on each
-// returned value (down to the double-precision floor of ~1e-13 relative;
-// the paper's experiments use ε = 1e-12).
+// A Builder also records the first validation error (negative rate,
+// out-of-range state, self loop) and reports it from Build, so generator
+// loops that drop per-call errors still fail at construction rather than
+// deep inside a solve.
 //
 // # Execution layer
 //
@@ -52,19 +101,26 @@
 // regenerative/absorbing destinations, ℓ₁ mass and reward dot-product — is
 // one kernel pass (sparse.Matrix.StepFused) for SR, RSD, the RR/RRL series
 // build and AU (MS runs its dense block build on the same worker pool
-// instead); the RRL transform evaluates
-// its eight coefficient polynomials in a single interleaved sweep per
-// abscissa; and batches of time points fan out over a persistent worker
-// pool (internal/par), since each Laplace inversion and each Poisson-window
-// sum is independent. Parallel execution is deterministic: kernel
-// reductions use fixed chunk boundaries with ordered compensated partials,
-// so every result is bitwise-identical for every GOMAXPROCS setting.
-// Solvers remain single-caller objects (see core.Solver's concurrency
-// contract); parallelism is internal.
+// instead); rebinding a reward vector to retained step vectors replays the
+// dot side of that kernel four vectors per sweep
+// (sparse.Matrix.RewardDotFusedBatch); the RRL transform evaluates its
+// eight coefficient polynomials in a single interleaved sweep per
+// abscissa; batches of time points and batches of queries fan out over a
+// persistent worker pool (internal/par); and per-query scratch (stepping
+// buffers, birth-process tables, epsilon-acceleration diagonals) comes
+// from per-size-class pools (internal/pool), so steady-state query traffic
+// runs allocation-free on the hot path. Parallel execution is
+// deterministic: kernel reductions use fixed chunk boundaries with ordered
+// compensated partials, so every result is bitwise-identical for every
+// GOMAXPROCS setting. The classic Solver objects remain single-caller (see
+// core.Solver's concurrency contract); CompiledModel is the concurrent
+// entry point.
 //
 // Performance is tracked PR-over-PR with cmd/benchjson, which runs the
-// Benchmark* suite and emits a BENCH_<date>.json trajectory file; see the
-// "Performance notes" section of ROADMAP.md for the current numbers.
+// Benchmark* suite and emits a BENCH_<date>.json trajectory file;
+// `benchjson -diff old.json new.json` prints per-benchmark deltas and
+// flags regressions beyond 10%. See the "Performance notes" section of
+// ROADMAP.md for current numbers.
 //
 // The package also ships the paper's evaluation workload: parametric
 // dependability models of a level-5 RAID array (BuildRAID), and a harness

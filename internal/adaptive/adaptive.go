@@ -30,6 +30,7 @@ import (
 	"regenrand/internal/core"
 	"regenrand/internal/ctmc"
 	"regenrand/internal/poisson"
+	"regenrand/internal/pool"
 	"regenrand/internal/sparse"
 )
 
@@ -61,6 +62,23 @@ type Solver struct {
 
 // New validates the inputs and returns an AU solver.
 func New(model *ctmc.CTMC, rewards []float64, opts core.Options) (*Solver, error) {
+	return NewShared(model, rewards, opts, nil)
+}
+
+// Adjacency precomputes the out-adjacency AU's active-set expansion walks.
+// The compile phase computes it once per model and shares it across every
+// measure via NewShared.
+func Adjacency(model *ctmc.CTMC) [][]int32 {
+	adj := make([][]int32, model.N())
+	for _, e := range model.Transitions() {
+		adj[e.Row] = append(adj[e.Row], int32(e.Col))
+	}
+	return adj
+}
+
+// NewShared is New with a precomputed Adjacency(model) (nil to build it
+// lazily). The adjacency must belong to the same model.
+func NewShared(model *ctmc.CTMC, rewards []float64, opts core.Options, adj [][]int32) (*Solver, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -73,7 +91,7 @@ func New(model *ctmc.CTMC, rewards []float64, opts core.Options) (*Solver, error
 	}
 	r := make([]float64, len(rewards))
 	copy(r, rewards)
-	s := &Solver{model: model, rewards: r, opts: opts, rmax: rmax, out: model.OutRates()}
+	s := &Solver{model: model, rewards: r, opts: opts, rmax: rmax, out: model.OutRates(), adj: adj}
 	s.stats.DetectionStep = -1
 	return s, nil
 }
@@ -90,9 +108,8 @@ func (s *Solver) init() {
 		return
 	}
 	n := s.model.N()
-	s.adj = make([][]int32, n)
-	for _, e := range s.model.Transitions() {
-		s.adj[e.Row] = append(s.adj[e.Row], int32(e.Col))
+	if s.adj == nil {
+		s.adj = Adjacency(s.model)
 	}
 	s.pi = s.model.Initial()
 	s.buf = make([]float64, n)
@@ -166,11 +183,13 @@ func (s *Solver) extend(upTo int) {
 // p[0..R] where p[R] is the overflow probability P[N(t) > R-1]... the
 // indices are: p[k] = P[N(t) = k] for k < R, p[R] = P[N(t) ≥ R], and, if
 // cumulative, soj[k] = ∫₀ᵗ P[N(τ)=k] dτ for k < R.
+// The returned p and soj slices are drawn from the scratch pool; the caller
+// recycles them with pool.Put once consumed.
 func birthDist(lambdas []float64, t float64, eps float64, cumulative bool) (p, soj []float64, err error) {
 	r := len(lambdas)
-	p = make([]float64, r+1)
+	p = pool.Get(r + 1)
 	if cumulative {
-		soj = make([]float64, r+1)
+		soj = pool.Get(r + 1)
 	}
 	var lamB float64
 	for _, l := range lambdas {
@@ -194,8 +213,11 @@ func birthDist(lambdas []float64, t float64, eps float64, cumulative bool) (p, s
 		tails = w.Tails()
 	}
 	// v = e_0 · P_B^n over the birth chain; overflow state r is absorbing.
-	v := make([]float64, r+1)
-	vb := make([]float64, r+1)
+	// Stepping scratch is pooled: solve's growth loop calls birthDist
+	// repeatedly and must not allocate per attempt.
+	v := pool.Get(r + 1)
+	vb := pool.Get(r + 1)
+	defer func() { pool.Put(v); pool.Put(vb) }()
 	v[0] = 1
 	for n := 0; n <= w.Right; n++ {
 		wn := w.Weight(n)
@@ -275,6 +297,8 @@ func (s *Solver) solve(t float64, mrr bool) (core.Result, error) {
 			return core.Result{}, err
 		}
 		var acc sparse.Accumulator
+		converged := false
+		var value float64
 		if mrr {
 			var sojSum sparse.Accumulator
 			for k := 0; k < r; k++ {
@@ -284,7 +308,7 @@ func (s *Solver) solve(t float64, mrr bool) (core.Result, error) {
 			// Relative-to-t truncated sojourn plus the q≈1 slack of the
 			// left window flank.
 			if (t-sojSum.Value())/t+epsBirth <= target {
-				return core.Result{T: t, Value: acc.Value() / t, Steps: r}, nil
+				converged, value = true, acc.Value()/t
 			}
 		} else {
 			var mass sparse.Accumulator
@@ -293,8 +317,13 @@ func (s *Solver) solve(t float64, mrr bool) (core.Result, error) {
 				mass.Add(p[k])
 			}
 			if 1-mass.Value() <= target {
-				return core.Result{T: t, Value: acc.Value(), Steps: r}, nil
+				converged, value = true, acc.Value()
 			}
+		}
+		pool.Put(p)
+		pool.Put(soj)
+		if converged {
+			return core.Result{T: t, Value: value, Steps: r}, nil
 		}
 		grow := r / 2
 		if grow < 8 {

@@ -1,0 +1,141 @@
+// Package cache provides a small generic LRU with single-flight population,
+// used by the compile phase to key immutable compiled-model artifacts by
+// content hash: repeated compiles of the same (generator, regeneration
+// state, options) triple are free, and concurrent requests for a missing
+// key run the expensive constructor exactly once.
+package cache
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+)
+
+// LRU is a fixed-capacity least-recently-used cache. The zero value is not
+// usable; call New. All methods are safe for concurrent use. Values are
+// constructed at most once per key via GetOrCreate even under concurrent
+// misses (single-flight per entry), and a failed constructor leaves no
+// entry behind so the next request retries.
+type LRU[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent; elements hold *entry
+	items    map[K]*list.Element
+}
+
+type entry[K comparable, V any] struct {
+	key  K
+	once sync.Once
+	done chan struct{} // closed once val/err are populated
+	val  V
+	err  error
+}
+
+// New returns an LRU holding at most capacity entries (capacity ≥ 1).
+func New[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[K]*list.Element),
+	}
+}
+
+// Len returns the number of cached entries.
+func (l *LRU[K, V]) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.order.Len()
+}
+
+// Get returns the cached value for key, if present, marking it recently
+// used. It waits for an in-flight constructor on the same key; a failed
+// constructor reports absent.
+func (l *LRU[K, V]) Get(key K) (V, bool) {
+	l.mu.Lock()
+	el, ok := l.items[key]
+	if !ok {
+		l.mu.Unlock()
+		var zero V
+		return zero, false
+	}
+	l.order.MoveToFront(el)
+	e := el.Value.(*entry[K, V])
+	l.mu.Unlock()
+	<-e.done
+	if e.err != nil {
+		var zero V
+		return zero, false
+	}
+	return e.val, true
+}
+
+// GetOrCreate returns the value for key, running create to populate it on
+// the first request. Concurrent callers for the same key share one create
+// call. If create fails, the error is returned and the entry is dropped so
+// later calls retry.
+func (l *LRU[K, V]) GetOrCreate(key K, create func() (V, error)) (V, error) {
+	l.mu.Lock()
+	el, ok := l.items[key]
+	if !ok {
+		e := &entry[K, V]{key: key, done: make(chan struct{})}
+		el = l.order.PushFront(e)
+		l.items[key] = el
+		l.evictLocked()
+	} else {
+		l.order.MoveToFront(el)
+	}
+	e := el.Value.(*entry[K, V])
+	l.mu.Unlock()
+
+	e.once.Do(func() {
+		// close(done) must happen even if create panics — otherwise every
+		// later request for this key would block forever on <-e.done. The
+		// panic itself still propagates to this first caller; followers see
+		// errPanicked and the entry is dropped so the next request retries.
+		panicked := true
+		defer func() {
+			if panicked {
+				e.err = errPanicked
+			}
+			close(e.done)
+		}()
+		e.val, e.err = create()
+		panicked = false
+	})
+	<-e.done // followers of a concurrent create wait for population
+	if e.err != nil {
+		l.remove(key, el)
+		var zero V
+		return zero, e.err
+	}
+	return e.val, nil
+}
+
+// errPanicked marks an entry whose constructor panicked.
+var errPanicked = errors.New("cache: constructor panicked")
+
+// remove drops the entry if it is still the one el points at.
+func (l *LRU[K, V]) remove(key K, el *list.Element) {
+	l.mu.Lock()
+	if cur, ok := l.items[key]; ok && cur == el {
+		l.order.Remove(el)
+		delete(l.items, key)
+	}
+	l.mu.Unlock()
+}
+
+// evictLocked trims to capacity (caller holds mu).
+func (l *LRU[K, V]) evictLocked() {
+	for l.order.Len() > l.capacity {
+		back := l.order.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*entry[K, V])
+		l.order.Remove(back)
+		delete(l.items, e.key)
+	}
+}

@@ -1,0 +1,121 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetOrCreateSingleFlight(t *testing.T) {
+	l := New[string, int](4)
+	var calls int32
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := l.GetOrCreate("k", func() (int, error) {
+				atomic.AddInt32(&calls, 1)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("GetOrCreate: %v %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("constructor ran %d times, want 1", calls)
+	}
+	if v, ok := l.Get("k"); !ok || v != 42 {
+		t.Fatalf("Get after create: %v %v", v, ok)
+	}
+}
+
+func TestFailedCreateRetries(t *testing.T) {
+	l := New[string, int](4)
+	boom := errors.New("boom")
+	if _, err := l.GetOrCreate("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if _, ok := l.Get("k"); ok {
+		t.Fatal("failed entry left in cache")
+	}
+	v, err := l.GetOrCreate("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry failed: %v %v", v, err)
+	}
+}
+
+func TestPanickingCreateDoesNotWedgeKey(t *testing.T) {
+	l := New[string, int](4)
+	func() {
+		defer func() { _ = recover() }()
+		_, _ = l.GetOrCreate("k", func() (int, error) { panic("boom") })
+		t.Error("panic did not propagate")
+	}()
+	// The key must not be wedged: Get reports absent (not a hang) and a
+	// retry constructs fresh.
+	if _, ok := l.Get("k"); ok {
+		t.Fatal("panicked entry served as a value")
+	}
+	v, err := l.GetOrCreate("k", func() (int, error) { return 9, nil })
+	if v != 9 && err == nil {
+		t.Fatalf("retry after panic: %v %v", v, err)
+	}
+	// The first retry may observe the errPanicked entry; the one after must
+	// succeed.
+	v, err = l.GetOrCreate("k", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("second retry after panic: %v %v", v, err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	l := New[int, int](3)
+	for i := 0; i < 3; i++ {
+		if _, err := l.GetOrCreate(i, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch 0 so 1 is the LRU, then insert 3.
+	if _, ok := l.Get(0); !ok {
+		t.Fatal("0 missing")
+	}
+	if _, err := l.GetOrCreate(3, func() (int, error) { return 3, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len %d want 3", l.Len())
+	}
+	if _, ok := l.Get(1); ok {
+		t.Fatal("LRU entry 1 not evicted")
+	}
+	for _, k := range []int{0, 2, 3} {
+		if _, ok := l.Get(k); !ok {
+			t.Fatalf("entry %d evicted unexpectedly", k)
+		}
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	l := New[string, string](8)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				k := fmt.Sprintf("k%d", i%12)
+				v, err := l.GetOrCreate(k, func() (string, error) { return "v" + k, nil })
+				if err != nil || v != "v"+k {
+					t.Errorf("mixed: %v %v", v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,130 @@
+package ctmc
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Every malformed input must produce a clear, immediate error from the Add
+// call itself.
+func TestBuilderRejectsMalformedInput(t *testing.T) {
+	cases := []struct {
+		name string
+		call func(b *Builder) error
+		want string
+	}{
+		{"negative rate", func(b *Builder) error { return b.AddTransition(0, 1, -0.5) }, "non-positive rate"},
+		{"zero rate", func(b *Builder) error { return b.AddTransition(0, 1, 0) }, "non-positive rate"},
+		{"NaN rate", func(b *Builder) error { return b.AddTransition(0, 1, math.NaN()) }, "non-finite rate"},
+		{"infinite rate", func(b *Builder) error { return b.AddTransition(0, 1, math.Inf(1)) }, "non-finite rate"},
+		{"source out of range", func(b *Builder) error { return b.AddTransition(3, 1, 1) }, "out of range"},
+		{"destination out of range", func(b *Builder) error { return b.AddTransition(0, -1, 1) }, "out of range"},
+		{"self loop", func(b *Builder) error { return b.AddTransition(1, 1, 1) }, "self loop"},
+		{"initial out of range", func(b *Builder) error { return b.SetInitial(7, 1) }, "out of range"},
+		{"negative initial", func(b *Builder) error { return b.SetInitial(0, -0.1) }, "invalid initial probability"},
+		{"NaN initial", func(b *Builder) error { return b.SetInitial(0, math.NaN()) }, "invalid initial probability"},
+		{"wrong name count", func(b *Builder) error { return b.SetNames([]string{"a"}) }, "names for"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := NewBuilder(3)
+			err := c.call(b)
+			if err == nil {
+				t.Fatalf("%s: no error", c.name)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("%s: error %q does not mention %q", c.name, err, c.want)
+			}
+		})
+	}
+}
+
+// A dropped Add/Set error must still surface from Build (and Err), so
+// generator loops that ignore per-call returns fail at construction instead
+// of producing confusing downstream solver failures.
+func TestBuilderDeferredErrorSurfacesAtBuild(t *testing.T) {
+	b := NewBuilder(3)
+	_ = b.AddTransition(0, 1, 1)
+	_ = b.AddTransition(1, 0, -2) // invalid, return discarded
+	_ = b.AddTransition(1, 2, 1)  // later valid calls do not mask it
+	_ = b.SetInitial(0, 1)
+	if b.Err() == nil {
+		t.Fatal("Err() did not record the discarded validation error")
+	}
+	m, err := b.Build()
+	if err == nil {
+		t.Fatalf("Build succeeded on a malformed chain: %v", m)
+	}
+	if !strings.Contains(err.Error(), "non-positive rate") {
+		t.Fatalf("Build error %q does not carry the first validation error", err)
+	}
+}
+
+// The first recorded error wins; a valid build still works.
+func TestBuilderFirstErrorWinsAndValidBuildPasses(t *testing.T) {
+	b := NewBuilder(2)
+	_ = b.AddTransition(0, 0, 1)  // self loop — first error
+	_ = b.AddTransition(5, 0, -1) // second error, must not overwrite
+	if err := b.Err(); err == nil || !strings.Contains(err.Error(), "self loop") {
+		t.Fatalf("first error not retained: %v", err)
+	}
+
+	ok := NewBuilder(2)
+	if err := ok.AddTransition(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.AddTransition(1, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.SetInitial(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ok.Build(); err != nil {
+		t.Fatalf("valid build failed: %v", err)
+	}
+}
+
+// Fingerprint is a content hash: stable across rebuilds, sensitive to
+// structure, rates and initial distribution, insensitive to names.
+func TestFingerprint(t *testing.T) {
+	build := func(rate float64, init int, names bool) *CTMC {
+		b := NewBuilder(2)
+		if err := b.AddTransition(0, 1, rate); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddTransition(1, 0, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SetInitial(init, 1); err != nil {
+			t.Fatal(err)
+		}
+		if names {
+			if err := b.SetNames([]string{"up", "down"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	base := build(1, 0, false)
+	if got := build(1, 0, false).Fingerprint(); got != base.Fingerprint() {
+		t.Error("identical chains produced different fingerprints")
+	}
+	if got := build(1, 0, true).Fingerprint(); got != base.Fingerprint() {
+		t.Error("names changed the fingerprint")
+	}
+	if got := build(1.5, 0, false).Fingerprint(); got == base.Fingerprint() {
+		t.Error("rate change did not change the fingerprint")
+	}
+	if got := build(1, 1, false).Fingerprint(); got == base.Fingerprint() {
+		t.Error("initial-distribution change did not change the fingerprint")
+	}
+	// Memoized path returns the same value.
+	if base.Fingerprint() != base.Fingerprint() {
+		t.Error("fingerprint not stable across calls")
+	}
+}

@@ -29,15 +29,30 @@ type CTMC struct {
 	// absorbing lists the indices of absorbing states in increasing order.
 	absorbing []int
 	names     []string
+	fp        fingerprintState
 }
 
 // Builder accumulates states and transitions of a CTMC. The zero value is
 // not ready for use; call NewBuilder.
+//
+// Every Add/Set method both returns its validation error and records the
+// first one on the builder, so callers that drop the per-call returns (long
+// generator loops) still get a clear failure from Build instead of a
+// confusing downstream solver error on a malformed chain.
 type Builder struct {
 	n       int
 	entries []sparse.Entry
 	initial map[int]float64
 	names   []string
+	err     error
+}
+
+// fail records the first validation error and returns it.
+func (b *Builder) fail(err error) error {
+	if b.err == nil {
+		b.err = err
+	}
+	return err
 }
 
 // NewBuilder returns a Builder for a chain with n states (indices 0..n-1).
@@ -50,13 +65,16 @@ func NewBuilder(n int) *Builder {
 // (they are meaningless in a CTMC generator).
 func (b *Builder) AddTransition(i, j int, rate float64) error {
 	if i < 0 || i >= b.n || j < 0 || j >= b.n {
-		return fmt.Errorf("ctmc: transition (%d→%d) out of range for n=%d", i, j, b.n)
+		return b.fail(fmt.Errorf("ctmc: transition (%d→%d) out of range for n=%d (states are 0..%d)", i, j, b.n, b.n-1))
 	}
 	if i == j {
-		return fmt.Errorf("ctmc: self loop on state %d", i)
+		return b.fail(fmt.Errorf("ctmc: self loop on state %d (rate %v): self loops cancel in a CTMC generator and are rejected", i, rate))
 	}
-	if !(rate > 0) || math.IsInf(rate, 0) {
-		return fmt.Errorf("ctmc: invalid rate %v on transition %d→%d", rate, i, j)
+	if math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return b.fail(fmt.Errorf("ctmc: non-finite rate %v on transition %d→%d", rate, i, j))
+	}
+	if rate <= 0 {
+		return b.fail(fmt.Errorf("ctmc: non-positive rate %v on transition %d→%d (rates must be > 0)", rate, i, j))
 	}
 	b.entries = append(b.entries, sparse.Entry{Row: i, Col: j, Val: rate})
 	return nil
@@ -65,10 +83,10 @@ func (b *Builder) AddTransition(i, j int, rate float64) error {
 // SetInitial sets the initial probability of state i.
 func (b *Builder) SetInitial(i int, p float64) error {
 	if i < 0 || i >= b.n {
-		return fmt.Errorf("ctmc: initial state %d out of range", i)
+		return b.fail(fmt.Errorf("ctmc: initial state %d out of range for n=%d", i, b.n))
 	}
-	if p < 0 || p > 1+1e-12 {
-		return fmt.Errorf("ctmc: invalid initial probability %v", p)
+	if math.IsNaN(p) || p < 0 || p > 1+1e-12 {
+		return b.fail(fmt.Errorf("ctmc: invalid initial probability %v on state %d", p, i))
 	}
 	b.initial[i] = p
 	return nil
@@ -77,15 +95,24 @@ func (b *Builder) SetInitial(i int, p float64) error {
 // SetNames attaches diagnostic state names; len(names) must equal n.
 func (b *Builder) SetNames(names []string) error {
 	if len(names) != b.n {
-		return fmt.Errorf("ctmc: %d names for %d states", len(names), b.n)
+		return b.fail(fmt.Errorf("ctmc: %d names for %d states", len(names), b.n))
 	}
 	b.names = names
 	return nil
 }
 
+// Err returns the first validation error recorded by the Add/Set methods,
+// or nil. Build returns the same error, so checking either suffices.
+func (b *Builder) Err() error { return b.err }
+
 // Build validates the accumulated model and returns the immutable CTMC.
-// The initial distribution must sum to 1 within 1e-9.
+// The initial distribution must sum to 1 within 1e-9. Any validation error
+// recorded by an earlier Add/Set call is returned here even if the caller
+// discarded the per-call return.
 func (b *Builder) Build() (*CTMC, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
 	if b.n <= 0 {
 		return nil, fmt.Errorf("ctmc: empty state space")
 	}

@@ -1,0 +1,47 @@
+package ctmc
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sync"
+)
+
+// fingerprintState memoizes the content hash; CTMCs are immutable after
+// Build, so the hash is computed at most once.
+type fingerprintState struct {
+	once sync.Once
+	sum  [32]byte
+}
+
+// Fingerprint returns a SHA-256 content hash of the chain: dimension,
+// off-diagonal rates (in the deterministic column-major storage order) and
+// initial distribution. Two chains with equal fingerprints are the same
+// generator for every solver in this module, which makes the hash a sound
+// cache key for compiled artifacts (absorbing-state structure and output
+// rates are derived from the hashed data). State names are diagnostic only
+// and are excluded.
+func (c *CTMC) Fingerprint() [32]byte {
+	c.fp.once.Do(func() {
+		h := sha256.New()
+		var buf [24]byte
+		binary.LittleEndian.PutUint64(buf[:8], uint64(c.n))
+		h.Write(buf[:8])
+		for _, e := range c.rates.Entries() {
+			binary.LittleEndian.PutUint64(buf[0:8], uint64(e.Row))
+			binary.LittleEndian.PutUint64(buf[8:16], uint64(e.Col))
+			binary.LittleEndian.PutUint64(buf[16:24], math.Float64bits(e.Val))
+			h.Write(buf[:24])
+		}
+		for i, p := range c.initial {
+			if p == 0 {
+				continue
+			}
+			binary.LittleEndian.PutUint64(buf[0:8], uint64(i))
+			binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(p))
+			h.Write(buf[:16])
+		}
+		copy(c.fp.sum[:], h.Sum(nil))
+	})
+	return c.fp.sum
+}

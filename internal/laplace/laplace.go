@@ -18,6 +18,7 @@ import (
 	"math"
 	"math/cmplx"
 
+	"regenrand/internal/pool"
 	"regenrand/internal/sparse"
 )
 
@@ -124,6 +125,7 @@ func Invert(f func(complex128) complex128, t float64, opt Options) (Result, erro
 	var series sparse.Accumulator
 	series.Add(real(f(complex(a, 0))) / 2)
 	acc := newWynn(opt.Accelerate)
+	defer acc.release()
 	acc.push(series.Value() * scale)
 
 	var prev float64 = math.Inf(1)
@@ -213,7 +215,10 @@ const wynnMaxWidth = 128
 
 // wynn implements Wynn's epsilon algorithm over a stream of partial sums,
 // storing one diagonal of the epsilon table. When acceleration is disabled
-// it passes the raw partial sums through.
+// it passes the raw partial sums through. The two diagonals are drawn from
+// the scratch pool (a batch query inverts one transform per time point, and
+// the table is the only per-inversion allocation on that path) and returned
+// by release.
 type wynn struct {
 	accelerate bool
 	diag       []float64
@@ -221,7 +226,24 @@ type wynn struct {
 }
 
 func newWynn(accelerate bool) *wynn {
-	return &wynn{accelerate: accelerate}
+	if !accelerate {
+		return &wynn{}
+	}
+	return &wynn{
+		accelerate: true,
+		diag:       pool.Get(wynnMaxWidth)[:0],
+		prev:       pool.Get(wynnMaxWidth)[:0],
+	}
+}
+
+// release recycles the table scratch; the wynn must not be used afterwards.
+func (w *wynn) release() {
+	if !w.accelerate {
+		return
+	}
+	pool.Put(w.diag[:0])
+	pool.Put(w.prev[:0])
+	w.diag, w.prev = nil, nil
 }
 
 // push folds the next partial sum into the table and returns the current

@@ -29,6 +29,7 @@ import (
 	"regenrand/internal/dense"
 	"regenrand/internal/par"
 	"regenrand/internal/poisson"
+	"regenrand/internal/pool"
 	"regenrand/internal/sparse"
 )
 
@@ -49,7 +50,12 @@ type Solver struct {
 	// m = sqrt(Λt·n/nnz) at first solve.
 	blockSteps int
 
-	// cached block matrix and its δ.
+	// cached block matrix and its δ. The cache is keyed by the block size
+	// only: a later batch with the same m reuses the block even though its
+	// horizon would have chosen a different per-block budget, so results can
+	// depend on call history. Single-caller reuse keeps that semantic (and
+	// the tests pin it); the batch-query engine instead evaluates each MS
+	// query on a fresh solver so query results stay order-independent.
 	block *dense.Mat
 	m     int
 
@@ -62,6 +68,19 @@ func New(model *ctmc.CTMC, rewards []float64, blockSteps int, opts core.Options)
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	d, err := model.Uniformize(opts.UniformizationFactor)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromDTMC(model, d, rewards, blockSteps, opts)
+}
+
+// NewFromDTMC is New with the uniformized chain supplied by the caller (the
+// compile phase shares one DTMC across measures).
+func NewFromDTMC(model *ctmc.CTMC, d *ctmc.DTMC, rewards []float64, blockSteps int, opts core.Options) (*Solver, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	rmax, err := core.CheckRewards(rewards, model.N())
 	if err != nil {
 		return nil, err
@@ -71,10 +90,6 @@ func New(model *ctmc.CTMC, rewards []float64, blockSteps int, opts core.Options)
 	}
 	if blockSteps < 0 {
 		return nil, fmt.Errorf("multistep: negative block size %d", blockSteps)
-	}
-	d, err := model.Uniformize(opts.UniformizationFactor)
-	if err != nil {
-		return nil, err
 	}
 	r := make([]float64, len(rewards))
 	copy(r, rewards)
@@ -204,15 +219,22 @@ func (s *Solver) TRR(ts []float64) ([]core.Result, error) {
 		s.block, s.m = b, m
 		s.stats.Setup += time.Since(blockStart)
 	}
+	n := s.model.N()
+	init := s.model.Initial()
+	// Scratch distributions come from the per-size pool: a query-phase batch
+	// of time points must not allocate stepping vectors per point.
+	pi := pool.Get(n)
+	buf := pool.Get(n)
+	out := pool.Get(n)
+	defer func() { pool.Put(pi); pool.Put(buf); pool.Put(out) }()
 	for i, t := range ts {
 		if t == 0 {
-			results[i] = core.Result{T: 0, Value: sparse.Dot(s.model.Initial(), s.rewards)}
+			results[i] = core.Result{T: 0, Value: sparse.Dot(init, s.rewards)}
 			continue
 		}
 		blocks := int(t / delta)
 		rem := t - float64(blocks)*delta
-		pi := s.model.Initial()
-		buf := make([]float64, len(pi))
+		copy(pi, init)
 		for b := 0; b < blocks; b++ {
 			vecTimesDense(buf, pi, s.block)
 			pi, buf = buf, pi
@@ -223,7 +245,6 @@ func (s *Solver) TRR(ts []float64) ([]core.Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			out := make([]float64, len(pi))
 			for j, p := range pi {
 				out[j] = w.Weight(0) * p
 			}
@@ -237,7 +258,7 @@ func (s *Solver) TRR(ts []float64) ([]core.Result, error) {
 				}
 				s.stats.MatVecs++
 			}
-			pi = out
+			pi, out = out, pi
 		}
 		results[i] = core.Result{T: t, Value: sparse.Dot(pi, s.rewards), Steps: blocks*m + int(s.dtmc.Lambda*rem)}
 	}

@@ -1,0 +1,46 @@
+package pool
+
+import "testing"
+
+func TestGetReturnsZeroedRightLength(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 9, 1000, 1 << 15} {
+		s := Get(n)
+		if len(s) != n {
+			t.Fatalf("Get(%d): len %d", n, len(s))
+		}
+		for i := range s {
+			if s[i] != 0 {
+				t.Fatalf("Get(%d): dirty at %d", n, i)
+			}
+		}
+		// Dirty it and recycle; the next Get of the same class must be clean.
+		for i := range s {
+			s[i] = 1
+		}
+		Put(s)
+		s2 := Get(n)
+		for i := range s2 {
+			if s2[i] != 0 {
+				t.Fatalf("recycled Get(%d): dirty at %d", n, i)
+			}
+		}
+		Put(s2)
+	}
+}
+
+func TestPutForeignSliceDropped(t *testing.T) {
+	// Non-power-of-two capacity slices are silently dropped, not corrupted.
+	Put(make([]float64, 5, 7))
+	Put(nil)
+	s := Get(5)
+	if len(s) != 5 {
+		t.Fatal("pool broken after foreign Put")
+	}
+}
+
+func TestClassBoundaries(t *testing.T) {
+	if class(1) != 0 || class(2) != 1 || class(3) != 2 || class(4) != 2 || class(5) != 3 {
+		t.Fatalf("class boundaries wrong: %d %d %d %d %d",
+			class(1), class(2), class(3), class(4), class(5))
+	}
+}

@@ -1,0 +1,273 @@
+package regen
+
+import (
+	"sort"
+	"sync"
+
+	"regenrand/internal/core"
+	"regenrand/internal/ctmc"
+	"regenrand/internal/sparse"
+)
+
+// Basis is the reward-independent regenerative-randomization artifact of one
+// (model, regenerative state, options) triple — the expensive part of the
+// method that the compile phase performs once and every query reuses.
+//
+// It owns the shared uniformized DTMC and, in retaining mode, the
+// reward-free chain statistics a(k), q_k, v^i_k together with every stepped
+// vector u_k (primed counterparts when α_r < 1). Binding a reward vector is
+// then a sweep of chunk-deterministic dot products over the retained
+// vectors (sparse.Matrix.RewardDotFused) instead of a fresh stepping pass,
+// and yields a Series bitwise-identical to Build. In non-retaining mode the
+// Basis only shares the DTMC and each binding re-runs the fused stepping
+// pass for its own rewards — the memory-lean configuration the wrapper
+// constructors use.
+//
+// A Basis is safe for concurrent use: lazy extension of the chain store is
+// serialized by an internal mutex, published prefixes are append-only and
+// never mutated, and bindings read immutable snapshots.
+type Basis struct {
+	model      *ctmc.CTMC
+	dtmc       *ctmc.DTMC
+	regenState int
+	opts       core.Options
+	retain     bool
+
+	alphaR    float64
+	absorbing []int
+	plan      *zeroPlan
+
+	mu    sync.Mutex
+	main  *chainState // recording, reward-free; nil when retain is false
+	prime *chainState // nil when alphaR == 1 or retain is false
+}
+
+// NewBasis validates the reward-independent inputs, uniformizes the model
+// once, and returns a Basis. retain selects whether stepped vectors are kept
+// for later reward binding (memory O(states · K)) or each binding re-steps.
+func NewBasis(model *ctmc.CTMC, regenState int, opts core.Options, retain bool) (*Basis, error) {
+	if err := validateRegenInputs(model, regenState, &opts); err != nil {
+		return nil, err
+	}
+	d, err := model.Uniformize(opts.UniformizationFactor)
+	if err != nil {
+		return nil, err
+	}
+	b := &Basis{
+		model:      model,
+		dtmc:       d,
+		regenState: regenState,
+		opts:       opts,
+		retain:     retain,
+		alphaR:     model.Initial()[regenState],
+		absorbing:  model.Absorbing(),
+		plan:       newZeroPlan(regenState, model.Absorbing()),
+	}
+	if retain {
+		n := model.N()
+		u0 := make([]float64, n)
+		u0[regenState] = 1
+		b.main = newChainState(n, b.plan, u0, nil, 1, true)
+		if b.alphaR < 1 {
+			up0 := make([]float64, n)
+			copy(up0, model.Initial())
+			up0[regenState] = 0
+			b.prime = newChainState(n, b.plan, up0, nil, 1-b.alphaR, true)
+		}
+	}
+	return b, nil
+}
+
+// DTMC returns the shared uniformized chain.
+func (b *Basis) DTMC() *ctmc.DTMC { return b.dtmc }
+
+// Retains reports whether stepped vectors are kept for reward rebinding.
+func (b *Basis) Retains() bool { return b.retain }
+
+// RegenState returns the regenerative state index.
+func (b *Basis) RegenState() int { return b.regenState }
+
+// Steps returns the number of full-model DTMC steps currently stored (0 in
+// non-retaining mode): the amortized construction cost of the compile phase.
+func (b *Basis) Steps() int {
+	if !b.retain {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	steps := len(b.main.a) - 1
+	if b.prime != nil {
+		steps += len(b.prime.a) - 1
+	}
+	return steps
+}
+
+// chainSnapshot is an immutable view of one chain's reward-free statistics.
+type chainSnapshot struct {
+	a, q []float64
+	v    [][]float64
+	us   [][]float64
+}
+
+// extend grows the recorded chain until the truncation bound for (rmax, lam)
+// holds at the current depth (or the chain is exhausted), and returns an
+// immutable snapshot. pred must be the same monotone bound Build uses, so
+// the binary-searched truncation level below is bitwise-identical to a
+// fresh fused build.
+func (b *Basis) extend(cs *chainState, pred func(a []float64, level int) bool) chainSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for !cs.done {
+		level := len(cs.a) - 1
+		if pred(cs.a, level) {
+			break
+		}
+		cs.step(b.dtmc, b.plan, nil)
+	}
+	snap := chainSnapshot{
+		a:  cs.a[:len(cs.a):len(cs.a)],
+		q:  cs.q[:len(cs.q):len(cs.q)],
+		us: cs.us[:len(cs.us):len(cs.us)],
+		v:  make([][]float64, len(cs.v)),
+	}
+	for i := range cs.v {
+		snap.v[i] = cs.v[i][:len(cs.v[i]):len(cs.v[i])]
+	}
+	return snap
+}
+
+// Binding is the reward-dependent layer over a Basis: one rewards vector,
+// its b(k) series computed (and cached) from the retained vectors on
+// demand. Bindings are cheap views — create one per rewards vector and
+// share it across queries; methods are safe for concurrent use.
+type Binding struct {
+	basis   *Basis
+	rewards []float64
+	rmax    float64
+	rAbs    []float64
+
+	mu     sync.Mutex
+	bMain  []float64 // b(k) for k < len(bMain), over the retained main chain
+	bPrime []float64
+}
+
+// Bind validates the rewards vector against the model and returns its
+// binding.
+func (b *Basis) Bind(rewards []float64) (*Binding, error) {
+	rmax, err := core.CheckRewards(rewards, b.model.N())
+	if err != nil {
+		return nil, err
+	}
+	r := make([]float64, len(rewards))
+	copy(r, rewards)
+	rAbs := make([]float64, len(b.absorbing))
+	for i, f := range b.absorbing {
+		rAbs[i] = r[f]
+	}
+	return &Binding{basis: b, rewards: r, rmax: rmax, rAbs: rAbs}, nil
+}
+
+// Rewards returns the bound reward vector (shared; do not modify).
+func (bd *Binding) Rewards() []float64 { return bd.rewards }
+
+// RMax returns the maximum bound reward rate.
+func (bd *Binding) RMax() float64 { return bd.rmax }
+
+// SeriesFor returns the regenerative-randomization series of the bound
+// rewards certified for the given horizon — bitwise-identical to
+// Build(model, rewards, regenState, opts, horizon), but at the cost of a
+// coefficient binding (retaining basis, amortized across horizons) or one
+// fused stepping pass (non-retaining basis) instead of uniformize + step.
+func (bd *Binding) SeriesFor(horizon float64) (*Series, error) {
+	if err := checkHorizon(horizon); err != nil {
+		return nil, err
+	}
+	b := bd.basis
+	if !b.retain {
+		return BuildWithDTMC(b.model, b.dtmc, bd.rewards, b.regenState, b.opts, horizon)
+	}
+	lam := b.dtmc.Lambda * horizon
+
+	s := &Series{
+		Lambda:           b.dtmc.Lambda,
+		Regen:            b.regenState,
+		AlphaR:           b.alphaR,
+		Absorbing:        b.absorbing,
+		RewardsAbsorbing: bd.rAbs,
+		RMax:             bd.rmax,
+		Eps:              b.opts.Epsilon,
+		Horizon:          horizon,
+		L:                -1,
+	}
+	budget := s.budgetK()
+
+	mainPred := func(a []float64, level int) bool {
+		return truncErrS(bd.rmax, a, level, lam) <= budget
+	}
+	snap := b.extend(b.main, mainPred)
+	depth := len(snap.a) - 1
+	K := sort.Search(depth, func(cand int) bool { return mainPred(snap.a, cand) })
+	s.K = K
+	s.A = snap.a[:K+1]
+	s.Q = snap.q[:min(K, len(snap.q))]
+	s.V = make([][]float64, len(snap.v))
+	for i := range snap.v {
+		s.V[i] = snap.v[i][:min(K, len(snap.v[i]))]
+	}
+	s.B = bd.bSeries(&bd.bMain, snap, K)
+
+	if b.alphaR < 1 {
+		primePred := func(a []float64, level int) bool {
+			return truncErrP(bd.rmax, a, level, lam) <= budget
+		}
+		psnap := b.extend(b.prime, primePred)
+		pdepth := len(psnap.a) - 1
+		L := sort.Search(pdepth, func(cand int) bool { return primePred(psnap.a, cand) })
+		s.L = L
+		s.AP = psnap.a[:L+1]
+		s.QP = psnap.q[:min(L, len(psnap.q))]
+		s.VP = make([][]float64, len(psnap.v))
+		for i := range psnap.v {
+			s.VP[i] = psnap.v[i][:min(L, len(psnap.v[i]))]
+		}
+		s.BP = bd.bSeries(&bd.bPrime, psnap, L)
+	}
+	return s, nil
+}
+
+// bSeries returns b(0..top) for one chain, computing and caching missing
+// entries from the retained vectors. b(0) is the plain compensated dot the
+// fused build starts from; b(k ≥ 1) replays the dot side of the fused step
+// that produced u_k (same chunk decomposition, same skip list), so every
+// coefficient matches the fused build bit for bit. The dots run through the
+// four-lane batch kernel: independent Kahan chains overlap in the pipeline
+// and lane groups fan out over the worker pool, which is what makes binding
+// a new reward vector several times cheaper than re-stepping.
+func (bd *Binding) bSeries(store *[]float64, snap chainSnapshot, top int) []float64 {
+	bd.mu.Lock()
+	defer bd.mu.Unlock()
+	start := len(*store)
+	if start == 0 && top >= 0 {
+		a0 := snap.a[0]
+		var b0 float64
+		if a0 > 0 {
+			b0 = sparse.Dot(snap.us[0], bd.rewards) / a0
+		}
+		*store = append(*store, b0)
+		start = 1
+	}
+	if start <= top {
+		xs := snap.us[start : top+1]
+		dots := make([]float64, len(xs))
+		bd.basis.dtmc.P.RewardDotFusedBatch(xs, bd.rewards, bd.basis.plan.zero, dots)
+		for i, d := range dots {
+			ak := snap.a[start+i]
+			var bk float64
+			if ak > 0 {
+				bk = d / ak
+			}
+			*store = append(*store, bk)
+		}
+	}
+	return (*store)[:top+1]
+}

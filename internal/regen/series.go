@@ -180,27 +180,44 @@ func newZeroPlan(regen int, absorbing []int) *zeroPlan {
 	return p
 }
 
-// chainState steps one restricted chain (regenerative or primed).
+// chainState steps one restricted chain (regenerative or primed). rewards
+// may be nil (the reward-independent compile phase): the b series is then
+// not tracked, everything else is identical — the fused kernel's stepped
+// vector, mass and zero diversions do not depend on the rewards argument.
 type chainState struct {
 	u, buf   []float64
 	zeroVals []float64
 	a, b, q  []float64
 	v        [][]float64
 	done     bool
+	// record retains every post-zeroing stepped vector in us (us[k] = u_k),
+	// the raw material for binding reward vectors after the fact. The step
+	// buffer is re-allocated per step so retained vectors are never
+	// overwritten.
+	record bool
+	us     [][]float64
 }
 
-func newChainState(n int, plan *zeroPlan, u0 []float64, rewards []float64, a0 float64) *chainState {
+func newChainState(n int, plan *zeroPlan, u0 []float64, rewards []float64, a0 float64, record bool) *chainState {
 	cs := &chainState{
 		u:        u0,
 		buf:      make([]float64, n),
 		zeroVals: make([]float64, len(plan.zero)),
 		v:        make([][]float64, len(plan.absPos)),
+		record:   record,
+	}
+	if record {
+		cs.us = append(cs.us, u0)
 	}
 	cs.a = append(cs.a, a0)
 	if a0 > 0 {
-		cs.b = append(cs.b, sparse.Dot(u0, rewards)/a0)
+		if rewards != nil {
+			cs.b = append(cs.b, sparse.Dot(u0, rewards)/a0)
+		}
 	} else {
-		cs.b = append(cs.b, 0)
+		if rewards != nil {
+			cs.b = append(cs.b, 0)
+		}
 		cs.done = true
 	}
 	return cs
@@ -218,16 +235,52 @@ func (cs *chainState) step(d *ctmc.DTMC, plan *zeroPlan, rewards []float64) {
 		cs.v[i] = append(cs.v[i], cs.zeroVals[p]/ak)
 	}
 	cs.u, cs.buf = cs.buf, cs.u
+	if cs.record {
+		cs.us = append(cs.us, cs.u)
+		cs.buf = make([]float64, len(cs.u))
+	}
 	cs.a = append(cs.a, next)
 	if next > 0 {
-		cs.b = append(cs.b, dot/next)
+		if rewards != nil {
+			cs.b = append(cs.b, dot/next)
+		}
 	} else {
-		cs.b = append(cs.b, 0)
+		if rewards != nil {
+			cs.b = append(cs.b, 0)
+		}
 		cs.done = true
 	}
 	if next < underflowFloor {
 		cs.done = true
 	}
+}
+
+// validateRegenInputs checks the reward-independent preconditions shared by
+// Build and the compile-phase Basis.
+func validateRegenInputs(model *ctmc.CTMC, regen int, opts *core.Options) error {
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	if regen < 0 || regen >= model.N() {
+		return fmt.Errorf("regen: regenerative state %d out of range", regen)
+	}
+	if model.IsAbsorbing(regen) {
+		return fmt.Errorf("regen: regenerative state %d is absorbing", regen)
+	}
+	init := model.Initial()
+	for _, f := range model.Absorbing() {
+		if init[f] != 0 {
+			return fmt.Errorf("regen: initial probability %v on absorbing state %d (the paper assumes P[X(0)=f_i]=0)", init[f], f)
+		}
+	}
+	return nil
+}
+
+func checkHorizon(horizon float64) error {
+	if horizon <= 0 || math.IsInf(horizon, 0) || math.IsNaN(horizon) {
+		return fmt.Errorf("regen: invalid horizon %v", horizon)
+	}
+	return nil
 }
 
 // Build constructs the regenerative-randomization series for the model with
@@ -236,32 +289,33 @@ func (cs *chainState) step(d *ctmc.DTMC, plan *zeroPlan, rewards []float64) {
 // truncation consumes ε/2 (split ε/4 + ε/4 between the two chains when
 // α_r < 1), exactly as in §2 of the paper.
 func Build(model *ctmc.CTMC, rewards []float64, regen int, opts core.Options, horizon float64) (*Series, error) {
-	if err := opts.Validate(); err != nil {
+	if err := validateRegenInputs(model, regen, &opts); err != nil {
+		return nil, err
+	}
+	d, err := model.Uniformize(opts.UniformizationFactor)
+	if err != nil {
+		return nil, err
+	}
+	return BuildWithDTMC(model, d, rewards, regen, opts, horizon)
+}
+
+// BuildWithDTMC is Build with the uniformized chain supplied by the caller:
+// the compile phase uniformizes a model once and shares the DTMC across
+// every measure bound to it. d must be the uniformization of model at
+// opts.UniformizationFactor (uniformization is deterministic, so a shared
+// DTMC yields series bitwise-identical to a per-call Uniformize).
+func BuildWithDTMC(model *ctmc.CTMC, d *ctmc.DTMC, rewards []float64, regen int, opts core.Options, horizon float64) (*Series, error) {
+	if err := validateRegenInputs(model, regen, &opts); err != nil {
 		return nil, err
 	}
 	rmax, err := core.CheckRewards(rewards, model.N())
 	if err != nil {
 		return nil, err
 	}
-	if regen < 0 || regen >= model.N() {
-		return nil, fmt.Errorf("regen: regenerative state %d out of range", regen)
-	}
-	if model.IsAbsorbing(regen) {
-		return nil, fmt.Errorf("regen: regenerative state %d is absorbing", regen)
-	}
-	if horizon <= 0 || math.IsInf(horizon, 0) || math.IsNaN(horizon) {
-		return nil, fmt.Errorf("regen: invalid horizon %v", horizon)
-	}
-	init := model.Initial()
-	for _, f := range model.Absorbing() {
-		if init[f] != 0 {
-			return nil, fmt.Errorf("regen: initial probability %v on absorbing state %d (the paper assumes P[X(0)=f_i]=0)", init[f], f)
-		}
-	}
-	d, err := model.Uniformize(opts.UniformizationFactor)
-	if err != nil {
+	if err := checkHorizon(horizon); err != nil {
 		return nil, err
 	}
+	init := model.Initial()
 	absorbing := model.Absorbing()
 	n := model.N()
 	lam := d.Lambda * horizon
@@ -288,7 +342,7 @@ func Build(model *ctmc.CTMC, rewards []float64, regen int, opts core.Options, ho
 	// Regenerative chain: u_0 = e_r.
 	u0 := make([]float64, n)
 	u0[regen] = 1
-	main := newChainState(n, plan, u0, rewards, 1)
+	main := newChainState(n, plan, u0, rewards, 1, false)
 	for !main.done {
 		K := len(main.a) - 1 // candidate truncation at the current level
 		if truncErrS(rmax, main.a, K, lam) <= budget {
@@ -318,7 +372,7 @@ func Build(model *ctmc.CTMC, rewards []float64, regen int, opts core.Options, ho
 		up0 := make([]float64, n)
 		copy(up0, init)
 		up0[regen] = 0
-		prime := newChainState(n, plan, up0, rewards, 1-s.AlphaR)
+		prime := newChainState(n, plan, up0, rewards, 1-s.AlphaR, false)
 		for !prime.done {
 			L := len(prime.a) - 1
 			if truncErrP(rmax, prime.a, L, lam) <= budget {

@@ -2,6 +2,7 @@ package regen
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"regenrand/internal/core"
@@ -9,19 +10,35 @@ import (
 	"regenrand/internal/uniform"
 )
 
+// SeriesSource yields the series certified for a horizon. Build-backed
+// sources re-step per call; compile-phase Bindings bind retained vectors.
+type SeriesSource interface {
+	SeriesFor(horizon float64) (*Series, error)
+}
+
+// buildSource is the classic construct-and-solve path: a fresh fused build
+// per horizon.
+type buildSource struct {
+	model   *ctmc.CTMC
+	rewards []float64
+	regen   int
+	opts    core.Options
+}
+
+func (b buildSource) SeriesFor(horizon float64) (*Series, error) {
+	return Build(b.model, b.rewards, b.regen, b.opts, horizon)
+}
+
 // Solver is the original regenerative randomization method (the paper's
 // "RR"): build the truncated transformed chain V_{K,L}, then solve it with
 // standard randomization. Half of the error budget goes to the model
 // truncation, half to the V solution, as in the paper.
 type Solver struct {
-	model   *ctmc.CTMC
-	rewards []float64
-	regen   int
-	opts    core.Options
+	opts core.Options
+	src  SeriesSource
 
 	series *Series
-	vmodel *VModel
-	vsolve *uniform.Solver
+	eval   *VEvaluator
 
 	stats core.Stats
 }
@@ -41,7 +58,17 @@ func New(model *ctmc.CTMC, rewards []float64, regenState int, opts core.Options)
 	}
 	r := make([]float64, len(rewards))
 	copy(r, rewards)
-	s := &Solver{model: model, rewards: r, regen: regenState, opts: opts}
+	return NewWithSource(buildSource{model: model, rewards: r, regen: regenState, opts: opts}, opts)
+}
+
+// NewWithSource returns an RR solver over an externally supplied series
+// source (the compile phase's Binding). Input validation is the source's
+// responsibility; opts must match the options the source was built with.
+func NewWithSource(src SeriesSource, opts core.Options) (*Solver, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Solver{opts: opts, src: src}
 	s.stats.DetectionStep = -1
 	return s, nil
 }
@@ -62,21 +89,15 @@ func (s *Solver) ensure(horizon float64) error {
 		return nil
 	}
 	start := time.Now()
-	series, err := Build(s.model, s.rewards, s.regen, s.opts, horizon)
+	series, err := s.src.SeriesFor(horizon)
 	if err != nil {
 		return err
 	}
-	vm, err := series.BuildV()
+	eval, err := NewVEvaluator(series, s.opts)
 	if err != nil {
 		return err
 	}
-	vopts := s.opts
-	vopts.Epsilon = s.opts.Epsilon / 2
-	vs, err := uniform.New(vm.Chain, vm.Rewards, vopts)
-	if err != nil {
-		return fmt.Errorf("regen: solving V: %w", err)
-	}
-	s.series, s.vmodel, s.vsolve = series, vm, vs
+	s.series, s.eval = series, eval
 	s.stats.BuildSteps += series.Steps()
 	s.stats.MatVecs += series.Steps()
 	s.stats.Setup += time.Since(start)
@@ -91,25 +112,11 @@ func (s *Solver) run(ts []float64, mrr bool) ([]core.Result, error) {
 		return nil, err
 	}
 	start := time.Now()
-	var res []core.Result
-	var err error
-	if mrr {
-		res, err = s.vsolve.MRR(ts)
-	} else {
-		res, err = s.vsolve.TRR(ts)
-	}
+	res, vsteps, err := s.eval.run(ts, mrr)
 	if err != nil {
-		return nil, fmt.Errorf("regen: solving V: %w", err)
+		return nil, err
 	}
-	for i := range res {
-		s.stats.VSolveSteps += res[i].Steps
-		// The paper's step count for RR is the model-construction cost.
-		if res[i].T > 0 {
-			res[i].Steps = s.series.StepsFor(res[i].T)
-		} else {
-			res[i].Steps = 0
-		}
-	}
+	s.stats.VSolveSteps += vsteps
 	s.stats.Solve += time.Since(start)
 	return res, nil
 }
@@ -144,27 +151,144 @@ func (s *Solver) boundsRun(ts []float64, mrr bool) ([]core.Bounds, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Truncation-state occupancy via the same V chain with an indicator
-	// reward on a.
-	ind := make([]float64, s.vmodel.Chain.N())
-	ind[s.vmodel.TruncIndex] = 1
-	vopts := s.opts
-	vopts.Epsilon = s.opts.Epsilon / 2
-	vabs, err := uniform.New(s.vmodel.Chain, ind, vopts)
+	return s.eval.boundsFromValues(ts, values, mrr)
+}
+
+var _ core.BoundingSolver = (*Solver)(nil)
+
+// VEvaluator solves one built series: the truncated transformed chain
+// V_{K,L}, its SR solver, and the bounding companion with an indicator
+// reward on the truncation state. The underlying SR solvers cache their
+// stepped reward sequences, so repeated evaluations over the same series
+// amortize; an internal mutex serializes them (uniform.Solver is a
+// single-caller object), making the evaluator safe for concurrent use with
+// results that are a pure function of the requested times.
+type VEvaluator struct {
+	series *Series
+	vmodel *VModel
+	opts   core.Options
+
+	mu     sync.Mutex
+	vsolve *uniform.Solver
+	vabs   *uniform.Solver // lazy; indicator reward on the truncation state
+}
+
+// NewVEvaluator materializes V_{K,L} from the series and prepares its SR
+// solver. opts must be the options the series was built with.
+func NewVEvaluator(series *Series, opts core.Options) (*VEvaluator, error) {
+	vm, err := series.BuildV()
 	if err != nil {
-		return nil, fmt.Errorf("regen: bounding solver: %w", err)
+		return nil, err
+	}
+	vopts := opts
+	vopts.Epsilon = opts.Epsilon / 2
+	vs, err := uniform.New(vm.Chain, vm.Rewards, vopts)
+	if err != nil {
+		return nil, fmt.Errorf("regen: solving V: %w", err)
+	}
+	return &VEvaluator{series: series, vmodel: vm, opts: opts, vsolve: vs}, nil
+}
+
+// Series returns the evaluated series.
+func (e *VEvaluator) Series() *Series { return e.series }
+
+// run evaluates the measure on V and maps each step count to the paper's
+// model-construction cost. It returns the results plus the raw V-solution
+// step total for stats.
+func (e *VEvaluator) run(ts []float64, mrr bool) ([]core.Result, int, error) {
+	e.mu.Lock()
+	var res []core.Result
+	var err error
+	if mrr {
+		res, err = e.vsolve.MRR(ts)
+	} else {
+		res, err = e.vsolve.TRR(ts)
+	}
+	e.mu.Unlock()
+	if err != nil {
+		return nil, 0, fmt.Errorf("regen: solving V: %w", err)
+	}
+	vsteps := 0
+	for i := range res {
+		vsteps += res[i].Steps
+		// The paper's step count for RR is the model-construction cost.
+		if res[i].T > 0 {
+			res[i].Steps = e.series.StepsFor(res[i].T)
+		} else {
+			res[i].Steps = 0
+		}
+	}
+	return res, vsteps, nil
+}
+
+// TRR evaluates the transient reward rate at each time point.
+func (e *VEvaluator) TRR(ts []float64) ([]core.Result, error) {
+	if err := core.CheckTimes(ts); err != nil {
+		return nil, err
+	}
+	res, _, err := e.run(ts, false)
+	return res, err
+}
+
+// MRR evaluates the mean reward rate at each time point.
+func (e *VEvaluator) MRR(ts []float64) ([]core.Result, error) {
+	if err := core.CheckTimes(ts); err != nil {
+		return nil, err
+	}
+	res, _, err := e.run(ts, true)
+	return res, err
+}
+
+// TRRBounds returns certified enclosures of TRR.
+func (e *VEvaluator) TRRBounds(ts []float64) ([]core.Bounds, error) {
+	return e.bounds(ts, false)
+}
+
+// MRRBounds returns certified enclosures of MRR.
+func (e *VEvaluator) MRRBounds(ts []float64) ([]core.Bounds, error) {
+	return e.bounds(ts, true)
+}
+
+func (e *VEvaluator) bounds(ts []float64, mrr bool) ([]core.Bounds, error) {
+	if err := core.CheckTimes(ts); err != nil {
+		return nil, err
+	}
+	values, _, err := e.run(ts, mrr)
+	if err != nil {
+		return nil, err
+	}
+	return e.boundsFromValues(ts, values, mrr)
+}
+
+// boundsFromValues computes the truncation-state occupancy correction for
+// already-computed values.
+func (e *VEvaluator) boundsFromValues(ts []float64, values []core.Result, mrr bool) ([]core.Bounds, error) {
+	e.mu.Lock()
+	if e.vabs == nil {
+		ind := make([]float64, e.vmodel.Chain.N())
+		ind[e.vmodel.TruncIndex] = 1
+		vopts := e.opts
+		vopts.Epsilon = e.opts.Epsilon / 2
+		vabs, err := uniform.New(e.vmodel.Chain, ind, vopts)
+		if err != nil {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("regen: bounding solver: %w", err)
+		}
+		e.vabs = vabs
 	}
 	var mass []core.Result
+	var err error
 	if mrr {
-		mass, err = vabs.MRR(ts)
+		mass, err = e.vabs.MRR(ts)
 	} else {
-		mass, err = vabs.TRR(ts)
+		mass, err = e.vabs.TRR(ts)
 	}
+	e.mu.Unlock()
 	if err != nil {
 		return nil, fmt.Errorf("regen: bounding solver: %w", err)
 	}
-	rmax := s.series.RMax
-	eps := s.opts.Epsilon
+	rmax := e.series.RMax
+	eps := e.opts.Epsilon
 	out := make([]core.Bounds, len(ts))
 	for i := range ts {
 		m := mass[i].Value
@@ -182,5 +306,3 @@ func (s *Solver) boundsRun(ts []float64, mrr bool) ([]core.Bounds, error) {
 	}
 	return out, nil
 }
-
-var _ core.BoundingSolver = (*Solver)(nil)

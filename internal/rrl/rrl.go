@@ -50,14 +50,13 @@ type Config struct {
 
 // Solver is the RRL solver.
 type Solver struct {
-	model   *ctmc.CTMC
-	rewards []float64
-	regen   int
+	rho0Dot func() float64 // π(0)·r̄ for the t = 0 shortcut
 	opts    core.Options
 	conf    Config
+	src     regen.SeriesSource
 
 	series *regen.Series
-	tf     *transform
+	eval   *Evaluator
 
 	stats core.StatsAccum
 }
@@ -65,6 +64,19 @@ type Solver struct {
 // New returns an RRL solver with the paper's inversion configuration.
 func New(model *ctmc.CTMC, rewards []float64, regenState int, opts core.Options) (*Solver, error) {
 	return NewWithConfig(model, rewards, regenState, opts, Config{})
+}
+
+// buildSource is the classic construct-and-solve path: a fresh fused series
+// build per horizon.
+type buildSource struct {
+	model   *ctmc.CTMC
+	rewards []float64
+	regen   int
+	opts    core.Options
+}
+
+func (b buildSource) SeriesFor(horizon float64) (*regen.Series, error) {
+	return regen.Build(b.model, b.rewards, b.regen, b.opts, horizon)
 }
 
 // NewWithConfig returns an RRL solver with explicit inversion settings.
@@ -78,15 +90,26 @@ func NewWithConfig(model *ctmc.CTMC, rewards []float64, regenState int, opts cor
 	if regenState < 0 || regenState >= model.N() || model.IsAbsorbing(regenState) {
 		return nil, fmt.Errorf("rrl: invalid regenerative state %d", regenState)
 	}
+	r := make([]float64, len(rewards))
+	copy(r, rewards)
+	return NewWithSource(buildSource{model: model, rewards: r, regen: regenState, opts: opts},
+		func() float64 { return sparse.Dot(model.Initial(), r) }, opts, conf)
+}
+
+// NewWithSource returns an RRL solver over an externally supplied series
+// source (the compile phase's Binding). rho0 supplies π(0)·r̄ for the t = 0
+// shortcut; input validation is the source's responsibility.
+func NewWithSource(src regen.SeriesSource, rho0 func() float64, opts core.Options, conf Config) (*Solver, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if conf.TFactor == 0 {
 		conf.TFactor = laplace.DefaultTFactor
 	}
 	if conf.TFactor < 1 {
 		return nil, fmt.Errorf("rrl: TFactor %v < 1", conf.TFactor)
 	}
-	r := make([]float64, len(rewards))
-	copy(r, rewards)
-	return &Solver{model: model, rewards: r, regen: regenState, opts: opts, conf: conf}, nil
+	return &Solver{rho0Dot: rho0, opts: opts, conf: conf, src: src}, nil
 }
 
 // Name returns "RRL".
@@ -103,12 +126,12 @@ func (s *Solver) ensure(horizon float64) error {
 		return nil
 	}
 	start := time.Now()
-	series, err := regen.Build(s.model, s.rewards, s.regen, s.opts, horizon)
+	series, err := s.src.SeriesFor(horizon)
 	if err != nil {
 		return err
 	}
 	s.series = series
-	s.tf = newTransform(series)
+	s.eval = NewEvaluator(series, s.rho0Dot, s.opts.Epsilon, s.conf)
 	s.stats.Add(core.Stats{
 		BuildSteps: series.Steps(),
 		MatVecs:    series.Steps(),
@@ -125,66 +148,9 @@ func (s *Solver) run(ts []float64, mrr bool) ([]core.Result, error) {
 		return nil, err
 	}
 	start := time.Now()
-	eps := s.opts.Epsilon
-	var rho0 float64
-	for _, t := range ts {
-		if t == 0 {
-			rho0 = sparse.Dot(s.model.Initial(), s.rewards)
-			break
-		}
-	}
-	results := make([]core.Result, len(ts))
-	errs := make([]error, len(ts))
-	// Each time point inverts independently against the shared read-only
-	// transform; the batch fans out over the worker pool, writing i-indexed
-	// slots so results match a serial run bitwise.
-	par.For(len(ts), func(i int) {
-		t := ts[i]
-		if t == 0 {
-			results[i] = core.Result{T: 0, Value: rho0}
-			return
-		}
-		T := s.conf.TFactor * t
-		var opt laplace.Options
-		var f func(complex128) complex128
-		if mrr {
-			opt = laplace.Options{
-				TFactor:    s.conf.TFactor,
-				Damping:    laplace.DampingCumulative(s.series.RMax, eps, t, T),
-				Tol:        t * eps / 100,
-				Accelerate: !s.conf.DisableAcceleration,
-			}
-			f = s.tf.cumulative
-		} else {
-			opt = laplace.Options{
-				TFactor:    s.conf.TFactor,
-				Damping:    laplace.DampingTRR(s.series.RMax, eps/4, T),
-				Tol:        eps / 100,
-				Accelerate: !s.conf.DisableAcceleration,
-			}
-			f = s.tf.trr
-		}
-		res, err := laplace.Invert(f, t, opt)
-		if err != nil {
-			errs[i] = fmt.Errorf("rrl: t=%v: %w", t, err)
-			return
-		}
-		value := res.Value
-		if mrr {
-			value /= t
-		}
-		results[i] = core.Result{
-			T:         t,
-			Value:     value,
-			Steps:     s.series.StepsFor(t),
-			Abscissae: res.Abscissae,
-		}
-		s.stats.AddAbscissae(res.Abscissae)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	results, err := s.eval.run(ts, mrr, &s.stats)
+	if err != nil {
+		return nil, err
 	}
 	s.stats.Add(core.Stats{Solve: time.Since(start)})
 	return results, nil
@@ -222,7 +188,155 @@ func (s *Solver) bounds(ts []float64, mrr bool) ([]core.Bounds, error) {
 	if err != nil {
 		return nil, err
 	}
-	eps := s.opts.Epsilon
+	return s.eval.boundsFromValues(ts, values, mrr, &s.stats)
+}
+
+var _ core.BoundingSolver = (*Solver)(nil)
+
+// TransformTRR exposes the closed-form transform TRR̃(s) for tests and
+// diagnostics. It is only valid after a solve has built the series.
+func (s *Solver) TransformTRR(z complex128) complex128 {
+	if s.eval == nil {
+		return 0
+	}
+	return s.eval.tf.trr(z)
+}
+
+var _ core.Solver = (*Solver)(nil)
+
+// Evaluator inverts the closed-form transforms of one built series. It is
+// immutable and safe for concurrent use: every method is a pure function of
+// its arguments (per-time-point inversions fan out over the worker pool
+// with i-indexed writes, so results are bitwise-identical to a serial run).
+// The compile phase caches one Evaluator per truncation level and serves
+// arbitrary time batches from it.
+type Evaluator struct {
+	series *regen.Series
+	tf     *transform
+	rho0   func() float64
+	eps    float64
+	conf   Config
+}
+
+// NewEvaluator packs the transform coefficients of a built series. rho0
+// supplies π(0)·r̄ for the t = 0 shortcut (it is called lazily, only for
+// batches containing t = 0, and may be nil if such batches never occur).
+// conf.TFactor must be normalized (nonzero); eps is the total error budget
+// the series was built for.
+func NewEvaluator(series *regen.Series, rho0 func() float64, eps float64, conf Config) *Evaluator {
+	if conf.TFactor == 0 {
+		conf.TFactor = laplace.DefaultTFactor
+	}
+	return &Evaluator{series: series, tf: newTransform(series), rho0: rho0, eps: eps, conf: conf}
+}
+
+// Series returns the evaluated series.
+func (e *Evaluator) Series() *regen.Series { return e.series }
+
+// TRR evaluates the transient reward rate at each time point.
+func (e *Evaluator) TRR(ts []float64) ([]core.Result, error) {
+	if err := core.CheckTimes(ts); err != nil {
+		return nil, err
+	}
+	return e.run(ts, false, nil)
+}
+
+// MRR evaluates the mean reward rate at each time point.
+func (e *Evaluator) MRR(ts []float64) ([]core.Result, error) {
+	if err := core.CheckTimes(ts); err != nil {
+		return nil, err
+	}
+	return e.run(ts, true, nil)
+}
+
+// TRRBounds returns certified enclosures of TRR.
+func (e *Evaluator) TRRBounds(ts []float64) ([]core.Bounds, error) { return e.bounds(ts, false) }
+
+// MRRBounds returns certified enclosures of MRR.
+func (e *Evaluator) MRRBounds(ts []float64) ([]core.Bounds, error) { return e.bounds(ts, true) }
+
+func (e *Evaluator) run(ts []float64, mrr bool, stats *core.StatsAccum) ([]core.Result, error) {
+	eps := e.eps
+	var rho0 float64
+	for _, t := range ts {
+		if t == 0 {
+			rho0 = e.rho0()
+			break
+		}
+	}
+	results := make([]core.Result, len(ts))
+	errs := make([]error, len(ts))
+	// Each time point inverts independently against the shared read-only
+	// transform; the batch fans out over the worker pool, writing i-indexed
+	// slots so results match a serial run bitwise.
+	par.For(len(ts), func(i int) {
+		t := ts[i]
+		if t == 0 {
+			results[i] = core.Result{T: 0, Value: rho0}
+			return
+		}
+		T := e.conf.TFactor * t
+		var opt laplace.Options
+		var f func(complex128) complex128
+		if mrr {
+			opt = laplace.Options{
+				TFactor:    e.conf.TFactor,
+				Damping:    laplace.DampingCumulative(e.series.RMax, eps, t, T),
+				Tol:        t * eps / 100,
+				Accelerate: !e.conf.DisableAcceleration,
+			}
+			f = e.tf.cumulative
+		} else {
+			opt = laplace.Options{
+				TFactor:    e.conf.TFactor,
+				Damping:    laplace.DampingTRR(e.series.RMax, eps/4, T),
+				Tol:        eps / 100,
+				Accelerate: !e.conf.DisableAcceleration,
+			}
+			f = e.tf.trr
+		}
+		res, err := laplace.Invert(f, t, opt)
+		if err != nil {
+			errs[i] = fmt.Errorf("rrl: t=%v: %w", t, err)
+			return
+		}
+		value := res.Value
+		if mrr {
+			value /= t
+		}
+		results[i] = core.Result{
+			T:         t,
+			Value:     value,
+			Steps:     e.series.StepsFor(t),
+			Abscissae: res.Abscissae,
+		}
+		if stats != nil {
+			stats.AddAbscissae(res.Abscissae)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func (e *Evaluator) bounds(ts []float64, mrr bool) ([]core.Bounds, error) {
+	if err := core.CheckTimes(ts); err != nil {
+		return nil, err
+	}
+	values, err := e.run(ts, mrr, nil)
+	if err != nil {
+		return nil, err
+	}
+	return e.boundsFromValues(ts, values, mrr, nil)
+}
+
+// boundsFromValues computes the truncation-mass correction over
+// already-computed values; see Solver.TRRBounds for the construction.
+func (e *Evaluator) boundsFromValues(ts []float64, values []core.Result, mrr bool, stats *core.StatsAccum) ([]core.Bounds, error) {
+	eps := e.eps
 	out := make([]core.Bounds, len(ts))
 	errs := make([]error, len(ts))
 	// The truncation-mass inversions are as independent as the value
@@ -233,24 +347,24 @@ func (s *Solver) bounds(ts []float64, mrr bool) ([]core.Bounds, error) {
 			out[i] = core.Bounds{T: 0, Lower: values[i].Value, Upper: values[i].Value}
 			return
 		}
-		T := s.conf.TFactor * t
+		T := e.conf.TFactor * t
 		var f func(complex128) complex128
 		var opt laplace.Options
 		if mrr {
-			f = func(z complex128) complex128 { return s.tf.truncMass(z) / z }
+			f = func(z complex128) complex128 { return e.tf.truncMass(z) / z }
 			opt = laplace.Options{
-				TFactor:    s.conf.TFactor,
+				TFactor:    e.conf.TFactor,
 				Damping:    laplace.DampingCumulative(1, eps, t, T),
 				Tol:        t * eps / 100,
-				Accelerate: !s.conf.DisableAcceleration,
+				Accelerate: !e.conf.DisableAcceleration,
 			}
 		} else {
-			f = s.tf.truncMass
+			f = e.tf.truncMass
 			opt = laplace.Options{
-				TFactor:    s.conf.TFactor,
+				TFactor:    e.conf.TFactor,
 				Damping:    laplace.DampingTRR(1, eps/4, T),
 				Tol:        eps / 100,
-				Accelerate: !s.conf.DisableAcceleration,
+				Accelerate: !e.conf.DisableAcceleration,
 			}
 		}
 		res, err := laplace.Invert(f, t, opt)
@@ -274,17 +388,19 @@ func (s *Solver) bounds(ts []float64, mrr bool) ([]core.Bounds, error) {
 		// laplace.Options.NoiseRel): the series cannot be summed more
 		// accurately than ~1e-12 relative to r_max in double precision.
 		margin := eps
-		if floor := 1e-12 * s.series.RMax; floor > margin {
+		if floor := 1e-12 * e.series.RMax; floor > margin {
 			margin = floor
 		}
 		lo := values[i].Value
-		hi := lo + s.series.RMax*mass + margin
+		hi := lo + e.series.RMax*mass + margin
 		lo -= margin
 		if lo < 0 {
 			lo = 0
 		}
 		out[i] = core.Bounds{T: t, Lower: lo, Upper: hi}
-		s.stats.AddAbscissae(res.Abscissae)
+		if stats != nil {
+			stats.AddAbscissae(res.Abscissae)
+		}
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -293,19 +409,6 @@ func (s *Solver) bounds(ts []float64, mrr bool) ([]core.Bounds, error) {
 	}
 	return out, nil
 }
-
-var _ core.BoundingSolver = (*Solver)(nil)
-
-// TransformTRR exposes the closed-form transform TRR̃(s) for tests and
-// diagnostics. It is only valid after a solve has built the series.
-func (s *Solver) TransformTRR(z complex128) complex128 {
-	if s.tf == nil {
-		return 0
-	}
-	return s.tf.trr(z)
-}
-
-var _ core.Solver = (*Solver)(nil)
 
 // transform evaluates the closed-form Laplace transforms of V_{K,L}.
 //

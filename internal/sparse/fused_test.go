@@ -97,6 +97,105 @@ func TestStepFusedMatchesComposition(t *testing.T) {
 	}
 }
 
+// RewardDotFused must reproduce the dot a fused step returned, bit for bit:
+// it is the re-binding path of the compile phase, so a retained stepped
+// vector dotted with a rewards vector later has to equal the dot computed
+// during the original step.
+func TestRewardDotFusedMatchesStepFused(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(400)
+		deg := 1 + rng.Intn(10)
+		m := randomKernelMatrix(t, rng, n, deg)
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = rng.Float64()
+		}
+		rewards := make([]float64, n)
+		for i := range rewards {
+			rewards[i] = 2 * rng.Float64()
+		}
+		var zero []int32
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.08 {
+				zero = append(zero, int32(i))
+			}
+		}
+		dst := make([]float64, n)
+		_, want := m.StepFused(dst, src, rewards, zero, nil)
+		got := m.RewardDotFused(dst, rewards, zero)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d (n=%d): RewardDotFused %v != StepFused dot %v", trial, n, got, want)
+		}
+		// nil zero list must also match.
+		_, want = m.StepFused(dst, src, rewards, nil, nil)
+		if got := m.RewardDotFused(dst, rewards, nil); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d: nil-zero RewardDotFused %v != %v", trial, got, want)
+		}
+	}
+}
+
+// The four-lane batch dot must be bitwise-identical to the single-vector
+// kernel for every batch size, including ragged tails.
+func TestRewardDotFusedBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for _, n := range []int{3, 37, 400, 3000} {
+		m := randomKernelMatrix(t, rng, n, 6)
+		rewards := make([]float64, n)
+		for i := range rewards {
+			rewards[i] = 2 * rng.Float64()
+		}
+		var zero []int32
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.05 {
+				zero = append(zero, int32(i))
+			}
+		}
+		for _, count := range []int{1, 2, 3, 4, 5, 9, 16} {
+			xs := make([][]float64, count)
+			for b := range xs {
+				xs[b] = make([]float64, n)
+				for i := range xs[b] {
+					xs[b][i] = rng.Float64()
+				}
+			}
+			out := make([]float64, count)
+			m.RewardDotFusedBatch(xs, rewards, zero, out)
+			for b := range xs {
+				want := m.RewardDotFused(xs[b], rewards, zero)
+				if math.Float64bits(out[b]) != math.Float64bits(want) {
+					t.Fatalf("n=%d count=%d lane %d: batch %v != single %v", n, count, b, out[b], want)
+				}
+			}
+		}
+	}
+}
+
+// The rebinding dot must also cross the parallel threshold bitwise-stably.
+func TestRewardDotFusedBitwiseAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 3000
+	m := randomKernelMatrix(t, rng, n, 12)
+	if m.NNZ() < parallelThreshold {
+		t.Fatalf("matrix too small: nnz=%d", m.NNZ())
+	}
+	x := make([]float64, n)
+	rewards := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+		rewards[i] = rng.Float64()
+	}
+	zero := []int32{3, 999, 2500}
+	old := runtime.GOMAXPROCS(1)
+	d1 := m.RewardDotFused(x, rewards, zero)
+	runtime.GOMAXPROCS(8)
+	d8 := m.RewardDotFused(x, rewards, zero)
+	runtime.GOMAXPROCS(old)
+	if math.Float64bits(d1) != math.Float64bits(d8) {
+		t.Errorf("RewardDotFused differs across GOMAXPROCS: %v vs %v", d1, d8)
+	}
+}
+
 // StepFused results must be bitwise-identical across GOMAXPROCS settings:
 // the chunk decomposition and reduction order are fixed by the matrix.
 func TestStepFusedBitwiseAcrossGOMAXPROCS(t *testing.T) {

@@ -362,6 +362,124 @@ func (m *Matrix) StepFused(dst, src, rewards []float64, zero []int32, zeroVals [
 	})
 }
 
+// RewardDotFused recomputes the reward dot-product that StepFused would have
+// returned for a stepped vector x it produced earlier: the compensated sum of
+// x[j]·rewards[j] over the destinations not listed in zero (sorted ascending),
+// accumulated per precomputed chunk and reduced in chunk order — the exact
+// arithmetic of the dot side of stepFusedRange, term for term. It lets a
+// reward-independent compile phase retain the stepped vectors once and bind
+// arbitrary reward vectors later with results bitwise-identical to the fused
+// stepping path. zero may be nil.
+func (m *Matrix) RewardDotFused(x, rewards []float64, zero []int32) float64 {
+	if len(x) != m.n || len(rewards) != m.n {
+		panic("sparse: RewardDotFused dimension mismatch")
+	}
+	_, dot := m.runChunks(func(p *fusedPartial, lo, hi int) {
+		zi := sort.Search(len(zero), func(i int) bool { return int(zero[i]) >= lo })
+		dot, dotC := p.dot, p.dotC
+		for j := lo; j < hi; j++ {
+			if zi < len(zero) && int(zero[zi]) == j {
+				zi++
+				continue
+			}
+			y := x[j]*rewards[j] - dotC
+			t := dot + y
+			dotC = (t - dot) - y
+			dot = t
+		}
+		p.dot, p.dotC = dot, dotC
+	})
+	return dot
+}
+
+// RewardDotFusedBatch computes RewardDotFused(x, rewards, zero) for every
+// x in xs, writing the results to out (len(out) must equal len(xs)). It is
+// bitwise-identical to calling RewardDotFused per vector — same per-chunk
+// compensated partials, folded in chunk order — but processes four vectors
+// per sweep: the four Kahan recurrences are independent dependency chains,
+// so they overlap in the pipeline instead of serializing, and the rewards
+// vector is streamed once per lane group instead of once per vector. Lane
+// groups fan out over the worker pool. This is the kernel the compile
+// phase binds new reward vectors with (one dot per retained step vector).
+func (m *Matrix) RewardDotFusedBatch(xs [][]float64, rewards []float64, zero []int32, out []float64) {
+	if len(out) != len(xs) {
+		panic("sparse: RewardDotFusedBatch output length mismatch")
+	}
+	if len(rewards) != m.n {
+		panic("sparse: RewardDotFusedBatch rewards length mismatch")
+	}
+	for _, x := range xs {
+		if len(x) != m.n {
+			panic("sparse: RewardDotFusedBatch vector length mismatch")
+		}
+	}
+	const laneWidth = 4
+	groups := (len(xs) + laneWidth - 1) / laneWidth
+	par.For(groups, func(g int) {
+		base := laneWidth * g
+		lanes := len(xs) - base
+		if lanes > laneWidth {
+			lanes = laneWidth
+		}
+		// Pad missing lanes with lane 0; their results are discarded.
+		var lx [laneWidth][]float64
+		for b := 0; b < laneWidth; b++ {
+			if b < lanes {
+				lx[b] = xs[base+b]
+			} else {
+				lx[b] = xs[base]
+			}
+		}
+		x0, x1, x2, x3 := lx[0], lx[1], lx[2], lx[3]
+		var a0, a1, a2, a3 Accumulator
+		nc := len(m.chunks) - 1
+		for c := 0; c < nc; c++ {
+			lo, hi := m.chunks[c], m.chunks[c+1]
+			zi := sort.Search(len(zero), func(i int) bool { return int(zero[i]) >= lo })
+			var d0, c0, d1, c1, d2, c2, d3, c3 float64
+			for j := lo; j < hi; j++ {
+				if zi < len(zero) && int(zero[zi]) == j {
+					zi++
+					continue
+				}
+				r := rewards[j]
+				y0 := x0[j]*r - c0
+				y1 := x1[j]*r - c1
+				y2 := x2[j]*r - c2
+				y3 := x3[j]*r - c3
+				t0 := d0 + y0
+				t1 := d1 + y1
+				t2 := d2 + y2
+				t3 := d3 + y3
+				c0 = (t0 - d0) - y0
+				c1 = (t1 - d1) - y1
+				c2 = (t2 - d2) - y2
+				c3 = (t3 - d3) - y3
+				d0, d1, d2, d3 = t0, t1, t2, t3
+			}
+			// Fold this chunk's partial exactly as reducePartials does.
+			a0.Add(d0)
+			a0.Add(-c0)
+			a1.Add(d1)
+			a1.Add(-c1)
+			a2.Add(d2)
+			a2.Add(-c2)
+			a3.Add(d3)
+			a3.Add(-c3)
+		}
+		out[base] = a0.Value()
+		if lanes > 1 {
+			out[base+1] = a1.Value()
+		}
+		if lanes > 2 {
+			out[base+2] = a2.Value()
+		}
+		if lanes > 3 {
+			out[base+3] = a3.Value()
+		}
+	})
+}
+
 // reducePartials folds per-chunk compensated partials in chunk order with a
 // second Kahan level, independent of how the chunks were executed.
 func reducePartials(partials []fusedPartial) (sum, dot float64) {

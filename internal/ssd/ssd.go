@@ -48,14 +48,24 @@ func New(model *ctmc.CTMC, rewards []float64, opts core.Options) (*Solver, error
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	d, err := model.Uniformize(opts.UniformizationFactor)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromDTMC(model, d, rewards, opts)
+}
+
+// NewFromDTMC is New with the uniformized chain supplied by the caller (the
+// compile phase shares one DTMC across measures). The stationary solve
+// remains per-solver: its residual tolerance depends on the measure's r_max.
+func NewFromDTMC(model *ctmc.CTMC, d *ctmc.DTMC, rewards []float64, opts core.Options) (*Solver, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if len(model.Absorbing()) > 0 {
 		return nil, fmt.Errorf("ssd: RSD requires an irreducible model; %d absorbing states present", len(model.Absorbing()))
 	}
 	rmax, err := core.CheckRewards(rewards, model.N())
-	if err != nil {
-		return nil, err
-	}
-	d, err := model.Uniformize(opts.UniformizationFactor)
 	if err != nil {
 		return nil, err
 	}

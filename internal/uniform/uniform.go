@@ -45,11 +45,22 @@ func New(model *ctmc.CTMC, rewards []float64, opts core.Options) (*Solver, error
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	rmax, err := core.CheckRewards(rewards, model.N())
+	d, err := model.Uniformize(opts.UniformizationFactor)
 	if err != nil {
 		return nil, err
 	}
-	d, err := model.Uniformize(opts.UniformizationFactor)
+	return NewFromDTMC(model, d, rewards, opts)
+}
+
+// NewFromDTMC is New with the uniformized chain supplied by the caller: the
+// compile phase uniformizes a model once and shares the DTMC across every
+// measure and solver bound to it. d must be the uniformization of model at
+// opts.UniformizationFactor.
+func NewFromDTMC(model *ctmc.CTMC, d *ctmc.DTMC, rewards []float64, opts core.Options) (*Solver, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	rmax, err := core.CheckRewards(rewards, model.N())
 	if err != nil {
 		return nil, err
 	}

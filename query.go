@@ -1,0 +1,214 @@
+package regenrand
+
+import (
+	"fmt"
+	"sync"
+
+	"regenrand/internal/core"
+	"regenrand/internal/par"
+)
+
+// Method selects the solution method of a query — the acronyms of the
+// paper: SR (standard randomization), RSD (randomization with steady-state
+// detection), AU (adaptive uniformization), MS (multistep randomization),
+// RR (regenerative randomization) and RRL (regenerative randomization with
+// Laplace transform inversion).
+type Method string
+
+// The supported methods.
+const (
+	MethodSR  Method = "SR"
+	MethodRSD Method = "RSD"
+	MethodAU  Method = "AU"
+	MethodMS  Method = "MS"
+	MethodRR  Method = "RR"
+	MethodRRL Method = "RRL"
+)
+
+// MeasureKind selects the evaluated measure: the transient reward rate
+// TRR(t) or the mean reward rate MRR(t) = (1/t)∫₀ᵗ TRR.
+type MeasureKind string
+
+// The supported measures.
+const (
+	MeasureTRR MeasureKind = "TRR"
+	MeasureMRR MeasureKind = "MRR"
+)
+
+// Query is one evaluation request against a CompiledModel: a method, a
+// measure, a reward vector and a batch of time points.
+type Query struct {
+	// Method is the solution method (default RRL when the model compiled
+	// with a regenerative state, SR otherwise).
+	Method Method
+	// Measure is TRR or MRR (default TRR).
+	Measure MeasureKind
+	// Rewards is the reward-rate vector (length = number of states).
+	Rewards []float64
+	// Times are the evaluation time points.
+	Times []float64
+	// BlockSteps fixes the randomization steps per block for MS (0 =
+	// automatic); ignored by other methods.
+	BlockSteps int
+}
+
+// QueryResult pairs one query's results with its error.
+type QueryResult struct {
+	Results []Result
+	Err     error
+}
+
+// normalize fills the query's defaults.
+func (cm *CompiledModel) normalize(q Query) Query {
+	if q.Method == "" {
+		if cm.basis != nil {
+			q.Method = MethodRRL
+		} else {
+			q.Method = MethodSR
+		}
+	}
+	if q.Measure == "" {
+		q.Measure = MeasureTRR
+	}
+	return q
+}
+
+// Query evaluates one request against the compiled artifacts. It is safe
+// to call from many goroutines: shared per-measure caches are synchronized
+// internally, and the result is a pure function of the request — the same
+// query returns bitwise-identical results whether it runs alone, serially
+// after other queries, or concurrently with them.
+func (cm *CompiledModel) Query(q Query) ([]Result, error) {
+	q = cm.normalize(q)
+	if err := core.CheckTimes(q.Times); err != nil {
+		return nil, err
+	}
+	if q.Measure != MeasureTRR && q.Measure != MeasureMRR {
+		return nil, fmt.Errorf("regenrand: unknown measure %q", q.Measure)
+	}
+	m, err := cm.Measure(q.Rewards)
+	if err != nil {
+		return nil, err
+	}
+	switch q.Method {
+	case MethodSR:
+		return m.lockedRun(q, &m.srMu, func() (core.Solver, error) {
+			s, err := m.srSolver()
+			return s, err
+		})
+	case MethodRSD:
+		return m.lockedRun(q, &m.rsdMu, func() (core.Solver, error) {
+			s, err := m.rsdSolver()
+			return s, err
+		})
+	case MethodAU:
+		return m.lockedRun(q, &m.auMu, func() (core.Solver, error) {
+			s, err := m.auSolver()
+			return s, err
+		})
+	case MethodMS:
+		// MS block caching is call-history-dependent, so each query gets a
+		// fresh solver over the shared DTMC: deterministic, order-free.
+		s, err := m.msSolver(q.BlockSteps)
+		if err != nil {
+			return nil, err
+		}
+		if q.Measure == MeasureMRR {
+			return s.MRR(q.Times) // returns the method's documented error
+		}
+		return s.TRR(q.Times)
+	case MethodRR, MethodRRL:
+		eval, err := m.regenEvaluator(q.Method, core.MaxTime(q.Times))
+		if err != nil {
+			return nil, err
+		}
+		if q.Measure == MeasureMRR {
+			return eval.MRR(q.Times)
+		}
+		return eval.TRR(q.Times)
+	default:
+		return nil, fmt.Errorf("regenrand: unknown method %q", q.Method)
+	}
+}
+
+// measureEvaluator is the method set the RR and RRL evaluators share; the
+// engine dispatches on it so the two regenerative methods flow through one
+// code path.
+type measureEvaluator interface {
+	TRR(ts []float64) ([]core.Result, error)
+	MRR(ts []float64) ([]core.Result, error)
+	TRRBounds(ts []float64) ([]core.Bounds, error)
+	MRRBounds(ts []float64) ([]core.Bounds, error)
+}
+
+// regenEvaluator resolves the series for the horizon and returns the
+// method's cached evaluator.
+func (m *CompiledMeasure) regenEvaluator(method Method, horizon float64) (measureEvaluator, error) {
+	series, err := m.seriesFor(horizon)
+	if err != nil {
+		return nil, err
+	}
+	if method == MethodRR {
+		return m.rrEvaluator(series)
+	}
+	return m.rrlEvaluator(series)
+}
+
+// lockedRun serializes access to one shared single-caller solver under its
+// per-(measure, method) mutex. The cached state those solvers carry
+// (stepped reward sequences, detection step) is deterministic and
+// append-only, so serialized access yields results independent of query
+// order.
+func (m *CompiledMeasure) lockedRun(q Query, mu *sync.Mutex, get func() (core.Solver, error)) ([]Result, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	s, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if q.Measure == MeasureMRR {
+		return s.MRR(q.Times)
+	}
+	return s.TRR(q.Times)
+}
+
+// QueryBatch evaluates the requests concurrently over the worker pool and
+// returns one QueryResult per request, in order. Independent queries fan
+// out; queries sharing a (measure, method) pair serialize only on that
+// pair's solver. Results are identical to evaluating the same requests
+// serially with Query.
+func (cm *CompiledModel) QueryBatch(qs []Query) []QueryResult {
+	out := make([]QueryResult, len(qs))
+	par.For(len(qs), func(i int) {
+		r, err := cm.Query(qs[i])
+		out[i] = QueryResult{Results: r, Err: err}
+	})
+	return out
+}
+
+// QueryBounds evaluates certified two-sided enclosures for an RR or RRL
+// query (other methods do not produce bounds).
+func (cm *CompiledModel) QueryBounds(q Query) ([]Bounds, error) {
+	q = cm.normalize(q)
+	if err := core.CheckTimes(q.Times); err != nil {
+		return nil, err
+	}
+	if q.Measure != MeasureTRR && q.Measure != MeasureMRR {
+		return nil, fmt.Errorf("regenrand: unknown measure %q", q.Measure)
+	}
+	if q.Method != MethodRR && q.Method != MethodRRL {
+		return nil, fmt.Errorf("regenrand: method %q does not produce certified bounds (use RR or RRL)", q.Method)
+	}
+	m, err := cm.Measure(q.Rewards)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := m.regenEvaluator(q.Method, core.MaxTime(q.Times))
+	if err != nil {
+		return nil, err
+	}
+	if q.Measure == MeasureMRR {
+		return eval.MRRBounds(q.Times)
+	}
+	return eval.TRRBounds(q.Times)
+}

@@ -1,6 +1,8 @@
 package regenrand
 
 import (
+	"fmt"
+
 	"regenrand/internal/adaptive"
 	"regenrand/internal/core"
 	"regenrand/internal/ctmc"
@@ -56,16 +58,30 @@ func NewBuilder(n int) *Builder { return ctmc.NewBuilder(n) }
 // randomization rate Λ equal to the maximum output rate.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
+// The classic constructors below are thin wrappers over the compile/query
+// split (see Compile): each compiles the model in the memory-lean
+// non-retaining mode and binds its single measure, so the solver objects
+// behave exactly as before — including the deferred series construction and
+// horizon growth semantics — while sharing the compile-phase code paths.
+
 // NewSR returns a standard-randomization (uniformization) solver, the
 // paper's SR baseline.
 func NewSR(model *CTMC, rewards []float64, opts Options) (Solver, error) {
-	return uniform.New(model, rewards, opts)
+	cm, err := Compile(model, CompileOptions{Options: opts, RegenState: NoRegen, DisableRetention: true})
+	if err != nil {
+		return nil, err
+	}
+	return uniform.NewFromDTMC(model, cm.dtmc, rewards, cm.opts)
 }
 
 // NewRSD returns a randomization-with-steady-state-detection solver for an
 // irreducible model, the paper's RSD comparator.
 func NewRSD(model *CTMC, rewards []float64, opts Options) (Solver, error) {
-	return ssd.New(model, rewards, opts)
+	cm, err := Compile(model, CompileOptions{Options: opts, RegenState: NoRegen, DisableRetention: true})
+	if err != nil {
+		return nil, err
+	}
+	return ssd.NewFromDTMC(model, cm.dtmc, rewards, cm.opts)
 }
 
 // NewAU returns an adaptive-uniformization solver (van Moorsel & Sanders),
@@ -74,7 +90,11 @@ func NewRSD(model *CTMC, rewards []float64, opts Options) (Solver, error) {
 // steps than SR at small and medium mission times on models whose rates
 // grow away from the initial state.
 func NewAU(model *CTMC, rewards []float64, opts Options) (Solver, error) {
-	return adaptive.New(model, rewards, opts)
+	cm, err := Compile(model, CompileOptions{Options: opts, RegenState: NoRegen, DisableRetention: true})
+	if err != nil {
+		return nil, err
+	}
+	return adaptive.NewShared(model, rewards, cm.opts, cm.adjacency())
 }
 
 // NewMultistep returns a multistep-randomization solver (Reibman &
@@ -83,27 +103,53 @@ func NewAU(model *CTMC, rewards []float64, opts Options) (Solver, error) {
 // paper moves past it. blockSteps fixes the randomization steps per block
 // (0 = automatic balance point). TRR only.
 func NewMultistep(model *CTMC, rewards []float64, blockSteps int, opts Options) (Solver, error) {
-	return multistep.New(model, rewards, blockSteps, opts)
+	cm, err := Compile(model, CompileOptions{Options: opts, RegenState: NoRegen, DisableRetention: true})
+	if err != nil {
+		return nil, err
+	}
+	return multistep.NewFromDTMC(model, cm.dtmc, rewards, blockSteps, cm.opts)
 }
 
 // NewRR returns the original regenerative-randomization solver with the
 // given regenerative state (normally the most frequently visited state;
 // the paper uses the fault-free initial state).
 func NewRR(model *CTMC, rewards []float64, regenState int, opts Options) (Solver, error) {
-	return regen.New(model, rewards, regenState, opts)
+	if regenState < 0 {
+		return nil, fmt.Errorf("regen: invalid regenerative state %d", regenState)
+	}
+	cm, err := Compile(model, CompileOptions{Options: opts, RegenState: regenState, DisableRetention: true})
+	if err != nil {
+		return nil, err
+	}
+	m, err := cm.Measure(rewards)
+	if err != nil {
+		return nil, err
+	}
+	return regen.NewWithSource(m.seriesSource(), cm.opts)
 }
 
 // NewRRL returns the paper's regenerative randomization with Laplace
 // transform inversion, configured exactly as in the paper (T = 8t,
 // epsilon-algorithm acceleration).
 func NewRRL(model *CTMC, rewards []float64, regenState int, opts Options) (Solver, error) {
-	return rrl.New(model, rewards, regenState, opts)
+	return NewRRLWithConfig(model, rewards, regenState, opts, RRLConfig{})
 }
 
 // NewRRLWithConfig returns an RRL solver with explicit inversion settings
 // (used by the T-factor and acceleration ablations).
 func NewRRLWithConfig(model *CTMC, rewards []float64, regenState int, opts Options, conf RRLConfig) (Solver, error) {
-	return rrl.NewWithConfig(model, rewards, regenState, opts, conf)
+	if regenState < 0 {
+		return nil, fmt.Errorf("rrl: invalid regenerative state %d", regenState)
+	}
+	cm, err := Compile(model, CompileOptions{Options: opts, RegenState: regenState, DisableRetention: true})
+	if err != nil {
+		return nil, err
+	}
+	m, err := cm.Measure(rewards)
+	if err != nil {
+		return nil, err
+	}
+	return rrl.NewWithSource(m.seriesSource(), m.rho0, cm.opts, conf)
 }
 
 // BuildRegenSeries exposes the regenerative-randomization characterization
