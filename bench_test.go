@@ -288,6 +288,20 @@ func BenchmarkExtensionAU(b *testing.B) {
 	}
 }
 
+// rrlBatchTimes is the 16-point sweep of the RRL batch benchmarks.
+var rrlBatchTimes = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 1e4, 2e4, 5e4, 1e5}
+
+// reportAbscissae attaches the per-op abscissa count and the
+// abscissae-per-second throughput (the transform-evaluation rate the
+// blocked kernels are optimized for) to the benchmark output.
+func reportAbscissae(b *testing.B, perOp int) {
+	b.Helper()
+	b.ReportMetric(float64(perOp), "abscissae")
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(perOp)*float64(b.N)/sec, "abscissae/s")
+	}
+}
+
 // BenchmarkRRLBatch measures a multi-time-point RRL sweep on one solver:
 // the series is built once for the largest horizon and the independent
 // per-t inversions fan out over the worker pool, so this row is the one
@@ -295,7 +309,7 @@ func BenchmarkExtensionAU(b *testing.B) {
 func BenchmarkRRLBatch(b *testing.B) {
 	m := raidModel(b, 20, false)
 	rewards := m.UnavailabilityRewards()
-	ts := []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 1e4, 2e4, 5e4, 1e5}
+	ts := rrlBatchTimes
 	for _, measure := range []string{"TRR", "MRR"} {
 		b.Run(measure, func(b *testing.B) {
 			s, err := regenrand.NewRRL(m.Chain, rewards, m.Pristine, regenrand.DefaultOptions())
@@ -325,7 +339,51 @@ func BenchmarkRRLBatch(b *testing.B) {
 					absc += r.Abscissae
 				}
 			}
-			b.ReportMetric(float64(absc), "abscissae")
+			reportAbscissae(b, absc)
+		})
+	}
+}
+
+// BenchmarkRRLBoundsBatch measures the certified-bounds sweep over the same
+// 16 time points: the fused path inverts the value and truncation-mass
+// transforms jointly at shared abscissae, so this row should cost barely
+// more than the corresponding BenchmarkRRLBatch row (it was ~2× before the
+// fusion, one full inversion per transform).
+func BenchmarkRRLBoundsBatch(b *testing.B) {
+	m := raidModel(b, 20, false)
+	rewards := m.UnavailabilityRewards()
+	ts := rrlBatchTimes
+	for _, measure := range []string{"TRR", "MRR"} {
+		b.Run(measure, func(b *testing.B) {
+			s, err := regenrand.NewRRL(m.Chain, rewards, m.Pristine, regenrand.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			bs, ok := s.(regenrand.BoundingSolver)
+			if !ok {
+				b.Fatal("RRL solver does not produce bounds")
+			}
+			stats, ok := s.(interface{ Stats() regenrand.Stats })
+			if !ok {
+				b.Fatal("RRL solver does not report stats")
+			}
+			if _, err := s.TRR(ts[len(ts)-1:]); err != nil {
+				b.Fatal(err)
+			}
+			before := stats.Stats().Abscissae
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if measure == "TRR" {
+					_, err = bs.TRRBounds(ts)
+				} else {
+					_, err = bs.MRRBounds(ts)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportAbscissae(b, (stats.Stats().Abscissae-before)/b.N)
 		})
 	}
 }

@@ -51,6 +51,9 @@ func TestDiffFlagsRegressionsAndImprovements(t *testing.T) {
 		"BenchmarkNew", "(added)",
 		"BenchmarkGone", "(removed)",
 		"1 regression(s)",
+		// geomean of 1.05, 1.3 and 0.6 over the three common rows:
+		// (1.05·1.3·0.6)^(1/3) ≈ 0.936.
+		"geomean 0.94× old ns/op (-6.4%) over 3 common benchmark(s)",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("diff output missing %q:\n%s", want, out)

@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/exec"
 	"regexp"
@@ -200,6 +201,7 @@ func diffFiles(w io.Writer, oldPath, newPath string, threshold float64) (int, er
 		fmt.Fprintf(w, "WARNING: CPU differs (%q vs %q); deltas may reflect hardware, not code\n", oldF.CPU, newF.CPU)
 	}
 	regressions := 0
+	logSum, common := 0.0, 0
 	seen := make(map[string]bool, len(newF.Entries))
 	for _, e := range newF.Entries {
 		seen[e.Name] = true
@@ -211,6 +213,10 @@ func diffFiles(w io.Writer, oldPath, newPath string, threshold float64) (int, er
 		delta := 0.0
 		if o.NsPerOp > 0 {
 			delta = (e.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+			if e.NsPerOp > 0 {
+				logSum += math.Log(e.NsPerOp / o.NsPerOp)
+				common++
+			}
 		}
 		flag := ""
 		switch {
@@ -226,6 +232,14 @@ func diffFiles(w io.Writer, oldPath, newPath string, threshold float64) (int, er
 		if !seen[o.Name] {
 			fmt.Fprintf(w, "  %-60s %12.0f → %14s ns/op  (removed)\n", o.Name, o.NsPerOp, "—")
 		}
+	}
+	if common > 0 {
+		// The geometric mean of the per-benchmark ns/op ratios is the one
+		// scalar that tracks overall drift without letting the slowest rows
+		// dominate.
+		geomean := math.Exp(logSum / float64(common))
+		fmt.Fprintf(w, "benchjson diff: geomean %.2f× old ns/op (%+.1f%%) over %d common benchmark(s)\n",
+			geomean, (geomean-1)*100, common)
 	}
 	if regressions > 0 {
 		fmt.Fprintf(w, "benchjson diff: %d regression(s) beyond %.0f%%\n", regressions, threshold)

@@ -13,6 +13,9 @@
 //	                    "measure": "TRR", "rewards": [...], "times": [...]}]}
 //	                   or with an inline "model" instead of "model_id"
 //	                   → {"results": [{"results": [...], "error": ""}]}
+//	                   a query with "bounds": true returns certified
+//	                   enclosures (rows carry "lower"/"upper"; RR/RRL only,
+//	                   served by the fused value+bounds inversion)
 //	GET  /healthz      → {"ok": true, "cached_models": k}
 //
 // The model encoding is {"states": n, "transitions": [[from, to, rate],
@@ -73,6 +76,12 @@ type queryJSON struct {
 	Rewards    []float64 `json:"rewards"`
 	Times      []float64 `json:"times"`
 	BlockSteps int       `json:"block_steps,omitempty"`
+	// Bounds requests certified two-sided enclosures instead of point
+	// values (RR/RRL only). RRL enclosures are served by the fused
+	// value+truncation-mass inversion, so they cost barely more than the
+	// values alone; rows then carry "lower"/"upper" alongside "value" (the
+	// midpoint).
+	Bounds bool `json:"bounds,omitempty"`
 }
 
 type queryRequest struct {
@@ -86,10 +95,12 @@ type queryRequest struct {
 }
 
 type resultJSON struct {
-	T         float64 `json:"t"`
-	Value     float64 `json:"value"`
-	Steps     int     `json:"steps,omitempty"`
-	Abscissae int     `json:"abscissae,omitempty"`
+	T         float64  `json:"t"`
+	Value     float64  `json:"value"`
+	Lower     *float64 `json:"lower,omitempty"`
+	Upper     *float64 `json:"upper,omitempty"`
+	Steps     int      `json:"steps,omitempty"`
+	Abscissae int      `json:"abscissae,omitempty"`
 }
 
 type queryResultJSON struct {
@@ -226,9 +237,19 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no queries")
 		return
 	}
-	qs := make([]regenrand.Query, len(req.Queries))
+	// Value and bounds requests run as two overlapped batches (each also
+	// fans out internally over the worker pool, which degrades gracefully
+	// when saturated); responses land back in request-indexed slots.
+	var valIdx, bndIdx []int
 	for i, q := range req.Queries {
-		qs[i] = regenrand.Query{
+		if q.Bounds {
+			bndIdx = append(bndIdx, i)
+		} else {
+			valIdx = append(valIdx, i)
+		}
+	}
+	toQuery := func(q queryJSON) regenrand.Query {
+		return regenrand.Query{
 			Method:     regenrand.Method(q.Method),
 			Measure:    regenrand.MeasureKind(q.Measure),
 			Rewards:    q.Rewards,
@@ -236,19 +257,54 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			BlockSteps: q.BlockSteps,
 		}
 	}
-	batch := cm.QueryBatch(qs)
-	resp := queryResponse{ModelID: cm.Key(), Results: make([]queryResultJSON, len(batch))}
-	for i, qr := range batch {
-		if qr.Err != nil {
-			resp.Results[i].Error = qr.Err.Error()
-			continue
-		}
-		rs := make([]resultJSON, len(qr.Results))
-		for j, res := range qr.Results {
-			rs[j] = resultJSON{T: res.T, Value: res.Value, Steps: res.Steps, Abscissae: res.Abscissae}
-		}
-		resp.Results[i].Results = rs
+	resp := queryResponse{ModelID: cm.Key(), Results: make([]queryResultJSON, len(req.Queries))}
+	var wg sync.WaitGroup
+	if len(valIdx) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			qs := make([]regenrand.Query, len(valIdx))
+			for i, idx := range valIdx {
+				qs[i] = toQuery(req.Queries[idx])
+			}
+			for i, qr := range cm.QueryBatch(qs) {
+				idx := valIdx[i]
+				if qr.Err != nil {
+					resp.Results[idx].Error = qr.Err.Error()
+					continue
+				}
+				rs := make([]resultJSON, len(qr.Results))
+				for j, res := range qr.Results {
+					rs[j] = resultJSON{T: res.T, Value: res.Value, Steps: res.Steps, Abscissae: res.Abscissae}
+				}
+				resp.Results[idx].Results = rs
+			}
+		}()
 	}
+	if len(bndIdx) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			qs := make([]regenrand.Query, len(bndIdx))
+			for i, idx := range bndIdx {
+				qs[i] = toQuery(req.Queries[idx])
+			}
+			for i, br := range cm.QueryBoundsBatch(qs) {
+				idx := bndIdx[i]
+				if br.Err != nil {
+					resp.Results[idx].Error = br.Err.Error()
+					continue
+				}
+				rs := make([]resultJSON, len(br.Bounds))
+				for j, b := range br.Bounds {
+					lo, hi := b.Lower, b.Upper
+					rs[j] = resultJSON{T: b.T, Value: (lo + hi) / 2, Lower: &lo, Upper: &hi}
+				}
+				resp.Results[idx].Results = rs
+			}
+		}()
+	}
+	wg.Wait()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -284,6 +340,21 @@ func main() {
 
 	log.Printf("regenserve: listening on %s (cache capacity %d)", *addr, *cacheSize)
 	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// sameRow compares two result rows by value (the bounds edges are pointers,
+// so struct equality would compare identities).
+func sameRow(a, b resultJSON) bool {
+	if a.T != b.T || a.Value != b.Value || a.Steps != b.Steps || a.Abscissae != b.Abscissae {
+		return false
+	}
+	if (a.Lower == nil) != (b.Lower == nil) || (a.Upper == nil) != (b.Upper == nil) {
+		return false
+	}
+	if a.Lower != nil && (*a.Lower != *b.Lower || *a.Upper != *b.Upper) {
+		return false
+	}
+	return true
 }
 
 // runSelfcheck exercises the live HTTP surface: compile a small RAID
@@ -350,6 +421,7 @@ func runSelfcheck(mux *http.ServeMux) error {
 		{Method: "SR", Measure: "TRR", Rewards: rewards, Times: times},
 		{Method: "RR", Measure: "MRR", Rewards: rewards, Times: times},
 		{Method: "RRL", Measure: "MRR", Rewards: rewards, Times: times},
+		{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: times, Bounds: true},
 	}
 
 	// Many concurrent clients sharing the one compiled model.
@@ -390,10 +462,22 @@ func runSelfcheck(mux *http.ServeMux) error {
 				return fmt.Errorf("client %d: RRL %v vs SR %v at t=%v", c, a, b, times[j])
 			}
 		}
+		// The certified enclosures must carry both edges and contain the SR
+		// values.
+		for j := range times {
+			row := resp.Results[4].Results[j]
+			if row.Lower == nil || row.Upper == nil {
+				return fmt.Errorf("client %d: bounds row %d missing lower/upper", c, j)
+			}
+			if sr := resp.Results[1].Results[j].Value; sr < *row.Lower-1e-9 || sr > *row.Upper+1e-9 {
+				return fmt.Errorf("client %d: SR %v outside bounds [%v, %v] at t=%v",
+					c, sr, *row.Lower, *row.Upper, times[j])
+			}
+		}
 		// All clients must see bitwise-identical answers.
 		for i := range resp.Results {
 			for j := range resp.Results[i].Results {
-				if resp.Results[i].Results[j] != responses[0].Results[i].Results[j] {
+				if !sameRow(resp.Results[i].Results[j], responses[0].Results[i].Results[j]) {
 					return fmt.Errorf("client %d disagrees with client 0 on query %d", c, i)
 				}
 			}

@@ -42,6 +42,11 @@ type CompileOptions struct {
 	// unaffected. The thin wrapper constructors (NewSR, NewRRL, ...) compile
 	// in this mode.
 	DisableRetention bool
+	// RRL carries the inversion knobs every RRL query against this compiled
+	// model runs under (period factor κ, acceleration and tail-truncation
+	// ablations). The zero value reproduces the paper. The knobs change
+	// query results, so they are part of the compile's content key.
+	RRL RRLConfig
 }
 
 // CompiledModel is the immutable, goroutine-safe artifact of the compile
@@ -89,6 +94,10 @@ func Compile(model *CTMC, copts CompileOptions) (*CompiledModel, error) {
 	if copts.RegenState < NoRegen {
 		return nil, fmt.Errorf("regenrand: regenerative state %d out of range (use NoRegen to compile without one)", copts.RegenState)
 	}
+	copts.RRL = copts.RRL.Normalize()
+	if !(copts.RRL.TFactor >= 1) { // also rejects NaN
+		return nil, fmt.Errorf("regenrand: RRL period factor %v < 1", copts.RRL.TFactor)
+	}
 	copts.Options = opts // normalized, so equivalent compiles share a key
 	cm := &CompiledModel{
 		model:    model,
@@ -118,12 +127,19 @@ func Compile(model *CTMC, copts CompileOptions) (*CompiledModel, error) {
 // interchangeable artifacts.
 func compileKey(model *CTMC, copts CompileOptions) string {
 	fp := model.Fingerprint()
-	var tail [26]byte
+	var tail [34]byte
 	binary.LittleEndian.PutUint64(tail[0:8], uint64(int64(copts.RegenState)))
 	binary.LittleEndian.PutUint64(tail[8:16], math.Float64bits(copts.Options.Epsilon))
 	binary.LittleEndian.PutUint64(tail[16:24], math.Float64bits(copts.Options.UniformizationFactor))
 	if copts.DisableRetention {
 		tail[24] = 1
+	}
+	binary.LittleEndian.PutUint64(tail[25:33], math.Float64bits(copts.RRL.TFactor))
+	if copts.RRL.DisableAcceleration {
+		tail[33] |= 1
+	}
+	if copts.RRL.DisableTailTruncation {
+		tail[33] |= 2
 	}
 	return hex.EncodeToString(fp[:]) + hex.EncodeToString(tail[:])
 }
@@ -274,7 +290,7 @@ func (m *CompiledMeasure) seriesFor(horizon float64) (*regen.Series, error) {
 // shared across horizons with identical truncation levels.
 func (m *CompiledMeasure) rrlEvaluator(s *regen.Series) (*rrl.Evaluator, error) {
 	return m.rrlEvs.GetOrCreate(klKey{s.K, s.L}, func() (*rrl.Evaluator, error) {
-		return rrl.NewEvaluator(s, m.rho0, m.cm.opts.Epsilon, RRLConfig{}), nil
+		return rrl.NewEvaluator(s, m.rho0, m.cm.opts.Epsilon, m.cm.copts.RRL), nil
 	})
 }
 
@@ -343,6 +359,7 @@ func (c *CompileCache) Compile(model *CTMC, copts CompileOptions) (*CompiledMode
 		return nil, err
 	}
 	copts.Options = opts // normalized, so equivalent options share a key
+	copts.RRL = copts.RRL.Normalize()
 	return c.lru.GetOrCreate(compileKey(model, copts), func() (*CompiledModel, error) {
 		return Compile(model, copts)
 	})

@@ -63,11 +63,13 @@
 //	})
 //
 // QueryBatch fans a slice of such requests out over the worker pool, and
-// QueryBounds returns the certified two-sided enclosures of RR/RRL. Query
-// results are a pure function of the request: N goroutines sharing one
-// CompiledModel get answers bitwise-identical to a serial run, which is
-// what makes the compiled artifact a sound unit of sharing for a server
-// (see cmd/regenserve, an HTTP/JSON facade over exactly this API, with a
+// QueryBounds/QueryBoundsBatch return the certified two-sided enclosures of
+// RR/RRL (for RRL the enclosure rides the fused value+bounds inversion, so
+// it costs barely more than the values alone). Query results are a pure
+// function of the request: N goroutines sharing one CompiledModel get
+// answers bitwise-identical to a serial run, which is what makes the
+// compiled artifact a sound unit of sharing for a server (see
+// cmd/regenserve, an HTTP/JSON facade over exactly this API, with a
 // CompileCache keying compiled models by generator content hash so
 // repeated compiles are free).
 //
@@ -103,18 +105,39 @@
 // build and AU (MS runs its dense block build on the same worker pool
 // instead); rebinding a reward vector to retained step vectors replays the
 // dot side of that kernel four vectors per sweep
-// (sparse.Matrix.RewardDotFusedBatch); the RRL transform evaluates its
-// eight coefficient polynomials in a single interleaved sweep per
-// abscissa; batches of time points and batches of queries fan out over a
-// persistent worker pool (internal/par); and per-query scratch (stepping
-// buffers, birth-process tables, epsilon-acceleration diagonals) comes
-// from per-size-class pools (internal/pool), so steady-state query traffic
-// runs allocation-free on the hot path. Parallel execution is
-// deterministic: kernel reductions use fixed chunk boundaries with ordered
-// compensated partials, so every result is bitwise-identical for every
-// GOMAXPROCS setting. The classic Solver objects remain single-caller (see
-// core.Solver's concurrency contract); CompiledModel is the concurrent
-// entry point.
+// (sparse.Matrix.RewardDotFusedBatch); batches of time points and batches
+// of queries fan out over a persistent worker pool (internal/par); and
+// per-query scratch (stepping buffers, birth-process tables,
+// epsilon-acceleration diagonals) comes from per-size-class pools
+// (internal/pool), so steady-state query traffic runs allocation-free on
+// the hot path. Parallel execution is deterministic: kernel reductions use
+// fixed chunk boundaries with ordered compensated partials, so every
+// result is bitwise-identical for every GOMAXPROCS setting. The classic
+// Solver objects remain single-caller (see core.Solver's concurrency
+// contract); CompiledModel is the concurrent entry point.
+//
+// The Laplace side — the cost that dominates a steady-state RRL query —
+// runs on blocked transform kernels: the inverter (internal/laplace)
+// requests abscissae in speculative blocks of eight, and the transform
+// evaluator (internal/rrl) sweeps its packed coefficient array once per
+// block, updating all eight abscissae per coefficient load. Eight
+// independent power recurrences hide the floating-point latency that
+// serializes a one-abscissa sweep, and coefficient memory traffic falls
+// 8×. On top of the blocking, each abscissa stops its ascending sweep at
+// the degree where the geometric tail bound suffix[d]·|z|^d (suffix sums of
+// coefficient magnitudes, precomputed once per transform) falls below a
+// tail tolerance chosen so the discarded mass stays below the sweep's own
+// rounding noise and the accumulated truncation stays a small fraction of
+// the inversion's stopping tolerance (≈2^-9 for typical runs, ≤5% even at
+// the term cap; see internal/rrl for the budget derivation); since
+// |z| = Λ/|s+Λ| shrinks as the Durbin index grows, late abscissae truncate
+// after a small fraction of the degree-K array. Certified bounds
+// share the machinery: one joint inversion evaluates the value and
+// truncation-mass transforms at shared abscissae and shared sweeps
+// (laplace.InvertJoint), with each output frozen by its own stopping rule
+// so values are bit-identical to a plain query. A scalar full-sweep
+// reference kernel is retained and the blocked/truncated/fused paths are
+// equivalence-tested against it at the ulp level.
 //
 // Performance is tracked PR-over-PR with cmd/benchjson, which runs the
 // Benchmark* suite and emits a BENCH_<date>.json trajectory file;

@@ -11,6 +11,18 @@
 // consecutive accelerated estimates differ by at most the caller's
 // tolerance — the paper uses ε/100, keeping a factor 25 of slack inside the
 // ε/4 truncation budget.
+//
+// Transforms are evaluated through a block interface: the inverter requests
+// abscissae in speculative blocks of BlockLen and the transform fills one
+// value per abscissa, so an evaluator can amortize its coefficient sweeps
+// across the whole block (one load of each coefficient updates every block
+// abscissa). With the default MinTerms = Streak = 8 the stopping rule can
+// only fire on block boundaries ±Streak, so at most one speculative block is
+// ever wasted. InvertJoint extends the same machinery to m transforms that
+// share their abscissae (and therefore their evaluation sweeps): each output
+// keeps its own compensated partial sums, epsilon table and stopping rule,
+// so a joint inversion returns, output by output, exactly the bits a
+// standalone inversion with the same Options would.
 package laplace
 
 import (
@@ -24,6 +36,27 @@ import (
 
 // DefaultTFactor is the paper's selected period multiplier κ (T = 8t).
 const DefaultTFactor = 8
+
+// BlockLen is the number of abscissae the inverter requests per transform
+// evaluation. Eight lanes give the evaluator enough independent power
+// recurrences to hide floating-point latency and cut coefficient loads 8×,
+// while keeping speculative waste (the tail of the block the stopping rule
+// never consumes) at most seven abscissae per inversion.
+const BlockLen = 8
+
+// BlockFunc evaluates a transform at a block of abscissae: dst[j] = f̃(s[j]).
+// len(dst) == len(s) ≤ BlockLen for plain Invert; InvertJoint passes
+// len(dst) == m·len(s) with output q occupying dst[q·len(s):(q+1)·len(s)].
+type BlockFunc func(dst, s []complex128)
+
+// Scalar adapts a pointwise transform to the block contract.
+func Scalar(f func(complex128) complex128) BlockFunc {
+	return func(dst, s []complex128) {
+		for j, sj := range s {
+			dst[j] = f(sj)
+		}
+	}
+}
 
 // Options configures one inversion.
 type Options struct {
@@ -97,67 +130,152 @@ func (o *Options) validate() error {
 type Result struct {
 	// Value is f(t).
 	Value float64
-	// Abscissae is the number of transform evaluations consumed (including
-	// the real abscissa a).
+	// Abscissae is the number of transform evaluations consumed, including
+	// the real abscissa a and the speculative tail of the final block (the
+	// abscissae were evaluated whether or not the stopping rule read them,
+	// so the count reflects the actual transform-evaluation cost).
 	Abscissae int
 	// Converged records whether the tolerance was met before MaxTerms.
 	Converged bool
 }
 
-// Invert evaluates the Durbin series for f(t) at time t > 0.
-func Invert(f func(complex128) complex128, t float64, opt Options) (Result, error) {
-	if err := opt.validate(); err != nil {
+// invState tracks one output of a (possibly joint) inversion: its Kahan
+// partial sums, epsilon table, and stopping-rule state.
+type invState struct {
+	// series holds the trapezoidal partial sums with Kahan compensation
+	// (sparse.Accumulator): the terms cancel heavily, and the compensated
+	// sums keep the noise floor of the epsilon-accelerated estimates at the
+	// level of the transform evaluations rather than the accumulation
+	// length.
+	series sparse.Accumulator
+	acc    *wynn
+	prev   float64
+	est    float64
+	maxMag float64
+	streak int
+	done   bool
+	res    Result
+}
+
+// Invert evaluates the Durbin series for f(t) at time t > 0, requesting
+// abscissae from f in blocks of BlockLen.
+func Invert(f BlockFunc, t float64, opt Options) (Result, error) {
+	rs, err := InvertJoint(1, f, t, opt)
+	if rs == nil {
 		return Result{}, err
 	}
+	return rs[0], err
+}
+
+// InvertJoint inverts m transforms that share their abscissae in one Durbin
+// sweep: f fills dst with m outputs per block (output q at
+// dst[q·len(s):(q+1)·len(s)]), so an evaluator whose transforms share
+// coefficient sweeps — the RRL value and truncation-mass transforms — pays
+// one sweep family for all of them. Every output gets its own compensated
+// series, epsilon table and stopping rule under the shared Options, and its
+// Result is frozen the moment its own rule fires, so each output is
+// bit-identical to a standalone inversion of that transform with the same
+// Options; the sweep continues until every output has converged. On error
+// (an output exhausting MaxTerms) the returned slice still carries the best
+// estimates.
+func InvertJoint(m int, f BlockFunc, t float64, opt Options) ([]Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("laplace: joint inversion of %d transforms", m)
+	}
 	if !(t > 0) {
-		return Result{}, fmt.Errorf("laplace: t=%v must be positive", t)
+		return nil, fmt.Errorf("laplace: t=%v must be positive", t)
 	}
 	T := opt.TFactor * t
 	a := opt.Damping
 	scale := math.Exp(a*t) / T
 	h := math.Pi / T
 
-	// The trapezoidal series is summed with Kahan compensation
-	// (sparse.Accumulator): its terms cancel heavily, and the compensated
-	// partial sums keep the noise floor of the epsilon-accelerated
-	// estimates at the level of the transform evaluations rather than the
-	// accumulation length.
-	var series sparse.Accumulator
-	series.Add(real(f(complex(a, 0))) / 2)
-	acc := newWynn(opt.Accelerate)
-	defer acc.release()
-	acc.push(series.Value() * scale)
-
-	var prev float64 = math.Inf(1)
-	est := series.Value() * scale
-	maxMag := math.Abs(est)
-	abscissae := 1
-	streak := 0
-	for k := 1; k <= opt.MaxTerms; k++ {
-		s := complex(a, float64(k)*h)
-		term := real(f(s) * cmplx.Exp(complex(0, float64(k)*h*t)))
-		series.Add(term)
-		abscissae++
-		if m := math.Abs(series.Value() * scale); m > maxMag {
-			maxMag = m
-		}
-		est = acc.push(series.Value() * scale)
-		tol := opt.Tol
-		if opt.NoiseRel > 0 && opt.NoiseRel*maxMag > tol {
-			tol = opt.NoiseRel * maxMag
-		}
-		if math.Abs(est-prev) <= tol {
-			streak++
-		} else {
-			streak = 0
-		}
-		if k >= opt.MinTerms && streak >= opt.Streak {
-			return Result{Value: est, Abscissae: abscissae, Converged: true}, nil
-		}
-		prev = est
+	states := make([]invState, m)
+	for q := range states {
+		states[q].acc = newWynn(opt.Accelerate)
+		states[q].prev = math.Inf(1)
 	}
-	return Result{Value: est, Abscissae: abscissae, Converged: false},
-		fmt.Errorf("laplace: series did not converge to %v within %d terms", opt.Tol, opt.MaxTerms)
+	defer func() {
+		for q := range states {
+			states[q].acc.release()
+		}
+	}()
+
+	var sbuf [BlockLen]complex128
+	dst := make([]complex128, m*BlockLen)
+	evaluated := 0
+	remaining := m
+	for k0 := 0; k0 <= opt.MaxTerms && remaining > 0; k0 += BlockLen {
+		bl := BlockLen
+		if k0+bl > opt.MaxTerms+1 {
+			bl = opt.MaxTerms + 1 - k0
+		}
+		for j := 0; j < bl; j++ {
+			sbuf[j] = complex(a, float64(k0+j)*h)
+		}
+		f(dst[:m*bl], sbuf[:bl])
+		evaluated += bl
+		for j := 0; j < bl && remaining > 0; j++ {
+			k := k0 + j
+			var rot complex128
+			if k > 0 {
+				rot = cmplx.Exp(complex(0, float64(k)*h*t))
+			}
+			for q := range states {
+				st := &states[q]
+				if st.done {
+					continue
+				}
+				fv := dst[q*bl+j]
+				if k == 0 {
+					// The real abscissa seeds the series at half weight; no
+					// convergence decision is taken on it.
+					st.series.Add(real(fv) / 2)
+					st.acc.push(st.series.Value() * scale)
+					st.est = st.series.Value() * scale
+					st.maxMag = math.Abs(st.est)
+					continue
+				}
+				st.series.Add(real(fv * rot))
+				if mag := math.Abs(st.series.Value() * scale); mag > st.maxMag {
+					st.maxMag = mag
+				}
+				st.est = st.acc.push(st.series.Value() * scale)
+				tol := opt.Tol
+				if opt.NoiseRel > 0 && opt.NoiseRel*st.maxMag > tol {
+					tol = opt.NoiseRel * st.maxMag
+				}
+				if math.Abs(st.est-st.prev) <= tol {
+					st.streak++
+				} else {
+					st.streak = 0
+				}
+				if k >= opt.MinTerms && st.streak >= opt.Streak {
+					st.done = true
+					st.res = Result{Value: st.est, Abscissae: evaluated, Converged: true}
+					remaining--
+					continue
+				}
+				st.prev = st.est
+			}
+		}
+	}
+	results := make([]Result, m)
+	var err error
+	for q := range states {
+		st := &states[q]
+		if !st.done {
+			st.res = Result{Value: st.est, Abscissae: evaluated, Converged: false}
+			if err == nil {
+				err = fmt.Errorf("laplace: series did not converge to %v within %d terms", opt.Tol, opt.MaxTerms)
+			}
+		}
+		results[q] = st.res
+	}
+	return results, err
 }
 
 // DampingTRR returns the damping parameter for inverting a transform whose
@@ -252,7 +370,9 @@ func (w *wynn) push(s float64) float64 {
 	if !w.accelerate {
 		return s
 	}
-	w.prev = append(w.prev[:0], w.diag...)
+	// The previous diagonal is only read, never extended, so swapping the
+	// two pooled slices retires it in place of copying it.
+	w.prev, w.diag = w.diag, w.prev
 	w.diag = append(w.diag[:0], s)
 	width := len(w.prev)
 	if width > wynnMaxWidth-1 {

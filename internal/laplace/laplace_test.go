@@ -12,7 +12,7 @@ import (
 func invertBounded(t *testing.T, f func(complex128) complex128, tt, fmax, eps float64) Result {
 	t.Helper()
 	T := DefaultTFactor * tt
-	res, err := Invert(f, tt, Options{
+	res, err := Invert(Scalar(f), tt, Options{
 		Damping:    DampingTRR(fmax, eps/4, T),
 		Tol:        eps / 100,
 		Accelerate: true,
@@ -53,7 +53,7 @@ func TestInvertRamp(t *testing.T) {
 	eps := 1e-11
 	for _, tt := range []float64{0.5, 3, 50} {
 		T := DefaultTFactor * tt
-		res, err := Invert(f, tt, Options{
+		res, err := Invert(Scalar(f), tt, Options{
 			Damping:    DampingCumulative(1, eps, tt, T),
 			Tol:        tt * eps / 100,
 			Accelerate: true,
@@ -127,13 +127,13 @@ func TestAccelerationAblation(t *testing.T) {
 		Tol:        1e-8 / 100,
 		Accelerate: true,
 	}
-	accel, err := Invert(f, tt, opts)
+	accel, err := Invert(Scalar(f), tt, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.Accelerate = false
 	opts.MaxTerms = 200000
-	raw, err := Invert(f, tt, opts)
+	raw, err := Invert(Scalar(f), tt, opts)
 	want := math.Exp(-tt)
 	if err == nil {
 		// If it converged, it must have cost much more and still be correct.
@@ -158,7 +158,7 @@ func TestTFactorStability(t *testing.T) {
 	want := math.Cos(tt)
 	for _, kappa := range []float64{4, 8, 16} {
 		T := kappa * tt
-		res, err := Invert(f, tt, Options{
+		res, err := Invert(Scalar(f), tt, Options{
 			TFactor:    kappa,
 			Damping:    DampingTRR(1, 1e-9/4, T),
 			Tol:        1e-9 / 100,
@@ -215,17 +215,84 @@ func TestDampingCumulativeMatchesTaylorRegime(t *testing.T) {
 
 func TestInvertValidation(t *testing.T) {
 	f := func(s complex128) complex128 { return 1 / s }
-	if _, err := Invert(f, 0, Options{Damping: 1, Tol: 1e-6}); err == nil {
+	if _, err := Invert(Scalar(f), 0, Options{Damping: 1, Tol: 1e-6}); err == nil {
 		t.Error("want error for t=0")
 	}
-	if _, err := Invert(f, 1, Options{Damping: 0, Tol: 1e-6}); err == nil {
+	if _, err := Invert(Scalar(f), 1, Options{Damping: 0, Tol: 1e-6}); err == nil {
 		t.Error("want error for zero damping")
 	}
-	if _, err := Invert(f, 1, Options{Damping: 1, Tol: 0}); err == nil {
+	if _, err := Invert(Scalar(f), 1, Options{Damping: 1, Tol: 0}); err == nil {
 		t.Error("want error for zero tolerance")
 	}
-	if _, err := Invert(f, 1, Options{Damping: 1, Tol: 1e-6, TFactor: -1}); err == nil {
+	if _, err := Invert(Scalar(f), 1, Options{Damping: 1, Tol: 1e-6, TFactor: -1}); err == nil {
 		t.Error("want error for negative TFactor")
+	}
+}
+
+// A joint inversion must reproduce, output by output, the exact bits (and
+// cost accounting) of standalone inversions under the same Options — the
+// guarantee the fused RRL value+bounds path is built on.
+func TestInvertJointMatchesSeparate(t *testing.T) {
+	fs := []func(complex128) complex128{
+		func(s complex128) complex128 { return 1 / (s + 0.7) },
+		func(s complex128) complex128 { return 1 / s },
+		func(s complex128) complex128 { return s / (s*s + 4) },
+	}
+	joint := func(dst, s []complex128) {
+		for q, f := range fs {
+			for j, sj := range s {
+				dst[q*len(s)+j] = f(sj)
+			}
+		}
+	}
+	for _, tt := range []float64{0.8, 2.5, 40} {
+		T := DefaultTFactor * tt
+		opt := Options{Damping: DampingTRR(1, 1e-10/4, T), Tol: 1e-10 / 100, Accelerate: true}
+		rs, err := InvertJoint(len(fs), joint, tt, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q, f := range fs {
+			solo, err := Invert(Scalar(f), tt, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(rs[q].Value) != math.Float64bits(solo.Value) {
+				t.Errorf("t=%v output %d: joint %x differs from solo %x",
+					tt, q, math.Float64bits(rs[q].Value), math.Float64bits(solo.Value))
+			}
+			if rs[q].Abscissae != solo.Abscissae || rs[q].Converged != solo.Converged {
+				t.Errorf("t=%v output %d: joint cost (%d, %v) vs solo (%d, %v)",
+					tt, q, rs[q].Abscissae, rs[q].Converged, solo.Abscissae, solo.Converged)
+			}
+		}
+	}
+}
+
+// Blocked evaluation may only ever waste the tail of the final block: the
+// consumed count is a block multiple, and dropping one whole block's worth
+// of terms must break convergence (so no converged run carries a fully
+// wasted block).
+func TestInvertBlockWasteBounded(t *testing.T) {
+	f := func(s complex128) complex128 { return 1 / (s + 1) }
+	opt := Options{Damping: DampingTRR(1, 1e-10/4, 16), Tol: 1e-10 / 100, Accelerate: true}
+	res, err := Invert(Scalar(f), 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Abscissae%BlockLen != 0 {
+		t.Errorf("consumed %d abscissae, want a multiple of the block length %d", res.Abscissae, BlockLen)
+	}
+	// Capping the series one block short of the consumed count must leave
+	// the stopping rule unsatisfied; if it still converged, the final block
+	// of the unrestricted run was pure waste.
+	opt.MaxTerms = res.Abscissae - BlockLen - 1
+	if opt.MaxTerms > 0 {
+		short, err := Invert(Scalar(f), 2, opt)
+		if err == nil && short.Converged {
+			t.Errorf("converged in %d abscissae, a full block less than the %d consumed",
+				short.Abscissae, res.Abscissae)
+		}
 	}
 }
 
@@ -233,7 +300,7 @@ func TestNonConvergenceReported(t *testing.T) {
 	// A transform violating the boundedness assumption (growing original)
 	// with a tiny term cap must report failure rather than silently return.
 	f := func(s complex128) complex128 { return 1 / (s * s * s) }
-	_, err := Invert(f, 1, Options{Damping: 0.05, Tol: 1e-14, MaxTerms: 10})
+	_, err := Invert(Scalar(f), 1, Options{Damping: 0.05, Tol: 1e-14, MaxTerms: 10})
 	if err == nil {
 		t.Error("want convergence failure with MaxTerms=10")
 	}

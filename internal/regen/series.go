@@ -110,6 +110,35 @@ func (s *Series) budgetK() float64 {
 	return s.Eps / 2
 }
 
+// SuffixAbs returns the geometric tail-bound metadata of an interleaved
+// coefficient array: S[d] = Σ_{j≥d} (|packed[stride·j]| + … +
+// |packed[stride·j+stride−1]|), with a trailing sentinel S[n/stride] = 0.
+// Every |z| < 1 then bounds the discarded tail of each interleaved series
+// truncated at degree d by
+//
+//	|Σ_{j≥d} c_j z^j| ≤ Σ_{j≥d} |c_j| |z|^j ≤ S[d]·|z|^d,
+//
+// which is what lets a transform evaluation stop its ascending sweep as
+// soon as S[d]·|z|^d falls below the evaluation's tail tolerance. The sums
+// are accumulated from the tail so each S[d] is itself an upper bound in
+// exact arithmetic truncated once (not a difference of rounded prefix
+// sums).
+func SuffixAbs(packed []float64, stride int) []float64 {
+	if stride <= 0 || len(packed)%stride != 0 {
+		panic(fmt.Sprintf("regen: SuffixAbs stride %d does not divide length %d", stride, len(packed)))
+	}
+	n := len(packed) / stride
+	s := make([]float64, n+1)
+	for d := n - 1; d >= 0; d-- {
+		w := s[d+1]
+		for i := 0; i < stride; i++ {
+			w += math.Abs(packed[stride*d+i])
+		}
+		s[d] = w
+	}
+	return s
+}
+
 // truncErrS bounds the measure error caused by truncating the regenerative
 // chain at K for mission time with Poisson mean lam:
 //

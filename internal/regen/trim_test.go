@@ -1,6 +1,7 @@
 package regen
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -109,5 +110,40 @@ func TestRAIDTruncationLevelsPinned(t *testing.T) {
 				t.Errorf("StepsFor(horizon)=%d want K=%d", got, s.K)
 			}
 		})
+	}
+}
+
+// SuffixAbs must deliver exact-arithmetic tail bounds: non-increasing,
+// zero-terminated, and S[d]·|z|^d must dominate the discarded tail of every
+// interleaved series for every |z| < 1.
+func TestSuffixAbsBoundsTails(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		stride := 1 + rng.Intn(5)
+		n := 1 + rng.Intn(60)
+		packed := make([]float64, stride*n)
+		for i := range packed {
+			packed[i] = (rng.Float64()*2 - 1) * math.Exp(-float64(i)*0.05)
+		}
+		s := SuffixAbs(packed, stride)
+		if len(s) != n+1 || s[n] != 0 {
+			t.Fatalf("suffix length %d / sentinel %v", len(s), s[n])
+		}
+		for d := 0; d < n; d++ {
+			if s[d] < s[d+1] {
+				t.Fatalf("suffix not non-increasing at %d: %v < %v", d, s[d], s[d+1])
+			}
+		}
+		z := rng.Float64() * 0.999
+		d := rng.Intn(n + 1)
+		for lane := 0; lane < stride; lane++ {
+			var tail float64
+			for k := d; k < n; k++ {
+				tail += math.Abs(packed[stride*k+lane]) * math.Pow(z, float64(k))
+			}
+			if bound := s[d] * math.Pow(z, float64(d)); tail > bound*(1+1e-12) {
+				t.Fatalf("trial %d lane %d: tail %g exceeds bound %g", trial, lane, tail, bound)
+			}
+		}
 	}
 }

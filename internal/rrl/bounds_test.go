@@ -3,10 +3,13 @@ package rrl
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"regenrand/internal/core"
 	"regenrand/internal/ctmc"
+	"regenrand/internal/laplace"
+	"regenrand/internal/raid"
 	"regenrand/internal/regen"
 	"regenrand/internal/uniform"
 )
@@ -100,6 +103,151 @@ func TestBoundsRRvsRRL(t *testing.T) {
 			t.Errorf("t=%v: RRL bounds [%v,%v] vs RR bounds [%v,%v]",
 				ts[i], a[i].Lower, a[i].Upper, b[i].Lower, b[i].Upper)
 		}
+	}
+}
+
+// separateBounds is the unfused counterpart of runBounds: the value and
+// truncation-mass transforms inverted independently under the exact
+// Options and tail tolerance the fused path uses. InvertJoint freezes each
+// output by its own stopping rule, so fusing must be a pure cost
+// optimization — this reference pins that bitwise.
+func separateBounds(e *Evaluator, ts []float64, mrr bool) ([]core.Bounds, error) {
+	out := make([]core.Bounds, len(ts))
+	for i, t := range ts {
+		opt := e.invertOptions(t, mrr)
+		tail := e.tailTol(opt, t)
+		vres, err := laplace.Invert(e.tf.valueBlock(mrr, tail), t, opt)
+		if err != nil {
+			return nil, err
+		}
+		massOnly := func(dst, s []complex128) { e.tf.blockEval(nil, dst, s, mrr, tail) }
+		mres, err := laplace.Invert(massOnly, t, opt)
+		if err != nil {
+			return nil, err
+		}
+		value, mass := vres.Value, mres.Value
+		if mrr {
+			value /= t
+			mass /= t
+		}
+		out[i] = e.enclose(t, value, mass)
+	}
+	return out, nil
+}
+
+// pr2Bounds reproduces the separate-inversion bounds path of PR 2: plain
+// values plus a standalone truncation-mass inversion with scalar full-sweep
+// kernels and damping from the mass bound 1 (boundsFromValues).
+func pr2Bounds(e *Evaluator, ts []float64, mrr bool) ([]core.Bounds, error) {
+	values, err := e.run(ts, mrr, nil)
+	if err != nil {
+		return nil, err
+	}
+	return e.boundsFromValues(ts, values, mrr, nil)
+}
+
+func sameBounds(a, b core.Bounds) bool {
+	return math.Float64bits(a.Lower) == math.Float64bits(b.Lower) &&
+		math.Float64bits(a.Upper) == math.Float64bits(b.Upper)
+}
+
+// On the paper's Figure 3 (RAID availability) and Figure 4 (RAID
+// reliability) models the fused value+bounds path must be bit-identical to
+// unfused inversions over the same kernels, and — with tail truncation
+// disabled, since PR 2 had none — bit-identical to the retained PR 2
+// separate-inversion path (r_max = 1 on these models, so the shared value
+// damping coincides with the mass transform's own). The production path
+// (truncation on) must agree with the PR 2 path within the combined
+// inversion noise floors, and everything must run identically for every
+// GOMAXPROCS setting.
+func TestFusedBoundsFig34(t *testing.T) {
+	g, horizon := 20, 1000.0
+	ts := []float64{1, 10, 1000}
+	if testing.Short() {
+		g, horizon = 2, 100
+		ts = []float64{1, 10, 100}
+	}
+	for _, fig := range []struct {
+		name      string
+		absorbing bool
+	}{
+		{"Fig3-availability", false},
+		{"Fig4-unreliability", true},
+	} {
+		t.Run(fig.name, func(t *testing.T) {
+			m, err := raid.Build(raid.DefaultParams(g), fig.absorbing)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rewards []float64
+			if fig.absorbing {
+				rewards = m.UnreliabilityRewards()
+			} else {
+				rewards = m.UnavailabilityRewards()
+			}
+			series, err := regen.Build(m.Chain, rewards, m.Pristine, core.DefaultOptions(), horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if series.RMax != 1 {
+				t.Fatalf("paper model r_max = %v, want 1", series.RMax)
+			}
+			prod := NewEvaluator(series, nil, core.DefaultEpsilon, Config{})
+			noTrunc := NewEvaluator(series, nil, core.DefaultEpsilon, Config{DisableTailTruncation: true})
+			for _, mrr := range []bool{false, true} {
+				fused, err := prod.runBounds(ts, mrr, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				unfused, err := separateBounds(prod, ts, mrr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fusedRef, err := noTrunc.runBounds(ts, mrr, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pr2, err := pr2Bounds(noTrunc, ts, mrr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range ts {
+					if !sameBounds(fused[i], unfused[i]) {
+						t.Errorf("mrr=%v t=%v: fused [%x,%x] differs from unfused [%x,%x]",
+							mrr, ts[i], math.Float64bits(fused[i].Lower), math.Float64bits(fused[i].Upper),
+							math.Float64bits(unfused[i].Lower), math.Float64bits(unfused[i].Upper))
+					}
+					if !sameBounds(fusedRef[i], pr2[i]) {
+						t.Errorf("mrr=%v t=%v: fused (no truncation) [%x,%x] differs from PR 2 path [%x,%x]",
+							mrr, ts[i], math.Float64bits(fusedRef[i].Lower), math.Float64bits(fusedRef[i].Upper),
+							math.Float64bits(pr2[i].Lower), math.Float64bits(pr2[i].Upper))
+					}
+					if d := math.Abs(fused[i].Lower - pr2[i].Lower); d > 4e-12 {
+						t.Errorf("mrr=%v t=%v: production lower edge %g from PR 2 reference", mrr, ts[i], d)
+					}
+					if d := math.Abs(fused[i].Upper - pr2[i].Upper); d > 4e-12 {
+						t.Errorf("mrr=%v t=%v: production upper edge %g from PR 2 reference", mrr, ts[i], d)
+					}
+				}
+				// The fused batch must be bitwise-stable across GOMAXPROCS.
+				old := runtime.GOMAXPROCS(1)
+				serial, err := prod.runBounds(ts, mrr, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				runtime.GOMAXPROCS(8)
+				wide, err := prod.runBounds(ts, mrr, nil)
+				runtime.GOMAXPROCS(old)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range ts {
+					if !sameBounds(serial[i], wide[i]) {
+						t.Errorf("mrr=%v t=%v: bounds differ between GOMAXPROCS 1 and 8", mrr, ts[i])
+					}
+				}
+			}
+		})
 	}
 }
 

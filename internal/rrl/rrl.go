@@ -21,13 +21,28 @@
 // with four accumulators; the top powers z^K and z^{L+1} fall out of the
 // same pass, so each abscissa costs one sweep over one contiguous array
 // instead of the former eight Horner passes plus two binary
-// exponentiations. The independent time points of a batch fan out over the
-// worker pool of package par — each inversion is embarrassingly parallel —
-// with results bitwise-identical to a serial run.
+// exponentiations. The inverter requests abscissae in blocks of eight
+// (laplace.BlockLen) and the sweep runs blocked — every coefficient
+// quadruple loaded once updates all eight abscissae, whose independent
+// power recurrences hide the latency that serializes a one-abscissa sweep —
+// and truncated: per abscissa the sweep stops at the degree where the
+// geometric tail bound suffix[d]·|z|^d (regen.SuffixAbs metadata) drops
+// below a tolerance that keeps the discarded mass under both the sweep's
+// rounding noise and a 2^-20 fraction of the inversion's stopping
+// tolerance. Certified bounds fuse into the same sweeps: one joint
+// inversion (laplace.InvertJoint) carries TRR̃ and the truncation-mass
+// transform p̃_a at shared abscissae, the mass side reading the sa/svs/z^K
+// sums the value side computes, so TRRBounds/MRRBounds cost barely more
+// than the values alone. The scalar full-sweep kernel (evalPacked, trr,
+// truncMass) is retained as the equivalence-test reference. The independent
+// time points of a batch fan out over the worker pool of package par — each
+// inversion is embarrassingly parallel — with results bitwise-identical to
+// a serial run.
 package rrl
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"regenrand/internal/core"
@@ -39,13 +54,29 @@ import (
 )
 
 // Config holds the RRL-specific inversion knobs; the zero value reproduces
-// the paper (T = 8t, epsilon-algorithm acceleration on).
+// the paper (T = 8t, epsilon-algorithm acceleration on, geometric tail
+// truncation on).
 type Config struct {
 	// TFactor is the period multiplier κ in T = κt (0 → 8, the paper's
 	// choice after experimenting over 1..16).
 	TFactor float64
 	// DisableAcceleration turns off Wynn's epsilon algorithm (ablation).
 	DisableAcceleration bool
+	// DisableTailTruncation forces every abscissa to sweep the full packed
+	// coefficient array instead of stopping where the geometric tail bound
+	// suffix[d]·|z|^d falls below the evaluation's tail tolerance
+	// (reference/ablation configuration; see the package comment).
+	DisableTailTruncation bool
+}
+
+// Normalize fills the configuration defaults (the paper's κ = 8); the
+// compile phase normalizes before keying its artifact cache so equivalent
+// configurations share compiled models.
+func (c Config) Normalize() Config {
+	if c.TFactor == 0 {
+		c.TFactor = laplace.DefaultTFactor
+	}
+	return c
 }
 
 // Solver is the RRL solver.
@@ -103,10 +134,8 @@ func NewWithSource(src regen.SeriesSource, rho0 func() float64, opts core.Option
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	if conf.TFactor == 0 {
-		conf.TFactor = laplace.DefaultTFactor
-	}
-	if conf.TFactor < 1 {
+	conf = conf.Normalize()
+	if !(conf.TFactor >= 1) { // also rejects NaN
 		return nil, fmt.Errorf("rrl: TFactor %v < 1", conf.TFactor)
 	}
 	return &Solver{rho0Dot: rho0, opts: opts, conf: conf, src: src}, nil
@@ -178,17 +207,19 @@ func (s *Solver) MRRBounds(ts []float64) ([]core.Bounds, error) {
 }
 
 func (s *Solver) bounds(ts []float64, mrr bool) ([]core.Bounds, error) {
-	var values []core.Result
-	var err error
-	if mrr {
-		values, err = s.MRR(ts)
-	} else {
-		values, err = s.TRR(ts)
+	if err := core.CheckTimes(ts); err != nil {
+		return nil, err
 	}
+	if err := s.ensure(core.MaxTime(ts)); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	out, err := s.eval.runBounds(ts, mrr, &s.stats)
 	if err != nil {
 		return nil, err
 	}
-	return s.eval.boundsFromValues(ts, values, mrr, &s.stats)
+	s.stats.Add(core.Stats{Solve: time.Since(start)})
+	return out, nil
 }
 
 var _ core.BoundingSolver = (*Solver)(nil)
@@ -255,8 +286,59 @@ func (e *Evaluator) TRRBounds(ts []float64) ([]core.Bounds, error) { return e.bo
 // MRRBounds returns certified enclosures of MRR.
 func (e *Evaluator) MRRBounds(ts []float64) ([]core.Bounds, error) { return e.bounds(ts, true) }
 
+// invertOptions builds the inversion configuration of one time point: the
+// measure-specific damping of §2.2 over the shared period T = κt.
+func (e *Evaluator) invertOptions(t float64, mrr bool) laplace.Options {
+	T := e.conf.TFactor * t
+	if mrr {
+		return laplace.Options{
+			TFactor:    e.conf.TFactor,
+			Damping:    laplace.DampingCumulative(e.series.RMax, e.eps, t, T),
+			Tol:        t * e.eps / 100,
+			Accelerate: !e.conf.DisableAcceleration,
+		}
+	}
+	return laplace.Options{
+		TFactor:    e.conf.TFactor,
+		Damping:    laplace.DampingTRR(e.series.RMax, e.eps/4, T),
+		Tol:        e.eps / 100,
+		Accelerate: !e.conf.DisableAcceleration,
+	}
+}
+
+// Tail-tolerance scaling of the truncated sweeps. A per-abscissa transform
+// perturbation δ enters the Durbin estimate through the prefactor
+// scale = e^{at}/T, so δ ≤ tailTolFrac·Tol/scale bounds the accumulated
+// truncation over N terms by N·2^-20·Tol: ≤ 2^-9·Tol for the few hundred
+// abscissae of a typical inversion, and ≤ 5% of Tol even if a run
+// exhausts laplace's 5·10^4-term cap — inside the factor-25 slack Tol
+// keeps against the ε/4 inversion budget in every case. Independently,
+// δ ≤ tailNoiseRel·S[0] (S[0] the total coefficient mass of the sweep,
+// regen.SuffixAbs) keeps the discarded tail a factor n/2^3 below the full
+// sweep's own accumulated rounding noise of ≈ n·2^-53·S[0] over n degrees
+// (≥4× at the smallest sweeps worth truncating, ~300× at the paper's
+// K ≈ 2720). Either argument alone certifies the truncation, so the
+// tolerance is the larger of the two.
+const (
+	tailTolFrac  = 0x1p-20
+	tailNoiseRel = 0x1p-50
+)
+
+// tailTol returns the per-abscissa tail tolerance of one inversion, or 0
+// (no truncation) under DisableTailTruncation.
+func (e *Evaluator) tailTol(opt laplace.Options, t float64) float64 {
+	if e.conf.DisableTailTruncation {
+		return 0
+	}
+	scale := math.Exp(opt.Damping*t) / (e.conf.TFactor * t)
+	tol := tailTolFrac * opt.Tol / scale
+	if floor := tailNoiseRel * e.tf.coefMass; floor > tol {
+		tol = floor
+	}
+	return tol
+}
+
 func (e *Evaluator) run(ts []float64, mrr bool, stats *core.StatsAccum) ([]core.Result, error) {
-	eps := e.eps
 	var rho0 float64
 	for _, t := range ts {
 		if t == 0 {
@@ -275,26 +357,8 @@ func (e *Evaluator) run(ts []float64, mrr bool, stats *core.StatsAccum) ([]core.
 			results[i] = core.Result{T: 0, Value: rho0}
 			return
 		}
-		T := e.conf.TFactor * t
-		var opt laplace.Options
-		var f func(complex128) complex128
-		if mrr {
-			opt = laplace.Options{
-				TFactor:    e.conf.TFactor,
-				Damping:    laplace.DampingCumulative(e.series.RMax, eps, t, T),
-				Tol:        t * eps / 100,
-				Accelerate: !e.conf.DisableAcceleration,
-			}
-			f = e.tf.cumulative
-		} else {
-			opt = laplace.Options{
-				TFactor:    e.conf.TFactor,
-				Damping:    laplace.DampingTRR(e.series.RMax, eps/4, T),
-				Tol:        eps / 100,
-				Accelerate: !e.conf.DisableAcceleration,
-			}
-			f = e.tf.trr
-		}
+		opt := e.invertOptions(t, mrr)
+		f := e.tf.valueBlock(mrr, e.tailTol(opt, t))
 		res, err := laplace.Invert(f, t, opt)
 		if err != nil {
 			errs[i] = fmt.Errorf("rrl: t=%v: %w", t, err)
@@ -326,15 +390,105 @@ func (e *Evaluator) bounds(ts []float64, mrr bool) ([]core.Bounds, error) {
 	if err := core.CheckTimes(ts); err != nil {
 		return nil, err
 	}
-	values, err := e.run(ts, mrr, nil)
-	if err != nil {
-		return nil, err
-	}
-	return e.boundsFromValues(ts, values, mrr, nil)
+	return e.runBounds(ts, mrr, nil)
 }
 
-// boundsFromValues computes the truncation-mass correction over
-// already-computed values; see Solver.TRRBounds for the construction.
+// runBounds evaluates certified enclosures through the fused path: per time
+// point one joint inversion (laplace.InvertJoint) carries the value
+// transform and the truncation-mass transform at shared abscissae, so the
+// mass side rides the sa/svs/z^K sweeps the value side pays for and the
+// bounds cost barely exceeds the values alone. The value output is frozen
+// by its own stopping rule, so it is bit-identical to a plain TRR/MRR run.
+//
+// Both outputs share the value measure's damping (computed from r_max). The
+// mass original is bounded by 1, so its Durbin approximation error under
+// that damping is at most (ε/4)/r_max — and the mass only enters the upper
+// bound multiplied by r_max, so the certified correction stays within the
+// ε/4 budget for every r_max; when r_max = 1 the shared damping coincides
+// with the mass transform's own, and the fused enclosures match the
+// separate-inversion reference (boundsSeparateRef) bitwise.
+func (e *Evaluator) runBounds(ts []float64, mrr bool, stats *core.StatsAccum) ([]core.Bounds, error) {
+	var rho0 float64
+	for _, t := range ts {
+		if t == 0 {
+			rho0 = e.rho0()
+			break
+		}
+	}
+	out := make([]core.Bounds, len(ts))
+	errs := make([]error, len(ts))
+	// The joint inversions are as independent as the value inversions; fan
+	// them out the same way.
+	par.For(len(ts), func(i int) {
+		t := ts[i]
+		if t == 0 {
+			out[i] = core.Bounds{T: 0, Lower: rho0, Upper: rho0}
+			return
+		}
+		opt := e.invertOptions(t, mrr)
+		f := e.tf.jointBlock(mrr, e.tailTol(opt, t))
+		rs, err := laplace.InvertJoint(2, f, t, opt)
+		if err != nil {
+			errs[i] = fmt.Errorf("rrl: bounds at t=%v: %w", t, err)
+			return
+		}
+		value, mass := rs[0].Value, rs[1].Value
+		if mrr {
+			value /= t
+			mass /= t
+		}
+		out[i] = e.enclose(t, value, mass)
+		if stats != nil {
+			// The two outputs share their abscissae; the later freeze saw
+			// every evaluation.
+			absc := rs[0].Abscissae
+			if rs[1].Abscissae > absc {
+				absc = rs[1].Abscissae
+			}
+			stats.AddAbscissae(absc)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// enclose assembles the certified enclosure of one time point from the
+// plain value (a lower bound: the truncation state earns reward 0 where the
+// exact process earns ≥ 0) and the inverted truncation mass (the upper
+// correction r_max·mass); see Solver.TRRBounds.
+func (e *Evaluator) enclose(t, value, mass float64) core.Bounds {
+	// Clamp the inverted mass to its probabilistic range.
+	if mass < 0 {
+		mass = 0
+	}
+	if mass > 1 {
+		mass = 1
+	}
+	// The margin covers the ε/2 inversion budget plus the double-precision
+	// floor of the Durbin series (cf. laplace.Options.NoiseRel): the series
+	// cannot be summed more accurately than ~1e-12 relative to r_max in
+	// double precision.
+	margin := e.eps
+	if floor := 1e-12 * e.series.RMax; floor > margin {
+		margin = floor
+	}
+	lo := value
+	hi := lo + e.series.RMax*mass + margin
+	lo -= margin
+	if lo < 0 {
+		lo = 0
+	}
+	return core.Bounds{T: t, Lower: lo, Upper: hi}
+}
+
+// boundsFromValues is the separate-inversion bounds path of PR 2, retained
+// as the reference the fused runBounds is equivalence-tested against: the
+// truncation-mass transform is inverted on its own (scalar kernels, full
+// sweeps, damping from the mass bound 1) over already-computed values.
 func (e *Evaluator) boundsFromValues(ts []float64, values []core.Result, mrr bool, stats *core.StatsAccum) ([]core.Bounds, error) {
 	eps := e.eps
 	out := make([]core.Bounds, len(ts))
@@ -348,10 +502,10 @@ func (e *Evaluator) boundsFromValues(ts []float64, values []core.Result, mrr boo
 			return
 		}
 		T := e.conf.TFactor * t
-		var f func(complex128) complex128
+		var f laplace.BlockFunc
 		var opt laplace.Options
 		if mrr {
-			f = func(z complex128) complex128 { return e.tf.truncMass(z) / z }
+			f = laplace.Scalar(func(s complex128) complex128 { return e.tf.truncMass(s) / s })
 			opt = laplace.Options{
 				TFactor:    e.conf.TFactor,
 				Damping:    laplace.DampingCumulative(1, eps, t, T),
@@ -359,7 +513,7 @@ func (e *Evaluator) boundsFromValues(ts []float64, values []core.Result, mrr boo
 				Accelerate: !e.conf.DisableAcceleration,
 			}
 		} else {
-			f = e.tf.truncMass
+			f = laplace.Scalar(e.tf.truncMass)
 			opt = laplace.Options{
 				TFactor:    e.conf.TFactor,
 				Damping:    laplace.DampingTRR(1, eps/4, T),
@@ -376,28 +530,7 @@ func (e *Evaluator) boundsFromValues(ts []float64, values []core.Result, mrr boo
 		if mrr {
 			mass /= t
 		}
-		// Clamp the inverted mass to its probabilistic range.
-		if mass < 0 {
-			mass = 0
-		}
-		if mass > 1 {
-			mass = 1
-		}
-		// The margin covers the ε/2 inversion budget plus the
-		// double-precision floor of the Durbin series (cf.
-		// laplace.Options.NoiseRel): the series cannot be summed more
-		// accurately than ~1e-12 relative to r_max in double precision.
-		margin := eps
-		if floor := 1e-12 * e.series.RMax; floor > margin {
-			margin = floor
-		}
-		lo := values[i].Value
-		hi := lo + e.series.RMax*mass + margin
-		lo -= margin
-		if lo < 0 {
-			lo = 0
-		}
-		out[i] = core.Bounds{T: t, Lower: lo, Upper: hi}
+		out[i] = e.enclose(t, values[i].Value, mass)
 		if stats != nil {
 			stats.AddAbscissae(res.Abscissae)
 		}
@@ -428,14 +561,29 @@ type transform struct {
 	// packedP is the primed-chain counterpart over k = 0..L; nil when
 	// α_r = 1.
 	packedP []float64
+	// suffix and suffixP are the geometric tail bounds of the packed arrays
+	// (regen.SuffixAbs): suffix[d]·|z|^d bounds the tail any of the four
+	// interleaved series discards when a sweep stops after d degrees, which
+	// is what lets late Durbin abscissae (small |z|) truncate after a small
+	// fraction of K.
+	suffix, suffixP []float64
+	// coefMass is the larger chain's total coefficient mass (suffix[0]),
+	// the scale of the sweeps' intrinsic rounding noise.
+	coefMass float64
 }
 
 func newTransform(s *regen.Series) *transform {
 	tf := &transform{lambda: s.Lambda, k: s.K, l: s.L, aK: s.A[s.K]}
 	tf.packed = packSeries(s.A, s.B, s.V, s.RewardsAbsorbing, s.K)
+	tf.suffix = regen.SuffixAbs(tf.packed, 4)
+	tf.coefMass = tf.suffix[0]
 	if s.L >= 0 {
 		tf.apL = s.AP[s.L]
 		tf.packedP = packSeries(s.AP, s.BP, s.VP, s.RewardsAbsorbing, s.L)
+		tf.suffixP = regen.SuffixAbs(tf.packedP, 4)
+		if tf.suffixP[0] > tf.coefMass {
+			tf.coefMass = tf.suffixP[0]
+		}
 	}
 	return tf
 }
@@ -468,13 +616,18 @@ func packSeries(a, b []float64, v [][]float64, rAbs []float64, top int) []float6
 // and zTop = z^top as a byproduct of the same pass (replacing the separate
 // binary exponentiations the old evaluator ran per abscissa). Coefficients
 // are real, so each term costs two real multiply-adds per series instead of
-// a complex Horner multiply.
+// a complex Horner multiply. This is the scalar reference kernel the
+// blocked evalPackedBlock is equivalence-tested against; every degree below
+// the top updates the power, so the branch is hoisted out of the body and
+// the loop unrolled in pairs (arithmetic order per degree is unchanged, so
+// the results are bit-identical to the rolled form).
 func evalPacked(packed []float64, z complex128) (sa, sc, svs, svr, zTop complex128) {
 	zr, zi := real(z), imag(z)
 	pr, pi := 1.0, 0.0
 	var sar, sai, scr, sci, svsr, svsi, svrr, svri float64
 	n := len(packed)
-	for base := 0; base < n; base += 4 {
+	base := 0
+	for ; base+8 < n; base += 8 {
 		c0, c1, c2, c3 := packed[base], packed[base+1], packed[base+2], packed[base+3]
 		sar += c0 * pr
 		sai += c0 * pi
@@ -484,10 +637,41 @@ func evalPacked(packed []float64, z complex128) (sa, sc, svs, svr, zTop complex1
 		svsi += c2 * pi
 		svrr += c3 * pr
 		svri += c3 * pi
-		if base+4 < n {
-			pr, pi = pr*zr-pi*zi, pr*zi+pi*zr
-		}
+		pr, pi = pr*zr-pi*zi, pr*zi+pi*zr
+		c0, c1, c2, c3 = packed[base+4], packed[base+5], packed[base+6], packed[base+7]
+		sar += c0 * pr
+		sai += c0 * pi
+		scr += c1 * pr
+		sci += c1 * pi
+		svsr += c2 * pr
+		svsi += c2 * pi
+		svrr += c3 * pr
+		svri += c3 * pi
+		pr, pi = pr*zr-pi*zi, pr*zi+pi*zr
 	}
+	if base+4 < n {
+		c0, c1, c2, c3 := packed[base], packed[base+1], packed[base+2], packed[base+3]
+		sar += c0 * pr
+		sai += c0 * pi
+		scr += c1 * pr
+		sci += c1 * pi
+		svsr += c2 * pr
+		svsi += c2 * pi
+		svrr += c3 * pr
+		svri += c3 * pi
+		pr, pi = pr*zr-pi*zi, pr*zi+pi*zr
+		base += 4
+	}
+	// Top degree: no trailing power update, so zTop = z^top falls out.
+	c0, c1, c2, c3 := packed[base], packed[base+1], packed[base+2], packed[base+3]
+	sar += c0 * pr
+	sai += c0 * pi
+	scr += c1 * pr
+	sci += c1 * pi
+	svsr += c2 * pr
+	svsi += c2 * pi
+	svrr += c3 * pr
+	svri += c3 * pi
 	return complex(sar, sai), complex(scr, sci), complex(svsr, svsi), complex(svrr, svri),
 		complex(pr, pi)
 }

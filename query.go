@@ -186,8 +186,30 @@ func (cm *CompiledModel) QueryBatch(qs []Query) []QueryResult {
 	return out
 }
 
+// BoundsResult pairs one bounds query's enclosures with its error.
+type BoundsResult struct {
+	Bounds []Bounds
+	Err    error
+}
+
+// QueryBoundsBatch evaluates certified enclosures for the requests
+// concurrently over the worker pool and returns one BoundsResult per
+// request, in order. RRL requests run the fused value+bounds inversion (one
+// joint Durbin sweep per time point), so a bounds batch costs barely more
+// than the corresponding value batch. Results are identical to evaluating
+// the same requests serially with QueryBounds.
+func (cm *CompiledModel) QueryBoundsBatch(qs []Query) []BoundsResult {
+	out := make([]BoundsResult, len(qs))
+	par.For(len(qs), func(i int) {
+		b, err := cm.QueryBounds(qs[i])
+		out[i] = BoundsResult{Bounds: b, Err: err}
+	})
+	return out
+}
+
 // QueryBounds evaluates certified two-sided enclosures for an RR or RRL
-// query (other methods do not produce bounds).
+// query (other methods do not produce bounds). RRL enclosures come from the
+// fused value+truncation-mass inversion; see rrl.Evaluator.
 func (cm *CompiledModel) QueryBounds(q Query) ([]Bounds, error) {
 	q = cm.normalize(q)
 	if err := core.CheckTimes(q.Times); err != nil {
