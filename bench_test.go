@@ -13,12 +13,14 @@ package regenrand_test
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"sync"
 	"testing"
 
 	"regenrand"
 	"regenrand/internal/core"
+	"regenrand/internal/ctmc"
 	"regenrand/internal/raid"
 	"regenrand/internal/regen"
 )
@@ -470,6 +472,74 @@ func BenchmarkCompileQueryReuse(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCompileColdStart measures the construct-and-solve path end to
+// end — the first query against a model nobody compiled before — on the
+// paper's G=20 and G=40 RAID instances and on a ~10⁴-state random banded
+// model (deep BFS diameter, the regime reachability-frontier pruning is
+// built for). The "steps/s" metric is the full-model DTMC stepping
+// throughput of the series construction, the quantity Tables 1–2 count;
+// "steps" is the per-build step count. The nofrontier variants re-run the
+// banded model with frontier pruning disabled — the early-step pruning win
+// is their ratio.
+func BenchmarkCompileColdStart(b *testing.B) {
+	type scenario struct {
+		name    string
+		model   *regenrand.CTMC
+		rewards []float64
+		regen   int
+		t       float64
+	}
+	var scenarios []scenario
+	for _, g := range []int{20, 40} {
+		m := raidModel(b, g, false)
+		scenarios = append(scenarios, scenario{
+			name:    fmt.Sprintf("model=G%d/t=1000", g),
+			model:   m.Chain,
+			rewards: m.UnavailabilityRewards(),
+			regen:   m.Pristine,
+			t:       1000,
+		})
+	}
+	band, err := ctmc.RandomBand(rand.New(rand.NewSource(42)), ctmc.BandOptions{States: 10000, Bandwidth: 8, Degree: 3, Absorbing: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bandRewards := ctmc.RandomRewards(rand.New(rand.NewSource(43)), band, 1, false)
+	// Two horizons: t=5 stays inside the frontier growth phase (K ≪ BFS
+	// diameter ≈ 1250), t=100 runs well past saturation.
+	scenarios = append(scenarios,
+		scenario{name: "model=band1e4/t=5", model: band, rewards: bandRewards, regen: 0, t: 5},
+		scenario{name: "model=band1e4/t=100", model: band, rewards: bandRewards, regen: 0, t: 100},
+	)
+	run := func(b *testing.B, sc scenario) {
+		var steps int
+		for i := 0; i < b.N; i++ {
+			s, err := regenrand.NewRRL(sc.model, sc.rewards, sc.regen, regenrand.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.TRR([]float64{sc.t}); err != nil {
+				b.Fatal(err)
+			}
+			steps = s.(interface{ Stats() regenrand.Stats }).Stats().BuildSteps
+		}
+		b.ReportMetric(float64(steps), "steps")
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(steps)*float64(b.N)/sec, "steps/s")
+		}
+	}
+	for _, sc := range scenarios {
+		b.Run(sc.name, func(b *testing.B) { run(b, sc) })
+	}
+	for _, sc := range scenarios[2:] {
+		b.Run(sc.name+"/nofrontier", func(b *testing.B) {
+			prev := regen.SetDisableFrontier(true)
+			defer regen.SetDisableFrontier(prev)
+			run(b, sc)
+		})
+	}
 }
 
 // BenchmarkKernelStepFused measures the fused stepping kernel (product +

@@ -64,6 +64,33 @@ func TestDiffFlagsRegressionsAndImprovements(t *testing.T) {
 	}
 }
 
+// Entries carrying -benchmem metrics must show bytes/op and allocs/op
+// movement on their diff line; entries without them must not.
+func TestDiffShowsAllocMovement(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBench(t, dir, "old.json", []Entry{
+		{Name: "BenchmarkMem", NsPerOp: 1000, Metrics: map[string]float64{"B/op": 4096, "allocs/op": 12}},
+		{Name: "BenchmarkNoMem", NsPerOp: 1000},
+	})
+	newPath := writeBench(t, dir, "new.json", []Entry{
+		{Name: "BenchmarkMem", NsPerOp: 990, Metrics: map[string]float64{"B/op": 128, "allocs/op": 2}},
+		{Name: "BenchmarkNoMem", NsPerOp: 1000},
+	})
+	var sb strings.Builder
+	if _, err := diffFiles(&sb, oldPath, newPath, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "[4096→128 B/op, 12→2 allocs/op]") {
+		t.Errorf("diff output missing alloc movement:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "BenchmarkNoMem") && strings.Contains(line, "B/op") {
+			t.Errorf("metric-less benchmark shows alloc columns:\n%s", line)
+		}
+	}
+}
+
 func TestDiffNoRegressions(t *testing.T) {
 	dir := t.TempDir()
 	oldPath := writeBench(t, dir, "old.json", []Entry{{Name: "BenchmarkA", NsPerOp: 100}})

@@ -7,12 +7,14 @@
 //	go run ./cmd/benchjson [-bench regex] [-benchtime 1x] [-short] [-out file]
 //	go run ./cmd/benchjson -diff old.json new.json [-threshold 10] [-failon-regress]
 //
-// The tool shells out to `go test -run ^$ -bench <regex>` on the module
-// root, parses the standard benchmark output lines
+// The tool shells out to `go test -run ^$ -bench <regex> -benchmem` on the
+// module root (disable the memory columns with -benchmem=false), parses the
+// standard benchmark output lines
 //
-//	BenchmarkName-8   12  94034813 ns/op  171 steps
+//	BenchmarkName-8   12  94034813 ns/op  512 B/op  3 allocs/op  171 steps
 //
-// (including custom metrics such as "steps", "abscissae" and "nnz"), and
+// (including allocs/op, B/op and custom metrics such as "steps",
+// "abscissae" and "nnz"), and
 // writes a JSON document with one entry per benchmark plus run metadata
 // (date, go version, GOMAXPROCS, CPU line). Typical workflow: run it at the
 // base commit and at the head commit, then compare the two files with
@@ -69,6 +71,7 @@ var metricPair = regexp.MustCompile(`([0-9.e+-]+) ([A-Za-z_/]+)`)
 func main() {
 	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "1x", "value passed to go test -benchtime")
+	benchmem := flag.Bool("benchmem", true, "pass -benchmem to go test, recording allocs/op and B/op in the JSON")
 	short := flag.Bool("short", false, "pass -short to go test")
 	out := flag.String("out", "", "output path (default BENCH_<yyyy-mm-dd>.json)")
 	pkg := flag.String("pkg", ".", "package to benchmark")
@@ -94,6 +97,9 @@ func main() {
 	}
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, *pkg}
+	if *benchmem {
+		args = append(args, "-benchmem")
+	}
 	if *short {
 		args = append(args, "-short")
 	}
@@ -165,6 +171,21 @@ func main() {
 	fmt.Printf("benchjson: wrote %d entries to %s\n", len(doc.Entries), path)
 }
 
+// allocDelta formats the bytes/op and allocs/op movement between two
+// entries, so memory-behavior changes (slab retention, pooled scratch) are
+// visible in the same diff as the timing. Empty when either side lacks the
+// -benchmem metrics.
+func allocDelta(o, e Entry) string {
+	ob, okOB := o.Metrics["B/op"]
+	nb, okNB := e.Metrics["B/op"]
+	oa, okOA := o.Metrics["allocs/op"]
+	na, okNA := e.Metrics["allocs/op"]
+	if !okOB || !okNB || !okOA || !okNA {
+		return ""
+	}
+	return fmt.Sprintf("  [%.0f→%.0f B/op, %.0f→%.0f allocs/op]", ob, nb, oa, na)
+}
+
 // loadFile reads one BENCH_*.json document.
 func loadFile(path string) (*File, error) {
 	data, err := os.ReadFile(path)
@@ -226,7 +247,8 @@ func diffFiles(w io.Writer, oldPath, newPath string, threshold float64) (int, er
 		case delta < -threshold:
 			flag = "  improvement"
 		}
-		fmt.Fprintf(w, "  %-60s %12.0f → %12.0f ns/op  %+7.1f%%%s\n", e.Name, o.NsPerOp, e.NsPerOp, delta, flag)
+		fmt.Fprintf(w, "  %-60s %12.0f → %12.0f ns/op  %+7.1f%%%s%s\n",
+			e.Name, o.NsPerOp, e.NsPerOp, delta, allocDelta(o, e), flag)
 	}
 	for _, o := range oldF.Entries {
 		if !seen[o.Name] {

@@ -95,6 +95,43 @@ func TestQuickCrossValidation(t *testing.T) {
 	}
 }
 
+// TestBandModelCrossValidation cross-checks RRL against SR on the banded
+// deep-diameter model class of the cold-start benchmarks: the frontier
+// growth phase covers most (or all) of the construction on these chains, so
+// this is the end-to-end correctness check of the reachability-pruned
+// stepping path on a model where it actually prunes.
+func TestBandModelCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	model, err := ctmc.RandomBand(rng, ctmc.BandOptions{States: 1500, Bandwidth: 5, Degree: 2, Absorbing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewards := ctmc.RandomRewards(rng, model, 1, false)
+	opts := regenrand.DefaultOptions()
+	rrl, err := regenrand.NewRRL(model, rewards, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := regenrand.NewSR(model, rewards, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := []float64{0.3, 1, 4, 15}
+	a, err := rrl.TRR(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sr.TRR(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range ts {
+		if diff := math.Abs(a[i].Value - b[i].Value); diff > 5e-11 {
+			t.Errorf("t=%v: RRL=%.15e SR=%.15e diff %g", tt, a[i].Value, b[i].Value, diff)
+		}
+	}
+}
+
 // TestQuickRegenStateChoice verifies that the computed measures do not
 // depend on which (non-absorbing) state is chosen as regenerative — only
 // the cost does.

@@ -104,7 +104,7 @@
 // one kernel pass (sparse.Matrix.StepFused) for SR, RSD, the RR/RRL series
 // build and AU (MS runs its dense block build on the same worker pool
 // instead); rebinding a reward vector to retained step vectors replays the
-// dot side of that kernel four vectors per sweep
+// dot side of that kernel two vectors per sweep
 // (sparse.Matrix.RewardDotFusedBatch); batches of time points and batches
 // of queries fan out over a persistent worker pool (internal/par); and
 // per-query scratch (stepping buffers, birth-process tables,
@@ -115,6 +115,31 @@
 // result is bitwise-identical for every GOMAXPROCS setting. The classic
 // Solver objects remain single-caller (see core.Solver's concurrency
 // contract); CompiledModel is the concurrent entry point.
+//
+// The series construction — the K (+L) full-model DTMC steps of the
+// paper's Tables 1–2, the dominant cost of a cold construct-and-solve —
+// runs on a frontier-restricted stepping layer. u_0 = e_r, so u_k is
+// supported only on states reachable in ≤ k steps: a per-matrix BFS
+// (sparse.Matrix.FrontierFor, sourced at the regenerative state plus the
+// initial distribution's support) lays the rows out in level order with a
+// chunk plan whose prefixes cover the level sets, and early steps sweep
+// only the active prefix instead of all n rows (sparse.Frontier). Once the
+// frontier saturates, stepping switches to the full-sweep kernels: a
+// quad-row lockstep gather (four independent per-row accumulator chains;
+// per-row sums bitwise-identical to the scalar reference), four-block
+// splits for very-long rows, four position-interleaved Kahan chains for
+// the mass/dot reductions, and a straight-line single-chunk path for
+// matrices below ~32k stored entries that skips the pool/partials
+// machinery entirely. When α_r < 1 the main and primed chains step in
+// lockstep through one matrix traversal (sparse.Frontier.StepFusedMulti /
+// sparse.Matrix.StepFusedMulti — each stored entry loaded once for all
+// lanes), and regen.BuildManyWithDTMC runs any number of reward vectors as
+// extra dot lanes of one construction. Retained step vectors come from
+// slab arenas, so the compile phase's reward-rebinding sweeps stream
+// contiguous memory. Every path is deterministic per step index, and the
+// reward-replay kernels reproduce the exact association of whichever
+// kernel ran each step — so compiled-measure bindings remain
+// bitwise-identical to fused builds.
 //
 // The Laplace side — the cost that dominates a steady-state RRL query —
 // runs on blocked transform kernels: the inverter (internal/laplace)

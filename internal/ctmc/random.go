@@ -96,6 +96,95 @@ func Random(rng *rand.Rand, opt RandomOptions) (*CTMC, error) {
 	return b.Build()
 }
 
+// BandOptions configures RandomBand, the large-model generator of the
+// cold-start benchmarks.
+type BandOptions struct {
+	// States is the number of non-absorbing states (≥ 2).
+	States int
+	// Bandwidth bounds how far a transition may jump along the line
+	// (default 8). The BFS diameter from state 0 is then ≈ States/Bandwidth,
+	// which is what gives reachability-frontier pruning a long growth phase.
+	Bandwidth int
+	// Degree is the number of forward transitions per state beyond the
+	// connectivity successor (default 3).
+	Degree int
+	// Absorbing is the number of absorbing states to append (≥ 0); each is
+	// fed from a handful of random band states.
+	Absorbing int
+}
+
+// RandomBand builds a banded random CTMC: state i connects forward to i+1
+// (connectivity), to Degree random states within Bandwidth ahead, and
+// backward to a random recent state (strong connectivity), with state 0
+// additionally reachable from everywhere through a slow "reset" edge from
+// the band end. Locality of transitions gives the chain a large BFS
+// diameter — the regime where frontier-restricted series construction beats
+// full-sweep stepping super-linearly on early steps — while staying sparse
+// (≈ Degree+2 transitions per state). Deterministic given rng's state.
+func RandomBand(rng *rand.Rand, opt BandOptions) (*CTMC, error) {
+	n := opt.States
+	if n < 2 {
+		n = 2
+	}
+	band := opt.Bandwidth
+	if band <= 0 {
+		band = 8
+	}
+	deg := opt.Degree
+	if deg <= 0 {
+		deg = 3
+	}
+	total := n + opt.Absorbing
+	b := NewBuilder(total)
+	for i := 0; i < n; i++ {
+		// Connectivity successor.
+		if i+1 < n {
+			if err := b.AddTransition(i, i+1, 0.2+rng.Float64()); err != nil {
+				return nil, err
+			}
+		}
+		// Random forward edges within the band.
+		for d := 0; d < deg; d++ {
+			j := i + 1 + rng.Intn(band)
+			if j >= n || j == i {
+				continue
+			}
+			if err := b.AddTransition(i, j, 0.05+rng.Float64()); err != nil {
+				return nil, err
+			}
+		}
+		// A backward edge keeps the transient part strongly connected.
+		if i > 0 {
+			reach := i
+			if band < reach {
+				reach = band
+			}
+			back := i - 1 - rng.Intn(reach)
+			if back < 0 {
+				back = 0
+			}
+			if err := b.AddTransition(i, back, 0.05+0.5*rng.Float64()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := b.AddTransition(n-1, 0, 0.5); err != nil {
+		return nil, err
+	}
+	for a := 0; a < opt.Absorbing; a++ {
+		for k := 0; k < 3; k++ {
+			src := rng.Intn(n)
+			if err := b.AddTransition(src, n+a, 1e-3*(0.1+rng.Float64())); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := b.SetInitial(0, 1); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
 // RandomRewards returns a non-negative reward vector for c with maximum
 // value close to max. When absorbingOnly is true only absorbing states
 // receive nonzero rewards (the unreliability-style measure of the paper).

@@ -36,6 +36,7 @@ type Basis struct {
 	alphaR    float64
 	absorbing []int
 	plan      *zeroPlan
+	fr        *sparse.Frontier // nil when frontier pruning is disabled
 
 	mu    sync.Mutex
 	main  *chainState // recording, reward-free; nil when retain is false
@@ -61,18 +62,19 @@ func NewBasis(model *ctmc.CTMC, regenState int, opts core.Options, retain bool) 
 		retain:     retain,
 		alphaR:     model.Initial()[regenState],
 		absorbing:  model.Absorbing(),
-		plan:       newZeroPlan(regenState, model.Absorbing()),
+		plan:       newZeroPlan(model.N(), regenState, model.Absorbing()),
+		fr:         frontierFor(model, d, regenState),
 	}
 	if retain {
 		n := model.N()
 		u0 := make([]float64, n)
 		u0[regenState] = 1
-		b.main = newChainState(n, b.plan, u0, nil, 1, true)
+		b.main = newChainState(n, b.plan, b.fr, u0, nil, 1, true)
 		if b.alphaR < 1 {
 			up0 := make([]float64, n)
 			copy(up0, model.Initial())
 			up0[regenState] = 0
-			b.prime = newChainState(n, b.plan, up0, nil, 1-b.alphaR, true)
+			b.prime = newChainState(n, b.plan, b.fr, up0, nil, 1-b.alphaR, true)
 		}
 	}
 	return b, nil
@@ -237,12 +239,15 @@ func (bd *Binding) SeriesFor(horizon float64) (*Series, error) {
 
 // bSeries returns b(0..top) for one chain, computing and caching missing
 // entries from the retained vectors. b(0) is the plain compensated dot the
-// fused build starts from; b(k ≥ 1) replays the dot side of the fused step
-// that produced u_k (same chunk decomposition, same skip list), so every
-// coefficient matches the fused build bit for bit. The dots run through the
-// four-lane batch kernel: independent Kahan chains overlap in the pipeline
-// and lane groups fan out over the worker pool, which is what makes binding
-// a new reward vector several times cheaper than re-stepping.
+// fused build starts from; b(k ≥ 1) replays the dot side of the exact
+// kernel that produced u_k — the frontier replay while the reachable set
+// was still growing, the batch kernel after (same chunk decomposition,
+// same skip rule, same chain assignment) — so every coefficient matches
+// the fused build bit for bit. The saturated-range dots run through the
+// two-lane batch kernel: the interleaved Kahan chains overlap in the
+// pipeline and lane pairs fan out over the worker pool, which is what
+// makes binding a new reward vector several times cheaper than
+// re-stepping.
 func (bd *Binding) bSeries(store *[]float64, snap chainSnapshot, top int) []float64 {
 	bd.mu.Lock()
 	defer bd.mu.Unlock()
@@ -259,7 +264,20 @@ func (bd *Binding) bSeries(store *[]float64, snap chainSnapshot, top int) []floa
 	if start <= top {
 		xs := snap.us[start : top+1]
 		dots := make([]float64, len(xs))
-		bd.basis.dtmc.P.RewardDotFusedBatch(xs, bd.rewards, bd.basis.plan.zero, dots)
+		// Vector u_m was produced by step m−1: replay the dot side of the
+		// exact kernel that step ran — the frontier kernel while the
+		// reachable set was still growing, the full-sweep batch kernel
+		// after — so every coefficient matches the fused build bit for bit.
+		i := 0
+		if fr := bd.basis.fr; fr != nil {
+			for i < len(xs) && !fr.Saturated(start+i-1) {
+				dots[i] = fr.RewardDot(start+i-1, xs[i], bd.rewards, bd.basis.plan.zpos)
+				i++
+			}
+		}
+		if i < len(xs) {
+			bd.basis.dtmc.P.RewardDotFusedBatch(xs[i:], bd.rewards, bd.basis.plan.zero, dots[i:])
+		}
 		for i, d := range dots {
 			ak := snap.a[start+i]
 			var bk float64

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"regenrand/internal/core"
 	"regenrand/internal/ctmc"
@@ -178,15 +179,17 @@ func truncErrP(rmax float64, ap []float64, L int, lam float64) float64 {
 }
 
 // zeroPlan precomputes the sorted list of destinations a series step zeroes
-// (the regenerative state plus every absorbing state) and where each lands
-// in the StepFused zeroVals output.
+// (the regenerative state plus every absorbing state), where each lands in
+// the StepFused zeroVals output, and the dense position map the frontier
+// kernels index by destination row.
 type zeroPlan struct {
 	zero     []int32
+	zpos     []int32 // zpos[row] = index into zero, or -1
 	regenPos int
 	absPos   []int
 }
 
-func newZeroPlan(regen int, absorbing []int) *zeroPlan {
+func newZeroPlan(n, regen int, absorbing []int) *zeroPlan {
 	p := &zeroPlan{absPos: make([]int, len(absorbing))}
 	p.zero = make([]int32, 0, len(absorbing)+1)
 	p.zero = append(p.zero, int32(regen))
@@ -194,49 +197,95 @@ func newZeroPlan(regen int, absorbing []int) *zeroPlan {
 		p.zero = append(p.zero, int32(f))
 	}
 	sort.Slice(p.zero, func(i, j int) bool { return p.zero[i] < p.zero[j] })
-	for i, z := range p.zero {
-		if int(z) == regen {
-			p.regenPos = i
-		}
+	// Dense position map: one pass instead of the former quadratic
+	// state-by-state scans — models generated with many absorbing states
+	// made newZeroPlan itself show up in profiles.
+	p.zpos = make([]int32, n)
+	for i := range p.zpos {
+		p.zpos[i] = -1
 	}
+	for i, z := range p.zero {
+		p.zpos[z] = int32(i)
+	}
+	p.regenPos = int(p.zpos[regen])
 	for i, f := range absorbing {
-		for j, z := range p.zero {
-			if int(z) == f {
-				p.absPos[i] = j
-			}
-		}
+		p.absPos[i] = int(p.zpos[f])
 	}
 	return p
+}
+
+// slabArena hands out zeroed n-vectors carved from large contiguous blocks.
+// Retaining chains used to allocate one []float64 per step, scattering the
+// retained vectors across the heap; slab allocation keeps consecutive u_k
+// contiguous, which is what the batched reward-dot sweeps of the compile
+// phase stream over.
+type slabArena struct {
+	n   int
+	buf []float64
+}
+
+// slabVectors sizes slabs at ~2 MiB of float64s, at least 8 vectors.
+func slabVectors(n int) int {
+	v := (1 << 18) / n
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+func (sa *slabArena) next() []float64 {
+	if len(sa.buf) < sa.n {
+		sa.buf = make([]float64, slabVectors(sa.n)*sa.n)
+	}
+	v := sa.buf[:sa.n:sa.n]
+	sa.buf = sa.buf[sa.n:]
+	return v
 }
 
 // chainState steps one restricted chain (regenerative or primed). rewards
 // may be nil (the reward-independent compile phase): the b series is then
 // not tracked, everything else is identical — the fused kernel's stepped
 // vector, mass and zero diversions do not depend on the rewards argument.
+//
+// When fr is non-nil the chain steps through the reachability-frontier
+// kernels until the frontier saturates (see sparse.Frontier); the kernel
+// choice is a pure function of the step index, so every consumer of the
+// chain — fused builds, basis extensions and reward replays — performs
+// bit-for-bit identical arithmetic for a given step.
 type chainState struct {
+	fr       *sparse.Frontier
 	u, buf   []float64
 	zeroVals []float64
 	a, b, q  []float64
 	v        [][]float64
 	done     bool
 	// record retains every post-zeroing stepped vector in us (us[k] = u_k),
-	// the raw material for binding reward vectors after the fact. The step
-	// buffer is re-allocated per step so retained vectors are never
-	// overwritten.
+	// the raw material for binding reward vectors after the fact. Step
+	// buffers come from the slab arena so retained vectors are contiguous
+	// and never overwritten.
 	record bool
 	us     [][]float64
+	arena  slabArena
 }
 
-func newChainState(n int, plan *zeroPlan, u0 []float64, rewards []float64, a0 float64, record bool) *chainState {
+func newChainState(n int, plan *zeroPlan, fr *sparse.Frontier, u0 []float64, rewards []float64, a0 float64, record bool) *chainState {
 	cs := &chainState{
-		u:        u0,
-		buf:      make([]float64, n),
+		fr:       fr,
 		zeroVals: make([]float64, len(plan.zero)),
 		v:        make([][]float64, len(plan.absPos)),
 		record:   record,
+		arena:    slabArena{n: n},
 	}
 	if record {
-		cs.us = append(cs.us, u0)
+		// Copy u0 into the arena so the whole retained sequence is slabbed.
+		v := cs.arena.next()
+		copy(v, u0)
+		cs.u = v
+		cs.us = append(cs.us, v)
+		cs.buf = cs.arena.next()
+	} else {
+		cs.u = u0
+		cs.buf = make([]float64, n)
 	}
 	cs.a = append(cs.a, a0)
 	if a0 > 0 {
@@ -252,12 +301,33 @@ func newChainState(n int, plan *zeroPlan, u0 []float64, rewards []float64, a0 fl
 	return cs
 }
 
+// stepIndex returns the index of the step that will run next (stepping
+// u_stepIndex to u_stepIndex+1).
+func (cs *chainState) stepIndex() int { return len(cs.a) - 1 }
+
+// useFrontier reports whether the next step runs the frontier kernel.
+func (cs *chainState) useFrontier() bool {
+	return cs.fr != nil && !cs.fr.Saturated(cs.stepIndex())
+}
+
 // step advances the chain one randomized step, recording a, b, q, v. The
 // vector–matrix product, the zeroing of the regenerative and absorbing
 // destinations, the surviving ℓ₁ mass a(k+1) and the reward dot-product all
-// come out of the single fused kernel pass.
+// come out of a single fused kernel pass — frontier-restricted while the
+// reachable set is still growing, full-sweep after.
 func (cs *chainState) step(d *ctmc.DTMC, plan *zeroPlan, rewards []float64) {
-	next, dot := d.StepFused(cs.buf, cs.u, rewards, plan.zero, cs.zeroVals)
+	var next, dot float64
+	if cs.useFrontier() {
+		next, dot = cs.fr.StepFused(cs.stepIndex(), cs.buf, cs.u, rewards, plan.zpos, cs.zeroVals)
+	} else {
+		next, dot = d.StepFused(cs.buf, cs.u, rewards, plan.zero, cs.zeroVals)
+	}
+	cs.finishStep(plan, next, dot, rewards != nil)
+}
+
+// finishStep records the outputs of one fused step (however it was
+// computed) and rotates the buffers.
+func (cs *chainState) finishStep(plan *zeroPlan, next, dot float64, haveRewards bool) {
 	ak := cs.a[len(cs.a)-1]
 	cs.q = append(cs.q, cs.zeroVals[plan.regenPos]/ak)
 	for i, p := range plan.absPos {
@@ -266,21 +336,124 @@ func (cs *chainState) step(d *ctmc.DTMC, plan *zeroPlan, rewards []float64) {
 	cs.u, cs.buf = cs.buf, cs.u
 	if cs.record {
 		cs.us = append(cs.us, cs.u)
-		cs.buf = make([]float64, len(cs.u))
+		cs.buf = cs.arena.next()
 	}
 	cs.a = append(cs.a, next)
 	if next > 0 {
-		if rewards != nil {
+		if haveRewards {
 			cs.b = append(cs.b, dot/next)
 		}
 	} else {
-		if rewards != nil {
+		if haveRewards {
 			cs.b = append(cs.b, 0)
 		}
 		cs.done = true
 	}
 	if next < underflowFloor {
 		cs.done = true
+	}
+}
+
+// disableFrontier is the ablation/testing knob for reachability-frontier
+// pruning. It is read once per construction (Build*, NewBasis), so a basis
+// created with one setting keeps it for its whole life.
+var disableFrontier atomic.Bool
+
+// SetDisableFrontier turns reachability-frontier pruning off (true) or on
+// (false) for subsequently created constructions and returns the previous
+// setting. It exists for ablation benchmarks and equivalence tests; the
+// default (pruning on) is strictly faster and agrees with the reference
+// path to a couple of ulps per step.
+func SetDisableFrontier(v bool) bool { return disableFrontier.Swap(v) }
+
+// multiChain steps one restricted chain while tracking the conditional
+// reward series of any number of reward vectors. It is the construction
+// unit of BuildManyWithDTMC: the chain statistics live in the embedded
+// chainState; the per-rewards b series are appended here from the fused
+// kernels' dot lanes.
+type multiChain struct {
+	cs          *chainState
+	rewardsList [][]float64
+	bs          [][]float64
+	dots        []float64 // per-step scratch, one slot per rewards vector
+}
+
+func newMultiChain(n int, plan *zeroPlan, fr *sparse.Frontier, u0 []float64, rewardsList [][]float64, a0 float64) *multiChain {
+	mc := &multiChain{
+		cs:          newChainState(n, plan, fr, u0, nil, a0, false),
+		rewardsList: rewardsList,
+		bs:          make([][]float64, len(rewardsList)),
+		dots:        make([]float64, len(rewardsList)),
+	}
+	for ri, rw := range rewardsList {
+		var b0 float64
+		if a0 > 0 {
+			b0 = sparse.Dot(u0, rw) / a0
+		}
+		mc.bs[ri] = append(mc.bs[ri], b0)
+	}
+	return mc
+}
+
+// b returns the b series of rewards vector ri.
+func (mc *multiChain) b(ri int) []float64 { return mc.bs[ri] }
+
+// recordB appends each lane's conditional reward rate for the step that
+// produced mass next.
+func (mc *multiChain) recordB(next float64, dots []float64) {
+	for ri := range mc.bs {
+		var bk float64
+		if next > 0 {
+			bk = dots[ri] / next
+		}
+		mc.bs[ri] = append(mc.bs[ri], bk)
+	}
+}
+
+// step advances the chain alone. The single-rewards case runs the same
+// specialized fused kernel as the classic build; more lanes go through the
+// generic multi-lane kernel — per-lane results are bitwise-identical either
+// way.
+func (mc *multiChain) step(d *ctmc.DTMC, plan *zeroPlan) {
+	cs := mc.cs
+	if len(mc.rewardsList) == 1 {
+		var next, dot float64
+		if cs.useFrontier() {
+			next, dot = cs.fr.StepFused(cs.stepIndex(), cs.buf, cs.u, mc.rewardsList[0], plan.zpos, cs.zeroVals)
+		} else {
+			next, dot = d.StepFused(cs.buf, cs.u, mc.rewardsList[0], plan.zero, cs.zeroVals)
+		}
+		mc.dots[0] = dot
+		mc.recordB(next, mc.dots)
+		cs.finishStep(plan, next, 0, false)
+		return
+	}
+	stepMulti(d, plan, []*multiChain{mc})
+}
+
+// stepMulti advances several chains in lockstep through one traversal of
+// the DTMC: every chain must be at the same step index (they are — lockstep
+// starts at step 0 and this is the only way they advance together).
+func stepMulti(d *ctmc.DTMC, plan *zeroPlan, chains []*multiChain) {
+	step := chains[0].cs.stepIndex()
+	lanes := make([]sparse.StepLane, len(chains))
+	for i, mc := range chains {
+		lanes[i] = sparse.StepLane{
+			Dst:      mc.cs.buf,
+			Src:      mc.cs.u,
+			ZeroVals: mc.cs.zeroVals,
+			Rewards:  mc.rewardsList,
+			Dots:     mc.dots,
+		}
+	}
+	if fr := chains[0].cs.fr; fr != nil && !fr.Saturated(step) {
+		fr.StepFusedMulti(step, lanes, plan.zpos)
+	} else {
+		d.P.StepFusedMulti(lanes, plan.zpos)
+	}
+	for i, mc := range chains {
+		mc.recordB(lanes[i].Sum, lanes[i].Dots)
+		mc.cs.finishStep(plan, lanes[i].Sum, 0, false)
 	}
 }
 
@@ -328,18 +501,63 @@ func Build(model *ctmc.CTMC, rewards []float64, regen int, opts core.Options, ho
 	return BuildWithDTMC(model, d, rewards, regen, opts, horizon)
 }
 
+// frontierFor returns the reachability frontier the series constructions of
+// (model, regen) step through — sourced at the regenerative state plus the
+// support of the initial distribution, so the main and primed chains (and
+// their lockstep combination) share one frontier — or nil when frontier
+// pruning is disabled.
+func frontierFor(model *ctmc.CTMC, d *ctmc.DTMC, regen int) *sparse.Frontier {
+	if disableFrontier.Load() {
+		return nil
+	}
+	init := model.Initial()
+	sources := make([]int, 0, 8)
+	sources = append(sources, regen)
+	for i, p := range init {
+		if p != 0 && i != regen {
+			sources = append(sources, i)
+		}
+	}
+	return d.P.FrontierFor(sources)
+}
+
 // BuildWithDTMC is Build with the uniformized chain supplied by the caller:
 // the compile phase uniformizes a model once and shares the DTMC across
 // every measure bound to it. d must be the uniformization of model at
 // opts.UniformizationFactor (uniformization is deterministic, so a shared
 // DTMC yields series bitwise-identical to a per-call Uniformize).
 func BuildWithDTMC(model *ctmc.CTMC, d *ctmc.DTMC, rewards []float64, regen int, opts core.Options, horizon float64) (*Series, error) {
+	series, err := BuildManyWithDTMC(model, d, [][]float64{rewards}, regen, opts, horizon)
+	if err != nil {
+		return nil, err
+	}
+	return series[0], nil
+}
+
+// BuildManyWithDTMC builds the series of several reward vectors over one
+// model in a single stepping pass: the chain trajectory u_k is
+// reward-independent, so all R vectors ride one traversal of the DTMC per
+// step (multi-lane lockstep; each stored entry is loaded once for all
+// lanes), and when α_r < 1 the main and primed chains also step in lockstep
+// while both still need depth. Every returned series is bitwise-identical
+// to the corresponding single-rewards Build: per-lane kernel arithmetic is
+// unchanged (see sparse.StepFusedMulti), each lane's truncation level comes
+// from the same monotone bound searched over the same values, and lanes
+// that certify early only carry prefix slices of the shared arrays.
+func BuildManyWithDTMC(model *ctmc.CTMC, d *ctmc.DTMC, rewardsList [][]float64, regen int, opts core.Options, horizon float64) ([]*Series, error) {
 	if err := validateRegenInputs(model, regen, &opts); err != nil {
 		return nil, err
 	}
-	rmax, err := core.CheckRewards(rewards, model.N())
-	if err != nil {
-		return nil, err
+	if len(rewardsList) == 0 {
+		return nil, fmt.Errorf("regen: BuildMany needs at least one rewards vector")
+	}
+	rmaxs := make([]float64, len(rewardsList))
+	for ri, rewards := range rewardsList {
+		rmax, err := core.CheckRewards(rewards, model.N())
+		if err != nil {
+			return nil, err
+		}
+		rmaxs[ri] = rmax
 	}
 	if err := checkHorizon(horizon); err != nil {
 		return nil, err
@@ -348,82 +566,110 @@ func BuildWithDTMC(model *ctmc.CTMC, d *ctmc.DTMC, rewards []float64, regen int,
 	absorbing := model.Absorbing()
 	n := model.N()
 	lam := d.Lambda * horizon
+	alphaR := init[regen]
+	fr := frontierFor(model, d, regen)
+	plan := newZeroPlan(n, regen, absorbing)
 
-	s := &Series{
-		Lambda:    d.Lambda,
-		Regen:     regen,
-		AlphaR:    init[regen],
-		Absorbing: absorbing,
-		RMax:      rmax,
-		Eps:       opts.Epsilon,
-		Horizon:   horizon,
-		L:         -1,
+	out := make([]*Series, len(rewardsList))
+	for ri, rewards := range rewardsList {
+		s := &Series{
+			Lambda:    d.Lambda,
+			Regen:     regen,
+			AlphaR:    alphaR,
+			Absorbing: absorbing,
+			RMax:      rmaxs[ri],
+			Eps:       opts.Epsilon,
+			Horizon:   horizon,
+			L:         -1,
+		}
+		s.RewardsAbsorbing = make([]float64, len(absorbing))
+		for i, f := range absorbing {
+			s.RewardsAbsorbing[i] = rewards[f]
+		}
+		out[ri] = s
 	}
-	s.RewardsAbsorbing = make([]float64, len(absorbing))
-	for i, f := range absorbing {
-		s.RewardsAbsorbing[i] = rewards[f]
-	}
-
-	budget := s.budgetK()
-
-	plan := newZeroPlan(regen, absorbing)
+	budget := out[0].budgetK() // α_r (hence the split) is shared by all lanes
 
 	// Regenerative chain: u_0 = e_r.
 	u0 := make([]float64, n)
 	u0[regen] = 1
-	main := newChainState(n, plan, u0, rewards, 1, false)
-	for !main.done {
-		K := len(main.a) - 1 // candidate truncation at the current level
-		if truncErrS(rmax, main.a, K, lam) <= budget {
-			break
-		}
-		main.step(d, plan, rewards)
-	}
-	s.K = len(main.a) - 1
-	// Trim to the smallest certified K; the bound is monotone non-increasing
-	// in the candidate level (both the Poisson tail and the mean-excess·a(K)
-	// branch shrink as K grows), so binary search replaces the former scan.
-	if K := sort.Search(s.K, func(cand int) bool {
-		return truncErrS(rmax, main.a, cand, lam) <= budget
-	}); K < s.K {
-		s.K = K
-	}
-	s.A = main.a[:s.K+1]
-	s.B = main.b[:s.K+1]
-	s.Q = main.q[:min(s.K, len(main.q))]
-	s.V = make([][]float64, len(absorbing))
-	for i := range s.V {
-		s.V[i] = main.v[i][:min(s.K, len(main.v[i]))]
-	}
-
-	if s.AlphaR < 1 {
+	main := newMultiChain(n, plan, fr, u0, rewardsList, 1)
+	var prime *multiChain
+	if alphaR < 1 {
 		// Primed chain: u'_0 = initial distribution without r.
 		up0 := make([]float64, n)
 		copy(up0, init)
 		up0[regen] = 0
-		prime := newChainState(n, plan, up0, rewards, 1-s.AlphaR, false)
-		for !prime.done {
-			L := len(prime.a) - 1
-			if truncErrP(rmax, prime.a, L, lam) <= budget {
-				break
+		prime = newMultiChain(n, plan, fr, up0, rewardsList, 1-alphaR)
+	}
+	mainNeeds := func() bool {
+		if main.cs.done {
+			return false
+		}
+		K := main.cs.stepIndex()
+		for _, rmax := range rmaxs {
+			if truncErrS(rmax, main.cs.a, K, lam) > budget {
+				return true
 			}
-			prime.step(d, plan, rewards)
 		}
-		s.L = len(prime.a) - 1
-		if L := sort.Search(s.L, func(cand int) bool {
-			return truncErrP(rmax, prime.a, cand, lam) <= budget
-		}); L < s.L {
+		return false
+	}
+	primeNeeds := func() bool {
+		if prime == nil || prime.cs.done {
+			return false
+		}
+		L := prime.cs.stepIndex()
+		for _, rmax := range rmaxs {
+			if truncErrP(rmax, prime.cs.a, L, lam) > budget {
+				return true
+			}
+		}
+		return false
+	}
+	// Lockstep phase: both chains advance through one matrix traversal per
+	// step while both still need depth (the common case is a short primed
+	// chain riding the main chain's early steps for free).
+	for mainNeeds() && primeNeeds() {
+		stepMulti(d, plan, []*multiChain{main, prime})
+	}
+	for mainNeeds() {
+		main.step(d, plan)
+	}
+	for primeNeeds() {
+		prime.step(d, plan)
+	}
+
+	for ri := range out {
+		s := out[ri]
+		rmax := rmaxs[ri]
+		depth := main.cs.stepIndex()
+		K := sort.Search(depth, func(cand int) bool {
+			return truncErrS(rmax, main.cs.a, cand, lam) <= budget
+		})
+		s.K = K
+		s.A = main.cs.a[:K+1]
+		s.B = main.b(ri)[:K+1]
+		s.Q = main.cs.q[:min(K, len(main.cs.q))]
+		s.V = make([][]float64, len(absorbing))
+		for i := range s.V {
+			s.V[i] = main.cs.v[i][:min(K, len(main.cs.v[i]))]
+		}
+		if prime != nil {
+			pdepth := prime.cs.stepIndex()
+			L := sort.Search(pdepth, func(cand int) bool {
+				return truncErrP(rmax, prime.cs.a, cand, lam) <= budget
+			})
 			s.L = L
-		}
-		s.AP = prime.a[:s.L+1]
-		s.BP = prime.b[:s.L+1]
-		s.QP = prime.q[:min(s.L, len(prime.q))]
-		s.VP = make([][]float64, len(absorbing))
-		for i := range s.VP {
-			s.VP[i] = prime.v[i][:min(s.L, len(prime.v[i]))]
+			s.AP = prime.cs.a[:L+1]
+			s.BP = prime.b(ri)[:L+1]
+			s.QP = prime.cs.q[:min(L, len(prime.cs.q))]
+			s.VP = make([][]float64, len(absorbing))
+			for i := range s.VP {
+				s.VP[i] = prime.cs.v[i][:min(L, len(prime.cs.v[i]))]
+			}
 		}
 	}
-	return s, nil
+	return out, nil
 }
 
 func min(a, b int) int {

@@ -1,0 +1,21 @@
+package sparse
+
+// Test-only exports: the retained scalar reference kernels, for equivalence
+// tests and A/B benchmarks in the external test package.
+
+// StepFusedRef runs the full fused step through the retained scalar
+// reference kernel over the matrix's chunk plan, serially, reducing the
+// partials in chunk order — the pre-quad-row arithmetic.
+func (m *Matrix) StepFusedRef(dst, src, rewards []float64, zero []int32, zeroVals []float64) (sum, dot float64) {
+	nc := len(m.chunks) - 1
+	partials := make([]fusedPartial, nc)
+	for c := 0; c < nc; c++ {
+		m.stepFusedRangeRef(&partials[c], dst, src, rewards, zero, zeroVals, m.chunks[c], m.chunks[c+1])
+	}
+	return reducePartials(partials)
+}
+
+// VecMatRef computes dst = src·M through the retained scalar reference.
+func (m *Matrix) VecMatRef(dst, src []float64) {
+	m.vecMatRangeRef(dst, src, 0, m.n)
+}

@@ -1,0 +1,600 @@
+package sparse
+
+import (
+	"sync"
+
+	"regenrand/internal/par"
+)
+
+// Frontier is the reachability structure of a matrix for a fixed set of
+// source rows: every destination row annotated with its BFS level (the
+// smallest k such that the row is reachable in ≤ k steps along stored
+// entries), laid out as a level-ordered row permutation with a chunk plan
+// whose prefixes cover the level sets.
+//
+// A row distribution supported on the sources has, after k steps, support
+// contained in the rows of level ≤ k — so the k-th step of a series
+// construction only needs to compute destination rows of level ≤ k+1, an
+// O(frontier) sweep instead of O(n). Unreachable rows are excluded from the
+// permutation entirely: they stay exactly zero through every step.
+//
+// Determinism: the permutation, chunk plan and level→chunk prefixes are a
+// pure function of (matrix, sources); the step kernels reduce per-chunk
+// compensated partials in chunk order, so results are bitwise-identical
+// across GOMAXPROCS settings. The sweep order differs from the plain
+// kernels' ascending-row order, so sums differ from StepFused by a couple
+// of ulps (non-negative Kahan summation under a different association) —
+// which is why a construction must use the frontier kernels for a given
+// step on every path (build, basis extension and reward replay alike).
+type Frontier struct {
+	m *Matrix
+	// order lists the reachable rows, sorted by (level, row index).
+	order []int32
+	// levelEnd[l] is the number of rows of level ≤ l (prefix length into
+	// order); levels run 0..maxLevel where maxLevel = len(levelEnd)-1.
+	levelEnd []int
+	// chunks holds boundaries into order, balanced by stored-entry count.
+	chunks []int
+	// levelChunk[l] is the smallest chunk count whose rows cover every row
+	// of level ≤ l (prefix round-up to a chunk boundary).
+	levelChunk []int
+	// nnzAt[c] is the stored-entry count of chunks[0:c], used to decide
+	// whether an active prefix is worth dispatching on the worker pool.
+	nnzAt []int
+
+	partials sync.Pool
+}
+
+// frontierKey builds the cache key of a source set.
+func frontierKey(sources []int) string {
+	b := make([]byte, 0, 4*len(sources))
+	for _, s := range sources {
+		b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+	}
+	return string(b)
+}
+
+// FrontierFor returns the frontier of the given source rows, computing it on
+// first use and caching it on the matrix (the series constructions of one
+// model share a source set). sources must be valid row indices; duplicates
+// are allowed. The result is shared — callers must not modify it.
+func (m *Matrix) FrontierFor(sources []int) *Frontier {
+	sorted := make([]int, len(sources))
+	copy(sorted, sources)
+	insertionSortInts(sorted)
+	key := frontierKey(sorted)
+	m.frontierMu.Lock()
+	defer m.frontierMu.Unlock()
+	if f, ok := m.frontiers[key]; ok {
+		return f
+	}
+	f := m.newFrontier(sorted)
+	if m.frontiers == nil {
+		m.frontiers = make(map[string]*Frontier)
+	}
+	m.frontiers[key] = f
+	return f
+}
+
+func insertionSortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i
+		for j > 0 && a[j-1] > v {
+			a[j] = a[j-1]
+			j--
+		}
+		a[j] = v
+	}
+}
+
+// outAdjacency lazily builds the out-edge CSR (the transpose of the stored
+// in-edge layout), which the BFS walks.
+func (m *Matrix) outAdjacency() ([]int32, []int32) {
+	m.outOnce.Do(func() {
+		counts := make([]int32, m.n+1)
+		for _, s := range m.inSrc {
+			counts[s+1]++
+		}
+		ptr := make([]int32, m.n+1)
+		for i := 0; i < m.n; i++ {
+			ptr[i+1] = ptr[i] + counts[i+1]
+		}
+		dst := make([]int32, len(m.inSrc))
+		next := make([]int32, m.n)
+		copy(next, ptr[:m.n])
+		for j := 0; j < m.n; j++ {
+			for p := m.inPtr[j]; p < m.inPtr[j+1]; p++ {
+				s := m.inSrc[p]
+				dst[next[s]] = int32(j)
+				next[s]++
+			}
+		}
+		m.outPtr, m.outDst = ptr, dst
+	})
+	return m.outPtr, m.outDst
+}
+
+// newFrontier runs the BFS and lays out the level-ordered chunk plan.
+func (m *Matrix) newFrontier(sources []int) *Frontier {
+	outPtr, outDst := m.outAdjacency()
+	level := make([]int32, m.n)
+	for i := range level {
+		level[i] = -1
+	}
+	queue := make([]int32, 0, m.n)
+	for _, s := range sources {
+		if level[s] < 0 {
+			level[s] = 0
+			queue = append(queue, int32(s))
+		}
+	}
+	reach := len(queue)
+	var levelEnd []int
+	levelEnd = append(levelEnd, reach)
+	for lo := 0; lo < len(queue); {
+		hi := len(queue)
+		for ; lo < hi; lo++ {
+			u := queue[lo]
+			l := level[u] + 1
+			for p := outPtr[u]; p < outPtr[u+1]; p++ {
+				v := outDst[p]
+				if level[v] < 0 {
+					level[v] = l
+					queue = append(queue, v)
+					reach++
+				}
+			}
+		}
+		if len(queue) > hi {
+			levelEnd = append(levelEnd, len(queue))
+		}
+	}
+	f := &Frontier{m: m, levelEnd: levelEnd}
+	// Level-ordered permutation, ascending row index within each level: a
+	// counting sort over rows 0..n-1 by level.
+	starts := make([]int, len(levelEnd))
+	prev := 0
+	for l, e := range levelEnd {
+		starts[l] = prev
+		prev = e
+	}
+	f.order = make([]int32, reach)
+	for j := 0; j < m.n; j++ {
+		if l := level[j]; l >= 0 {
+			f.order[starts[l]] = int32(j)
+			starts[l]++
+		}
+	}
+	// Chunk plan over the permuted rows, balanced by stored entries.
+	f.chunks = append(f.chunks, 0)
+	f.nnzAt = append(f.nnzAt, 0)
+	acc := 0
+	for i, row := range f.order {
+		acc += m.inPtr[row+1] - m.inPtr[row]
+		if acc >= chunkTargetNNZ || i == len(f.order)-1 {
+			f.chunks = append(f.chunks, i+1)
+			f.nnzAt = append(f.nnzAt, f.nnzAt[len(f.nnzAt)-1]+acc)
+			acc = 0
+		}
+	}
+	if len(f.chunks) > maxChunks+1 {
+		f.rebalanceChunks()
+	}
+	// levelChunk: smallest chunk prefix covering each level prefix.
+	f.levelChunk = make([]int, len(levelEnd))
+	c := 0
+	for l, e := range levelEnd {
+		for f.chunks[c] < e {
+			c++
+		}
+		f.levelChunk[l] = c
+	}
+	return f
+}
+
+// rebalanceChunks merges the chunk plan down to at most maxChunks while
+// keeping boundaries aligned to existing ones.
+func (f *Frontier) rebalanceChunks() {
+	merged := []int{0}
+	nnz := []int{0}
+	stride := (len(f.chunks) + maxChunks - 1) / maxChunks
+	for i := stride; i < len(f.chunks); i += stride {
+		merged = append(merged, f.chunks[i])
+		nnz = append(nnz, f.nnzAt[i])
+	}
+	if merged[len(merged)-1] != f.chunks[len(f.chunks)-1] {
+		merged = append(merged, f.chunks[len(f.chunks)-1])
+		nnz = append(nnz, f.nnzAt[len(f.nnzAt)-1])
+	}
+	f.chunks, f.nnzAt = merged, nnz
+}
+
+// MaxLevel returns the largest BFS level (the eccentricity of the source
+// set over the reachable rows).
+func (f *Frontier) MaxLevel() int { return len(f.levelEnd) - 1 }
+
+// Reachable returns the number of reachable rows.
+func (f *Frontier) Reachable() int { return len(f.order) }
+
+// Saturated reports whether the step with the given index (stepping u_step
+// to u_{step+1}) covers every row of the matrix, in which case the plain
+// full-sweep kernels are both correct and faster — the frontier kernels
+// sweep a permutation, which buys nothing once the prefix is the whole
+// matrix. Constructions switch kernels at this fixed, deterministic step.
+func (f *Frontier) Saturated(step int) bool {
+	return step+1 >= f.MaxLevel() && len(f.order) == f.m.n
+}
+
+// activeChunks returns the chunk prefix that covers every destination row a
+// step from u_step can reach.
+func (f *Frontier) activeChunks(step int) int {
+	l := step + 1
+	if l >= len(f.levelChunk) {
+		return len(f.chunks) - 1
+	}
+	return f.levelChunk[l]
+}
+
+// ActiveRows returns the number of destination rows the step with the given
+// index sweeps (a diagnostic for tests and cost accounting).
+func (f *Frontier) ActiveRows(step int) int {
+	return f.chunks[f.activeChunks(step)]
+}
+
+// getPartials returns a zeroed per-chunk scratch slice from the frontier's
+// pool.
+func (f *Frontier) getPartials() *[]fusedPartial {
+	if v := f.partials.Get(); v != nil {
+		ptr := v.(*[]fusedPartial)
+		p := *ptr
+		for i := range p {
+			p[i] = fusedPartial{}
+		}
+		return ptr
+	}
+	p := make([]fusedPartial, len(f.chunks)-1)
+	return &p
+}
+
+// StepFused computes the frontier-restricted fused step of u_step: for every
+// destination row of level ≤ step+1 it computes the gather product into dst,
+// diverts rows with zpos[row] ≥ 0 to zeroVals[zpos[row]] (zeroing them in
+// dst), and returns the compensated ℓ₁ mass and reward dot-product of the
+// surviving swept rows. Rows outside the active prefix are not touched: the
+// caller guarantees they are zero in dst (buffers start zeroed and active
+// prefixes grow monotonically, so ping-pong reuse preserves this).
+// zeroVals entries whose rows lie outside the prefix are zeroed. rewards
+// may be nil.
+//
+// Within a chunk, row number i of the permuted sweep feeds Kahan chain i&3,
+// folded in chain order into the chunk partial; partials reduce in chunk
+// order — the association RewardDot replays exactly.
+func (f *Frontier) StepFused(step int, dst, src, rewards []float64, zpos []int32, zeroVals []float64) (sum, dot float64) {
+	m := f.m
+	if len(dst) != m.n || len(src) != m.n || len(zpos) != m.n {
+		panic("sparse: Frontier.StepFused dimension mismatch")
+	}
+	if rewards != nil && len(rewards) != m.n {
+		panic("sparse: Frontier.StepFused rewards length mismatch")
+	}
+	for i := range zeroVals {
+		zeroVals[i] = 0
+	}
+	ac := f.activeChunks(step)
+	if ac == 0 {
+		return 0, 0
+	}
+	ptr := f.getPartials()
+	partials := (*ptr)[:ac]
+	run := func(c int) {
+		f.stepChunk(&partials[c], c, dst, src, rewards, zpos, zeroVals)
+	}
+	if f.nnzAt[ac] >= parallelThreshold {
+		par.For(ac, run)
+	} else {
+		for c := 0; c < ac; c++ {
+			run(c)
+		}
+	}
+	sum, dot = reducePartials(partials)
+	f.partials.Put(ptr)
+	return sum, dot
+}
+
+// stepChunk processes one chunk of the permuted sweep.
+func (f *Frontier) stepChunk(p *fusedPartial, c int, dst, src, rewards []float64, zpos []int32, zeroVals []float64) {
+	m := f.m
+	g := m.gather(src)
+	var ms, mc, ds, dc [4]float64
+	lo, hi := f.chunks[c], f.chunks[c+1]
+	for i := lo; i < hi; i++ {
+		row := f.order[i]
+		s := m.rowSum(g, int(row))
+		if k := zpos[row]; k >= 0 {
+			zeroVals[k] = s
+			dst[row] = 0
+			continue
+		}
+		dst[row] = s
+		ch := (i - lo) & 3
+		y := s - mc[ch]
+		t := ms[ch] + y
+		mc[ch] = (t - ms[ch]) - y
+		ms[ch] = t
+		if rewards != nil {
+			y = s*rewards[row] - dc[ch]
+			t = ds[ch] + y
+			dc[ch] = (t - ds[ch]) - y
+			ds[ch] = t
+		}
+	}
+	foldChains(p, &ms, &mc, &ds, &dc)
+}
+
+// RewardDot replays the reward dot-product of a retained frontier step: x
+// must be the vector produced by the step with the given index, and the
+// result is bitwise-identical to the dot StepFused(step, ...) returned —
+// same swept rows, same skip rule, same four chains per chunk, same folds.
+func (f *Frontier) RewardDot(step int, x, rewards []float64, zpos []int32) float64 {
+	m := f.m
+	if len(x) != m.n || len(rewards) != m.n || len(zpos) != m.n {
+		panic("sparse: Frontier.RewardDot dimension mismatch")
+	}
+	ac := f.activeChunks(step)
+	var acc Accumulator
+	for c := 0; c < ac; c++ {
+		lo, hi := f.chunks[c], f.chunks[c+1]
+		var ds, dc [4]float64
+		for i := lo; i < hi; i++ {
+			row := f.order[i]
+			if zpos[row] >= 0 {
+				continue
+			}
+			ch := (i - lo) & 3
+			y := x[row]*rewards[row] - dc[ch]
+			t := ds[ch] + y
+			dc[ch] = (t - ds[ch]) - y
+			ds[ch] = t
+		}
+		var fold Accumulator
+		for ch := 0; ch < 4; ch++ {
+			fold.Add(ds[ch])
+			fold.Add(-dc[ch])
+		}
+		acc.Add(fold.sum)
+		acc.Add(-fold.comp)
+	}
+	return acc.Value()
+}
+
+// StepLane is one chain of a multi-lane lockstep step: its own distribution
+// vectors and zero diversions, and any number of reward vectors to dot
+// against. Sum and Dots receive the lane's compensated results.
+type StepLane struct {
+	Dst, Src []float64
+	ZeroVals []float64
+	Rewards  [][]float64
+	Sum      float64
+	Dots     []float64
+}
+
+// StepFusedMulti steps every lane through one traversal of the active
+// prefix: each swept row's in-edges are walked once per lane, so the matrix
+// index/value streams are loaded once for all lanes, halving (or better)
+// the dominant memory traffic of stepping the main and primed chains — or
+// one chain against several reward vectors — in lockstep. Every lane's Sum,
+// Dots, Dst and ZeroVals are bitwise-identical to a single-lane
+// StepFused/RewardDot pass of that lane at the same step, because the
+// per-lane arithmetic — gather order, chain assignment, folds — is
+// unchanged; only the traversal interleaves.
+func (f *Frontier) StepFusedMulti(step int, lanes []StepLane, zpos []int32) {
+	m := f.m
+	validateLanes(m.n, lanes, zpos)
+	for li := range lanes {
+		for i := range lanes[li].ZeroVals {
+			lanes[li].ZeroVals[i] = 0
+		}
+	}
+	ac := f.activeChunks(step)
+	sc := getMultiScratch(m, lanes, ac)
+	states, gathers := sc.states, sc.gathers
+	run := func(c int) {
+		lo, hi := f.chunks[c], f.chunks[c+1]
+		for i := lo; i < hi; i++ {
+			row := int(f.order[i])
+			ch := (i - lo) & 3
+			multiRow(m, lanes, gathers, states, c, row, ch, zpos)
+		}
+		foldLaneChunk(lanes, states, c)
+	}
+	if f.nnzAt[ac] >= parallelThreshold {
+		par.For(ac, run)
+	} else {
+		for c := 0; c < ac; c++ {
+			run(c)
+		}
+	}
+	reduceLanes(lanes, states, ac)
+	multiScratchPool.Put(sc)
+}
+
+// StepFusedMulti is the full-sweep (saturated) multi-lane kernel: identical
+// to the frontier variant but over the matrix's own chunk plan in ascending
+// row order, with per-lane results bitwise-identical to the plain StepFused
+// of each lane. zero is the sorted diverted-destination list shared by all
+// lanes, with per-lane ZeroVals outputs; zpos is its dense position map.
+func (m *Matrix) StepFusedMulti(lanes []StepLane, zpos []int32) {
+	validateLanes(m.n, lanes, zpos)
+	nc := len(m.chunks) - 1
+	sc := getMultiScratch(m, lanes, nc)
+	states, gathers := sc.states, sc.gathers
+	run := func(c int) {
+		lo, hi := m.chunks[c], m.chunks[c+1]
+		for row := lo; row < hi; row++ {
+			ch := (row - lo) & 3
+			multiRow(m, lanes, gathers, states, c, row, ch, zpos)
+		}
+		foldLaneChunk(lanes, states, c)
+	}
+	if m.NNZ() >= parallelThreshold {
+		par.For(nc, run)
+	} else {
+		for c := 0; c < nc; c++ {
+			run(c)
+		}
+	}
+	reduceLanes(lanes, states, nc)
+	multiScratchPool.Put(sc)
+}
+
+func validateLanes(n int, lanes []StepLane, zpos []int32) {
+	if len(zpos) != n {
+		panic("sparse: StepFusedMulti zpos length mismatch")
+	}
+	for li := range lanes {
+		l := &lanes[li]
+		if len(l.Dst) != n || len(l.Src) != n {
+			panic("sparse: StepFusedMulti lane dimension mismatch")
+		}
+		if len(l.Dots) != len(l.Rewards) {
+			panic("sparse: StepFusedMulti lane Dots/Rewards length mismatch")
+		}
+		for _, r := range l.Rewards {
+			if len(r) != n {
+				panic("sparse: StepFusedMulti lane rewards length mismatch")
+			}
+		}
+	}
+}
+
+// laneChunkState is the per-(lane, chunk) accumulator block of the
+// multi-lane kernels. The careful part is the chain scratch: each chunk
+// runs its four interleaved Kahan chains in a private block so chunks can
+// run concurrently.
+type laneChunkState struct {
+	ms, mc [4]float64
+	ds, dc [][4]float64 // per reward vector
+}
+
+// multiScratch recycles the accumulator blocks and per-lane gather views of
+// the multi-lane kernels, which run once per DTMC step of a lockstep build
+// — per-call allocation there would be the GC pressure the single-lane
+// kernels' partials pool exists to avoid.
+type multiScratch struct {
+	states  [][]laneChunkState
+	gathers []gatherPtrs
+}
+
+var multiScratchPool = sync.Pool{New: func() any { return &multiScratch{} }}
+
+// getMultiScratch returns a scratch with zeroed accumulator blocks sized
+// for (lanes, nc) and the per-lane gather views resolved (they change every
+// step: lockstep chains ping-pong their Src buffers).
+func getMultiScratch(m *Matrix, lanes []StepLane, nc int) *multiScratch {
+	sc := multiScratchPool.Get().(*multiScratch)
+	if cap(sc.states) < len(lanes) {
+		sc.states = make([][]laneChunkState, len(lanes))
+	}
+	sc.states = sc.states[:len(lanes)]
+	if cap(sc.gathers) < len(lanes) {
+		sc.gathers = make([]gatherPtrs, len(lanes))
+	}
+	sc.gathers = sc.gathers[:len(lanes)]
+	for li := range lanes {
+		sc.gathers[li] = m.gather(lanes[li].Src)
+		st := sc.states[li]
+		if cap(st) < nc {
+			st = make([]laneChunkState, nc)
+		}
+		st = st[:nc]
+		r := len(lanes[li].Rewards)
+		for c := range st {
+			st[c].ms, st[c].mc = [4]float64{}, [4]float64{}
+			if cap(st[c].ds) < r {
+				st[c].ds = make([][4]float64, r)
+				st[c].dc = make([][4]float64, r)
+			}
+			st[c].ds = st[c].ds[:r]
+			st[c].dc = st[c].dc[:r]
+			for ri := range st[c].ds {
+				st[c].ds[ri] = [4]float64{}
+				st[c].dc[ri] = [4]float64{}
+			}
+		}
+		sc.states[li] = st
+	}
+	return sc
+}
+
+// multiRow processes one destination row for every lane.
+func multiRow(m *Matrix, lanes []StepLane, gathers []gatherPtrs, states [][]laneChunkState, c, row, ch int, zpos []int32) {
+	k := zpos[row]
+	for li := range lanes {
+		l := &lanes[li]
+		st := &states[li][c]
+		s := m.rowSum(gathers[li], row)
+		if k >= 0 {
+			if l.ZeroVals != nil {
+				l.ZeroVals[k] = s
+			}
+			l.Dst[row] = 0
+			continue
+		}
+		l.Dst[row] = s
+		y := s - st.mc[ch]
+		t := st.ms[ch] + y
+		st.mc[ch] = (t - st.ms[ch]) - y
+		st.ms[ch] = t
+		for ri, r := range l.Rewards {
+			y = s*r[row] - st.dc[ri][ch]
+			t = st.ds[ri][ch] + y
+			st.dc[ri][ch] = (t - st.ds[ri][ch]) - y
+			st.ds[ri][ch] = t
+		}
+	}
+}
+
+// foldLaneChunk folds each lane's four chains of chunk c exactly as
+// foldChains does for the single-lane kernel.
+func foldLaneChunk(lanes []StepLane, states [][]laneChunkState, c int) {
+	for li := range lanes {
+		st := &states[li][c]
+		var sAcc Accumulator
+		for ch := 0; ch < 4; ch++ {
+			sAcc.Add(st.ms[ch])
+			sAcc.Add(-st.mc[ch])
+		}
+		st.ms[0], st.mc[0] = sAcc.sum, sAcc.comp
+		for ri := range st.ds {
+			var dAcc Accumulator
+			for ch := 0; ch < 4; ch++ {
+				dAcc.Add(st.ds[ri][ch])
+				dAcc.Add(-st.dc[ri][ch])
+			}
+			st.ds[ri][0], st.dc[ri][0] = dAcc.sum, dAcc.comp
+		}
+	}
+}
+
+// reduceLanes folds the per-chunk partials of every lane in chunk order,
+// mirroring reducePartials.
+func reduceLanes(lanes []StepLane, states [][]laneChunkState, nc int) {
+	for li := range lanes {
+		l := &lanes[li]
+		var sAcc Accumulator
+		for c := 0; c < nc; c++ {
+			sAcc.Add(states[li][c].ms[0])
+			sAcc.Add(-states[li][c].mc[0])
+		}
+		l.Sum = sAcc.Value()
+		for ri := range l.Dots {
+			var dAcc Accumulator
+			for c := 0; c < nc; c++ {
+				dAcc.Add(states[li][c].ds[ri][0])
+				dAcc.Add(-states[li][c].dc[ri][0])
+			}
+			l.Dots[ri] = dAcc.Value()
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// raidLikeMatrix mimics the shape of the paper's uniformized G=20 RAID DTMC:
+// thousands of short rows (median in-degree ~6) plus one giant row (the
+// pristine state receives a repair transition from almost every state).
+func raidLikeMatrix(b *testing.B, n int) *Matrix {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	entries := make([]Entry, 0, 8*n)
+	for j := 1; j < n; j++ {
+		deg := 3 + rng.Intn(7)
+		for d := 0; d < deg; d++ {
+			entries = append(entries, Entry{Row: rng.Intn(n), Col: j, Val: rng.Float64()})
+		}
+	}
+	for i := 1; i < n; i++ {
+		entries = append(entries, Entry{Row: i, Col: 0, Val: rng.Float64()})
+	}
+	m, err := NewFromEntries(n, entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkStepFusedShape times the fused step kernel against the retained
+// scalar reference on the RAID-like shape, isolating the quad-row gather and
+// interleaved-Kahan-chain wins from benchmark-harness noise.
+func BenchmarkStepFusedShape(b *testing.B) {
+	m := raidLikeMatrix(b, 3841)
+	n := m.Dim()
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	rewards := make([]float64, n)
+	rng := rand.New(rand.NewSource(9))
+	for i := range src {
+		src[i] = rng.Float64() / float64(n)
+		rewards[i] = rng.Float64()
+	}
+	zero := []int32{0, int32(n - 1)}
+	zeroVals := make([]float64, len(zero))
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.StepFused(dst, src, rewards, zero, zeroVals)
+		}
+		b.ReportMetric(float64(m.NNZ()), "nnz")
+	})
+	b.Run("ref", func(b *testing.B) {
+		var p fusedPartial
+		for i := 0; i < b.N; i++ {
+			p = fusedPartial{}
+			m.stepFusedRangeRef(&p, dst, src, rewards, zero, zeroVals, 0, n)
+		}
+		b.ReportMetric(float64(m.NNZ()), "nnz")
+	})
+	b.Run("gather-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.vecMatRange(dst, src, 0, n)
+		}
+	})
+	b.Run("gather-ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.vecMatRangeRef(dst, src, 0, n)
+		}
+	})
+}

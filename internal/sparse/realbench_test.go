@@ -1,0 +1,47 @@
+package sparse_test
+
+import (
+	"testing"
+
+	"regenrand/internal/raid"
+)
+
+// BenchmarkKernelRealAB times the fused step kernel against the retained
+// scalar reference on the real G=20 RAID DTMC, interleaved in one process so
+// machine noise hits both variants equally.
+func BenchmarkKernelRealAB(b *testing.B) {
+	m, err := raid.Build(raid.DefaultParams(20), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := m.Chain.Uniformize(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rewards := m.UnavailabilityRewards()
+	src := m.Chain.Initial()
+	dst := make([]float64, m.Chain.N())
+	zero := []int32{int32(m.Pristine)}
+	zeroVals := make([]float64, 1)
+	mat := d.P
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mat.StepFused(dst, src, rewards, zero, zeroVals)
+		}
+	})
+	b.Run("ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mat.StepFusedRef(dst, src, rewards, zero, zeroVals)
+		}
+	})
+	b.Run("gather", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mat.VecMat(dst, src)
+		}
+	})
+	b.Run("gather-ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mat.VecMatRef(dst, src)
+		}
+	})
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"unsafe"
 
 	"regenrand/internal/par"
 )
@@ -51,6 +52,15 @@ type Matrix struct {
 	// the hot stepping loops do not allocate per call; a pool (rather than
 	// one buffer) keeps concurrent use of a shared matrix safe.
 	partials sync.Pool
+
+	// outOnce/outPtr/outDst lazily hold the out-edge CSR (the transpose of
+	// the stored in-edge layout), built on first reachability query.
+	outOnce sync.Once
+	outPtr  []int32
+	outDst  []int32
+	// frontiers caches reachability frontiers by source set; see FrontierFor.
+	frontierMu sync.Mutex
+	frontiers  map[string]*Frontier
 }
 
 // NewFromEntries builds an n×n matrix from triplets. Entries with identical
@@ -127,10 +137,26 @@ const chunkTargetNNZ = 2048
 // maxChunks caps the partial-sum table of the chunked reductions.
 const maxChunks = 512
 
+// serialThreshold is the number of stored entries below which a matrix plans
+// a single chunk and the fused kernels take the straight-line serial path:
+// on small in-cache models the per-chunk partials, pool dispatch and
+// partial-reduction machinery cost more than they buy even at high core
+// counts, and the series construction pays that overhead once per step —
+// thousands of times per build. The threshold sits above the paper's G=20
+// RAID model (~22k stored entries) and below the G=40 one.
+const serialThreshold = 1 << 15
+
 // buildChunks precomputes destination-row boundaries balanced by
 // stored-entry count. Boundaries are a pure function of the matrix.
 func (m *Matrix) buildChunks() {
 	nnz := len(m.inVal)
+	if nnz < serialThreshold {
+		// One chunk: every reduction degenerates to a single compensated
+		// sweep, which both skips the partial machinery and keeps the
+		// serial fast path bitwise-consistent with the chunked code.
+		m.chunks = []int{0, m.n}
+		return
+	}
 	c := nnz / chunkTargetNNZ
 	if c < 1 {
 		c = 1
@@ -221,8 +247,173 @@ func (m *Matrix) VecMatSerial(dst, src []float64) {
 	m.vecMatRange(dst, src, 0, m.n)
 }
 
-// vecMatRange computes dst[j] for j in [lo, hi).
+// splitRowThreshold is the stored-entry count at or above which a row's
+// gather is evaluated as four interleaved contiguous blocks instead of one
+// sequential sum. A single running sum is a loop-carried FP addition, so a
+// 3800-entry row (the pristine state of the paper's RAID models receives a
+// repair transition from almost every state) serializes at the add latency;
+// four block sums retire ~4× the entries per cycle. The block split
+// re-associates the row sum, so dst values can differ from the sequential
+// reference in the last couple of ulps — all sums here are of non-negative
+// terms, for which any association is accurate to ~1 ulp.
+const splitRowThreshold = 256
+
+// gatherPtrs is the raw-pointer view of a gather: the base of src and of
+// the entry arrays. The gather loops run at two to three loads per stored
+// entry; with slice indexing each load also pays a bounds check plus
+// per-group subslice construction, which the profile puts at a sizable
+// share of the series-construction step. All entry indices are validated
+// at construction (NewFromEntries rejects out-of-range rows and dedupe
+// preserves them) and every kernel checks len(src) == n on entry, so the
+// raw loads are provably in bounds.
+type gatherPtrs struct {
+	sp, is, iv unsafe.Pointer
+}
+
+func (m *Matrix) gather(src []float64) gatherPtrs {
+	return gatherPtrs{
+		sp: unsafe.Pointer(unsafe.SliceData(src)),
+		is: unsafe.Pointer(unsafe.SliceData(m.inSrc)),
+		iv: unsafe.Pointer(unsafe.SliceData(m.inVal)),
+	}
+}
+
+// prod returns src[inSrc[k]]·inVal[k] for stored-entry position k.
+func (g gatherPtrs) prod(k int) float64 {
+	idx := *(*int32)(unsafe.Add(g.is, uintptr(k)*4))
+	return *(*float64)(unsafe.Add(g.sp, uintptr(idx)*8)) * *(*float64)(unsafe.Add(g.iv, uintptr(k)*8))
+}
+
+// rowSum4 computes the gather products of four consecutive short destination
+// rows in one pass, given their storage bounds p0..p4: the four row
+// accumulators are independent dependency chains, so the loop retires ~4×
+// the entries per cycle of a single loop-carried sum (the FP-add latency
+// that bounds the scalar row loop). Within each row the partial products are
+// still added in storage order — exactly the order of the scalar reference —
+// so every returned sum is bitwise-identical to a one-row-at-a-time gather.
+// Callers must ensure every row in the group is below splitRowThreshold, so
+// that rowSum4 and rowSum agree bitwise row for row.
+func (m *Matrix) rowSum4(g gatherPtrs, p0, p1, p2, p3, p4 int) (s0, s1, s2, s3 float64) {
+	n0, n1, n2, n3 := p1-p0, p2-p1, p3-p2, p4-p3
+	c := n0
+	if n1 < c {
+		c = n1
+	}
+	if n2 < c {
+		c = n2
+	}
+	if n3 < c {
+		c = n3
+	}
+	for i := 0; i < c; i++ {
+		s0 += g.prod(p0 + i)
+		s1 += g.prod(p1 + i)
+		s2 += g.prod(p2 + i)
+		s3 += g.prod(p3 + i)
+	}
+	// Tails beyond the common prefix: pair rows (0,1) and (2,3) so most tail
+	// entries still run two independent chains; per-row order is unchanged.
+	d01 := n0
+	if n1 < d01 {
+		d01 = n1
+	}
+	for i := c; i < d01; i++ {
+		s0 += g.prod(p0 + i)
+		s1 += g.prod(p1 + i)
+	}
+	for i := d01; i < n0; i++ {
+		s0 += g.prod(p0 + i)
+	}
+	for i := d01; i < n1; i++ {
+		s1 += g.prod(p1 + i)
+	}
+	d23 := n2
+	if n3 < d23 {
+		d23 = n3
+	}
+	for i := c; i < d23; i++ {
+		s2 += g.prod(p2 + i)
+		s3 += g.prod(p3 + i)
+	}
+	for i := d23; i < n2; i++ {
+		s2 += g.prod(p2 + i)
+	}
+	for i := d23; i < n3; i++ {
+		s3 += g.prod(p3 + i)
+	}
+	return
+}
+
+// rowSum computes the gather product of one destination row: sequentially
+// for short rows, via the four-block split for rows at or above
+// splitRowThreshold. Every kernel that computes a row on its own goes
+// through rowSum, so a given row's association is a pure function of the
+// matrix — identical across VecMat, the fused step kernels and the frontier
+// kernels.
+func (m *Matrix) rowSum(g gatherPtrs, j int) float64 {
+	p, e := m.inPtr[j], m.inPtr[j+1]
+	if e-p >= splitRowThreshold {
+		return rowSumSplit(g, p, e)
+	}
+	var s float64
+	for ; p < e; p++ {
+		s += g.prod(p)
+	}
+	return s
+}
+
+// rowSumSplit evaluates a long row as four contiguous blocks with
+// interleaved accumulation, combined as (b0+b1)+(b2+b3).
+func rowSumSplit(g gatherPtrs, p, e int) float64 {
+	q := (e - p) / 4
+	p0, p1, p2, p3 := p, p+q, p+2*q, p+3*q
+	var s0, s1, s2, s3 float64
+	for i := 0; i < q; i++ {
+		s0 += g.prod(p0 + i)
+		s1 += g.prod(p1 + i)
+		s2 += g.prod(p2 + i)
+		s3 += g.prod(p3 + i)
+	}
+	for i := p3 + q; i < e; i++ {
+		s3 += g.prod(i)
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// vecMatRange computes dst[j] for j in [lo, hi) through the quad-row gather;
+// see rowSum4 and rowSum for the evaluation order (bitwise-identical to the
+// scalar reference vecMatRangeRef for short rows; long rows use the
+// four-block split). Grouping never affects results — any row at or above
+// splitRowThreshold is evaluated on its own via rowSum, so a given row's
+// association depends only on the matrix.
 func (m *Matrix) vecMatRange(dst, src []float64, lo, hi int) {
+	inPtr := m.inPtr
+	g := m.gather(src)
+	j := lo
+	for j+4 <= hi {
+		p0, p1, p2, p3, p4 := inPtr[j], inPtr[j+1], inPtr[j+2], inPtr[j+3], inPtr[j+4]
+		// All four lengths are non-negative, so the OR is ≥ the threshold
+		// (a power of two) exactly when some row is.
+		if (p1-p0)|(p2-p1)|(p3-p2)|(p4-p3) >= splitRowThreshold {
+			dst[j] = m.rowSum(g, j)
+			j++
+			continue
+		}
+		s0, s1, s2, s3 := m.rowSum4(g, p0, p1, p2, p3, p4)
+		dst[j] = s0
+		dst[j+1] = s1
+		dst[j+2] = s2
+		dst[j+3] = s3
+		j += 4
+	}
+	for ; j < hi; j++ {
+		dst[j] = m.rowSum(g, j)
+	}
+}
+
+// vecMatRangeRef is the scalar reference gather retained for the
+// equivalence tests of the quad-row kernels.
+func (m *Matrix) vecMatRangeRef(dst, src []float64, lo, hi int) {
 	inPtr, inSrc, inVal := m.inPtr, m.inSrc, m.inVal
 	for j := lo; j < hi; j++ {
 		var sum float64
@@ -276,6 +467,21 @@ func (m *Matrix) putPartials(p *[]fusedPartial) {
 // the result is a pure function of (matrix, rangeFn).
 func (m *Matrix) runChunks(rangeFn func(p *fusedPartial, lo, hi int)) (sum, dot float64) {
 	nc := len(m.chunks) - 1
+	if nc == 1 {
+		// Straight-line serial fast path: matrices below serialThreshold plan
+		// a single chunk, so the reduction is one stack partial — no pool
+		// round trip, no dispatch — folded exactly as reducePartials folds a
+		// one-chunk plan. The series construction takes this path once per
+		// DTMC step on the paper's models.
+		var p fusedPartial
+		rangeFn(&p, m.chunks[0], m.chunks[1])
+		var sAcc, dAcc Accumulator
+		sAcc.Add(p.sum)
+		sAcc.Add(-p.sumC)
+		dAcc.Add(p.dot)
+		dAcc.Add(-p.dotC)
+		return sAcc.Value(), dAcc.Value()
+	}
 	ptr := m.getPartials()
 	partials := *ptr
 	if m.NNZ() >= parallelThreshold {
@@ -296,7 +502,165 @@ func (m *Matrix) runChunks(rangeFn func(p *fusedPartial, lo, hi int)) (sum, dot 
 // product into dst, diverts the rows listed in zero (sorted ascending) to
 // zeroVals and zeroes them in dst, and accumulates the compensated ℓ₁ mass
 // and reward dot-product of the surviving rows into p.
+//
+// The range is processed in aligned blocks of four rows. The gather runs
+// through the quad-row kernel (independent per-row sum chains; see rowSum4,
+// bitwise-identical per row to the scalar reference; long rows use rowSum's
+// four-block split), and the mass/dot reductions run as four interleaved
+// Kahan chains in registers — row j feeds chain (j−lo)&3 — folded in chain
+// order into the partial at the end of the range. A single Kahan chain is a
+// ~4-FLOP loop-carried dependency per row, which serializes the whole sweep
+// on models with many short rows; four chains retire rows at pipeline
+// throughput. The chain assignment is a pure function of (row, lo), so the
+// association is deterministic and exactly reproducible by the reward-dot
+// replay kernels (RewardDotFused and friends). Kahan summation of
+// non-negative terms is accurate to ~1 ulp under any association, so the
+// partial sums stay within ≤2 ulp of the sequential reference
+// stepFusedRangeRef.
 func (m *Matrix) stepFusedRange(p *fusedPartial, dst, src, rewards []float64, zero []int32, zeroVals []float64, lo, hi int) {
+	zi := sort.Search(len(zero), func(i int) bool { return int(zero[i]) >= lo })
+	inPtr := m.inPtr
+	g := m.gather(src)
+	var m0, c0, m1, c1, m2, c2, m3, c3 float64
+	var d0, e0, d1, e1, d2, e2, d3, e3 float64
+	j := lo
+	for ; j+4 <= hi; j += 4 {
+		p0, p1, p2, p3, p4 := inPtr[j], inPtr[j+1], inPtr[j+2], inPtr[j+3], inPtr[j+4]
+		var s0, s1, s2, s3 float64
+		// All four lengths are non-negative, so the OR is ≥ the threshold
+		// (a power of two) exactly when some row is.
+		if (p1-p0)|(p2-p1)|(p3-p2)|(p4-p3) >= splitRowThreshold {
+			// A long row falls in this aligned block: evaluate each row on
+			// its own (rowSum splits long rows), keeping the same chain
+			// assignment.
+			s0 = m.rowSum(g, j)
+			s1 = m.rowSum(g, j+1)
+			s2 = m.rowSum(g, j+2)
+			s3 = m.rowSum(g, j+3)
+		} else {
+			s0, s1, s2, s3 = m.rowSum4(g, p0, p1, p2, p3, p4)
+		}
+		if zi < len(zero) && int(zero[zi]) < j+4 {
+			// A diverted row falls in this block: take the careful per-row
+			// path for these four rows, then resume the straight-line loop.
+			s4 := [4]float64{s0, s1, s2, s3}
+			for g := 0; g < 4; g++ {
+				row := j + g
+				s := s4[g]
+				if zi < len(zero) && int(zero[zi]) == row {
+					if zeroVals != nil {
+						zeroVals[zi] = s
+					}
+					dst[row] = 0
+					zi++
+					continue
+				}
+				dst[row] = s
+				switch g {
+				case 0:
+					m0, c0 = kahanAdd(m0, c0, s)
+					if rewards != nil {
+						d0, e0 = kahanAdd(d0, e0, s*rewards[row])
+					}
+				case 1:
+					m1, c1 = kahanAdd(m1, c1, s)
+					if rewards != nil {
+						d1, e1 = kahanAdd(d1, e1, s*rewards[row])
+					}
+				case 2:
+					m2, c2 = kahanAdd(m2, c2, s)
+					if rewards != nil {
+						d2, e2 = kahanAdd(d2, e2, s*rewards[row])
+					}
+				case 3:
+					m3, c3 = kahanAdd(m3, c3, s)
+					if rewards != nil {
+						d3, e3 = kahanAdd(d3, e3, s*rewards[row])
+					}
+				}
+			}
+			continue
+		}
+		dst[j] = s0
+		dst[j+1] = s1
+		dst[j+2] = s2
+		dst[j+3] = s3
+		m0, c0 = kahanAdd(m0, c0, s0)
+		m1, c1 = kahanAdd(m1, c1, s1)
+		m2, c2 = kahanAdd(m2, c2, s2)
+		m3, c3 = kahanAdd(m3, c3, s3)
+		if rewards != nil {
+			d0, e0 = kahanAdd(d0, e0, s0*rewards[j])
+			d1, e1 = kahanAdd(d1, e1, s1*rewards[j+1])
+			d2, e2 = kahanAdd(d2, e2, s2*rewards[j+2])
+			d3, e3 = kahanAdd(d3, e3, s3*rewards[j+3])
+		}
+	}
+	// Tail rows: j advanced in fours from lo, so they start on chain 0.
+	for t := 0; j < hi; j, t = j+1, t+1 {
+		s := m.rowSum(g, j)
+		if zi < len(zero) && int(zero[zi]) == j {
+			if zeroVals != nil {
+				zeroVals[zi] = s
+			}
+			dst[j] = 0
+			zi++
+			continue
+		}
+		dst[j] = s
+		switch t {
+		case 0:
+			m0, c0 = kahanAdd(m0, c0, s)
+			if rewards != nil {
+				d0, e0 = kahanAdd(d0, e0, s*rewards[j])
+			}
+		case 1:
+			m1, c1 = kahanAdd(m1, c1, s)
+			if rewards != nil {
+				d1, e1 = kahanAdd(d1, e1, s*rewards[j])
+			}
+		case 2:
+			m2, c2 = kahanAdd(m2, c2, s)
+			if rewards != nil {
+				d2, e2 = kahanAdd(d2, e2, s*rewards[j])
+			}
+		}
+	}
+	ms := [4]float64{m0, m1, m2, m3}
+	mc := [4]float64{c0, c1, c2, c3}
+	ds := [4]float64{d0, d1, d2, d3}
+	dc := [4]float64{e0, e1, e2, e3}
+	foldChains(p, &ms, &mc, &ds, &dc)
+}
+
+// kahanAdd is one compensated addition step; it compiles to straight-line
+// code and lets the sweep keep chain state in named registers.
+func kahanAdd(sum, comp, v float64) (float64, float64) {
+	y := v - comp
+	t := sum + y
+	return t, (t - sum) - y
+}
+
+// foldChains folds the four interleaved Kahan chains of one chunk into its
+// partial, in chain order, through a second compensated accumulation. The
+// resulting (sum, sumC) pair carries the accumulator state, which
+// reducePartials (and the serial fast path) folds as sum − sumC — the same
+// convention as the single-chain partials.
+func foldChains(p *fusedPartial, ms, mc, ds, dc *[4]float64) {
+	var sAcc, dAcc Accumulator
+	for c := 0; c < 4; c++ {
+		sAcc.Add(ms[c])
+		sAcc.Add(-mc[c])
+		dAcc.Add(ds[c])
+		dAcc.Add(-dc[c])
+	}
+	p.sum, p.sumC = sAcc.sum, sAcc.comp
+	p.dot, p.dotC = dAcc.sum, dAcc.comp
+}
+
+// stepFusedRangeRef is the scalar reference of stepFusedRange, retained for
+// the equivalence tests of the quad-row kernel.
+func (m *Matrix) stepFusedRangeRef(p *fusedPartial, dst, src, rewards []float64, zero []int32, zeroVals []float64, lo, hi int) {
 	inPtr, inSrc, inVal := m.inPtr, m.inSrc, m.inVal
 	zi := sort.Search(len(zero), func(i int) bool { return int(zero[i]) >= lo })
 	sum, sumC := p.sum, p.sumC
@@ -315,7 +679,6 @@ func (m *Matrix) stepFusedRange(p *fusedPartial, dst, src, rewards []float64, ze
 			continue
 		}
 		dst[j] = s
-		// Kahan-compensated ℓ₁ mass.
 		y := s - sumC
 		t := sum + y
 		sumC = (t - sum) - y
@@ -376,31 +739,32 @@ func (m *Matrix) RewardDotFused(x, rewards []float64, zero []int32) float64 {
 	}
 	_, dot := m.runChunks(func(p *fusedPartial, lo, hi int) {
 		zi := sort.Search(len(zero), func(i int) bool { return int(zero[i]) >= lo })
-		dot, dotC := p.dot, p.dotC
+		var ms, mc, ds, dc [4]float64
 		for j := lo; j < hi; j++ {
 			if zi < len(zero) && int(zero[zi]) == j {
 				zi++
 				continue
 			}
-			y := x[j]*rewards[j] - dotC
-			t := dot + y
-			dotC = (t - dot) - y
-			dot = t
+			c := (j - lo) & 3
+			y := x[j]*rewards[j] - dc[c]
+			t := ds[c] + y
+			dc[c] = (t - ds[c]) - y
+			ds[c] = t
 		}
-		p.dot, p.dotC = dot, dotC
+		foldChains(p, &ms, &mc, &ds, &dc)
 	})
 	return dot
 }
 
 // RewardDotFusedBatch computes RewardDotFused(x, rewards, zero) for every
 // x in xs, writing the results to out (len(out) must equal len(xs)). It is
-// bitwise-identical to calling RewardDotFused per vector — same per-chunk
-// compensated partials, folded in chunk order — but processes four vectors
-// per sweep: the four Kahan recurrences are independent dependency chains,
-// so they overlap in the pipeline instead of serializing, and the rewards
-// vector is streamed once per lane group instead of once per vector. Lane
-// groups fan out over the worker pool. This is the kernel the compile
-// phase binds new reward vectors with (one dot per retained step vector).
+// bitwise-identical to calling RewardDotFused per vector — the same four
+// position-interleaved Kahan chains per chunk, folded in chain order, with
+// chunks folded in chunk order — but processes two vectors per sweep, so
+// the rewards vector is streamed once per lane pair and the eight Kahan
+// recurrences (two lanes × four chains) overlap in the pipeline. Lane pairs
+// fan out over the worker pool. This is the kernel the compile phase binds
+// new reward vectors with (one dot per retained step vector).
 func (m *Matrix) RewardDotFusedBatch(xs [][]float64, rewards []float64, zero []int32, out []float64) {
 	if len(out) != len(xs) {
 		panic("sparse: RewardDotFusedBatch output length mismatch")
@@ -413,7 +777,7 @@ func (m *Matrix) RewardDotFusedBatch(xs [][]float64, rewards []float64, zero []i
 			panic("sparse: RewardDotFusedBatch vector length mismatch")
 		}
 	}
-	const laneWidth = 4
+	const laneWidth = 2
 	groups := (len(xs) + laneWidth - 1) / laneWidth
 	par.For(groups, func(g int) {
 		base := laneWidth * g
@@ -421,61 +785,50 @@ func (m *Matrix) RewardDotFusedBatch(xs [][]float64, rewards []float64, zero []i
 		if lanes > laneWidth {
 			lanes = laneWidth
 		}
-		// Pad missing lanes with lane 0; their results are discarded.
-		var lx [laneWidth][]float64
-		for b := 0; b < laneWidth; b++ {
-			if b < lanes {
-				lx[b] = xs[base+b]
-			} else {
-				lx[b] = xs[base]
-			}
+		x0 := xs[base]
+		x1 := x0 // pad the missing lane with lane 0; its result is discarded
+		if lanes > 1 {
+			x1 = xs[base+1]
 		}
-		x0, x1, x2, x3 := lx[0], lx[1], lx[2], lx[3]
-		var a0, a1, a2, a3 Accumulator
+		var a0, a1 Accumulator
 		nc := len(m.chunks) - 1
 		for c := 0; c < nc; c++ {
 			lo, hi := m.chunks[c], m.chunks[c+1]
 			zi := sort.Search(len(zero), func(i int) bool { return int(zero[i]) >= lo })
-			var d0, c0, d1, c1, d2, c2, d3, c3 float64
+			var d0, c0, d1, c1 [4]float64
 			for j := lo; j < hi; j++ {
 				if zi < len(zero) && int(zero[zi]) == j {
 					zi++
 					continue
 				}
+				ch := (j - lo) & 3
 				r := rewards[j]
-				y0 := x0[j]*r - c0
-				y1 := x1[j]*r - c1
-				y2 := x2[j]*r - c2
-				y3 := x3[j]*r - c3
-				t0 := d0 + y0
-				t1 := d1 + y1
-				t2 := d2 + y2
-				t3 := d3 + y3
-				c0 = (t0 - d0) - y0
-				c1 = (t1 - d1) - y1
-				c2 = (t2 - d2) - y2
-				c3 = (t3 - d3) - y3
-				d0, d1, d2, d3 = t0, t1, t2, t3
+				y0 := x0[j]*r - c0[ch]
+				y1 := x1[j]*r - c1[ch]
+				t0 := d0[ch] + y0
+				t1 := d1[ch] + y1
+				c0[ch] = (t0 - d0[ch]) - y0
+				c1[ch] = (t1 - d1[ch]) - y1
+				d0[ch] = t0
+				d1[ch] = t1
 			}
-			// Fold this chunk's partial exactly as reducePartials does.
-			a0.Add(d0)
-			a0.Add(-c0)
-			a1.Add(d1)
-			a1.Add(-c1)
-			a2.Add(d2)
-			a2.Add(-c2)
-			a3.Add(d3)
-			a3.Add(-c3)
+			// Fold the four chains of this chunk exactly as foldChains does,
+			// then fold the chunk exactly as reducePartials does.
+			var f0, f1 Accumulator
+			for ch := 0; ch < 4; ch++ {
+				f0.Add(d0[ch])
+				f0.Add(-c0[ch])
+				f1.Add(d1[ch])
+				f1.Add(-c1[ch])
+			}
+			a0.Add(f0.sum)
+			a0.Add(-f0.comp)
+			a1.Add(f1.sum)
+			a1.Add(-f1.comp)
 		}
 		out[base] = a0.Value()
 		if lanes > 1 {
 			out[base+1] = a1.Value()
-		}
-		if lanes > 2 {
-			out[base+2] = a2.Value()
-		}
-		if lanes > 3 {
-			out[base+3] = a3.Value()
 		}
 	})
 }

@@ -88,6 +88,33 @@ func compareOutputs(t *testing.T, procs int, base, got solveOutput) {
 	}
 }
 
+// TestFrontierBuildBitwiseAcrossGOMAXPROCS drives the frontier-pruned
+// series construction on a model large enough to cross the kernels'
+// parallel threshold (≈50k stored entries, BFS diameter in the hundreds),
+// so the chunked frontier sweeps actually fan out over the pool, and
+// requires query results bitwise-identical across GOMAXPROCS settings.
+func TestFrontierBuildBitwiseAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-model build")
+	}
+	c, err := ctmc.RandomBand(rand.New(rand.NewSource(7)), ctmc.BandOptions{States: 4000, Bandwidth: 6, Degree: 3, Absorbing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewards := ctmc.RandomRewards(rand.New(rand.NewSource(8)), c, 1.5, false)
+	opts := regenrand.DefaultOptions()
+	ts := []float64{0.5, 3, 12}
+	mk := func() (regenrand.Solver, error) { return regenrand.NewRRL(c, rewards, 0, opts) }
+	old := runtime.GOMAXPROCS(1)
+	base := solveAll(t, mk, ts)
+	for _, procs := range []int{2, 8} {
+		runtime.GOMAXPROCS(procs)
+		got := solveAll(t, mk, ts)
+		compareOutputs(t, procs, base, got)
+	}
+	runtime.GOMAXPROCS(old)
+}
+
 func TestSolversBitwiseAcrossGOMAXPROCS(t *testing.T) {
 	rng := rand.New(rand.NewSource(2026))
 	opts := regenrand.DefaultOptions()
