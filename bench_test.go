@@ -542,6 +542,105 @@ func BenchmarkCompileColdStart(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryPlanner measures the query planner's grouped multi-lane
+// serving path on a non-retaining G=20 compiled model: R distinct
+// same-horizon RRL measures per batch, evaluated grouped (QueryBatch plans
+// them onto one multi-lane stepping pass) versus ungrouped (the per-query
+// serial loop, which re-steps the series once per measure — the PR 4
+// serving economics). Fresh reward vectors every iteration keep the series
+// caches cold, so each op pays the construction its variant actually needs.
+// "lanes/s" is measures solved per second — the batch-serving throughput
+// the planner exists for.
+func BenchmarkQueryPlanner(b *testing.B) {
+	m := raidModel(b, 20, false)
+	n := m.Chain.N()
+	opts := regenrand.DefaultOptions()
+	ts := []float64{1, 10, 100, 1000}
+	// Every batch gets genuinely fresh reward vectors (a multiplicative hash
+	// of a monotone salt: no two salts below 2^20 repeat a vector), so
+	// neither variant ever hits a warm measure or series cache; values stay
+	// in [0, 1], keeping every binding at the same truncation scale.
+	salt := 0
+	freshBatch := func(measures int) []regenrand.Query {
+		qs := make([]regenrand.Query, measures)
+		for k := range qs {
+			salt++
+			s := salt
+			qs[k] = regenrand.Query{
+				Method: regenrand.MethodRRL,
+				Rewards: regenrand.RewardsFrom(n, func(j int) float64 {
+					return float64(((j+s)*2654435761)%(1<<20)) / float64(1<<20-1)
+				}),
+				Times: ts,
+			}
+		}
+		return qs
+	}
+	for _, measures := range []int{1, 8, 32} {
+		for _, variant := range []string{"grouped", "ungrouped"} {
+			b.Run(fmt.Sprintf("measures=%d/%s", measures, variant), func(b *testing.B) {
+				cm, err := regenrand.Compile(m.Chain, regenrand.CompileOptions{
+					Options: opts, RegenState: m.Pristine, DisableRetention: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					qs := freshBatch(measures)
+					if variant == "grouped" {
+						for _, qr := range cm.QueryBatch(qs) {
+							if qr.Err != nil {
+								b.Fatal(qr.Err)
+							}
+						}
+					} else {
+						for _, q := range qs {
+							if _, err := cm.Query(q); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				}
+				b.ReportMetric(float64(measures), "lanes")
+				if sec := b.Elapsed().Seconds(); sec > 0 {
+					b.ReportMetric(float64(measures)*float64(b.N)/sec, "lanes/s")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCompileRetention isolates the compile-phase retention cost on
+// the G=20 model: a full compile plus one t=1000 RRL query, with the
+// retained series as the dominant allocation. The compact (float32) mode
+// should halve B/op versus full retention; ε = 1e-6 gives the quantization
+// carve-out room to certify (compact retention rejects the paper's 1e-12).
+func BenchmarkCompileRetention(b *testing.B) {
+	m := raidModel(b, 20, false)
+	rewards := m.UnavailabilityRewards()
+	opts := regenrand.DefaultOptions()
+	opts.Epsilon = 1e-6
+	for _, mode := range []string{"full", "compact"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			var steps int
+			for i := 0; i < b.N; i++ {
+				cm, err := regenrand.Compile(m.Chain, regenrand.CompileOptions{
+					Options: opts, RegenState: m.Pristine, CompactRetention: mode == "compact",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cm.Query(regenrand.Query{Rewards: rewards, Times: []float64{1000}}); err != nil {
+					b.Fatal(err)
+				}
+				steps = cm.BuildSteps()
+			}
+			b.ReportMetric(float64(steps), "steps")
+		})
+	}
+}
+
 // BenchmarkKernelStepFused measures the fused stepping kernel (product +
 // ℓ₁ mass + reward dot in one pass) against the three-pass composition it
 // replaced; compare with BenchmarkKernelVecMat, which is the product alone.

@@ -91,6 +91,64 @@ func TestDiffShowsAllocMovement(t *testing.T) {
 	}
 }
 
+// Allocation growth beyond the threshold must be flagged as a regression
+// (counted for -failon-regress), and the alloc metrics must get their own
+// geomean lines.
+func TestDiffFlagsAllocationRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBench(t, dir, "old.json", []Entry{
+		{Name: "BenchmarkGrew", NsPerOp: 1000, Metrics: map[string]float64{"B/op": 4096, "allocs/op": 10}},
+		{Name: "BenchmarkTiny", NsPerOp: 1000, Metrics: map[string]float64{"B/op": 16, "allocs/op": 1}},
+		{Name: "BenchmarkShrank", NsPerOp: 1000, Metrics: map[string]float64{"B/op": 8192, "allocs/op": 20}},
+		{Name: "BenchmarkWasPooled", NsPerOp: 1000, Metrics: map[string]float64{"B/op": 0, "allocs/op": 0}},
+		{Name: "BenchmarkFastButFat", NsPerOp: 1000, Metrics: map[string]float64{"B/op": 4096, "allocs/op": 4}},
+	})
+	newPath := writeBench(t, dir, "new.json", []Entry{
+		// +100% B/op at steady ns/op: a pooled path started allocating.
+		{Name: "BenchmarkGrew", NsPerOp: 1010, Metrics: map[string]float64{"B/op": 8192, "allocs/op": 11}},
+		// Growth below the byte floor is jitter, never flagged.
+		{Name: "BenchmarkTiny", NsPerOp: 1000, Metrics: map[string]float64{"B/op": 48, "allocs/op": 3}},
+		{Name: "BenchmarkShrank", NsPerOp: 990, Metrics: map[string]float64{"B/op": 2048, "allocs/op": 4}},
+		// An allocation-free baseline that starts allocating is flagged even
+		// though the percentage is undefined.
+		{Name: "BenchmarkWasPooled", NsPerOp: 1005, Metrics: map[string]float64{"B/op": 8192, "allocs/op": 100}},
+		// Speed bought with allocations: the timing improvement must not
+		// suppress the allocation flag.
+		{Name: "BenchmarkFastButFat", NsPerOp: 600, Metrics: map[string]float64{"B/op": 409600, "allocs/op": 400}},
+	})
+	var sb strings.Builder
+	regressions, err := diffFiles(&sb, oldPath, newPath, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if regressions != 3 {
+		t.Fatalf("want 3 allocation regressions, got %d\n%s", regressions, out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "BenchmarkFastButFat") &&
+			(!strings.Contains(line, "improvement") || !strings.Contains(line, "ALLOC-REGRESSION")) {
+			t.Errorf("improvement row must still carry its allocation flag:\n%s", line)
+		}
+		if strings.Contains(line, "BenchmarkWasPooled") && !strings.Contains(line, "ALLOC-REGRESSION(B/op)") {
+			t.Errorf("zero-baseline allocation growth not flagged:\n%s", line)
+		}
+	}
+	for _, want := range []string{
+		"ALLOC-REGRESSION(B/op)",
+		"geomean", "B/op", "allocs/op",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "BenchmarkTiny") && strings.Contains(line, "ALLOC-REGRESSION") {
+			t.Errorf("sub-floor allocation growth flagged:\n%s", line)
+		}
+	}
+}
+
 func TestDiffNoRegressions(t *testing.T) {
 	dir := t.TempDir()
 	oldPath := writeBench(t, dir, "old.json", []Entry{{Name: "BenchmarkA", NsPerOp: 100}})

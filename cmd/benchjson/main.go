@@ -186,6 +186,34 @@ func allocDelta(o, e Entry) string {
 	return fmt.Sprintf("  [%.0f→%.0f B/op, %.0f→%.0f allocs/op]", ob, nb, oa, na)
 }
 
+// allocRegressionFloor ignores allocation growth below this many bytes/op:
+// a hot path that grows from 3 to 5 allocations is jitter, one that grows
+// past a kilobyte per op is a pooled path that started allocating.
+const allocRegressionFloor = 1024
+
+// allocRegression flags B/op or allocs/op growth beyond the threshold
+// percentage (both sides must carry -benchmem metrics and the new B/op must
+// clear the floor). An allocation-free baseline (0 B/op) that starts
+// allocating past the floor is flagged unconditionally — a pooled path that
+// began allocating is the precise class this gate exists for. Returns the
+// flag text, or "".
+func allocRegression(o, e Entry, threshold float64) string {
+	ob, okOB := o.Metrics["B/op"]
+	nb, okNB := e.Metrics["B/op"]
+	oa, okOA := o.Metrics["allocs/op"]
+	na, okNA := e.Metrics["allocs/op"]
+	if !okOB || !okNB || !okOA || !okNA || nb < allocRegressionFloor {
+		return ""
+	}
+	if ob == 0 || (nb-ob)/ob*100 > threshold {
+		return "  ALLOC-REGRESSION(B/op)"
+	}
+	if oa > 0 && (na-oa)/oa*100 > threshold {
+		return "  ALLOC-REGRESSION(allocs/op)"
+	}
+	return ""
+}
+
 // loadFile reads one BENCH_*.json document.
 func loadFile(path string) (*File, error) {
 	data, err := os.ReadFile(path)
@@ -199,10 +227,35 @@ func loadFile(path string) (*File, error) {
 	return &f, nil
 }
 
+// metricGeomean accumulates the log-ratio of one metric across common
+// benchmarks, skipping rows where either side lacks it or is zero.
+type metricGeomean struct {
+	logSum float64
+	n      int
+}
+
+func (g *metricGeomean) add(oldV, newV float64) {
+	if oldV > 0 && newV > 0 {
+		g.logSum += math.Log(newV / oldV)
+		g.n++
+	}
+}
+
+func (g *metricGeomean) line(w io.Writer, what string) {
+	if g.n == 0 {
+		return
+	}
+	geo := math.Exp(g.logSum / float64(g.n))
+	fmt.Fprintf(w, "benchjson diff: geomean %.2f× old %s (%+.1f%%) over %d common benchmark(s)\n",
+		geo, what, (geo-1)*100, g.n)
+}
+
 // diffFiles prints per-benchmark ns/op deltas between two trajectory files
-// and returns the number of flagged regressions (ns/op growth beyond
-// threshold percent). Benchmarks present in only one file are listed as
-// added/removed and never flagged.
+// and returns the number of flagged regressions: ns/op growth beyond
+// threshold percent, and — for entries carrying -benchmem metrics — B/op or
+// allocs/op growth beyond the same threshold (allocation regressions are
+// how a pooled hot path quietly rots). Benchmarks present in only one file
+// are listed as added/removed and never flagged.
 func diffFiles(w io.Writer, oldPath, newPath string, threshold float64) (int, error) {
 	oldF, err := loadFile(oldPath)
 	if err != nil {
@@ -222,7 +275,7 @@ func diffFiles(w io.Writer, oldPath, newPath string, threshold float64) (int, er
 		fmt.Fprintf(w, "WARNING: CPU differs (%q vs %q); deltas may reflect hardware, not code\n", oldF.CPU, newF.CPU)
 	}
 	regressions := 0
-	logSum, common := 0.0, 0
+	var nsGeo, bytesGeo, allocsGeo metricGeomean
 	seen := make(map[string]bool, len(newF.Entries))
 	for _, e := range newF.Entries {
 		seen[e.Name] = true
@@ -234,11 +287,10 @@ func diffFiles(w io.Writer, oldPath, newPath string, threshold float64) (int, er
 		delta := 0.0
 		if o.NsPerOp > 0 {
 			delta = (e.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
-			if e.NsPerOp > 0 {
-				logSum += math.Log(e.NsPerOp / o.NsPerOp)
-				common++
-			}
 		}
+		nsGeo.add(o.NsPerOp, e.NsPerOp)
+		bytesGeo.add(o.Metrics["B/op"], e.Metrics["B/op"])
+		allocsGeo.add(o.Metrics["allocs/op"], e.Metrics["allocs/op"])
 		flag := ""
 		switch {
 		case delta > threshold:
@@ -246,6 +298,12 @@ func diffFiles(w io.Writer, oldPath, newPath string, threshold float64) (int, er
 			regressions++
 		case delta < -threshold:
 			flag = "  improvement"
+		}
+		// Allocation regressions are counted independently of the timing
+		// flag: speed bought with allocations must still fail the gate.
+		if a := allocRegression(o, e, threshold); a != "" {
+			flag += a
+			regressions++
 		}
 		fmt.Fprintf(w, "  %-60s %12.0f → %12.0f ns/op  %+7.1f%%%s%s\n",
 			e.Name, o.NsPerOp, e.NsPerOp, delta, allocDelta(o, e), flag)
@@ -255,14 +313,12 @@ func diffFiles(w io.Writer, oldPath, newPath string, threshold float64) (int, er
 			fmt.Fprintf(w, "  %-60s %12.0f → %14s ns/op  (removed)\n", o.Name, o.NsPerOp, "—")
 		}
 	}
-	if common > 0 {
-		// The geometric mean of the per-benchmark ns/op ratios is the one
-		// scalar that tracks overall drift without letting the slowest rows
-		// dominate.
-		geomean := math.Exp(logSum / float64(common))
-		fmt.Fprintf(w, "benchjson diff: geomean %.2f× old ns/op (%+.1f%%) over %d common benchmark(s)\n",
-			geomean, (geomean-1)*100, common)
-	}
+	// The geometric mean of the per-benchmark ratios is the one scalar per
+	// metric that tracks overall drift without letting the slowest rows
+	// dominate.
+	nsGeo.line(w, "ns/op")
+	bytesGeo.line(w, "B/op")
+	allocsGeo.line(w, "allocs/op")
 	if regressions > 0 {
 		fmt.Fprintf(w, "benchjson diff: %d regression(s) beyond %.0f%%\n", regressions, threshold)
 	} else {

@@ -8,6 +8,8 @@
 // API (all request/response bodies are JSON):
 //
 //	POST /v1/compile   {"model": {...}, "regen_state": 0, "epsilon": 1e-12}
+//	                   ("compact": true selects float32 series retention —
+//	                   half the compile-phase memory, needs a loose epsilon)
 //	                   → {"model_id": "...", "states": n, "transitions": nnz}
 //	POST /v1/query     {"model_id": "...", "queries": [{"method": "RRL",
 //	                    "measure": "TRR", "rewards": [...], "times": [...]}]}
@@ -16,6 +18,12 @@
 //	                   a query with "bounds": true returns certified
 //	                   enclosures (rows carry "lower"/"upper"; RR/RRL only,
 //	                   served by the fused value+bounds inversion)
+//	                   batches are planned before execution: byte-identical
+//	                   queries are solved once, and same-horizon RR/RRL
+//	                   queries share one multi-lane series construction —
+//	                   send one array of query objects per request to get
+//	                   grouped pricing; responses are bitwise-identical to
+//	                   one-query-per-request traffic
 //	GET  /healthz      → {"ok": true, "cached_models": k}
 //
 // The model encoding is {"states": n, "transitions": [[from, to, rate],
@@ -62,6 +70,11 @@ type compileRequest struct {
 	// DisableRetention trades rebinding speed for memory; see
 	// regenrand.CompileOptions.
 	DisableRetention bool `json:"disable_retention,omitempty"`
+	// Compact retains the stepped series as float32, halving compile-phase
+	// memory at a quantified accuracy cost charged against the error
+	// budget; needs a loose epsilon (~1e-6 or above). See
+	// regenrand.CompileOptions.CompactRetention.
+	Compact bool `json:"compact,omitempty"`
 }
 
 type compileResponse struct {
@@ -91,6 +104,7 @@ type queryRequest struct {
 	RegenState       *int        `json:"regen_state,omitempty"`
 	Epsilon          float64     `json:"epsilon,omitempty"`
 	DisableRetention bool        `json:"disable_retention,omitempty"`
+	Compact          bool        `json:"compact,omitempty"`
 	Queries          []queryJSON `json:"queries"`
 }
 
@@ -147,7 +161,7 @@ func (m *modelJSON) build() (*regenrand.CTMC, error) {
 }
 
 // compileOptions translates the wire options.
-func compileOptions(regenState *int, epsilon float64, disableRetention bool) regenrand.CompileOptions {
+func compileOptions(regenState *int, epsilon float64, disableRetention, compact bool) regenrand.CompileOptions {
 	opts := regenrand.DefaultOptions()
 	if epsilon != 0 {
 		opts.Epsilon = epsilon
@@ -159,7 +173,7 @@ func compileOptions(regenState *int, epsilon float64, disableRetention bool) reg
 	if rs < 0 {
 		rs = regenrand.NoRegen
 	}
-	return regenrand.CompileOptions{Options: opts, RegenState: rs, DisableRetention: disableRetention}
+	return regenrand.CompileOptions{Options: opts, RegenState: rs, DisableRetention: disableRetention, CompactRetention: compact}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -187,7 +201,7 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "building model: %v", err)
 		return
 	}
-	cm, err := s.cache.Compile(model, compileOptions(req.RegenState, req.Epsilon, req.DisableRetention))
+	cm, err := s.cache.Compile(model, compileOptions(req.RegenState, req.Epsilon, req.DisableRetention, req.Compact))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "compiling: %v", err)
 		return
@@ -224,7 +238,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "building model: %v", err)
 			return
 		}
-		cm, err = s.cache.Compile(model, compileOptions(req.RegenState, req.Epsilon, req.DisableRetention))
+		cm, err = s.cache.Compile(model, compileOptions(req.RegenState, req.Epsilon, req.DisableRetention, req.Compact))
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "compiling: %v", err)
 			return
@@ -485,6 +499,72 @@ func runSelfcheck(mux *http.ServeMux) error {
 	}
 	fmt.Printf("regenserve selfcheck: %d clients × %d queries × %d times on a %d-state model in %v\n",
 		clients, len(queries), len(times), comp.States, time.Since(start).Round(time.Millisecond))
+
+	// Grouped-batch planning: a multi-measure same-horizon batch (plus a
+	// byte-identical duplicate) must return rows bitwise-identical to
+	// one-query-per-request traffic — the planner changes throughput, never
+	// results.
+	var grouped []queryJSON
+	for mi := 0; mi < 6; mi++ {
+		salt := mi
+		rw := regenrand.RewardsFrom(rm.Chain.N(), func(i int) float64 {
+			return float64(((i+salt)*2654435761)%(1<<20)) / float64(1<<20-1)
+		})
+		grouped = append(grouped, queryJSON{Method: "RRL", Measure: "TRR", Rewards: rw, Times: times})
+	}
+	grouped = append(grouped, grouped[0])
+	var groupedResp queryResponse
+	if err := post("/v1/query", queryRequest{ModelID: comp.ModelID, Queries: grouped}, &groupedResp); err != nil {
+		return err
+	}
+	if len(groupedResp.Results) != len(grouped) {
+		return fmt.Errorf("grouped batch: %d results, want %d", len(groupedResp.Results), len(grouped))
+	}
+	for i, q := range grouped {
+		if groupedResp.Results[i].Error != "" {
+			return fmt.Errorf("grouped batch query %d: %s", i, groupedResp.Results[i].Error)
+		}
+		var single queryResponse
+		if err := post("/v1/query", queryRequest{ModelID: comp.ModelID, Queries: []queryJSON{q}}, &single); err != nil {
+			return err
+		}
+		if single.Results[0].Error != "" {
+			return fmt.Errorf("serial query %d: %s", i, single.Results[0].Error)
+		}
+		for j := range single.Results[0].Results {
+			if !sameRow(groupedResp.Results[i].Results[j], single.Results[0].Results[j]) {
+				return fmt.Errorf("grouped batch query %d row %d differs from the serial response", i, j)
+			}
+		}
+	}
+	fmt.Printf("regenserve selfcheck: grouped %d-query batch == one-query-per-request traffic\n", len(grouped))
+
+	// Compact retention end to end: compile with "compact", query, and
+	// check the answers stay within the (loosened) error budget of SR.
+	var compactComp compileResponse
+	if err := post("/v1/compile", compileRequest{Model: model, Epsilon: 1e-6, Compact: true}, &compactComp); err != nil {
+		return err
+	}
+	if compactComp.ModelID == comp.ModelID {
+		return fmt.Errorf("compact compile shares the full-retention model id")
+	}
+	var compactResp queryResponse
+	if err := post("/v1/query", queryRequest{
+		ModelID: compactComp.ModelID,
+		Queries: []queryJSON{{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: times}},
+	}, &compactResp); err != nil {
+		return err
+	}
+	if compactResp.Results[0].Error != "" {
+		return fmt.Errorf("compact query: %s", compactResp.Results[0].Error)
+	}
+	for j := range times {
+		a := compactResp.Results[0].Results[j].Value
+		b := responses[0].Results[1].Results[j].Value // SR reference
+		if math.Abs(a-b) > 2e-6 {
+			return fmt.Errorf("compact RRL %v vs SR %v at t=%v", a, b, times[j])
+		}
+	}
 
 	// Unknown id must 404.
 	r, err := http.Post(base+"/v1/query", "application/json",

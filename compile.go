@@ -42,6 +42,19 @@ type CompileOptions struct {
 	// unaffected. The thin wrapper constructors (NewSR, NewRRL, ...) compile
 	// in this mode.
 	DisableRetention bool
+	// CompactRetention retains the stepped vectors as float32 roundings,
+	// halving the compile phase's dominant memory cost (8·states·K →
+	// 4·states·K bytes) for large models. Reward bindings then replay dots
+	// over the rounded vectors, so RR/RRL results are no longer
+	// bitwise-identical to a full-precision compile; the quantization error
+	// is bounded by 2⁻²⁴·rmax per coefficient and charged against an
+	// explicit slice of the series truncation budget (ε/4 per chain), so
+	// every result remains certified within Epsilon. Queries error when
+	// Epsilon is too small for that carve-out (roughly Epsilon ≲ 1e-6·rmax);
+	// the paper-strength ε = 1e-12 is incompatible with compact retention.
+	// Mutually exclusive with DisableRetention; part of the compile content
+	// key.
+	CompactRetention bool
 	// RRL carries the inversion knobs every RRL query against this compiled
 	// model runs under (period factor κ, acceleration and tail-truncation
 	// ablations). The zero value reproduces the paper. The knobs change
@@ -98,6 +111,9 @@ func Compile(model *CTMC, copts CompileOptions) (*CompiledModel, error) {
 	if !(copts.RRL.TFactor >= 1) { // also rejects NaN
 		return nil, fmt.Errorf("regenrand: RRL period factor %v < 1", copts.RRL.TFactor)
 	}
+	if copts.CompactRetention && copts.DisableRetention {
+		return nil, fmt.Errorf("regenrand: CompactRetention and DisableRetention are mutually exclusive")
+	}
 	copts.Options = opts // normalized, so equivalent compiles share a key
 	cm := &CompiledModel{
 		model:    model,
@@ -108,7 +124,7 @@ func Compile(model *CTMC, copts CompileOptions) (*CompiledModel, error) {
 	}
 	var err error
 	if copts.RegenState >= 0 {
-		cm.basis, err = regen.NewBasis(model, copts.RegenState, opts, !copts.DisableRetention)
+		cm.basis, err = regen.NewBasisMode(model, copts.RegenState, opts, copts.retainMode())
 		if err != nil {
 			return nil, err
 		}
@@ -132,7 +148,12 @@ func compileKey(model *CTMC, copts CompileOptions) string {
 	binary.LittleEndian.PutUint64(tail[8:16], math.Float64bits(copts.Options.Epsilon))
 	binary.LittleEndian.PutUint64(tail[16:24], math.Float64bits(copts.Options.UniformizationFactor))
 	if copts.DisableRetention {
-		tail[24] = 1
+		tail[24] |= 1
+	}
+	// Compact retention changes RR/RRL query results (quantized replay), so
+	// it must split the cache key.
+	if copts.CompactRetention {
+		tail[24] |= 2
 	}
 	binary.LittleEndian.PutUint64(tail[25:33], math.Float64bits(copts.RRL.TFactor))
 	if copts.RRL.DisableAcceleration {
@@ -142,6 +163,18 @@ func compileKey(model *CTMC, copts CompileOptions) string {
 		tail[33] |= 2
 	}
 	return hex.EncodeToString(fp[:]) + hex.EncodeToString(tail[:])
+}
+
+// retainMode maps the option pair onto the regen retention mode.
+func (copts CompileOptions) retainMode() regen.RetainMode {
+	switch {
+	case copts.DisableRetention:
+		return regen.RetainNone
+	case copts.CompactRetention:
+		return regen.RetainCompact
+	default:
+		return regen.RetainFull
+	}
 }
 
 // Model returns the compiled generator.
@@ -184,10 +217,17 @@ func (cm *CompiledModel) adjacency() [][]int32 {
 // live on the CompiledModel; the view holds the reward binding and the
 // per-method evaluation caches.
 func (cm *CompiledModel) Measure(rewards []float64) (*CompiledMeasure, error) {
+	return cm.measureByKey(rewardsKey(rewards), rewards)
+}
+
+// measureByKey is Measure with the rewards content hash precomputed — the
+// query planner hashes each request's rewards once and reuses the digest
+// for deduplication, grouping and this lookup.
+func (cm *CompiledModel) measureByKey(key string, rewards []float64) (*CompiledMeasure, error) {
 	if _, err := core.CheckRewards(rewards, cm.model.N()); err != nil {
 		return nil, err
 	}
-	return cm.measures.GetOrCreate(rewardsKey(rewards), func() (*CompiledMeasure, error) {
+	return cm.measures.GetOrCreate(key, func() (*CompiledMeasure, error) {
 		return cm.newMeasure(rewards)
 	})
 }

@@ -62,23 +62,48 @@
 //		Rewards: perf, Times: []float64{1, 10, 100, 1000},
 //	})
 //
-// QueryBatch fans a slice of such requests out over the worker pool, and
-// QueryBounds/QueryBoundsBatch return the certified two-sided enclosures of
-// RR/RRL (for RRL the enclosure rides the fused value+bounds inversion, so
-// it costs barely more than the values alone). Query results are a pure
-// function of the request: N goroutines sharing one CompiledModel get
-// answers bitwise-identical to a serial run, which is what makes the
-// compiled artifact a sound unit of sharing for a server (see
-// cmd/regenserve, an HTTP/JSON facade over exactly this API, with a
-// CompileCache keying compiled models by generator content hash so
-// repeated compiles are free).
+// Batches go through a query planner before anything executes. QueryBatch
+// (and QueryBoundsBatch, whose RRL enclosures ride the fused value+bounds
+// inversion and cost barely more than the values alone) first deduplicates
+// byte-identical requests — a batch that submits the same (method, measure,
+// rewards, times) twice solves it once and fans the shared result out —
+// and then groups RR/RRL requests by horizon class (the exact certified
+// horizon, the max of a request's times). Each group's distinct reward
+// vectors execute as dot lanes of ONE multi-lane stepping pass: on a
+// non-retaining compiled model the group rides regen.Basis.BuildMany (every
+// stored matrix entry is loaded once for all lanes, so a 32-measure
+// same-horizon batch costs about one series construction instead of 32 —
+// measured ≥5× end-to-end throughput on the paper's G=20 model,
+// BenchmarkQueryPlanner); on a retaining model the group's coefficients
+// replay through the grouped multi-rewards dot kernel (the retained
+// vectors stream once per eight-vector block for all measures). Grouping
+// fires only when a horizon class holds at least two distinct measures —
+// single queries keep the exact lazy path — and planning never changes
+// results: grouped constructions are bitwise-identical to their per-query
+// counterparts, so a planned batch equals a serial per-query loop bit for
+// bit. Query results are a pure function of the request: N goroutines
+// sharing one CompiledModel get answers bitwise-identical to a serial run,
+// which is what makes the compiled artifact a sound unit of sharing for a
+// server (see cmd/regenserve, an HTTP/JSON facade over exactly this API —
+// one /v1/query request carrying an array of query objects is planned as
+// one batch — with a CompileCache keying compiled models by generator
+// content hash so repeated compiles are free).
 //
 // On the paper's G=20 RAID model, a second query against an already
 // compiled model is ~20× faster than the classic construct-and-solve path
 // for a new time batch and ~7× faster for a new rewards vector (see
 // "Performance notes" in ROADMAP.md). Retention of the stepped vectors
-// costs O(states·K) memory; CompileOptions.DisableRetention trades the
-// rebinding speed back for O(states) memory.
+// costs O(8·states·K) bytes; CompileOptions.DisableRetention trades the
+// rebinding speed back for O(states) memory, and
+// CompileOptions.CompactRetention keeps float32 roundings instead — half
+// the retention memory, with the quantization error (≤ 2⁻²⁴·rmax per
+// coefficient) charged against an explicit slice of the series truncation
+// budget so every result stays certified within Epsilon. Compact retention
+// therefore needs a loose epsilon (roughly ≥ 1e-6·rmax; queries report a
+// budget error otherwise) and its RR/RRL results are deterministic but not
+// bitwise-equal to a full-precision compile — the right trade for large
+// models where the retained series dominates memory, not for
+// paper-strength ε = 1e-12 reproduction.
 //
 // The classic constructors remain and are thin wrappers over the same
 // machinery, with unchanged semantics and bitwise-identical outputs:
@@ -134,12 +159,23 @@
 // lockstep through one matrix traversal (sparse.Frontier.StepFusedMulti /
 // sparse.Matrix.StepFusedMulti — each stored entry loaded once for all
 // lanes), and regen.BuildManyWithDTMC runs any number of reward vectors as
-// extra dot lanes of one construction. Retained step vectors come from
-// slab arenas, so the compile phase's reward-rebinding sweeps stream
+// extra dot lanes of one construction (row-interleaved rewards layout, a
+// register-chain dot replay for the saturated single-chunk phase, and
+// lane-group parallelism on multicore keep the per-lane marginal cost a
+// small fraction of a standalone build). During the frontier growth phase
+// the level-permuted rows are re-bucketed by length into quad-row groups
+// (sparse.Frontier's gorder), so the growth sweep retires entries at the
+// same four-chain rate as the saturated kernels; per-row sums are
+// bitwise-unchanged. The multi-lane accumulator scratch is a flat pooled
+// vector (internal/pool size classes), so lockstep stepping is
+// allocation-free at steady state. Retained step vectors come from slab
+// arenas — float64 or, under CompileOptions.CompactRetention, float32 at
+// half the memory — so the compile phase's reward-rebinding sweeps stream
 // contiguous memory. Every path is deterministic per step index, and the
 // reward-replay kernels reproduce the exact association of whichever
 // kernel ran each step — so compiled-measure bindings remain
-// bitwise-identical to fused builds.
+// bitwise-identical to fused builds (compact retention replays the same
+// association over the rounded vectors).
 //
 // The Laplace side — the cost that dominates a steady-state RRL query —
 // runs on blocked transform kernels: the inverter (internal/laplace)

@@ -25,6 +25,13 @@ const maxClass = 26
 
 var classes [maxClass + 1]sync.Pool
 
+// boxes recycles the *[]float64 headers the class pools store: sync.Pool
+// only holds interface values, so Put would otherwise heap-allocate a
+// header box per call — one small allocation on every hot-path release,
+// which is exactly the traffic this package exists to remove. A Get that
+// pops a vector returns its emptied box here; the next Put reuses it.
+var boxes = sync.Pool{New: func() any { return new([]float64) }}
+
 // class returns the smallest power-of-two exponent c with 2^c ≥ n.
 func class(n int) int {
 	if n <= 1 {
@@ -44,7 +51,10 @@ func Get(n int) []float64 {
 		return make([]float64, n)
 	}
 	if v := classes[c].Get(); v != nil {
-		s := (*(v.(*[]float64)))[:n]
+		box := v.(*[]float64)
+		s := (*box)[:n]
+		*box = nil
+		boxes.Put(box)
 		for i := range s {
 			s[i] = 0
 		}
@@ -67,6 +77,7 @@ func Put(s []float64) {
 	if cl > maxClass {
 		return
 	}
-	full := s[:c]
-	classes[cl].Put(&full)
+	box := boxes.Get().(*[]float64)
+	*box = s[:c]
+	classes[cl].Put(box)
 }

@@ -1,6 +1,7 @@
 package regen
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -31,7 +32,7 @@ type Basis struct {
 	dtmc       *ctmc.DTMC
 	regenState int
 	opts       core.Options
-	retain     bool
+	mode       RetainMode
 
 	alphaR    float64
 	absorbing []int
@@ -39,14 +40,43 @@ type Basis struct {
 	fr        *sparse.Frontier // nil when frontier pruning is disabled
 
 	mu    sync.Mutex
-	main  *chainState // recording, reward-free; nil when retain is false
-	prime *chainState // nil when alphaR == 1 or retain is false
+	main  *chainState // recording, reward-free; nil when mode is RetainNone
+	prime *chainState // nil when alphaR == 1 or mode is RetainNone
 }
+
+// RetainMode selects what the compile phase keeps of the stepped vectors.
+type RetainMode int
+
+const (
+	// RetainNone drops stepped vectors; every binding re-runs the fused
+	// stepping pass (memory O(states)).
+	RetainNone RetainMode = iota
+	// RetainFull keeps every stepped vector at working precision; binding
+	// replays are bitwise-identical to a fused build (memory O(8·states·K)
+	// bytes).
+	RetainFull
+	// RetainCompact keeps float32 roundings of the stepped vectors, halving
+	// retention memory. Binding replays dot the rounded vectors, so bound
+	// series are NOT bitwise-identical to a fused build; the quantization
+	// error is charged against an explicit slice of the truncation budget
+	// (see Binding.truncBudget), keeping every result certified within
+	// Epsilon. Requires Epsilon comfortably above 2⁻²³·rmax.
+	RetainCompact
+)
 
 // NewBasis validates the reward-independent inputs, uniformizes the model
 // once, and returns a Basis. retain selects whether stepped vectors are kept
 // for later reward binding (memory O(states · K)) or each binding re-steps.
 func NewBasis(model *ctmc.CTMC, regenState int, opts core.Options, retain bool) (*Basis, error) {
+	mode := RetainNone
+	if retain {
+		mode = RetainFull
+	}
+	return NewBasisMode(model, regenState, opts, mode)
+}
+
+// NewBasisMode is NewBasis with an explicit retention mode.
+func NewBasisMode(model *ctmc.CTMC, regenState int, opts core.Options, mode RetainMode) (*Basis, error) {
 	if err := validateRegenInputs(model, regenState, &opts); err != nil {
 		return nil, err
 	}
@@ -59,22 +89,23 @@ func NewBasis(model *ctmc.CTMC, regenState int, opts core.Options, retain bool) 
 		dtmc:       d,
 		regenState: regenState,
 		opts:       opts,
-		retain:     retain,
+		mode:       mode,
 		alphaR:     model.Initial()[regenState],
 		absorbing:  model.Absorbing(),
 		plan:       newZeroPlan(model.N(), regenState, model.Absorbing()),
 		fr:         frontierFor(model, d, regenState),
 	}
-	if retain {
+	if mode != RetainNone {
 		n := model.N()
+		compact := mode == RetainCompact
 		u0 := make([]float64, n)
 		u0[regenState] = 1
-		b.main = newChainState(n, b.plan, b.fr, u0, nil, 1, true)
+		b.main = newChainState(n, b.plan, b.fr, u0, nil, 1, true, compact)
 		if b.alphaR < 1 {
 			up0 := make([]float64, n)
 			copy(up0, model.Initial())
 			up0[regenState] = 0
-			b.prime = newChainState(n, b.plan, b.fr, up0, nil, 1-b.alphaR, true)
+			b.prime = newChainState(n, b.plan, b.fr, up0, nil, 1-b.alphaR, true, compact)
 		}
 	}
 	return b, nil
@@ -84,7 +115,10 @@ func NewBasis(model *ctmc.CTMC, regenState int, opts core.Options, retain bool) 
 func (b *Basis) DTMC() *ctmc.DTMC { return b.dtmc }
 
 // Retains reports whether stepped vectors are kept for reward rebinding.
-func (b *Basis) Retains() bool { return b.retain }
+func (b *Basis) Retains() bool { return b.mode != RetainNone }
+
+// Mode returns the retention mode.
+func (b *Basis) Mode() RetainMode { return b.mode }
 
 // RegenState returns the regenerative state index.
 func (b *Basis) RegenState() int { return b.regenState }
@@ -92,7 +126,7 @@ func (b *Basis) RegenState() int { return b.regenState }
 // Steps returns the number of full-model DTMC steps currently stored (0 in
 // non-retaining mode): the amortized construction cost of the compile phase.
 func (b *Basis) Steps() int {
-	if !b.retain {
+	if b.mode == RetainNone {
 		return 0
 	}
 	b.mu.Lock()
@@ -105,10 +139,13 @@ func (b *Basis) Steps() int {
 }
 
 // chainSnapshot is an immutable view of one chain's reward-free statistics.
+// Exactly one of us/us32 is populated in retaining mode, per the basis's
+// retention precision.
 type chainSnapshot struct {
 	a, q []float64
 	v    [][]float64
 	us   [][]float64
+	us32 [][]float32
 }
 
 // extend grows the recorded chain until the truncation bound for (rmax, lam)
@@ -127,10 +164,11 @@ func (b *Basis) extend(cs *chainState, pred func(a []float64, level int) bool) c
 		cs.step(b.dtmc, b.plan, nil)
 	}
 	snap := chainSnapshot{
-		a:  cs.a[:len(cs.a):len(cs.a)],
-		q:  cs.q[:len(cs.q):len(cs.q)],
-		us: cs.us[:len(cs.us):len(cs.us)],
-		v:  make([][]float64, len(cs.v)),
+		a:    cs.a[:len(cs.a):len(cs.a)],
+		q:    cs.q[:len(cs.q):len(cs.q)],
+		us:   cs.us[:len(cs.us):len(cs.us)],
+		us32: cs.us32[:len(cs.us32):len(cs.us32)],
+		v:    make([][]float64, len(cs.v)),
 	}
 	for i := range cs.v {
 		snap.v[i] = cs.v[i][:len(cs.v[i]):len(cs.v[i])]
@@ -175,17 +213,59 @@ func (bd *Binding) Rewards() []float64 { return bd.rewards }
 // RMax returns the maximum bound reward rate.
 func (bd *Binding) RMax() float64 { return bd.rmax }
 
+// quantRel bounds the relative measure error introduced by float32
+// retention: rounding each retained entry to float32 perturbs it by at most
+// 2⁻²⁴ relatively, the retained entries are non-negative with Σⱼ u_k[j] =
+// a(k), so every replayed coefficient satisfies |b₃₂(k) − b(k)| ≤
+// 2⁻²⁴·rmax, and the transformed chain V_{K,L} — whose states carry the
+// b(k) as reward rates with total probability ≤ 1 — moves by at most that
+// much for every t. One extra factor of two covers the replay dot's own
+// rounding relative to the exact perturbed sum.
+const quantRel = 0x1p-23
+
+// truncBudget returns the truncation budget of one chain for this binding:
+// the ε/4 (or ε/2 when α_r = 1) of the paper, minus the explicit
+// quantization carve-out of compact retention — so truncation + rounding
+// together stay inside the slice of ε the series construction owns. It
+// errors when Epsilon is too small for float32 retention to certify.
+func (bd *Binding) truncBudget() (float64, error) {
+	budget := bd.basis.chainBudget()
+	if bd.basis.mode == RetainCompact {
+		q := bd.rmax * quantRel
+		if q >= budget {
+			return 0, fmt.Errorf("regen: compact retention cannot certify epsilon %.3g with rmax %.3g (float32 quantization alone contributes up to %.3g); recompile without CompactRetention or raise Epsilon above ~%.3g",
+				bd.basis.opts.Epsilon, bd.rmax, q, 8*q)
+		}
+		budget -= q
+	}
+	return budget, nil
+}
+
+// chainBudget is the per-chain truncation budget before any quantization
+// carve-out; it equals Series.budgetK for every series built over this
+// basis.
+func (b *Basis) chainBudget() float64 {
+	if b.alphaR < 1 {
+		return b.opts.Epsilon / 4
+	}
+	return b.opts.Epsilon / 2
+}
+
 // SeriesFor returns the regenerative-randomization series of the bound
 // rewards certified for the given horizon — bitwise-identical to
 // Build(model, rewards, regenState, opts, horizon), but at the cost of a
 // coefficient binding (retaining basis, amortized across horizons) or one
 // fused stepping pass (non-retaining basis) instead of uniformize + step.
+// Under compact retention the b coefficients come from float32-rounded
+// vectors (not bitwise-identical to Build); the truncation levels then
+// certify against the quantization-reduced budget of truncBudget, so the
+// total error stays within Epsilon.
 func (bd *Binding) SeriesFor(horizon float64) (*Series, error) {
 	if err := checkHorizon(horizon); err != nil {
 		return nil, err
 	}
 	b := bd.basis
-	if !b.retain {
+	if b.mode == RetainNone {
 		return BuildWithDTMC(b.model, b.dtmc, bd.rewards, b.regenState, b.opts, horizon)
 	}
 	lam := b.dtmc.Lambda * horizon
@@ -201,7 +281,10 @@ func (bd *Binding) SeriesFor(horizon float64) (*Series, error) {
 		Horizon:          horizon,
 		L:                -1,
 	}
-	budget := s.budgetK()
+	budget, err := bd.truncBudget()
+	if err != nil {
+		return nil, err
+	}
 
 	mainPred := func(a []float64, level int) bool {
 		return truncErrS(bd.rmax, a, level, lam) <= budget
@@ -253,31 +336,12 @@ func (bd *Binding) bSeries(store *[]float64, snap chainSnapshot, top int) []floa
 	defer bd.mu.Unlock()
 	start := len(*store)
 	if start == 0 && top >= 0 {
-		a0 := snap.a[0]
-		var b0 float64
-		if a0 > 0 {
-			b0 = sparse.Dot(snap.us[0], bd.rewards) / a0
-		}
-		*store = append(*store, b0)
+		*store = append(*store, bd.b0(snap))
 		start = 1
 	}
 	if start <= top {
-		xs := snap.us[start : top+1]
-		dots := make([]float64, len(xs))
-		// Vector u_m was produced by step m−1: replay the dot side of the
-		// exact kernel that step ran — the frontier kernel while the
-		// reachable set was still growing, the full-sweep batch kernel
-		// after — so every coefficient matches the fused build bit for bit.
-		i := 0
-		if fr := bd.basis.fr; fr != nil {
-			for i < len(xs) && !fr.Saturated(start+i-1) {
-				dots[i] = fr.RewardDot(start+i-1, xs[i], bd.rewards, bd.basis.plan.zpos)
-				i++
-			}
-		}
-		if i < len(xs) {
-			bd.basis.dtmc.P.RewardDotFusedBatch(xs[i:], bd.rewards, bd.basis.plan.zero, dots[i:])
-		}
+		dots := make([]float64, top+1-start)
+		bd.replayDots(snap, start, dots)
 		for i, d := range dots {
 			ak := snap.a[start+i]
 			var bk float64
@@ -288,4 +352,237 @@ func (bd *Binding) bSeries(store *[]float64, snap chainSnapshot, top int) []floa
 		}
 	}
 	return (*store)[:top+1]
+}
+
+// b0 is the k = 0 coefficient: the plain compensated dot the fused build
+// starts from, over the retained u₀ at the basis's retention precision.
+func (bd *Binding) b0(snap chainSnapshot) float64 {
+	a0 := snap.a[0]
+	if a0 <= 0 {
+		return 0
+	}
+	if bd.basis.mode == RetainCompact {
+		return sparse.DotW(snap.us32[0], bd.rewards) / a0
+	}
+	return sparse.Dot(snap.us[0], bd.rewards) / a0
+}
+
+// replayDots fills dots[i] with the replayed reward dot of retained vector
+// u_{start+i}. Vector u_m was produced by step m−1: the replay runs the dot
+// side of the exact kernel that step ran — the frontier kernel while the
+// reachable set was still growing, the full-sweep batch kernel after (same
+// chunk decomposition, same skip rule, same chain assignment) — so under
+// full retention every coefficient matches the fused build bit for bit.
+// Under compact retention the same replay arithmetic runs over the
+// float32-rounded vectors.
+func (bd *Binding) replayDots(snap chainSnapshot, start int, dots []float64) {
+	b := bd.basis
+	if b.mode == RetainCompact {
+		replayDotsT(bd, snap.us32, start, dots)
+		return
+	}
+	// Full retention keeps the historical two-lane batch kernel for the
+	// saturated range (bitwise-equal to the multi-rewards kernel, but with
+	// lane pairs fanned over the pool — the right shape for one binding).
+	xs := snap.us[start : start+len(dots)]
+	i := 0
+	if fr := b.fr; fr != nil {
+		for i < len(dots) && !fr.Saturated(start+i-1) {
+			dots[i] = fr.RewardDot(start+i-1, xs[i], bd.rewards, b.plan.zpos)
+			i++
+		}
+	}
+	if i < len(dots) {
+		b.dtmc.P.RewardDotFusedBatch(xs[i:], bd.rewards, b.plan.zero, dots[i:])
+	}
+}
+
+// replayDotsT is the generic replay over either retention precision, used
+// by the compact path (and by PrebindMany through fillMany).
+func replayDotsT[T sparse.Real](bd *Binding, us [][]T, start int, dots []float64) {
+	b := bd.basis
+	xs := us[start : start+len(dots)]
+	i := 0
+	if fr := b.fr; fr != nil {
+		for i < len(dots) && !fr.Saturated(start+i-1) {
+			dots[i] = sparse.FrontierRewardDot(fr, start+i-1, xs[i], bd.rewards, b.plan.zpos)
+			i++
+		}
+	}
+	if i < len(dots) {
+		sparse.RewardDotMulti(b.dtmc.P, xs[i:], [][]float64{bd.rewards}, b.plan.zero, [][]float64{dots[i:]})
+	}
+}
+
+// BuildMany builds the series of several reward vectors over this basis's
+// shared DTMC in one multi-lane stepping pass (see BuildManyWithDTMC); each
+// returned series is bitwise-identical to the one the corresponding
+// binding's SeriesFor would build on a non-retaining basis. It is the
+// grouped construction path of the query planner for non-retaining compiled
+// models.
+func (b *Basis) BuildMany(rewardsList [][]float64, horizon float64) ([]*Series, error) {
+	return BuildManyWithDTMC(b.model, b.dtmc, rewardsList, b.regenState, b.opts, horizon)
+}
+
+// PrebindMany warms the b-series caches of several bindings of this basis
+// for one shared horizon: the chains are extended once under the deepest
+// requirement, and every binding's missing coefficients are replayed as
+// reward lanes of the multi-rewards dot kernel — the retained vectors are
+// streamed once per eight-vector block for all bindings instead of once per
+// binding. The cached values are bitwise-identical to what each binding's
+// own SeriesFor would compute (the per-(vector, rewards) replay arithmetic
+// is association-fixed), so this is purely a throughput optimization; a
+// later SeriesFor call finds its coefficients cached. No-op on a
+// non-retaining basis.
+func (b *Basis) PrebindMany(bds []*Binding, horizon float64) error {
+	if b.mode == RetainNone || len(bds) == 0 {
+		return nil
+	}
+	if err := checkHorizon(horizon); err != nil {
+		return err
+	}
+	lam := b.dtmc.Lambda * horizon
+	budgets := make([]float64, len(bds))
+	for i, bd := range bds {
+		if bd.basis != b {
+			return fmt.Errorf("regen: PrebindMany binding %d belongs to a different basis", i)
+		}
+		bud, err := bd.truncBudget()
+		if err != nil {
+			return err
+		}
+		budgets[i] = bud
+	}
+	// Main chain: extend once under the union of the bindings' predicates,
+	// then search each binding's truncation level over the shared a values —
+	// the same monotone bound SeriesFor searches, hence identical K's.
+	mainPred := func(a []float64, level int) bool {
+		for i, bd := range bds {
+			if truncErrS(bd.rmax, a, level, lam) > budgets[i] {
+				return false
+			}
+		}
+		return true
+	}
+	snap := b.extend(b.main, mainPred)
+	tops := make([]int, len(bds))
+	depth := len(snap.a) - 1
+	for i, bd := range bds {
+		tops[i] = sort.Search(depth, func(cand int) bool {
+			return truncErrS(bd.rmax, snap.a, cand, lam) <= budgets[i]
+		})
+	}
+	b.fillMany(bds, snap, tops, false)
+
+	if b.alphaR < 1 {
+		primePred := func(a []float64, level int) bool {
+			for i, bd := range bds {
+				if truncErrP(bd.rmax, a, level, lam) > budgets[i] {
+					return false
+				}
+			}
+			return true
+		}
+		psnap := b.extend(b.prime, primePred)
+		pdepth := len(psnap.a) - 1
+		for i, bd := range bds {
+			tops[i] = sort.Search(pdepth, func(cand int) bool {
+				return truncErrP(bd.rmax, psnap.a, cand, lam) <= budgets[i]
+			})
+		}
+		b.fillMany(bds, psnap, tops, true)
+	}
+	return nil
+}
+
+// fillMany computes the missing b(k) of every binding over one chain
+// snapshot through the grouped replay kernels. Stores only ever grow and
+// every entry is a pure function of (basis, rewards, k), so concurrent
+// individual bSeries calls and fillMany commute: whoever appends first
+// appends the same values.
+func (b *Basis) fillMany(bds []*Binding, snap chainSnapshot, tops []int, prime bool) {
+	store := func(bd *Binding) *[]float64 {
+		if prime {
+			return &bd.bPrime
+		}
+		return &bd.bMain
+	}
+	type need struct {
+		bd    *Binding
+		start int // first missing coefficient index ≥ 1 at plan time
+		top   int
+	}
+	var needs []need
+	lo, hi := int(^uint(0)>>1), -1
+	for i, bd := range bds {
+		top := tops[i]
+		bd.mu.Lock()
+		st := store(bd)
+		if len(*st) == 0 && top >= 0 {
+			*st = append(*st, bd.b0(snap))
+		}
+		start := len(*st)
+		bd.mu.Unlock()
+		if start <= top {
+			needs = append(needs, need{bd: bd, start: start, top: top})
+			if start < lo {
+				lo = start
+			}
+			if top > hi {
+				hi = top
+			}
+		}
+	}
+	if len(needs) == 0 {
+		return
+	}
+	// One grouped replay covers [lo, hi] for every needing binding; a
+	// binding whose own range is narrower wastes a few lane dots, which the
+	// shared streaming more than pays for.
+	rewardsList := make([][]float64, len(needs))
+	outs := make([][]float64, len(needs))
+	for i, nd := range needs {
+		rewardsList[i] = nd.bd.rewards
+		outs[i] = make([]float64, hi+1-lo)
+	}
+	// Vector u_k was produced by step k−1: frontier replay while the
+	// reachable set was still growing, the multi-rewards batch kernel after
+	// — the association of each binding's own replay path.
+	k := lo
+	if fr := b.fr; fr != nil {
+		for ; k <= hi && !fr.Saturated(k-1); k++ {
+			for i, nd := range needs {
+				if b.mode == RetainCompact {
+					outs[i][k-lo] = sparse.FrontierRewardDot(fr, k-1, snap.us32[k], nd.bd.rewards, b.plan.zpos)
+				} else {
+					outs[i][k-lo] = sparse.FrontierRewardDot(fr, k-1, snap.us[k], nd.bd.rewards, b.plan.zpos)
+				}
+			}
+		}
+	}
+	if k <= hi {
+		tails := make([][]float64, len(needs))
+		for i := range outs {
+			tails[i] = outs[i][k-lo:]
+		}
+		if b.mode == RetainCompact {
+			sparse.RewardDotMulti(b.dtmc.P, snap.us32[k:hi+1], rewardsList, b.plan.zero, tails)
+		} else {
+			sparse.RewardDotMulti(b.dtmc.P, snap.us[k:hi+1], rewardsList, b.plan.zero, tails)
+		}
+	}
+	for i, nd := range needs {
+		nd.bd.mu.Lock()
+		st := store(nd.bd)
+		for kk := len(*st); kk <= nd.top; kk++ {
+			d := outs[i][kk-lo]
+			ak := snap.a[kk]
+			var bk float64
+			if ak > 0 {
+				bk = d / ak
+			}
+			*st = append(*st, bk)
+		}
+		nd.bd.mu.Unlock()
+	}
 }

@@ -242,6 +242,35 @@ func (sa *slabArena) next() []float64 {
 	return v
 }
 
+// slab32Arena is the float32 counterpart for compact retention: same ~2 MiB
+// slabs, twice the vectors per slab, half the retained bytes per step.
+type slab32Arena struct {
+	n   int
+	buf []float32
+}
+
+func (sa *slab32Arena) next() []float32 {
+	if len(sa.buf) < sa.n {
+		v := (1 << 19) / sa.n
+		if v < 8 {
+			v = 8
+		}
+		sa.buf = make([]float32, v*sa.n)
+	}
+	v := sa.buf[:sa.n:sa.n]
+	sa.buf = sa.buf[sa.n:]
+	return v
+}
+
+// roundFrom retains a float32 rounding of u (round-to-nearest per entry).
+func (sa *slab32Arena) roundFrom(u []float64) []float32 {
+	v := sa.next()
+	for i, x := range u {
+		v[i] = float32(x)
+	}
+	return v
+}
+
 // chainState steps one restricted chain (regenerative or primed). rewards
 // may be nil (the reward-independent compile phase): the b series is then
 // not tracked, everything else is identical — the fused kernel's stepped
@@ -259,31 +288,45 @@ type chainState struct {
 	a, b, q  []float64
 	v        [][]float64
 	done     bool
-	// record retains every post-zeroing stepped vector in us (us[k] = u_k),
-	// the raw material for binding reward vectors after the fact. Step
-	// buffers come from the slab arena so retained vectors are contiguous
-	// and never overwritten.
-	record bool
-	us     [][]float64
-	arena  slabArena
+	// record retains every post-zeroing stepped vector, the raw material for
+	// binding reward vectors after the fact: at working precision in us
+	// (us[k] = u_k, slab-contiguous, never overwritten), or — when compact
+	// is set — as float32 roundings in us32 while the float64 stepping
+	// ping-pongs through two working buffers exactly like a non-recording
+	// chain (the stepped trajectory itself stays full precision; only what
+	// is kept for replay is rounded).
+	record  bool
+	compact bool
+	us      [][]float64
+	us32    [][]float32
+	arena   slabArena
+	arena32 slab32Arena
 }
 
-func newChainState(n int, plan *zeroPlan, fr *sparse.Frontier, u0 []float64, rewards []float64, a0 float64, record bool) *chainState {
+func newChainState(n int, plan *zeroPlan, fr *sparse.Frontier, u0 []float64, rewards []float64, a0 float64, record, compact bool) *chainState {
 	cs := &chainState{
 		fr:       fr,
 		zeroVals: make([]float64, len(plan.zero)),
 		v:        make([][]float64, len(plan.absPos)),
 		record:   record,
+		compact:  record && compact,
 		arena:    slabArena{n: n},
+		arena32:  slab32Arena{n: n},
 	}
-	if record {
+	switch {
+	case cs.compact:
+		cs.u = make([]float64, n)
+		copy(cs.u, u0)
+		cs.buf = make([]float64, n)
+		cs.us32 = append(cs.us32, cs.arena32.roundFrom(u0))
+	case record:
 		// Copy u0 into the arena so the whole retained sequence is slabbed.
 		v := cs.arena.next()
 		copy(v, u0)
 		cs.u = v
 		cs.us = append(cs.us, v)
 		cs.buf = cs.arena.next()
-	} else {
+	default:
 		cs.u = u0
 		cs.buf = make([]float64, n)
 	}
@@ -334,7 +377,9 @@ func (cs *chainState) finishStep(plan *zeroPlan, next, dot float64, haveRewards 
 		cs.v[i] = append(cs.v[i], cs.zeroVals[p]/ak)
 	}
 	cs.u, cs.buf = cs.buf, cs.u
-	if cs.record {
+	if cs.compact {
+		cs.us32 = append(cs.us32, cs.arena32.roundFrom(cs.u))
+	} else if cs.record {
 		cs.us = append(cs.us, cs.u)
 		cs.buf = cs.arena.next()
 	}
@@ -374,14 +419,16 @@ func SetDisableFrontier(v bool) bool { return disableFrontier.Swap(v) }
 type multiChain struct {
 	cs          *chainState
 	rewardsList [][]float64
+	rewardsIx   []float64 // shared row-interleaved layout (nil for 1 lane)
 	bs          [][]float64
 	dots        []float64 // per-step scratch, one slot per rewards vector
 }
 
-func newMultiChain(n int, plan *zeroPlan, fr *sparse.Frontier, u0 []float64, rewardsList [][]float64, a0 float64) *multiChain {
+func newMultiChain(n int, plan *zeroPlan, fr *sparse.Frontier, u0 []float64, rewardsList [][]float64, rewardsIx []float64, a0 float64) *multiChain {
 	mc := &multiChain{
-		cs:          newChainState(n, plan, fr, u0, nil, a0, false),
+		cs:          newChainState(n, plan, fr, u0, nil, a0, false, false),
 		rewardsList: rewardsList,
+		rewardsIx:   rewardsIx,
 		bs:          make([][]float64, len(rewardsList)),
 		dots:        make([]float64, len(rewardsList)),
 	}
@@ -439,11 +486,13 @@ func stepMulti(d *ctmc.DTMC, plan *zeroPlan, chains []*multiChain) {
 	lanes := make([]sparse.StepLane, len(chains))
 	for i, mc := range chains {
 		lanes[i] = sparse.StepLane{
-			Dst:      mc.cs.buf,
-			Src:      mc.cs.u,
-			ZeroVals: mc.cs.zeroVals,
-			Rewards:  mc.rewardsList,
-			Dots:     mc.dots,
+			Dst:       mc.cs.buf,
+			Src:       mc.cs.u,
+			ZeroVals:  mc.cs.zeroVals,
+			Rewards:   mc.rewardsList,
+			RewardsIx: mc.rewardsIx,
+			Zero:      plan.zero,
+			Dots:      mc.dots,
 		}
 	}
 	if fr := chains[0].cs.fr; fr != nil && !fr.Saturated(step) {
@@ -590,17 +639,25 @@ func BuildManyWithDTMC(model *ctmc.CTMC, d *ctmc.DTMC, rewardsList [][]float64, 
 	}
 	budget := out[0].budgetK() // α_r (hence the split) is shared by all lanes
 
+	// With several reward lanes the dot side dominates the stepping pass;
+	// one shared row-interleaved rewards layout keeps its traffic at R
+	// consecutive floats per row (see sparse.StepLane.RewardsIx — a pure
+	// layout change, results bitwise-identical).
+	var rewardsIx []float64
+	if len(rewardsList) > 1 {
+		rewardsIx = sparse.InterleaveRewards(rewardsList)
+	}
 	// Regenerative chain: u_0 = e_r.
 	u0 := make([]float64, n)
 	u0[regen] = 1
-	main := newMultiChain(n, plan, fr, u0, rewardsList, 1)
+	main := newMultiChain(n, plan, fr, u0, rewardsList, rewardsIx, 1)
 	var prime *multiChain
 	if alphaR < 1 {
 		// Primed chain: u'_0 = initial distribution without r.
 		up0 := make([]float64, n)
 		copy(up0, init)
 		up0[regen] = 0
-		prime = newMultiChain(n, plan, fr, up0, rewardsList, 1-alphaR)
+		prime = newMultiChain(n, plan, fr, up0, rewardsList, rewardsIx, 1-alphaR)
 	}
 	mainNeeds := func() bool {
 		if main.cs.done {

@@ -1,0 +1,7 @@
+//go:build race
+
+package sparse
+
+// raceEnabled reports that the race detector is active; allocation-count
+// assertions are meaningless under its instrumentation.
+const raceEnabled = true

@@ -285,16 +285,23 @@ func (g gatherPtrs) prod(k int) float64 {
 }
 
 // rowSum4 computes the gather products of four consecutive short destination
-// rows in one pass, given their storage bounds p0..p4: the four row
+// rows in one pass, given their storage bounds p0..p4; see rowSum4g.
+func (m *Matrix) rowSum4(g gatherPtrs, p0, p1, p2, p3, p4 int) (s0, s1, s2, s3 float64) {
+	return m.rowSum4g(g, p0, p1, p1, p2, p2, p3, p3, p4)
+}
+
+// rowSum4g computes the gather products of four short destination rows in
+// one pass, given each row's storage bounds (the rows need not be adjacent
+// in storage — the frontier kernels group level-permuted rows): the four row
 // accumulators are independent dependency chains, so the loop retires ~4×
 // the entries per cycle of a single loop-carried sum (the FP-add latency
 // that bounds the scalar row loop). Within each row the partial products are
 // still added in storage order — exactly the order of the scalar reference —
 // so every returned sum is bitwise-identical to a one-row-at-a-time gather.
 // Callers must ensure every row in the group is below splitRowThreshold, so
-// that rowSum4 and rowSum agree bitwise row for row.
-func (m *Matrix) rowSum4(g gatherPtrs, p0, p1, p2, p3, p4 int) (s0, s1, s2, s3 float64) {
-	n0, n1, n2, n3 := p1-p0, p2-p1, p3-p2, p4-p3
+// that rowSum4g and rowSum agree bitwise row for row.
+func (m *Matrix) rowSum4g(g gatherPtrs, p0, e0, p1, e1, p2, e2, p3, e3 int) (s0, s1, s2, s3 float64) {
+	n0, n1, n2, n3 := e0-p0, e1-p1, e2-p2, e3-p3
 	c := n0
 	if n1 < c {
 		c = n1
@@ -738,22 +745,69 @@ func (m *Matrix) RewardDotFused(x, rewards []float64, zero []int32) float64 {
 		panic("sparse: RewardDotFused dimension mismatch")
 	}
 	_, dot := m.runChunks(func(p *fusedPartial, lo, hi int) {
-		zi := sort.Search(len(zero), func(i int) bool { return int(zero[i]) >= lo })
-		var ms, mc, ds, dc [4]float64
-		for j := lo; j < hi; j++ {
-			if zi < len(zero) && int(zero[zi]) == j {
-				zi++
-				continue
-			}
-			c := (j - lo) & 3
-			y := x[j]*rewards[j] - dc[c]
-			t := ds[c] + y
-			dc[c] = (t - ds[c]) - y
-			ds[c] = t
-		}
-		foldChains(p, &ms, &mc, &ds, &dc)
+		m.rewardDotRange(p, x, rewards, zero, lo, hi)
 	})
 	return dot
+}
+
+// rewardDotRange is the chunk worker of RewardDotFused: the dot side of
+// stepFusedRange, term for term — row j feeds Kahan chain (j−lo)&3, chains
+// folded in chain order — with the four chains quad-unrolled into named
+// registers (an indexed [4]float64 rotation forces a store/load per row,
+// which is the whole cost of a replay sweep).
+func (m *Matrix) rewardDotRange(p *fusedPartial, x, rewards []float64, zero []int32, lo, hi int) {
+	zi := sort.Search(len(zero), func(i int) bool { return int(zero[i]) >= lo })
+	var d0, e0, d1, e1, d2, e2, d3, e3 float64
+	j := lo
+	for ; j+4 <= hi; j += 4 {
+		if zi < len(zero) && int(zero[zi]) < j+4 {
+			// A skipped row falls in this aligned quad: per-row path with
+			// the same positional chain assignment.
+			for g := 0; g < 4; g++ {
+				row := j + g
+				if zi < len(zero) && int(zero[zi]) == row {
+					zi++
+					continue
+				}
+				y := x[row] * rewards[row]
+				switch g {
+				case 0:
+					d0, e0 = kahanAdd(d0, e0, y)
+				case 1:
+					d1, e1 = kahanAdd(d1, e1, y)
+				case 2:
+					d2, e2 = kahanAdd(d2, e2, y)
+				case 3:
+					d3, e3 = kahanAdd(d3, e3, y)
+				}
+			}
+			continue
+		}
+		d0, e0 = kahanAdd(d0, e0, x[j]*rewards[j])
+		d1, e1 = kahanAdd(d1, e1, x[j+1]*rewards[j+1])
+		d2, e2 = kahanAdd(d2, e2, x[j+2]*rewards[j+2])
+		d3, e3 = kahanAdd(d3, e3, x[j+3]*rewards[j+3])
+	}
+	for t := 0; j < hi; j, t = j+1, t+1 {
+		if zi < len(zero) && int(zero[zi]) == j {
+			zi++
+			continue
+		}
+		y := x[j] * rewards[j]
+		switch t {
+		case 0:
+			d0, e0 = kahanAdd(d0, e0, y)
+		case 1:
+			d1, e1 = kahanAdd(d1, e1, y)
+		case 2:
+			d2, e2 = kahanAdd(d2, e2, y)
+		}
+	}
+	ms := [4]float64{}
+	mc := [4]float64{}
+	ds := [4]float64{d0, d1, d2, d3}
+	dc := [4]float64{e0, e1, e2, e3}
+	foldChains(p, &ms, &mc, &ds, &dc)
 }
 
 // RewardDotFusedBatch computes RewardDotFused(x, rewards, zero) for every

@@ -1,0 +1,205 @@
+package regenrand
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+
+	"regenrand/internal/core"
+	"regenrand/internal/regen"
+)
+
+// This file is the query planner sitting between QueryBatch /
+// QueryBoundsBatch and the solvers. A batch of requests is analyzed before
+// any of them executes:
+//
+//   - byte-identical requests are deduplicated by content fingerprint, so a
+//     batch that submits the same (method, measure, rewards, times) twice
+//     solves it once and fans the shared result out;
+//   - RR/RRL requests are grouped by horizon class (the exact certified
+//     horizon, max of the request's times), and each group's distinct
+//     reward vectors are executed as dot lanes of ONE multi-lane stepping
+//     pass — regen.Basis.BuildMany on non-retaining compiled models (every
+//     lane rides one traversal of the DTMC per step), the grouped
+//     multi-rewards replay regen.Basis.PrebindMany on retaining ones (the
+//     retained vectors are streamed once per block for all lanes).
+//
+// Planning is purely a throughput optimization: the grouped constructions
+// are bitwise-identical to their per-query counterparts (tested), the
+// planner only seeds the same caches the per-query path would populate, and
+// evaluation still runs through Query/QueryBounds — so a planned batch
+// returns results bitwise-identical to a serial per-query loop, in any
+// order, at any GOMAXPROCS.
+
+// batchPlan is the outcome of planning one batch: the canonical request
+// indices to evaluate, and the fan-out map for deduplicated requests.
+type batchPlan struct {
+	unique []int
+	dup    map[int]int // request index → canonical request index
+}
+
+// groupMember is one distinct measure of a horizon group.
+type groupMember struct {
+	m       *CompiledMeasure
+	rewards []float64
+}
+
+// plannerMaxGroupLanes bounds the reward lanes of one grouped stepping
+// pass; larger groups run as consecutive multi-lane passes, keeping the
+// interleaved-rewards copy and per-lane accumulator scratch bounded.
+const plannerMaxGroupLanes = 32
+
+// plannerMeasureBudget bounds the measures one batch plans across all
+// groups: beyond the measure LRU's capacity, prewarmed series would be
+// evicted before evaluation reads them, making grouping pure waste — the
+// overflow simply falls back to the lazy per-query path.
+const plannerMeasureBudget = measureCacheCap - 8
+
+// fingerprint is the content key of one normalized request; requests with
+// equal fingerprints are interchangeable byte by byte. rk must be the
+// request's rewardsKey — the rewards vector is hashed once per query and
+// the digest reused here, as the group key, and as the measure cache key.
+func fingerprint(q Query, rk string) string {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(q.Method))
+	h.Write([]byte{0})
+	h.Write([]byte(q.Measure))
+	h.Write([]byte{0})
+	u64(uint64(int64(q.BlockSteps)))
+	u64(uint64(len(q.Times)))
+	for _, t := range q.Times {
+		u64(math.Float64bits(t))
+	}
+	h.Write([]byte(rk))
+	return string(h.Sum(nil))
+}
+
+// planBatch normalizes and deduplicates the requests, then prewarms the
+// grouped series/binding caches. It never fails: requests the planner
+// cannot place in a group (invalid times or rewards, non-regenerative
+// methods, no compiled regenerative state) are left for per-request
+// evaluation, which reports their errors in order.
+func (cm *CompiledModel) planBatch(qs []Query) batchPlan {
+	p := batchPlan{dup: make(map[int]int)}
+	seen := make(map[string]int, len(qs))
+	// groups collects, per horizon class, the distinct measures of the
+	// batch's RR/RRL requests (keyed by rewards content hash).
+	groups := make(map[uint64]map[string]groupMember)
+	// planned counts measures in groups that can actually be grouped (≥2
+	// members); horizon singletons never prewarm, so they must not consume
+	// the budget — a long time sweep ahead of a groupable tail would
+	// otherwise starve the exact case the planner exists for.
+	planned := 0
+	for i := range qs {
+		q := cm.normalize(qs[i])
+		rk := rewardsKey(q.Rewards)
+		fp := fingerprint(q, rk)
+		if j, ok := seen[fp]; ok {
+			p.dup[i] = j
+			continue
+		}
+		seen[fp] = i
+		p.unique = append(p.unique, i)
+
+		if cm.basis == nil || (q.Method != MethodRR && q.Method != MethodRRL) {
+			continue
+		}
+		if core.CheckTimes(q.Times) != nil {
+			continue
+		}
+		horizon := core.MaxTime(q.Times)
+		if horizon <= 0 {
+			continue
+		}
+		if planned >= plannerMeasureBudget {
+			continue
+		}
+		m, err := cm.measureByKey(rk, q.Rewards)
+		if err != nil {
+			continue
+		}
+		g := groups[math.Float64bits(horizon)]
+		if g == nil {
+			g = make(map[string]groupMember)
+			groups[math.Float64bits(horizon)] = g
+		}
+		if _, ok := g[rk]; !ok {
+			g[rk] = groupMember{m: m, rewards: m.rewards}
+			switch len(g) {
+			case 1: // singleton — free until a second member arrives
+			case 2:
+				planned += 2
+			default:
+				planned++
+			}
+		}
+	}
+	for bits, g := range groups {
+		if len(g) < 2 {
+			continue // nothing to amortize; the lazy per-query path is exact
+		}
+		cm.prewarmGroup(math.Float64frombits(bits), g)
+	}
+	return p
+}
+
+// prewarmGroup executes one horizon class's reward vectors as lanes of one
+// stepping pass and seeds the per-measure caches the per-query path reads.
+// Prewarm failures are deliberately swallowed: evaluation re-runs the lazy
+// path and reports the error on the owning request.
+func (cm *CompiledModel) prewarmGroup(horizon float64, g map[string]groupMember) {
+	if cm.basis.Retains() {
+		bds := make([]*regen.Binding, 0, len(g))
+		for _, mb := range g {
+			if mb.m.binding != nil {
+				bds = append(bds, mb.m.binding)
+			}
+		}
+		for len(bds) > 0 {
+			n := len(bds)
+			if n > plannerMaxGroupLanes {
+				n = plannerMaxGroupLanes
+			}
+			_ = cm.basis.PrebindMany(bds[:n], horizon)
+			bds = bds[n:]
+		}
+		return
+	}
+	// Non-retaining: one multi-lane construction (per lane-capped slice)
+	// for every measure whose series cache misses this horizon.
+	var members []groupMember
+	var rewardsList [][]float64
+	for _, mb := range g {
+		if _, ok := mb.m.series.Get(math.Float64bits(horizon)); ok {
+			continue
+		}
+		members = append(members, mb)
+		rewardsList = append(rewardsList, mb.rewards)
+	}
+	if len(members) < 2 {
+		return
+	}
+	for len(members) > 0 {
+		n := len(members)
+		if n > plannerMaxGroupLanes {
+			n = plannerMaxGroupLanes
+		}
+		built, err := cm.basis.BuildMany(rewardsList[:n], horizon)
+		if err != nil {
+			return
+		}
+		for i, mb := range members[:n] {
+			s := built[i]
+			_, _ = mb.m.series.GetOrCreate(math.Float64bits(horizon), func() (*regen.Series, error) {
+				return s, nil
+			})
+		}
+		members = members[n:]
+		rewardsList = rewardsList[n:]
+	}
+}

@@ -1,0 +1,305 @@
+package regenrand_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"regenrand"
+	"regenrand/internal/ctmc"
+)
+
+// plannerModels returns the equivalence-suite scenarios: the paper's Fig 3
+// (G=20 availability) and Fig 4 (G=20 absorbing/reliability) models and the
+// 10⁴-state random band model, each with the regenerative state and a
+// family of distinct reward vectors.
+func plannerModels(t testing.TB) []plannerScenario {
+	t.Helper()
+	var out []plannerScenario
+	for _, absorbing := range []bool{false, true} {
+		rm, err := regenrand.BuildRAID(regenrand.DefaultRAIDParams(20), absorbing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := "fig3-G20"
+		if absorbing {
+			name = "fig4-G20"
+		}
+		out = append(out, plannerScenario{name: name, model: rm.Chain, regen: rm.Pristine, times: []float64{1, 5, 20}})
+	}
+	band, err := ctmc.RandomBand(rand.New(rand.NewSource(42)), ctmc.BandOptions{States: 10000, Bandwidth: 8, Degree: 3, Absorbing: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, plannerScenario{name: "band1e4", model: band, regen: 0, times: []float64{1, 5}})
+	return out
+}
+
+type plannerScenario struct {
+	name  string
+	model *regenrand.CTMC
+	regen int
+	times []float64
+}
+
+// plannerWorkload builds a batch that exercises every planner feature:
+// several distinct reward vectors at one shared horizon (the grouped
+// multi-lane case), a second horizon class, both regenerative methods and
+// measures, duplicated requests, and one invalid request.
+func plannerWorkload(sc plannerScenario, measures int) []regenrand.Query {
+	n := sc.model.N()
+	var qs []regenrand.Query
+	for mi := 0; mi < measures; mi++ {
+		salt := mi
+		rw := regenrand.RewardsFrom(n, func(i int) float64 {
+			return float64((i*31+salt*7)%8) / 7
+		})
+		method := regenrand.MethodRRL
+		if mi%3 == 2 {
+			method = regenrand.MethodRR
+		}
+		measure := regenrand.MeasureTRR
+		if mi%2 == 1 {
+			measure = regenrand.MeasureMRR
+		}
+		qs = append(qs, regenrand.Query{Method: method, Measure: measure, Rewards: rw, Times: sc.times})
+		if mi%4 == 0 {
+			// A second horizon class over the same rewards.
+			qs = append(qs, regenrand.Query{Method: method, Measure: measure, Rewards: rw, Times: sc.times[:1]})
+		}
+	}
+	// Byte-identical duplicates of the first two requests.
+	qs = append(qs, qs[0], qs[1])
+	// One malformed request: the planner must leave it for per-query error
+	// reporting without disturbing the group.
+	qs = append(qs, regenrand.Query{Method: regenrand.MethodRRL, Rewards: []float64{1}, Times: sc.times})
+	return qs
+}
+
+func compileFor(t testing.TB, sc plannerScenario, copts regenrand.CompileOptions) *regenrand.CompiledModel {
+	t.Helper()
+	copts.RegenState = sc.regen
+	if copts.Options.Epsilon == 0 {
+		copts.Options = regenrand.DefaultOptions()
+	}
+	cm, err := regenrand.Compile(sc.model, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+// The planner contract: QueryBatch (grouped, deduplicated, concurrent) must
+// be bitwise-identical to a serial per-query loop on a fresh compiled
+// model, for retaining and non-retaining compiles, at GOMAXPROCS 1 and 8.
+// Run under -race in CI.
+func TestPlannerBatchBitwiseEqualsSerial(t *testing.T) {
+	for _, sc := range plannerModels(t) {
+		measures := 6
+		if sc.name == "band1e4" {
+			measures = 3 // 10⁴-state series builds; keep the suite quick
+		}
+		qs := plannerWorkload(sc, measures)
+		for _, disableRetention := range []bool{false, true} {
+			// Serial reference on its own compiled model (never planned).
+			serial := compileFor(t, sc, regenrand.CompileOptions{DisableRetention: disableRetention})
+			want := make([]regenrand.QueryResult, len(qs))
+			for i, q := range qs {
+				r, err := serial.Query(q)
+				want[i] = regenrand.QueryResult{Results: r, Err: err}
+			}
+			for _, procs := range []int{1, 8} {
+				name := fmt.Sprintf("%s/retain=%v/procs=%d", sc.name, !disableRetention, procs)
+				t.Run(name, func(t *testing.T) {
+					old := runtime.GOMAXPROCS(procs)
+					defer runtime.GOMAXPROCS(old)
+					batch := compileFor(t, sc, regenrand.CompileOptions{DisableRetention: disableRetention})
+					got := batch.QueryBatch(qs)
+					assertBatchesIdentical(t, got, want)
+				})
+			}
+		}
+	}
+}
+
+// Bounds batches run the same planner; grouped enclosures must match a
+// serial QueryBounds loop bitwise.
+func TestPlannerBoundsBatchBitwiseEqualsSerial(t *testing.T) {
+	sc := plannerModels(t)[0] // Fig 3 G=20
+	var qs []regenrand.Query
+	for mi := 0; mi < 5; mi++ {
+		salt := mi
+		rw := regenrand.RewardsFrom(sc.model.N(), func(i int) float64 {
+			return float64((i*17+salt*5)%4) / 3
+		})
+		qs = append(qs, regenrand.Query{Method: regenrand.MethodRRL, Rewards: rw, Times: sc.times})
+	}
+	qs = append(qs, qs[0]) // duplicate
+	qs = append(qs, regenrand.Query{Method: regenrand.MethodSR, Rewards: qs[0].Rewards, Times: sc.times})
+
+	serial := compileFor(t, sc, regenrand.CompileOptions{DisableRetention: true})
+	want := make([]regenrand.BoundsResult, len(qs))
+	for i, q := range qs {
+		b, err := serial.QueryBounds(q)
+		want[i] = regenrand.BoundsResult{Bounds: b, Err: err}
+	}
+	batch := compileFor(t, sc, regenrand.CompileOptions{DisableRetention: true})
+	got := batch.QueryBoundsBatch(qs)
+	if len(got) != len(want) {
+		t.Fatalf("%d results want %d", len(got), len(want))
+	}
+	for i := range got {
+		if (got[i].Err != nil) != (want[i].Err != nil) {
+			t.Fatalf("query %d: err %v want %v", i, got[i].Err, want[i].Err)
+		}
+		if got[i].Err != nil {
+			continue
+		}
+		if len(got[i].Bounds) != len(want[i].Bounds) {
+			t.Fatalf("query %d: %d rows want %d", i, len(got[i].Bounds), len(want[i].Bounds))
+		}
+		for j := range got[i].Bounds {
+			g, w := got[i].Bounds[j], want[i].Bounds[j]
+			if math.Float64bits(g.Lower) != math.Float64bits(w.Lower) ||
+				math.Float64bits(g.Upper) != math.Float64bits(w.Upper) {
+				t.Errorf("query %d t=%v: [%v,%v] differs from serial [%v,%v]", i, g.T, g.Lower, g.Upper, w.Lower, w.Upper)
+			}
+		}
+	}
+	// The SR request must have errored (bounds need RR/RRL).
+	if got[len(got)-1].Err == nil {
+		t.Error("SR bounds request did not error")
+	}
+}
+
+func assertBatchesIdentical(t *testing.T, got, want []regenrand.QueryResult) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d results want %d", len(got), len(want))
+	}
+	for i := range got {
+		if (got[i].Err != nil) != (want[i].Err != nil) {
+			t.Fatalf("query %d: err %v, serial err %v", i, got[i].Err, want[i].Err)
+		}
+		if got[i].Err != nil {
+			continue
+		}
+		if len(got[i].Results) != len(want[i].Results) {
+			t.Fatalf("query %d: %d rows want %d", i, len(got[i].Results), len(want[i].Results))
+		}
+		for j := range got[i].Results {
+			g, w := got[i].Results[j], want[i].Results[j]
+			if math.Float64bits(g.Value) != math.Float64bits(w.Value) {
+				t.Errorf("query %d t=%v: %v differs from serial %v", i, g.T, g.Value, w.Value)
+			}
+			if g.Steps != w.Steps {
+				t.Errorf("query %d t=%v: steps %d want %d", i, g.T, g.Steps, w.Steps)
+			}
+		}
+	}
+}
+
+// Byte-identical requests in one batch must be solved once: the duplicate's
+// result shares the canonical result's backing slice.
+func TestPlannerDedupesIdenticalRequests(t *testing.T) {
+	rm, err := regenrand.BuildRAID(regenrand.DefaultRAIDParams(1), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := regenrand.Compile(rm.Chain, regenrand.CompileOptions{Options: regenrand.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua := rm.UnavailabilityRewards()
+	q := regenrand.Query{Rewards: ua, Times: []float64{1, 10}}
+	out := cm.QueryBatch([]regenrand.Query{q, q, q})
+	for i := 1; i < 3; i++ {
+		if out[i].Err != nil {
+			t.Fatal(out[i].Err)
+		}
+		if &out[i].Results[0] != &out[0].Results[0] {
+			t.Errorf("request %d was re-solved instead of sharing the deduplicated result", i)
+		}
+	}
+}
+
+// A grouped batch on a CompactRetention compile must agree with a serial
+// loop on an identically-compiled model bitwise (quantized replay is
+// deterministic), and with a full-retention compile within the quantization
+// slice of the error budget.
+func TestPlannerCompactRetention(t *testing.T) {
+	rm, err := regenrand.BuildRAID(regenrand.DefaultRAIDParams(2), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := regenrand.DefaultOptions()
+	opts.Epsilon = 1e-6
+	n := rm.Chain.N()
+	var qs []regenrand.Query
+	for mi := 0; mi < 4; mi++ {
+		salt := mi
+		rw := regenrand.RewardsFrom(n, func(i int) float64 {
+			return float64((i*13+salt*3)%5) / 4
+		})
+		qs = append(qs, regenrand.Query{Rewards: rw, Times: []float64{1, 10, 100}})
+	}
+	compact := regenrand.CompileOptions{Options: opts, CompactRetention: true}
+	serial, err := regenrand.Compile(rm.Chain, compact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]regenrand.Result, len(qs))
+	for i, q := range qs {
+		want[i], err = serial.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	batchCM, err := regenrand.Compile(rm.Chain, compact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := regenrand.Compile(rm.Chain, regenrand.CompileOptions{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batchCM.Key() == full.Key() {
+		t.Fatal("CompactRetention does not split the compile cache key")
+	}
+	for i, qr := range batchCM.QueryBatch(qs) {
+		if qr.Err != nil {
+			t.Fatal(qr.Err)
+		}
+		ref, err := full.Query(qs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range qr.Results {
+			if math.Float64bits(qr.Results[j].Value) != math.Float64bits(want[i][j].Value) {
+				t.Errorf("query %d t=%v: grouped %v differs from serial compact %v",
+					i, qr.Results[j].T, qr.Results[j].Value, want[i][j].Value)
+			}
+			// Full vs compact differ only through quantization + the (tiny)
+			// truncation-level difference, both inside ε.
+			if d := math.Abs(qr.Results[j].Value - ref[j].Value); d > opts.Epsilon {
+				t.Errorf("query %d t=%v: compact %v vs full %v (Δ %v > ε)",
+					i, qr.Results[j].T, qr.Results[j].Value, ref[j].Value, d)
+			}
+		}
+	}
+
+	// Paper-strength epsilon must be rejected at query time with a clear error.
+	tight, err := regenrand.Compile(rm.Chain, regenrand.CompileOptions{Options: regenrand.DefaultOptions(), CompactRetention: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tight.Query(qs[0]); err == nil {
+		t.Error("compact retention certified epsilon 1e-12")
+	}
+	// DisableRetention + CompactRetention is rejected at compile time.
+	if _, err := regenrand.Compile(rm.Chain, regenrand.CompileOptions{Options: opts, CompactRetention: true, DisableRetention: true}); err == nil {
+		t.Error("CompactRetention+DisableRetention accepted")
+	}
+}
