@@ -9,8 +9,11 @@
 //
 //	POST /v1/compile   {"model": {...}, "regen_state": 0, "epsilon": 1e-12}
 //	                   ("compact": true selects float32 series retention —
-//	                   half the compile-phase memory, needs a loose epsilon)
-//	                   → {"model_id": "...", "states": n, "transitions": nnz}
+//	                   half the compile-phase memory, needs a loose epsilon;
+//	                   "prebuild_horizon": t eagerly extends the chains to
+//	                   certify horizon t; "timeout_ms" caps the request)
+//	                   → {"model_id": "...", "states": n, "transitions": nnz,
+//	                     "retained_bytes": b}
 //	POST /v1/query     {"model_id": "...", "queries": [{"method": "RRL",
 //	                    "measure": "TRR", "rewards": [...], "times": [...]}]}
 //	                   or with an inline "model" instead of "model_id"
@@ -24,327 +27,141 @@
 //	                   send one array of query objects per request to get
 //	                   grouped pricing; responses are bitwise-identical to
 //	                   one-query-per-request traffic
-//	GET  /healthz      → {"ok": true, "cached_models": k}
+//	                   "timeout_ms" caps this request's processing time;
+//	                   rows that miss the deadline carry a per-row "error"
+//	                   while finished rows keep their results. "degrade":
+//	                   "allow" opts into certified degraded answers: a
+//	                   deadline-missed row is retried once at the server's
+//	                   -degrade-epsilon under a short grace budget and comes
+//	                   back flagged {"degraded": true, "epsilon": 1e-6} —
+//	                   still a certified bound, just a wider one
+//	GET  /healthz      → {"ok": true, "draining": false, "cached_models": k,
+//	                     "cache_bytes": b, "uptime_s": s} (503 while
+//	                     draining — load balancers stop routing here)
+//	GET  /varz         → flat JSON counters: requests, in-flight and queued
+//	                     compiles/queries, shed, timeouts, degraded, panics,
+//	                     cache entries/bytes, uptime
 //
 // The model encoding is {"states": n, "transitions": [[from, to, rate],
 // ...], "initial": [[state, probability], ...]}. A model_id is the content
 // key of the compile (model fingerprint + options), so re-uploading the
-// same model is free and ids are stable across restarts.
+// same model is free and ids are stable across restarts. The wire model is
+// fully validated at the trust boundary — non-finite or negative rates,
+// fractional or out-of-range indices, and non-normalized initial
+// distributions answer 400 with the offending field named; they never reach
+// the engine.
 //
-// Run with -selfcheck to start on an ephemeral port, drive a sample
-// compile + concurrent batch query against the live server over HTTP, and
-// exit 0/1 — the CI smoke mode.
+// # Serving lifecycle
+//
+// Every request passes a hardening pipeline before any engine work:
+//
+//  1. Drain check — after SIGTERM/SIGINT the server stops admitting
+//     (503 + Retry-After) while in-flight requests finish, then exits.
+//  2. Admission — compiles and queries hold separate concurrency slots
+//     (-compiles/-queries) with a bounded wait queue (-queue, -queue-wait);
+//     overflow is shed immediately with 429 + Retry-After instead of
+//     stacking goroutines behind a saturated pool.
+//  3. Body cap — requests larger than -max-body answer 413; models beyond
+//     -max-states/-max-transitions answer 400.
+//  4. Deadline — each request runs under a context deadline (client
+//     "timeout_ms", else -timeout, both capped by -max-timeout) anchored on
+//     the connection, so a disconnected client cancels its own work. The
+//     engine checkpoints between stepping chunks and inversion blocks, so
+//     cancellation lands within a couple of chunk latencies and never
+//     poisons the shared cache: an abandoned single-flight compile keeps
+//     running for its other waiters, and a retry resumes the append-only
+//     series exactly where it stopped, bitwise-identical.
+//  5. Panic barrier — a panicking handler answers 500 and the server keeps
+//     serving; engine worker panics are already converted to errors before
+//     they reach the handler.
+//
+// # Flags
+//
+//	-addr             listen address (default :8347)
+//	-cache            compiled-model LRU entry capacity (default 64)
+//	-cache-bytes      retained-bytes budget across cached models; LRU
+//	                  eviction above it, 0 = entries-only (default 0)
+//	-compiles         max concurrent compile requests (default 4)
+//	-queries          max concurrent query requests (default 32)
+//	-queue            admission queue depth per class before shedding
+//	                  (default 64)
+//	-queue-wait       max time a request waits for an admission slot
+//	                  (default 2s)
+//	-timeout          default per-request deadline when the client sends no
+//	                  timeout_ms (default 30s)
+//	-max-timeout      cap on client-requested timeout_ms (default 2m)
+//	-max-body         request body byte cap (default 8 MiB)
+//	-max-states       wire-model state cap (default 1e6)
+//	-max-transitions  wire-model transition cap (default 1e7)
+//	-degrade-epsilon  epsilon served to "degrade":"allow" rows that missed
+//	                  their deadline (default 1e-6)
+//	-degrade-grace    extra budget for the one degraded retry (default 2s)
+//	-drain            shutdown grace for in-flight requests after
+//	                  SIGTERM/SIGINT (default 30s)
+//	-selfcheck        start on an ephemeral port, drive a sample compile +
+//	                  concurrent batch query over HTTP, exit 0/1 (CI smoke)
+//	-chaos            with -selfcheck: additionally inject faults (stepping
+//	                  delays, inversion errors, compile panics) at the
+//	                  engine's fault points and assert the server stays
+//	                  live, bad rows fail cleanly, and answers after
+//	                  recovery are bitwise-identical to the quiet run
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"math"
-	"net"
 	"net/http"
 	"os"
-	"sync"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"regenrand"
 )
 
-// modelJSON is the wire encoding of a CTMC.
-type modelJSON struct {
-	States      int         `json:"states"`
-	Transitions [][]float64 `json:"transitions"`
-	Initial     [][]float64 `json:"initial"`
-}
-
-// compileRequest configures one compile.
-type compileRequest struct {
-	Model *modelJSON `json:"model"`
-	// RegenState is the regenerative state (-1 = none). Defaults to 0, the
-	// paper's fault-free initial state.
-	RegenState *int `json:"regen_state,omitempty"`
-	// Epsilon is the error bound (default 1e-12, the paper's choice).
-	Epsilon float64 `json:"epsilon,omitempty"`
-	// DisableRetention trades rebinding speed for memory; see
-	// regenrand.CompileOptions.
-	DisableRetention bool `json:"disable_retention,omitempty"`
-	// Compact retains the stepped series as float32, halving compile-phase
-	// memory at a quantified accuracy cost charged against the error
-	// budget; needs a loose epsilon (~1e-6 or above). See
-	// regenrand.CompileOptions.CompactRetention.
-	Compact bool `json:"compact,omitempty"`
-}
-
-type compileResponse struct {
-	ModelID     string `json:"model_id"`
-	States      int    `json:"states"`
-	Transitions int    `json:"transitions"`
-}
-
-type queryJSON struct {
-	Method     string    `json:"method,omitempty"`
-	Measure    string    `json:"measure,omitempty"`
-	Rewards    []float64 `json:"rewards"`
-	Times      []float64 `json:"times"`
-	BlockSteps int       `json:"block_steps,omitempty"`
-	// Bounds requests certified two-sided enclosures instead of point
-	// values (RR/RRL only). RRL enclosures are served by the fused
-	// value+truncation-mass inversion, so they cost barely more than the
-	// values alone; rows then carry "lower"/"upper" alongside "value" (the
-	// midpoint).
-	Bounds bool `json:"bounds,omitempty"`
-}
-
-type queryRequest struct {
-	ModelID string     `json:"model_id,omitempty"`
-	Model   *modelJSON `json:"model,omitempty"`
-	// Compile options for inline models; ignored with model_id.
-	RegenState       *int        `json:"regen_state,omitempty"`
-	Epsilon          float64     `json:"epsilon,omitempty"`
-	DisableRetention bool        `json:"disable_retention,omitempty"`
-	Compact          bool        `json:"compact,omitempty"`
-	Queries          []queryJSON `json:"queries"`
-}
-
-type resultJSON struct {
-	T         float64  `json:"t"`
-	Value     float64  `json:"value"`
-	Lower     *float64 `json:"lower,omitempty"`
-	Upper     *float64 `json:"upper,omitempty"`
-	Steps     int      `json:"steps,omitempty"`
-	Abscissae int      `json:"abscissae,omitempty"`
-}
-
-type queryResultJSON struct {
-	Results []resultJSON `json:"results,omitempty"`
-	Error   string       `json:"error,omitempty"`
-}
-
-type queryResponse struct {
-	ModelID string            `json:"model_id"`
-	Results []queryResultJSON `json:"results"`
-}
-
-// server shares one compile cache across every request.
-type server struct {
-	cache *regenrand.CompileCache
-}
-
-func (m *modelJSON) build() (*regenrand.CTMC, error) {
-	if m == nil {
-		return nil, fmt.Errorf("missing model")
-	}
-	b := regenrand.NewBuilder(m.States)
-	for i, tr := range m.Transitions {
-		if len(tr) != 3 {
-			return nil, fmt.Errorf("transition %d: want [from, to, rate], got %d fields", i, len(tr))
-		}
-		from, to := int(tr[0]), int(tr[1])
-		if float64(from) != tr[0] || float64(to) != tr[1] {
-			return nil, fmt.Errorf("transition %d: non-integer state index", i)
-		}
-		if err := b.AddTransition(from, to, tr[2]); err != nil {
-			return nil, err
-		}
-	}
-	for i, in := range m.Initial {
-		if len(in) != 2 {
-			return nil, fmt.Errorf("initial %d: want [state, probability]", i)
-		}
-		if err := b.SetInitial(int(in[0]), in[1]); err != nil {
-			return nil, err
-		}
-	}
-	return b.Build()
-}
-
-// compileOptions translates the wire options.
-func compileOptions(regenState *int, epsilon float64, disableRetention, compact bool) regenrand.CompileOptions {
-	opts := regenrand.DefaultOptions()
-	if epsilon != 0 {
-		opts.Epsilon = epsilon
-	}
-	rs := 0
-	if regenState != nil {
-		rs = *regenState
-	}
-	if rs < 0 {
-		rs = regenrand.NoRegen
-	}
-	return regenrand.CompileOptions{Options: opts, RegenState: rs, DisableRetention: disableRetention, CompactRetention: compact}
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	var req compileRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
-		return
-	}
-	model, err := req.Model.build()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "building model: %v", err)
-		return
-	}
-	cm, err := s.cache.Compile(model, compileOptions(req.RegenState, req.Epsilon, req.DisableRetention, req.Compact))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "compiling: %v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, compileResponse{
-		ModelID:     cm.Key(),
-		States:      cm.Model().N(),
-		Transitions: cm.Model().NumTransitions(),
-	})
-}
-
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
-		return
-	}
-	var cm *regenrand.CompiledModel
-	switch {
-	case req.ModelID != "":
-		var ok bool
-		cm, ok = s.cache.Get(req.ModelID)
-		if !ok {
-			writeError(w, http.StatusNotFound, "model %s not cached (evicted or never compiled); re-POST /v1/compile", req.ModelID)
-			return
-		}
-	case req.Model != nil:
-		model, err := req.Model.build()
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "building model: %v", err)
-			return
-		}
-		cm, err = s.cache.Compile(model, compileOptions(req.RegenState, req.Epsilon, req.DisableRetention, req.Compact))
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "compiling: %v", err)
-			return
-		}
-	default:
-		writeError(w, http.StatusBadRequest, "need model_id or model")
-		return
-	}
-	if len(req.Queries) == 0 {
-		writeError(w, http.StatusBadRequest, "no queries")
-		return
-	}
-	// Value and bounds requests run as two overlapped batches (each also
-	// fans out internally over the worker pool, which degrades gracefully
-	// when saturated); responses land back in request-indexed slots.
-	var valIdx, bndIdx []int
-	for i, q := range req.Queries {
-		if q.Bounds {
-			bndIdx = append(bndIdx, i)
-		} else {
-			valIdx = append(valIdx, i)
-		}
-	}
-	toQuery := func(q queryJSON) regenrand.Query {
-		return regenrand.Query{
-			Method:     regenrand.Method(q.Method),
-			Measure:    regenrand.MeasureKind(q.Measure),
-			Rewards:    q.Rewards,
-			Times:      q.Times,
-			BlockSteps: q.BlockSteps,
-		}
-	}
-	resp := queryResponse{ModelID: cm.Key(), Results: make([]queryResultJSON, len(req.Queries))}
-	var wg sync.WaitGroup
-	if len(valIdx) > 0 {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			qs := make([]regenrand.Query, len(valIdx))
-			for i, idx := range valIdx {
-				qs[i] = toQuery(req.Queries[idx])
-			}
-			for i, qr := range cm.QueryBatch(qs) {
-				idx := valIdx[i]
-				if qr.Err != nil {
-					resp.Results[idx].Error = qr.Err.Error()
-					continue
-				}
-				rs := make([]resultJSON, len(qr.Results))
-				for j, res := range qr.Results {
-					rs[j] = resultJSON{T: res.T, Value: res.Value, Steps: res.Steps, Abscissae: res.Abscissae}
-				}
-				resp.Results[idx].Results = rs
-			}
-		}()
-	}
-	if len(bndIdx) > 0 {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			qs := make([]regenrand.Query, len(bndIdx))
-			for i, idx := range bndIdx {
-				qs[i] = toQuery(req.Queries[idx])
-			}
-			for i, br := range cm.QueryBoundsBatch(qs) {
-				idx := bndIdx[i]
-				if br.Err != nil {
-					resp.Results[idx].Error = br.Err.Error()
-					continue
-				}
-				rs := make([]resultJSON, len(br.Bounds))
-				for j, b := range br.Bounds {
-					lo, hi := b.Lower, b.Upper
-					rs[j] = resultJSON{T: b.T, Value: (lo + hi) / 2, Lower: &lo, Upper: &hi}
-				}
-				resp.Results[idx].Results = rs
-			}
-		}()
-	}
-	wg.Wait()
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "cached_models": s.cache.Len()})
-}
-
-func newMux(s *server) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/compile", s.handleCompile)
-	mux.HandleFunc("/v1/query", s.handleQuery)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	return mux
-}
-
 func main() {
 	addr := flag.String("addr", ":8347", "listen address")
-	cacheSize := flag.Int("cache", 64, "compiled-model LRU capacity")
+	cacheSize := flag.Int("cache", 64, "compiled-model LRU capacity (entries)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "retained-bytes budget across cached models (0 = entries-only)")
+	compiles := flag.Int("compiles", 4, "max concurrent compile requests")
+	queries := flag.Int("queries", 32, "max concurrent query requests")
+	queueDepth := flag.Int("queue", 64, "admission queue depth per request class before shedding")
+	queueWait := flag.Duration("queue-wait", 2*time.Second, "max wait for an admission slot")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested timeout_ms")
+	maxBody := flag.Int64("max-body", 8<<20, "request body byte cap")
+	maxStates := flag.Int("max-states", 1_000_000, "wire-model state cap")
+	maxTransitions := flag.Int("max-transitions", 10_000_000, "wire-model transition cap")
+	degradeEpsilon := flag.Float64("degrade-epsilon", 1e-6, "epsilon of certified degraded answers")
+	degradeGrace := flag.Duration("degrade-grace", 2*time.Second, "extra budget for one degraded retry")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown grace for in-flight requests")
 	selfcheck := flag.Bool("selfcheck", false, "start on an ephemeral port, run a sample compile + concurrent batch query, exit")
+	chaos := flag.Bool("chaos", false, "with -selfcheck: inject engine faults and assert recovery (fault-injection smoke)")
 	flag.Parse()
 
-	srv := &server{cache: regenrand.NewCompileCache(*cacheSize)}
+	srv := newServer(serverConfig{
+		CacheEntries: *cacheSize,
+		CacheBytes:   *cacheBytes,
+		Compiles:     *compiles,
+		Queries:      *queries,
+		QueueDepth:   *queueDepth,
+		QueueWait:    *queueWait,
+		Limits: serverLimits{
+			DefaultTimeout: *timeout,
+			MaxTimeout:     *maxTimeout,
+			MaxBody:        *maxBody,
+			MaxStates:      *maxStates,
+			MaxTransitions: *maxTransitions,
+			DegradeEpsilon: *degradeEpsilon,
+			DegradeGrace:   *degradeGrace,
+		},
+	})
 	mux := newMux(srv)
 
 	if *selfcheck {
-		if err := runSelfcheck(mux); err != nil {
+		if err := runSelfcheck(srv, mux, *chaos); err != nil {
 			fmt.Fprintf(os.Stderr, "regenserve selfcheck: FAIL: %v\n", err)
 			os.Exit(1)
 		}
@@ -352,229 +169,51 @@ func main() {
 		return
 	}
 
-	log.Printf("regenserve: listening on %s (cache capacity %d)", *addr, *cacheSize)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	hs := &http.Server{Addr: *addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("regenserve: listening on %s (cache %d entries / %d bytes, %d compile + %d query slots)",
+		*addr, *cacheSize, *cacheBytes, *compiles, *queries)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		// Stop admitting (healthz flips to 503 so balancers route away),
+		// then drain in-flight requests for up to -drain before exiting.
+		srv.draining.Store(true)
+		log.Printf("regenserve: %v; draining for up to %v", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("regenserve: drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("regenserve: drained, exiting")
+	}
 }
 
-// sameRow compares two result rows by value (the bounds edges are pointers,
-// so struct equality would compare identities).
-func sameRow(a, b resultJSON) bool {
-	if a.T != b.T || a.Value != b.Value || a.Steps != b.Steps || a.Abscissae != b.Abscissae {
-		return false
-	}
-	if (a.Lower == nil) != (b.Lower == nil) || (a.Upper == nil) != (b.Upper == nil) {
-		return false
-	}
-	if a.Lower != nil && (*a.Lower != *b.Lower || *a.Upper != *b.Upper) {
-		return false
-	}
-	return true
+// newServer wires the cache, admission classes, and limits together.
+type serverConfig struct {
+	CacheEntries int
+	CacheBytes   int64
+	Compiles     int
+	Queries      int
+	QueueDepth   int
+	QueueWait    time.Duration
+	Limits       serverLimits
 }
 
-// runSelfcheck exercises the live HTTP surface: compile a small RAID
-// availability model, then hit it with concurrent batch queries across
-// methods and check the answers agree with each other within the error
-// bound.
-func runSelfcheck(mux *http.ServeMux) error {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return err
+func newServer(cfg serverConfig) *server {
+	// A zero byte budget disables byte eviction but still installs the
+	// size function, so /varz reports retained bytes either way.
+	return &server{
+		cache:    regenrand.NewCompileCacheBytes(cfg.CacheEntries, cfg.CacheBytes),
+		limits:   cfg.Limits,
+		compiles: newAdmission(cfg.Compiles, cfg.QueueDepth, cfg.QueueWait),
+		queries:  newAdmission(cfg.Queries, cfg.QueueDepth, cfg.QueueWait),
+		start:    time.Now(),
 	}
-	hs := &http.Server{Handler: mux}
-	go hs.Serve(ln)
-	defer hs.Close()
-	base := "http://" + ln.Addr().String()
-
-	// A 2-parity-group RAID availability model, built via the public API
-	// and re-encoded to the wire format.
-	rm, err := regenrand.BuildRAID(regenrand.DefaultRAIDParams(2), false)
-	if err != nil {
-		return err
-	}
-	model := &modelJSON{States: rm.Chain.N()}
-	for _, tr := range rm.Chain.Transitions() {
-		model.Transitions = append(model.Transitions, []float64{float64(tr.Row), float64(tr.Col), tr.Val})
-	}
-	init := rm.Chain.Initial()
-	for i, p := range init {
-		if p > 0 {
-			model.Initial = append(model.Initial, []float64{float64(i), p})
-		}
-	}
-
-	post := func(path string, req, resp any) error {
-		body, err := json.Marshal(req)
-		if err != nil {
-			return err
-		}
-		r, err := http.Post(base+path, "application/json", bytes.NewReader(body))
-		if err != nil {
-			return err
-		}
-		defer r.Body.Close()
-		if r.StatusCode != http.StatusOK {
-			var e map[string]string
-			_ = json.NewDecoder(r.Body).Decode(&e)
-			return fmt.Errorf("%s: HTTP %d: %s", path, r.StatusCode, e["error"])
-		}
-		return json.NewDecoder(r.Body).Decode(resp)
-	}
-
-	var comp compileResponse
-	if err := post("/v1/compile", compileRequest{Model: model}, &comp); err != nil {
-		return err
-	}
-	if comp.States != rm.Chain.N() {
-		return fmt.Errorf("compile reported %d states, want %d", comp.States, rm.Chain.N())
-	}
-
-	rewards := rm.UnavailabilityRewards()
-	times := []float64{1, 10, 100}
-	queries := []queryJSON{
-		{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: times},
-		{Method: "SR", Measure: "TRR", Rewards: rewards, Times: times},
-		{Method: "RR", Measure: "MRR", Rewards: rewards, Times: times},
-		{Method: "RRL", Measure: "MRR", Rewards: rewards, Times: times},
-		{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: times, Bounds: true},
-	}
-
-	// Many concurrent clients sharing the one compiled model.
-	const clients = 8
-	responses := make([]queryResponse, clients)
-	errs := make([]error, clients)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			errs[c] = post("/v1/query", queryRequest{ModelID: comp.ModelID, Queries: queries}, &responses[c])
-		}(c)
-	}
-	wg.Wait()
-	for c, err := range errs {
-		if err != nil {
-			return fmt.Errorf("client %d: %w", c, err)
-		}
-	}
-	for c, resp := range responses {
-		if len(resp.Results) != len(queries) {
-			return fmt.Errorf("client %d: %d results, want %d", c, len(resp.Results), len(queries))
-		}
-		for i, qr := range resp.Results {
-			if qr.Error != "" {
-				return fmt.Errorf("client %d query %d: %s", c, i, qr.Error)
-			}
-			if len(qr.Results) != len(times) {
-				return fmt.Errorf("client %d query %d: %d values", c, i, len(qr.Results))
-			}
-		}
-		// RRL and SR must agree on TRR within the combined error bound.
-		for j := range times {
-			a, b := resp.Results[0].Results[j].Value, resp.Results[1].Results[j].Value
-			if math.Abs(a-b) > 1e-9 {
-				return fmt.Errorf("client %d: RRL %v vs SR %v at t=%v", c, a, b, times[j])
-			}
-		}
-		// The certified enclosures must carry both edges and contain the SR
-		// values.
-		for j := range times {
-			row := resp.Results[4].Results[j]
-			if row.Lower == nil || row.Upper == nil {
-				return fmt.Errorf("client %d: bounds row %d missing lower/upper", c, j)
-			}
-			if sr := resp.Results[1].Results[j].Value; sr < *row.Lower-1e-9 || sr > *row.Upper+1e-9 {
-				return fmt.Errorf("client %d: SR %v outside bounds [%v, %v] at t=%v",
-					c, sr, *row.Lower, *row.Upper, times[j])
-			}
-		}
-		// All clients must see bitwise-identical answers.
-		for i := range resp.Results {
-			for j := range resp.Results[i].Results {
-				if !sameRow(resp.Results[i].Results[j], responses[0].Results[i].Results[j]) {
-					return fmt.Errorf("client %d disagrees with client 0 on query %d", c, i)
-				}
-			}
-		}
-	}
-	fmt.Printf("regenserve selfcheck: %d clients × %d queries × %d times on a %d-state model in %v\n",
-		clients, len(queries), len(times), comp.States, time.Since(start).Round(time.Millisecond))
-
-	// Grouped-batch planning: a multi-measure same-horizon batch (plus a
-	// byte-identical duplicate) must return rows bitwise-identical to
-	// one-query-per-request traffic — the planner changes throughput, never
-	// results.
-	var grouped []queryJSON
-	for mi := 0; mi < 6; mi++ {
-		salt := mi
-		rw := regenrand.RewardsFrom(rm.Chain.N(), func(i int) float64 {
-			return float64(((i+salt)*2654435761)%(1<<20)) / float64(1<<20-1)
-		})
-		grouped = append(grouped, queryJSON{Method: "RRL", Measure: "TRR", Rewards: rw, Times: times})
-	}
-	grouped = append(grouped, grouped[0])
-	var groupedResp queryResponse
-	if err := post("/v1/query", queryRequest{ModelID: comp.ModelID, Queries: grouped}, &groupedResp); err != nil {
-		return err
-	}
-	if len(groupedResp.Results) != len(grouped) {
-		return fmt.Errorf("grouped batch: %d results, want %d", len(groupedResp.Results), len(grouped))
-	}
-	for i, q := range grouped {
-		if groupedResp.Results[i].Error != "" {
-			return fmt.Errorf("grouped batch query %d: %s", i, groupedResp.Results[i].Error)
-		}
-		var single queryResponse
-		if err := post("/v1/query", queryRequest{ModelID: comp.ModelID, Queries: []queryJSON{q}}, &single); err != nil {
-			return err
-		}
-		if single.Results[0].Error != "" {
-			return fmt.Errorf("serial query %d: %s", i, single.Results[0].Error)
-		}
-		for j := range single.Results[0].Results {
-			if !sameRow(groupedResp.Results[i].Results[j], single.Results[0].Results[j]) {
-				return fmt.Errorf("grouped batch query %d row %d differs from the serial response", i, j)
-			}
-		}
-	}
-	fmt.Printf("regenserve selfcheck: grouped %d-query batch == one-query-per-request traffic\n", len(grouped))
-
-	// Compact retention end to end: compile with "compact", query, and
-	// check the answers stay within the (loosened) error budget of SR.
-	var compactComp compileResponse
-	if err := post("/v1/compile", compileRequest{Model: model, Epsilon: 1e-6, Compact: true}, &compactComp); err != nil {
-		return err
-	}
-	if compactComp.ModelID == comp.ModelID {
-		return fmt.Errorf("compact compile shares the full-retention model id")
-	}
-	var compactResp queryResponse
-	if err := post("/v1/query", queryRequest{
-		ModelID: compactComp.ModelID,
-		Queries: []queryJSON{{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: times}},
-	}, &compactResp); err != nil {
-		return err
-	}
-	if compactResp.Results[0].Error != "" {
-		return fmt.Errorf("compact query: %s", compactResp.Results[0].Error)
-	}
-	for j := range times {
-		a := compactResp.Results[0].Results[j].Value
-		b := responses[0].Results[1].Results[j].Value // SR reference
-		if math.Abs(a-b) > 2e-6 {
-			return fmt.Errorf("compact RRL %v vs SR %v at t=%v", a, b, times[j])
-		}
-	}
-
-	// Unknown id must 404.
-	r, err := http.Post(base+"/v1/query", "application/json",
-		bytes.NewReader([]byte(`{"model_id":"nope","queries":[{"times":[1],"rewards":[]}]}`)))
-	if err != nil {
-		return err
-	}
-	r.Body.Close()
-	if r.StatusCode != http.StatusNotFound {
-		return fmt.Errorf("unknown model id: HTTP %d, want 404", r.StatusCode)
-	}
-	return nil
 }

@@ -1,0 +1,650 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"regenrand"
+	"regenrand/internal/cache"
+	"regenrand/internal/faultpoint"
+	"regenrand/internal/laplace"
+	"regenrand/internal/regen"
+)
+
+// sameRow compares two result rows by value (the bounds edges are pointers,
+// so struct equality would compare identities).
+func sameRow(a, b resultJSON) bool {
+	if a.T != b.T || a.Value != b.Value || a.Steps != b.Steps || a.Abscissae != b.Abscissae {
+		return false
+	}
+	if (a.Lower == nil) != (b.Lower == nil) || (a.Upper == nil) != (b.Upper == nil) {
+		return false
+	}
+	if a.Lower != nil && (*a.Lower != *b.Lower || *a.Upper != *b.Upper) {
+		return false
+	}
+	return true
+}
+
+// checkClient drives the live HTTP surface of one selfcheck server.
+type checkClient struct {
+	base string
+}
+
+func (c *checkClient) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		var e map[string]string
+		_ = json.NewDecoder(r.Body).Decode(&e)
+		return fmt.Errorf("%s: HTTP %d: %s", path, r.StatusCode, e["error"])
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+// postRaw sends a raw JSON body and returns status + error message.
+func (c *checkClient) postRaw(path, body string) (int, string, error) {
+	r, err := http.Post(c.base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer r.Body.Close()
+	var e map[string]string
+	_ = json.NewDecoder(r.Body).Decode(&e)
+	return r.StatusCode, e["error"], nil
+}
+
+func (c *checkClient) get(path string) (int, map[string]any, error) {
+	r, err := http.Get(c.base + path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer r.Body.Close()
+	var m map[string]any
+	_ = json.NewDecoder(r.Body).Decode(&m)
+	return r.StatusCode, m, nil
+}
+
+// runSelfcheck exercises the live HTTP surface: compile a small RAID
+// availability model, hit it with concurrent batch queries across methods,
+// check the answers agree within the error bound, and round-trip the
+// validation, observability, and drain behavior. With chaos, it then
+// injects faults at the engine's fault points and asserts the server stays
+// live, bad rows fail cleanly, and recovered answers are bitwise-identical
+// to the quiet run.
+func runSelfcheck(srv *server, mux *http.ServeMux, chaos bool) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: mux}
+	go hs.Serve(ln)
+	defer hs.Close()
+	c := &checkClient{base: "http://" + ln.Addr().String()}
+
+	// A 2-parity-group RAID availability model, built via the public API
+	// and re-encoded to the wire format.
+	rm, err := regenrand.BuildRAID(regenrand.DefaultRAIDParams(2), false)
+	if err != nil {
+		return err
+	}
+	model := &modelJSON{States: rm.Chain.N()}
+	for _, tr := range rm.Chain.Transitions() {
+		model.Transitions = append(model.Transitions, []float64{float64(tr.Row), float64(tr.Col), tr.Val})
+	}
+	init := rm.Chain.Initial()
+	for i, p := range init {
+		if p > 0 {
+			model.Initial = append(model.Initial, []float64{float64(i), p})
+		}
+	}
+
+	var comp compileResponse
+	if err := c.post("/v1/compile", compileRequest{Model: model}, &comp); err != nil {
+		return err
+	}
+	if comp.States != rm.Chain.N() {
+		return fmt.Errorf("compile reported %d states, want %d", comp.States, rm.Chain.N())
+	}
+	if comp.RetainedBytes <= 0 {
+		return fmt.Errorf("compile reported retained_bytes %d, want > 0", comp.RetainedBytes)
+	}
+
+	rewards := rm.UnavailabilityRewards()
+	times := []float64{1, 10, 100}
+	queries := []queryJSON{
+		{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: times},
+		{Method: "SR", Measure: "TRR", Rewards: rewards, Times: times},
+		{Method: "RR", Measure: "MRR", Rewards: rewards, Times: times},
+		{Method: "RRL", Measure: "MRR", Rewards: rewards, Times: times},
+		{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: times, Bounds: true},
+	}
+
+	// Many concurrent clients sharing the one compiled model.
+	const clients = 8
+	responses := make([]queryResponse, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.post("/v1/query", queryRequest{ModelID: comp.ModelID, Queries: queries}, &responses[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("client %d: %w", i, err)
+		}
+	}
+	for i, resp := range responses {
+		if len(resp.Results) != len(queries) {
+			return fmt.Errorf("client %d: %d results, want %d", i, len(resp.Results), len(queries))
+		}
+		for qi, qr := range resp.Results {
+			if qr.Error != "" {
+				return fmt.Errorf("client %d query %d: %s", i, qi, qr.Error)
+			}
+			if len(qr.Results) != len(times) {
+				return fmt.Errorf("client %d query %d: %d values", i, qi, len(qr.Results))
+			}
+		}
+		// RRL and SR must agree on TRR within the combined error bound.
+		for j := range times {
+			a, b := resp.Results[0].Results[j].Value, resp.Results[1].Results[j].Value
+			if math.Abs(a-b) > 1e-9 {
+				return fmt.Errorf("client %d: RRL %v vs SR %v at t=%v", i, a, b, times[j])
+			}
+		}
+		// The certified enclosures must carry both edges and contain the SR
+		// values.
+		for j := range times {
+			row := resp.Results[4].Results[j]
+			if row.Lower == nil || row.Upper == nil {
+				return fmt.Errorf("client %d: bounds row %d missing lower/upper", i, j)
+			}
+			if sr := resp.Results[1].Results[j].Value; sr < *row.Lower-1e-9 || sr > *row.Upper+1e-9 {
+				return fmt.Errorf("client %d: SR %v outside bounds [%v, %v] at t=%v",
+					i, sr, *row.Lower, *row.Upper, times[j])
+			}
+		}
+		// All clients must see bitwise-identical answers.
+		for qi := range resp.Results {
+			for j := range resp.Results[qi].Results {
+				if !sameRow(resp.Results[qi].Results[j], responses[0].Results[qi].Results[j]) {
+					return fmt.Errorf("client %d disagrees with client 0 on query %d", i, qi)
+				}
+			}
+		}
+	}
+	fmt.Printf("regenserve selfcheck: %d clients × %d queries × %d times on a %d-state model in %v\n",
+		clients, len(queries), len(times), comp.States, time.Since(start).Round(time.Millisecond))
+
+	// baseline re-issues the reference batch; the chaos rounds use it to
+	// prove recovery is bitwise-clean.
+	baseline := func(tag string) error {
+		var resp queryResponse
+		if err := c.post("/v1/query", queryRequest{ModelID: comp.ModelID, Queries: queries}, &resp); err != nil {
+			return fmt.Errorf("%s: baseline: %w", tag, err)
+		}
+		for qi := range resp.Results {
+			if resp.Results[qi].Error != "" {
+				return fmt.Errorf("%s: baseline query %d: %s", tag, qi, resp.Results[qi].Error)
+			}
+			for j := range resp.Results[qi].Results {
+				if !sameRow(resp.Results[qi].Results[j], responses[0].Results[qi].Results[j]) {
+					return fmt.Errorf("%s: baseline query %d row %d differs from the quiet run", tag, qi, j)
+				}
+			}
+		}
+		return nil
+	}
+
+	// Grouped-batch planning: a multi-measure same-horizon batch (plus a
+	// byte-identical duplicate) must return rows bitwise-identical to
+	// one-query-per-request traffic — the planner changes throughput, never
+	// results.
+	var grouped []queryJSON
+	for mi := 0; mi < 6; mi++ {
+		salt := mi
+		rw := regenrand.RewardsFrom(rm.Chain.N(), func(i int) float64 {
+			return float64(((i+salt)*2654435761)%(1<<20)) / float64(1<<20-1)
+		})
+		grouped = append(grouped, queryJSON{Method: "RRL", Measure: "TRR", Rewards: rw, Times: times})
+	}
+	grouped = append(grouped, grouped[0])
+	var groupedResp queryResponse
+	if err := c.post("/v1/query", queryRequest{ModelID: comp.ModelID, Queries: grouped}, &groupedResp); err != nil {
+		return err
+	}
+	if len(groupedResp.Results) != len(grouped) {
+		return fmt.Errorf("grouped batch: %d results, want %d", len(groupedResp.Results), len(grouped))
+	}
+	for i, q := range grouped {
+		if groupedResp.Results[i].Error != "" {
+			return fmt.Errorf("grouped batch query %d: %s", i, groupedResp.Results[i].Error)
+		}
+		var single queryResponse
+		if err := c.post("/v1/query", queryRequest{ModelID: comp.ModelID, Queries: []queryJSON{q}}, &single); err != nil {
+			return err
+		}
+		if single.Results[0].Error != "" {
+			return fmt.Errorf("serial query %d: %s", i, single.Results[0].Error)
+		}
+		for j := range single.Results[0].Results {
+			if !sameRow(groupedResp.Results[i].Results[j], single.Results[0].Results[j]) {
+				return fmt.Errorf("grouped batch query %d row %d differs from the serial response", i, j)
+			}
+		}
+	}
+	fmt.Printf("regenserve selfcheck: grouped %d-query batch == one-query-per-request traffic\n", len(grouped))
+
+	// Compact retention end to end: compile with "compact", query, and
+	// check the answers stay within the (loosened) error budget of SR.
+	var compactComp compileResponse
+	if err := c.post("/v1/compile", compileRequest{Model: model, Epsilon: 1e-6, Compact: true}, &compactComp); err != nil {
+		return err
+	}
+	if compactComp.ModelID == comp.ModelID {
+		return fmt.Errorf("compact compile shares the full-retention model id")
+	}
+	var compactResp queryResponse
+	if err := c.post("/v1/query", queryRequest{
+		ModelID: compactComp.ModelID,
+		Queries: []queryJSON{{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: times}},
+	}, &compactResp); err != nil {
+		return err
+	}
+	if compactResp.Results[0].Error != "" {
+		return fmt.Errorf("compact query: %s", compactResp.Results[0].Error)
+	}
+	for j := range times {
+		a := compactResp.Results[0].Results[j].Value
+		b := responses[0].Results[1].Results[j].Value // SR reference
+		if math.Abs(a-b) > 2e-6 {
+			return fmt.Errorf("compact RRL %v vs SR %v at t=%v", a, b, times[j])
+		}
+	}
+
+	// Prebuild warmup must not change the content key or the answers.
+	var warmComp compileResponse
+	if err := c.post("/v1/compile", compileRequest{Model: model, PrebuildHorizon: 100}, &warmComp); err != nil {
+		return err
+	}
+	if warmComp.ModelID != comp.ModelID {
+		return fmt.Errorf("prebuild compile changed the model id: %s vs %s", warmComp.ModelID, comp.ModelID)
+	}
+
+	if err := checkValidation(c, model); err != nil {
+		return err
+	}
+	if err := checkObservability(c, srv); err != nil {
+		return err
+	}
+
+	if chaos {
+		if err := runChaos(c, srv, comp.ModelID, model, rewards, baseline); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkValidation round-trips malformed wire models and asserts each one
+// answers 400 naming the offending field — the trust boundary rejects, the
+// engine never sees them, the server never panics.
+func checkValidation(c *checkClient, model *modelJSON) error {
+	n := model.States
+	cases := []struct {
+		name string
+		body string
+		want string // substring of the error
+	}{
+		{"negative rate", `{"model":{"states":2,"transitions":[[0,1,-0.5]]}}`, "transitions[0].rate"},
+		{"fractional from", `{"model":{"states":2,"transitions":[[0.5,1,1]]}}`, "transitions[0].from"},
+		{"out-of-range to", `{"model":{"states":2,"transitions":[[0,5,1]]}}`, "transitions[0].to"},
+		{"wrong transition arity", `{"model":{"states":2,"transitions":[[0,1]]}}`, "transitions[0]"},
+		{"probability above one", `{"model":{"states":2,"transitions":[[0,1,1]],"initial":[[0,1.5]]}}`, "initial[0].probability"},
+		{"fractional initial state", `{"model":{"states":2,"transitions":[[0,1,1]],"initial":[[0.5,1]]}}`, "initial[0].state"},
+		{"non-normalized initial", `{"model":{"states":2,"transitions":[[0,1,1]],"initial":[[0,0.4],[1,0.4]]}}`, "sum to 0.8"},
+		{"zero states", `{"model":{"states":0}}`, "model.states"},
+		{"missing model", `{}`, "model"}, // "model: missing" / "need model_id or model"
+		{"states cap", fmt.Sprintf(`{"model":{"states":%d}}`, 2_000_000), "exceeds the server cap"},
+		{"malformed json", `{"model":`, "decoding request"},
+	}
+	for _, tc := range cases {
+		for _, path := range []string{"/v1/compile", "/v1/query"} {
+			status, msg, err := c.postRaw(path, tc.body)
+			if err != nil {
+				return fmt.Errorf("validation %q on %s: %w", tc.name, path, err)
+			}
+			if status != http.StatusBadRequest {
+				return fmt.Errorf("validation %q on %s: HTTP %d (%s), want 400", tc.name, path, status, msg)
+			}
+			if !strings.Contains(msg, tc.want) {
+				return fmt.Errorf("validation %q on %s: error %q does not name %q", tc.name, path, msg, tc.want)
+			}
+		}
+	}
+	// Unknown id must 404.
+	status, _, err := c.postRaw("/v1/query", `{"model_id":"nope","queries":[{"times":[1],"rewards":[]}]}`)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusNotFound {
+		return fmt.Errorf("unknown model id: HTTP %d, want 404", status)
+	}
+	// An oversized body must shed at the reader, answering 413 before any
+	// engine work.
+	status, msg, err := c.postRaw("/v1/query", `{"junk":"`+strings.Repeat("a", 9<<20)+`"}`)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusRequestEntityTooLarge {
+		return fmt.Errorf("oversized body: HTTP %d (%s), want 413", status, msg)
+	}
+	_ = n
+	fmt.Printf("regenserve selfcheck: %d malformed models rejected with field-level 400s\n", len(cases))
+	return nil
+}
+
+// checkObservability asserts /healthz and /varz report the serving state,
+// and that draining flips health to 503 and sheds new work with
+// Retry-After.
+func checkObservability(c *checkClient, srv *server) error {
+	status, h, err := c.get("/healthz")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK || h["ok"] != true {
+		return fmt.Errorf("/healthz: HTTP %d %v, want 200 ok", status, h)
+	}
+	if h["cached_models"] == nil || h["uptime_s"] == nil {
+		return fmt.Errorf("/healthz missing fields: %v", h)
+	}
+	status, v, err := c.get("/varz")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("/varz: HTTP %d", status)
+	}
+	for _, key := range []string{"requests", "in_flight_compiles", "in_flight_queries", "shed", "timeouts", "degraded", "panics", "cache_entries", "cache_bytes"} {
+		if _, ok := v[key]; !ok {
+			return fmt.Errorf("/varz missing %q: %v", key, v)
+		}
+	}
+	if v["requests"].(float64) <= 0 {
+		return fmt.Errorf("/varz requests %v, want > 0", v["requests"])
+	}
+	if v["cache_bytes"].(float64) <= 0 {
+		return fmt.Errorf("/varz cache_bytes %v, want > 0", v["cache_bytes"])
+	}
+
+	// Drain: health goes 503, new work is refused with Retry-After, and
+	// un-draining restores service (the selfcheck server never exits).
+	srv.draining.Store(true)
+	status, _, err = c.get("/healthz")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusServiceUnavailable {
+		return fmt.Errorf("/healthz while draining: HTTP %d, want 503", status)
+	}
+	r, err := http.Post(c.base+"/v1/query", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		return err
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable || r.Header.Get("Retry-After") == "" {
+		return fmt.Errorf("query while draining: HTTP %d Retry-After=%q, want 503 with Retry-After", r.StatusCode, r.Header.Get("Retry-After"))
+	}
+	srv.draining.Store(false)
+	status, _, err = c.get("/healthz")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("/healthz after drain cleared: HTTP %d, want 200", status)
+	}
+	fmt.Println("regenserve selfcheck: /healthz + /varz + drain round-trip OK")
+	return nil
+}
+
+// runChaos injects faults at the engine's three fault points — chain
+// stepping, inversion blocks, cache population — and asserts after every
+// round that the server is still serving and that answers after
+// faultpoint.Reset are bitwise-identical to the quiet run: injected
+// failures fail the rows they hit and nothing else.
+func runChaos(c *checkClient, srv *server, modelID string, model *modelJSON, rewards []float64, baseline func(string) error) error {
+	defer faultpoint.Reset()
+
+	// Round 1 — slow stepping + tight deadline: a query whose horizon needs
+	// fresh chain extension misses its deadline, reports a row error, and
+	// leaves the cache unpoisoned (the abandoned construction is cancelled,
+	// not cached).
+	faultpoint.Enable(regen.FaultStep, faultpoint.Spec{Mode: faultpoint.ModeDelay, Delay: 10 * time.Millisecond})
+	var slow queryResponse
+	if err := c.post("/v1/query", queryRequest{
+		ModelID:   modelID,
+		Queries:   []queryJSON{{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: []float64{2000}}},
+		TimeoutMS: 50,
+	}, &slow); err != nil {
+		return fmt.Errorf("chaos step-delay: %w", err)
+	}
+	if slow.Results[0].Error == "" {
+		return fmt.Errorf("chaos step-delay: deadline-starved query returned rows, want a row error")
+	}
+	if status, _, err := c.get("/healthz"); err != nil || status != http.StatusOK {
+		return fmt.Errorf("chaos step-delay: /healthz %d %v mid-fault, want 200", status, err)
+	}
+	faultpoint.Reset()
+	var retry queryResponse
+	if err := c.post("/v1/query", queryRequest{
+		ModelID: modelID,
+		Queries: []queryJSON{{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: []float64{2000}}},
+	}, &retry); err != nil {
+		return fmt.Errorf("chaos step-delay retry: %w", err)
+	}
+	if retry.Results[0].Error != "" {
+		return fmt.Errorf("chaos step-delay retry after reset: %s", retry.Results[0].Error)
+	}
+	if err := baseline("chaos step-delay"); err != nil {
+		return err
+	}
+
+	// Round 2 — inversion failure: an injected error in a Laplace block
+	// fails the RRL row with the injected error while the SR row in the
+	// same batch still answers.
+	faultpoint.Enable(laplace.FaultBlock, faultpoint.Spec{Mode: faultpoint.ModeError, After: 1})
+	var inv queryResponse
+	if err := c.post("/v1/query", queryRequest{
+		ModelID: modelID,
+		Queries: []queryJSON{
+			{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: []float64{7, 77}},
+			{Method: "SR", Measure: "TRR", Rewards: rewards, Times: []float64{7, 77}},
+		},
+	}, &inv); err != nil {
+		return fmt.Errorf("chaos inversion-error: %w", err)
+	}
+	if !strings.Contains(inv.Results[0].Error, "injected") {
+		return fmt.Errorf("chaos inversion-error: RRL row error %q, want the injected error", inv.Results[0].Error)
+	}
+	if inv.Results[1].Error != "" {
+		return fmt.Errorf("chaos inversion-error: SR row collateral damage: %s", inv.Results[1].Error)
+	}
+	faultpoint.Reset()
+	if err := baseline("chaos inversion-error"); err != nil {
+		return err
+	}
+
+	// Round 3 — compile panic: a constructor panic in cache population is
+	// recovered into an error for that request (no crash, no poisoned
+	// entry); the immediate retry compiles clean.
+	faultpoint.Enable(cache.FaultPopulate, faultpoint.Spec{Mode: faultpoint.ModePanic, Times: 1})
+	status, msg, err := c.postRaw("/v1/compile", mustJSON(compileRequest{Model: model, Epsilon: 1e-10}))
+	if err != nil {
+		return fmt.Errorf("chaos compile-panic: %w", err)
+	}
+	if status == http.StatusOK || !strings.Contains(msg, "panicked") {
+		return fmt.Errorf("chaos compile-panic: HTTP %d %q, want a recovered panic error", status, msg)
+	}
+	var repaired compileResponse
+	if err := c.post("/v1/compile", compileRequest{Model: model, Epsilon: 1e-10}, &repaired); err != nil {
+		return fmt.Errorf("chaos compile-panic retry: %w", err)
+	}
+	faultpoint.Reset()
+	if err := baseline("chaos compile-panic"); err != nil {
+		return err
+	}
+
+	// Round 4 — certified degraded answers: with stepping slowed and a
+	// bounded number of triggered delays, the full-precision query misses
+	// its deadline but the "degrade":"allow" retry at the server's loosened
+	// epsilon answers within the grace budget, flagged as degraded.
+	// The Times cap bounds the total injected delay so the degraded retry
+	// (which steps a fresh loose-epsilon compile through the same site)
+	// stays well inside the grace budget.
+	faultpoint.Enable(regen.FaultStep, faultpoint.Spec{Mode: faultpoint.ModeDelay, Delay: 10 * time.Millisecond, Times: 40})
+	var deg queryResponse
+	if err := c.post("/v1/query", queryRequest{
+		ModelID:   modelID,
+		Queries:   []queryJSON{{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: []float64{30000}}},
+		TimeoutMS: 50,
+		Degrade:   "allow",
+	}, &deg); err != nil {
+		return fmt.Errorf("chaos degrade: %w", err)
+	}
+	if deg.Results[0].Error != "" {
+		return fmt.Errorf("chaos degrade: row error %q, want a degraded answer", deg.Results[0].Error)
+	}
+	if !deg.Results[0].Degraded {
+		return fmt.Errorf("chaos degrade: row not flagged degraded")
+	}
+	if deg.Results[0].Epsilon != srv.limits.DegradeEpsilon {
+		return fmt.Errorf("chaos degrade: row epsilon %v, want %v", deg.Results[0].Epsilon, srv.limits.DegradeEpsilon)
+	}
+	// The degraded value is still a certified answer at the loosened bound:
+	// compare against a quiet full-precision evaluation.
+	faultpoint.Reset()
+	var full queryResponse
+	if err := c.post("/v1/query", queryRequest{
+		ModelID: modelID,
+		Queries: []queryJSON{{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: []float64{30000}}},
+	}, &full); err != nil {
+		return fmt.Errorf("chaos degrade full-precision reference: %w", err)
+	}
+	if full.Results[0].Error != "" {
+		return fmt.Errorf("chaos degrade full-precision reference: %s", full.Results[0].Error)
+	}
+	if d := math.Abs(deg.Results[0].Results[0].Value - full.Results[0].Results[0].Value); d > 2*srv.limits.DegradeEpsilon {
+		return fmt.Errorf("chaos degrade: degraded answer off by %v, beyond the certified %v", d, srv.limits.DegradeEpsilon)
+	}
+	if err := baseline("chaos degrade"); err != nil {
+		return err
+	}
+
+	// Round 5 — admission shedding: a second server with one query slot and
+	// no queue must shed the request that arrives while slow work holds the
+	// slot — a cheap 429 + Retry-After, not a stacked goroutine.
+	if err := runShedRound(model, rewards); err != nil {
+		return err
+	}
+
+	fmt.Println("regenserve selfcheck: chaos rounds OK (stepping delay, inversion error, compile panic, degraded answers, shedding)")
+	return nil
+}
+
+// runShedRound boots a deliberately tiny server (one query slot, zero
+// queue depth) and proves overload is shed with 429 + Retry-After while
+// the slot-holding request still answers.
+func runShedRound(model *modelJSON, rewards []float64) error {
+	srv := newServer(serverConfig{
+		CacheEntries: 4,
+		Compiles:     1,
+		Queries:      1,
+		QueueDepth:   0,
+		QueueWait:    10 * time.Millisecond,
+		Limits: serverLimits{
+			DefaultTimeout: 5 * time.Second,
+			MaxTimeout:     5 * time.Second,
+			MaxBody:        8 << 20,
+			MaxStates:      1_000_000,
+			MaxTransitions: 10_000_000,
+			DegradeEpsilon: 1e-6,
+			DegradeGrace:   time.Second,
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: newMux(srv)}
+	go hs.Serve(ln)
+	defer hs.Close()
+	c := &checkClient{base: "http://" + ln.Addr().String()}
+
+	var comp compileResponse
+	if err := c.post("/v1/compile", compileRequest{Model: model}, &comp); err != nil {
+		return fmt.Errorf("chaos shed compile: %w", err)
+	}
+	faultpoint.Enable(regen.FaultStep, faultpoint.Spec{Mode: faultpoint.ModeDelay, Delay: 10 * time.Millisecond})
+	defer faultpoint.Reset()
+	slowDone := make(chan error, 1)
+	go func() {
+		var resp queryResponse
+		slowDone <- c.post("/v1/query", queryRequest{
+			ModelID:   comp.ModelID,
+			Queries:   []queryJSON{{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: []float64{5000}}},
+			TimeoutMS: 500,
+		}, &resp)
+	}()
+	// Give the slow query time to take the single slot, then overload.
+	time.Sleep(100 * time.Millisecond)
+	r, err := http.Post(c.base+"/v1/query", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"model_id":%q,"queries":[{"times":[1],"rewards":[]}]}`, comp.ModelID)))
+	if err != nil {
+		return err
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusTooManyRequests || r.Header.Get("Retry-After") == "" {
+		return fmt.Errorf("chaos shed: HTTP %d Retry-After=%q, want 429 with Retry-After", r.StatusCode, r.Header.Get("Retry-After"))
+	}
+	if err := <-slowDone; err != nil {
+		return fmt.Errorf("chaos shed slot-holder: %w", err)
+	}
+	faultpoint.Reset()
+	// The shed counter must be observable.
+	status, v, err := c.get("/varz")
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("chaos shed /varz: HTTP %d %v", status, err)
+	}
+	if v["shed"].(float64) < 1 {
+		return fmt.Errorf("chaos shed: /varz shed %v, want >= 1", v["shed"])
+	}
+	return nil
+}
+
+func mustJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}

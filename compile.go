@@ -1,9 +1,11 @@
 package regenrand
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -60,6 +62,15 @@ type CompileOptions struct {
 	// ablations). The zero value reproduces the paper. The knobs change
 	// query results, so they are part of the compile's content key.
 	RRL RRLConfig
+	// PrebuildHorizon, when positive, makes CompileCtx eagerly extend the
+	// retained regenerative chains deep enough to certify this horizon (for
+	// a unit-rmax proxy) instead of leaving all stepping to the first query.
+	// It is pure warmup — queries extend the chains to the same depths on
+	// demand and results are identical — so it is NOT part of the compile
+	// content key; its purpose is to give a compile request a real,
+	// cancellable body of work. Ignored without retained regenerative
+	// structure.
+	PrebuildHorizon float64
 }
 
 // CompiledModel is the immutable, goroutine-safe artifact of the compile
@@ -100,6 +111,17 @@ const measureCacheCap = 128
 // performed at most once per compiled model and shared by every measure
 // and every goroutine.
 func Compile(model *CTMC, copts CompileOptions) (*CompiledModel, error) {
+	return CompileCtx(context.Background(), model, copts)
+}
+
+// CompileCtx is Compile under a context: cancellation is observed at the
+// chain-stepping checkpoints of the eager warmup (PrebuildHorizon), so a
+// caller abandoning a long compile gets back a wrapped context error carrying
+// the steps already performed (see core.CancelError). A cancelled compile
+// leaves no artifact behind; retrying produces a model bitwise-identical to
+// an uncancelled compile, because the chain store is append-only and every
+// extension is deterministic.
+func CompileCtx(ctx context.Context, model *CTMC, copts CompileOptions) (*CompiledModel, error) {
 	opts := copts.Options
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -135,6 +157,11 @@ func Compile(model *CTMC, copts CompileOptions) (*CompiledModel, error) {
 			return nil, err
 		}
 	}
+	if cm.basis != nil && copts.PrebuildHorizon > 0 {
+		if err := cm.basis.Prewarm(ctx, copts.PrebuildHorizon); err != nil {
+			return nil, err
+		}
+	}
 	return cm, nil
 }
 
@@ -163,6 +190,17 @@ func compileKey(model *CTMC, copts CompileOptions) string {
 		tail[33] |= 2
 	}
 	return hex.EncodeToString(fp[:]) + hex.EncodeToString(tail[:])
+}
+
+// wrapCtxErr normalizes cancellation surfaced by a cache wait: a raw
+// context sentinel (the waiter's own ctx ended while blocked on a
+// single-flight construction) is wrapped into the engine's CancelError
+// shape; every other error passes through unchanged.
+func wrapCtxErr(err error) error {
+	if err == nil || !(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return err
+	}
+	return core.Cancelled(err, 0, 0)
 }
 
 // retainMode maps the option pair onto the regen retention mode.
@@ -206,6 +244,21 @@ func (cm *CompiledModel) BuildSteps() int {
 	return cm.basis.Steps()
 }
 
+// RetainedBytes estimates the memory this compiled model pins: the retained
+// step vectors of the regenerative chains (the dominant, growing cost) plus
+// a fixed baseline for the uniformized sparse chain. It is cheap (atomic
+// reads), monotone as queries extend the chains, and feeds the byte-budget
+// eviction of NewCompileCacheBytes.
+func (cm *CompiledModel) RetainedBytes() int64 {
+	// Sparse chain baseline: value + column index per nonzero, in CSR-ish
+	// in/out copies, plus a few dense state-length vectors.
+	base := int64(cm.dtmc.P.NNZ())*24 + int64(cm.model.N())*64
+	if cm.basis == nil {
+		return base
+	}
+	return base + cm.basis.RetainedBytes()
+}
+
 // adjacency returns the shared AU adjacency, built on first use.
 func (cm *CompiledModel) adjacency() [][]int32 {
 	cm.adjOnce.Do(func() { cm.adj = adaptive.Adjacency(cm.model) })
@@ -224,12 +277,23 @@ func (cm *CompiledModel) Measure(rewards []float64) (*CompiledMeasure, error) {
 // query planner hashes each request's rewards once and reuses the digest
 // for deduplication, grouping and this lookup.
 func (cm *CompiledModel) measureByKey(key string, rewards []float64) (*CompiledMeasure, error) {
+	return cm.measureByKeyCtx(context.Background(), key, rewards)
+}
+
+// measureByKeyCtx is the ctx-aware measure lookup: an abandoning caller
+// detaches from the single-flight view construction without killing it for
+// concurrent waiters (see cache.GetOrCreateCtx).
+func (cm *CompiledModel) measureByKeyCtx(ctx context.Context, key string, rewards []float64) (*CompiledMeasure, error) {
 	if _, err := core.CheckRewards(rewards, cm.model.N()); err != nil {
 		return nil, err
 	}
-	return cm.measures.GetOrCreate(key, func() (*CompiledMeasure, error) {
+	m, err := cm.measures.GetOrCreateCtx(ctx, key, func(context.Context) (*CompiledMeasure, error) {
 		return cm.newMeasure(rewards)
 	})
+	if err != nil {
+		return nil, wrapCtxErr(err)
+	}
+	return m, nil
 }
 
 // rewardsKey is a content hash of the vector, hashed incrementally so a
@@ -318,12 +382,26 @@ func (m *CompiledMeasure) rho0() float64 {
 // distinct horizon. Results are a pure function of the horizon, so queries
 // stay order-independent.
 func (m *CompiledMeasure) seriesFor(horizon float64) (*regen.Series, error) {
+	return m.seriesForCtx(context.Background(), horizon)
+}
+
+// seriesForCtx is seriesFor under a context. The single-flight construction
+// runs under a detached context that is cancelled only when every waiter has
+// abandoned it, so one impatient query cannot poison the series for others;
+// a cancelled construction leaves the append-only chain store holding a
+// valid prefix, and the retry extends from there to a bitwise-identical
+// series.
+func (m *CompiledMeasure) seriesForCtx(ctx context.Context, horizon float64) (*regen.Series, error) {
 	if m.binding == nil {
 		return nil, fmt.Errorf("regenrand: model was compiled without a regenerative state; RR/RRL queries need CompileOptions.RegenState")
 	}
-	return m.series.GetOrCreate(math.Float64bits(horizon), func() (*regen.Series, error) {
-		return m.binding.SeriesFor(horizon)
+	s, err := m.series.GetOrCreateCtx(ctx, math.Float64bits(horizon), func(cctx context.Context) (*regen.Series, error) {
+		return m.binding.SeriesForCtx(cctx, horizon)
 	})
+	if err != nil {
+		return nil, wrapCtxErr(err)
+	}
+	return s, nil
 }
 
 // rrlEvaluator returns the packed-transform evaluator of the series,
@@ -391,18 +469,45 @@ func NewCompileCache(capacity int) *CompileCache {
 	return &CompileCache{lru: cache.New[string, *CompiledModel](capacity)}
 }
 
+// NewCompileCacheBytes returns a cache holding at most capacity compiled
+// models whose combined retained memory (per CompiledModel.RetainedBytes) is
+// additionally kept under maxBytes by evicting least-recently-used models.
+// Because chains grow as queries push horizons, sizes are re-read on every
+// insertion; the most recently used model is never evicted, so a single
+// model larger than the budget still serves. maxBytes <= 0 disables the
+// byte budget.
+func NewCompileCacheBytes(capacity int, maxBytes int64) *CompileCache {
+	c := &CompileCache{lru: cache.New[string, *CompiledModel](capacity)}
+	c.lru.SetByteBudget(maxBytes, func(cm *CompiledModel) int64 { return cm.RetainedBytes() })
+	return c
+}
+
 // Compile returns the cached compiled model for the key of (model, copts),
 // compiling on first use.
 func (c *CompileCache) Compile(model *CTMC, copts CompileOptions) (*CompiledModel, error) {
+	return c.CompileCtx(context.Background(), model, copts)
+}
+
+// CompileCtx is Compile under a context. Concurrent misses on one key still
+// compile once: the compile runs detached from any single caller's context
+// and is cancelled only when every waiter has abandoned it, so one caller's
+// deadline cannot poison the artifact for the rest. A compile that does get
+// cancelled is removed from the cache, and the next request recompiles from
+// scratch to a bitwise-identical artifact.
+func (c *CompileCache) CompileCtx(ctx context.Context, model *CTMC, copts CompileOptions) (*CompiledModel, error) {
 	opts := copts.Options
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	copts.Options = opts // normalized, so equivalent options share a key
 	copts.RRL = copts.RRL.Normalize()
-	return c.lru.GetOrCreate(compileKey(model, copts), func() (*CompiledModel, error) {
-		return Compile(model, copts)
+	cm, err := c.lru.GetOrCreateCtx(ctx, compileKey(model, copts), func(cctx context.Context) (*CompiledModel, error) {
+		return CompileCtx(cctx, model, copts)
 	})
+	if err != nil {
+		return nil, wrapCtxErr(err)
+	}
+	return cm, nil
 }
 
 // Get returns the cached compiled model with the given content key, if
@@ -411,6 +516,10 @@ func (c *CompileCache) Get(key string) (*CompiledModel, bool) { return c.lru.Get
 
 // Len returns the number of cached compiled models.
 func (c *CompileCache) Len() int { return c.lru.Len() }
+
+// Stats reports the cached model count and their combined retained bytes
+// (sizes re-read at call time; see CompiledModel.RetainedBytes).
+func (c *CompileCache) Stats() (entries int, bytes int64) { return c.lru.Stats() }
 
 // MS-specific note: multistep solvers cache their dense block keyed by call
 // history, so the engine evaluates each MS query on a fresh solver (sharing

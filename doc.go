@@ -121,6 +121,48 @@
 // loops that drop per-call errors still fail at construction rather than
 // deep inside a solve.
 //
+// # Cancellation and serving robustness
+//
+// Every compile/query entry point has a context-taking variant —
+// CompileCtx, QueryCtx, QueryBoundsCtx, QueryBatchCtx, QueryBoundsBatchCtx,
+// CompileCache.CompileCtx — and the context-free forms are thin
+// context.Background wrappers, so adopting deadlines changes no results.
+// The engine checkpoints between units of work (each series stepping
+// iteration, each planner group, each Laplace abscissa block, each worker
+// fan-out item) and never inside one, so cancellation lands within a couple
+// of chunk latencies and the arithmetic of completed work is untouched:
+// a cancelled construction leaves a valid append-only prefix, and a retry
+// resumes (or deterministically re-runs) to answers bitwise-identical to an
+// uncancelled run. Cancelled calls return an error wrapping the context
+// cause plus a core.CancelError carrying how many stepping iterations and
+// inversion abscissae completed before the abort — the partial-work
+// accounting a serving layer can log or bill. Batch variants fill every
+// row: rows finished before the deadline keep their results, the rest
+// carry the cancellation error.
+//
+// The CompileCache is safe to share under cancellation: concurrent misses
+// on one key still compile once, the constructor runs detached from any
+// single caller's context, and only when the last waiter abandons an
+// in-flight compile is it cancelled — one client's deadline can neither
+// kill a compile other clients are waiting on nor poison the cache (an
+// abandoned compile is dropped, never cached). NewCompileCacheBytes adds a
+// retained-bytes budget on top of the entry capacity, fed by
+// CompiledModel.RetainedBytes (re-measured as chains grow with query
+// horizons), evicting least-recently-used models when compiled artifacts
+// outgrow memory. CompileOptions.PrebuildHorizon optionally moves chain
+// extension into the compile so a deadline covers it; it is pure warmup and
+// does not change the model's content key or any result.
+//
+// Robustness is testable on purpose: internal/faultpoint exposes named
+// fault-injection sites in series stepping ("regen.step"), Laplace
+// inversion blocks ("laplace.block") and cache population
+// ("cache.populate") that tests arm to inject delays, errors, or panics
+// (REGENRAND_FAULTPOINTS arms them from the environment). Worker-pool and
+// cache-constructor panics are recovered into errors — a poisoned reward
+// vector fails its query, not the process — which is what lets
+// cmd/regenserve run a chaos selfcheck asserting the server stays live and
+// post-fault answers are bitwise-identical to a quiet run.
+//
 // # Execution layer
 //
 // The solvers share a fused, pooled and batch-parallel execution layer.

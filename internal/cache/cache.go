@@ -3,32 +3,60 @@
 // content hash: repeated compiles of the same (generator, regeneration
 // state, options) triple are free, and concurrent requests for a missing
 // key run the expensive constructor exactly once.
+//
+// Population is context-aware: the constructor runs on its own goroutine
+// under a context detached from any single caller, so one caller abandoning
+// a single-flight compile (deadline, disconnect) does not kill it for the
+// other waiters — only when the LAST waiter leaves is the constructor's
+// context cancelled. Constructor panics are recovered into errors delivered
+// to every waiter, never re-raised (panic isolation for serving). Entries
+// whose constructor is still running are pinned: eviction skips them, so an
+// in-flight entry can never strand its waiters. An optional byte budget
+// (SetByteBudget) evicts least-recently-used populated entries when the
+// retained bytes of the cached values exceed it.
 package cache
 
 import (
 	"container/list"
-	"errors"
+	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
+
+	"regenrand/internal/faultpoint"
 )
+
+// FaultPopulate is the fault-injection site armed at the start of every
+// single-flight constructor run (delay models a slow compile, error/panic a
+// failing one; a panic is recovered into the error every waiter sees).
+const FaultPopulate = "cache.populate"
 
 // LRU is a fixed-capacity least-recently-used cache. The zero value is not
 // usable; call New. All methods are safe for concurrent use. Values are
-// constructed at most once per key via GetOrCreate even under concurrent
-// misses (single-flight per entry), and a failed constructor leaves no
-// entry behind so the next request retries.
+// constructed at most once per key via GetOrCreate/GetOrCreateCtx even
+// under concurrent misses (single-flight per entry), and a failed
+// constructor leaves no entry behind so the next request retries.
 type LRU[K comparable, V any] struct {
 	mu       sync.Mutex
 	capacity int
+	maxBytes int64
+	size     func(V) int64
 	order    *list.List // front = most recent; elements hold *entry
 	items    map[K]*list.Element
 }
 
 type entry[K comparable, V any] struct {
-	key  K
-	once sync.Once
-	done chan struct{} // closed once val/err are populated
-	val  V
-	err  error
+	key    K
+	done   chan struct{} // closed once val/err are populated
+	cancel context.CancelFunc
+	val    V
+	err    error
+
+	// The fields below are guarded by LRU.mu.
+	populated bool  // val/err are final; a false entry is pinned against eviction
+	waiters   int   // callers currently blocked on done
+	abandoned bool  // construction was cancelled because every waiter left
+	bytes     int64 // last measured retained size (populated entries only)
 }
 
 // New returns an LRU holding at most capacity entries (capacity ≥ 1).
@@ -43,11 +71,44 @@ func New[K comparable, V any](capacity int) *LRU[K, V] {
 	}
 }
 
-// Len returns the number of cached entries.
+// SetByteBudget enables byte-budget eviction: whenever the summed size of
+// the cached values exceeds maxBytes, least-recently-used populated entries
+// are evicted (the most recent entry is always kept, even oversized, so a
+// single large artifact cannot thrash). size must be cheap — it is called
+// under the cache lock on every eviction check to refresh each entry's
+// retained size (artifacts like compiled models grow lazily, so their size
+// at insertion is not their size later). maxBytes ≤ 0 disables the budget.
+func (l *LRU[K, V]) SetByteBudget(maxBytes int64, size func(V) int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.maxBytes, l.size = maxBytes, size
+	l.evictLocked()
+}
+
+// Len returns the number of cached entries (including in-flight ones).
 func (l *LRU[K, V]) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.order.Len()
+}
+
+// Stats returns the number of cached entries and, when a byte budget size
+// function is installed, their summed retained bytes (refreshed now).
+func (l *LRU[K, V]) Stats() (entries int, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	entries = l.order.Len()
+	if l.size == nil {
+		return entries, 0
+	}
+	for el := l.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[K, V])
+		if e.populated && e.err == nil {
+			e.bytes = l.size(e.val)
+			bytes += e.bytes
+		}
+	}
+	return entries, bytes
 }
 
 // Get returns the cached value for key, if present, marking it recently
@@ -63,8 +124,12 @@ func (l *LRU[K, V]) Get(key K) (V, bool) {
 	}
 	l.order.MoveToFront(el)
 	e := el.Value.(*entry[K, V])
+	e.waiters++
 	l.mu.Unlock()
 	<-e.done
+	l.mu.Lock()
+	e.waiters--
+	l.mu.Unlock()
 	if e.err != nil {
 		var zero V
 		return zero, false
@@ -77,65 +142,173 @@ func (l *LRU[K, V]) Get(key K) (V, bool) {
 // call. If create fails, the error is returned and the entry is dropped so
 // later calls retry.
 func (l *LRU[K, V]) GetOrCreate(key K, create func() (V, error)) (V, error) {
-	l.mu.Lock()
-	el, ok := l.items[key]
-	if !ok {
-		e := &entry[K, V]{key: key, done: make(chan struct{})}
-		el = l.order.PushFront(e)
-		l.items[key] = el
-		l.evictLocked()
-	} else {
-		l.order.MoveToFront(el)
-	}
-	e := el.Value.(*entry[K, V])
-	l.mu.Unlock()
-
-	e.once.Do(func() {
-		// close(done) must happen even if create panics — otherwise every
-		// later request for this key would block forever on <-e.done. The
-		// panic itself still propagates to this first caller; followers see
-		// errPanicked and the entry is dropped so the next request retries.
-		panicked := true
-		defer func() {
-			if panicked {
-				e.err = errPanicked
-			}
-			close(e.done)
-		}()
-		e.val, e.err = create()
-		panicked = false
+	return l.GetOrCreateCtx(context.Background(), key, func(context.Context) (V, error) {
+		return create()
 	})
-	<-e.done // followers of a concurrent create wait for population
-	if e.err != nil {
-		l.remove(key, el)
-		var zero V
-		return zero, e.err
-	}
-	return e.val, nil
 }
 
-// errPanicked marks an entry whose constructor panicked.
-var errPanicked = errors.New("cache: constructor panicked")
+// GetOrCreateCtx is GetOrCreate with caller cancellation. ctx governs only
+// this caller's wait: when it ends, the caller unblocks with ctx.Err()
+// while the constructor keeps running for the other waiters. The
+// constructor receives a context that is detached from every individual
+// caller and is cancelled only when the last waiter has abandoned an
+// unpopulated entry — an abandoned-by-all compile stops doing work, but a
+// shared one survives any single client's deadline. A successful value
+// constructed after all waiters left stays cached for the next request.
+// Constructor panics are recovered into an error seen by every waiter.
+//
+// A caller with a live context never inherits another caller's abandonment:
+// if the entry it waited on errored only because every then-current waiter
+// had left and the orphaned constructor was cancelled, the live caller
+// retries on a fresh entry instead of reporting the stale cancellation.
+func (l *LRU[K, V]) GetOrCreateCtx(ctx context.Context, key K, create func(context.Context) (V, error)) (V, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			var zero V
+			return zero, err
+		}
+		l.mu.Lock()
+		el, ok := l.items[key]
+		if !ok {
+			cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+			e := &entry[K, V]{key: key, done: make(chan struct{}), cancel: cancel}
+			el = l.order.PushFront(e)
+			l.items[key] = el
+			l.evictLocked()
+			go l.populate(el, e, create, cctx)
+		} else {
+			l.order.MoveToFront(el)
+		}
+		e := el.Value.(*entry[K, V])
+		e.waiters++
+		l.mu.Unlock()
 
-// remove drops the entry if it is still the one el points at.
-func (l *LRU[K, V]) remove(key K, el *list.Element) {
+		select {
+		case <-e.done:
+			l.mu.Lock()
+			e.waiters--
+			doomed := e.abandoned
+			l.mu.Unlock()
+			if e.err != nil {
+				if doomed && ctx.Err() == nil {
+					// The construction died to a cancel this caller never
+					// issued (it joined a flight whose earlier waiters all
+					// left). populate removed the doomed entry before
+					// closing done, so looping starts a fresh flight; this
+					// caller is now a waiter on it, which pins it against
+					// abandonment, so the retry cannot loop forever.
+					continue
+				}
+				var zero V
+				return zero, e.err
+			}
+			return e.val, nil
+		case <-ctx.Done():
+			l.mu.Lock()
+			e.waiters--
+			if e.waiters == 0 && !e.populated {
+				// Last waiter out cancels the orphaned constructor; a fresh
+				// request for the key after the errored entry is removed
+				// retries from scratch.
+				e.abandoned = true
+				e.cancel()
+			}
+			l.mu.Unlock()
+			var zero V
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// populate runs the constructor and publishes its outcome. It owns the
+// entry's lifecycle end: errored entries are removed here (not by waiters,
+// who may all have abandoned), and close(done) is unconditional, so no
+// waiter can be stranded whatever create does.
+func (l *LRU[K, V]) populate(el *list.Element, e *entry[K, V], create func(context.Context) (V, error), cctx context.Context) {
+	v, err := runCreate(create, cctx)
+	e.cancel()
 	l.mu.Lock()
+	e.val, e.err = v, err
+	e.populated = true
+	if err != nil {
+		l.removeLocked(e.key, el)
+	} else if l.size != nil {
+		e.bytes = l.size(v)
+		l.evictLocked()
+	}
+	l.mu.Unlock()
+	close(e.done)
+}
+
+// runCreate converts a constructor panic into an error: every waiter gets
+// the error, none gets a re-raised panic.
+func runCreate[V any](create func(context.Context) (V, error), ctx context.Context) (v V, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cache: constructor panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	if err := faultpoint.Hit(FaultPopulate); err != nil {
+		return v, err
+	}
+	return create(ctx)
+}
+
+// removeLocked drops the entry if it is still the one el points at (caller
+// holds mu).
+func (l *LRU[K, V]) removeLocked(key K, el *list.Element) {
 	if cur, ok := l.items[key]; ok && cur == el {
 		l.order.Remove(el)
 		delete(l.items, key)
 	}
-	l.mu.Unlock()
 }
 
-// evictLocked trims to capacity (caller holds mu).
+// evictLocked enforces the capacity and byte budget (caller holds mu).
+// In-flight entries are pinned: evicting one would duplicate its
+// constructor's work for the next request while the first still runs. They
+// still count against capacity, so the map stays bounded.
 func (l *LRU[K, V]) evictLocked() {
 	for l.order.Len() > l.capacity {
-		back := l.order.Back()
-		if back == nil {
+		if !l.evictOneLocked(nil) {
+			return // only in-flight entries remain
+		}
+	}
+	if l.maxBytes <= 0 || l.size == nil {
+		return
+	}
+	var total int64
+	populated := 0
+	for el := l.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[K, V])
+		if e.populated && e.err == nil {
+			e.bytes = l.size(e.val)
+			total += e.bytes
+			populated++
+		}
+	}
+	for total > l.maxBytes && populated > 1 {
+		if !l.evictOneLocked(&total) {
 			return
 		}
-		e := back.Value.(*entry[K, V])
-		l.order.Remove(back)
-		delete(l.items, e.key)
+		populated--
 	}
+}
+
+// evictOneLocked removes the least-recently-used populated entry,
+// subtracting its bytes from *total when non-nil. It reports whether a
+// victim was found.
+func (l *LRU[K, V]) evictOneLocked(total *int64) bool {
+	for el := l.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry[K, V])
+		if !e.populated {
+			continue
+		}
+		if total != nil {
+			*total -= e.bytes
+		}
+		l.order.Remove(el)
+		delete(l.items, e.key)
+		return true
+	}
+	return false
 }

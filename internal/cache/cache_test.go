@@ -1,11 +1,14 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestGetOrCreateSingleFlight(t *testing.T) {
@@ -49,27 +52,30 @@ func TestFailedCreateRetries(t *testing.T) {
 	}
 }
 
-func TestPanickingCreateDoesNotWedgeKey(t *testing.T) {
+func TestPanickingCreateBecomesError(t *testing.T) {
 	l := New[string, int](4)
-	func() {
-		defer func() { _ = recover() }()
-		_, _ = l.GetOrCreate("k", func() (int, error) { panic("boom") })
-		t.Error("panic did not propagate")
-	}()
+	// A constructor panic is recovered into an error for every waiter — it
+	// must NOT re-raise on any caller (panic isolation for serving).
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := l.GetOrCreate("k", func() (int, error) { panic("boom") })
+			if err == nil || !strings.Contains(err.Error(), "panicked") {
+				t.Errorf("want panic-converted error, got %v", err)
+			}
+		}()
+	}
+	wg.Wait()
 	// The key must not be wedged: Get reports absent (not a hang) and a
 	// retry constructs fresh.
 	if _, ok := l.Get("k"); ok {
 		t.Fatal("panicked entry served as a value")
 	}
 	v, err := l.GetOrCreate("k", func() (int, error) { return 9, nil })
-	if v != 9 && err == nil {
-		t.Fatalf("retry after panic: %v %v", v, err)
-	}
-	// The first retry may observe the errPanicked entry; the one after must
-	// succeed.
-	v, err = l.GetOrCreate("k", func() (int, error) { return 9, nil })
 	if err != nil || v != 9 {
-		t.Fatalf("second retry after panic: %v %v", v, err)
+		t.Fatalf("retry after panic: %v %v", v, err)
 	}
 }
 
@@ -118,4 +124,186 @@ func TestConcurrentMixedKeys(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestInFlightEntryPinnedUnderEviction is the regression test for eviction
+// of in-flight entries: a slow constructor must survive concurrent eviction
+// pressure from other keys — every waiter gets the constructed value, none
+// is stranded on a dropped done channel.
+func TestInFlightEntryPinnedUnderEviction(t *testing.T) {
+	l := New[string, int](1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var slowErr error
+	var slowVal int
+	var slowWG sync.WaitGroup
+	slowWG.Add(1)
+	go func() {
+		defer slowWG.Done()
+		slowVal, slowErr = l.GetOrCreate("slow", func() (int, error) {
+			close(started)
+			<-release
+			return 77, nil
+		})
+	}()
+	<-started
+	// Hammer other keys through the capacity-1 cache while the slow
+	// constructor is in flight.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d-%d", g, i)
+				if _, err := l.GetOrCreate(k, func() (int, error) { return i, nil }); err != nil {
+					t.Errorf("filler %s: %v", k, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// More waiters join the still-pinned entry, then it completes.
+	var joinWG sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		joinWG.Add(1)
+		go func() {
+			defer joinWG.Done()
+			v, err := l.GetOrCreate("slow", func() (int, error) {
+				t.Error("second constructor ran for pinned in-flight key")
+				return -1, nil
+			})
+			if err != nil || v != 77 {
+				t.Errorf("joined waiter: %v %v", v, err)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	slowWG.Wait()
+	joinWG.Wait()
+	if slowErr != nil || slowVal != 77 {
+		t.Fatalf("slow waiter: %v %v", slowVal, slowErr)
+	}
+}
+
+// TestAbandoningWaiterDoesNotCancelOthers: one caller's context ending must
+// unblock only that caller; the constructor keeps running for the rest.
+func TestAbandoningWaiterDoesNotCancelOthers(t *testing.T) {
+	l := New[string, int](4)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var stayVal int
+	var stayErr error
+	var stayWG sync.WaitGroup
+	stayWG.Add(1)
+	go func() {
+		defer stayWG.Done()
+		stayVal, stayErr = l.GetOrCreateCtx(context.Background(), "k", func(ctx context.Context) (int, error) {
+			close(started)
+			select {
+			case <-release:
+				return 5, nil
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := l.GetOrCreateCtx(ctx, "k", func(context.Context) (int, error) {
+		t.Error("second constructor ran for in-flight key")
+		return 0, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning waiter: %v, want context.Canceled", err)
+	}
+	close(release)
+	stayWG.Wait()
+	if stayErr != nil || stayVal != 5 {
+		t.Fatalf("staying waiter: %v %v", stayVal, stayErr)
+	}
+	if v, ok := l.Get("k"); !ok || v != 5 {
+		t.Fatalf("value not cached after mixed waiters: %v %v", v, ok)
+	}
+}
+
+// TestLastWaiterAbandonCancelsConstructor: when every waiter has left an
+// unpopulated entry, the constructor's context is cancelled so it can stop.
+func TestLastWaiterAbandonCancelsConstructor(t *testing.T) {
+	l := New[string, int](4)
+	sawCancel := make(chan struct{})
+	started := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := l.GetOrCreateCtx(ctx, "k", func(cctx context.Context) (int, error) {
+		close(started)
+		select {
+		case <-cctx.Done():
+			close(sawCancel)
+			return 0, cctx.Err()
+		case <-time.After(5 * time.Second):
+			return 0, errors.New("constructor never saw the abandon cancel")
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned caller: %v, want context.Canceled", err)
+	}
+	select {
+	case <-sawCancel:
+	case <-time.After(5 * time.Second):
+		t.Fatal("constructor context was not cancelled after last waiter left")
+	}
+}
+
+func TestByteBudgetEviction(t *testing.T) {
+	l := New[int, int](16)
+	l.SetByteBudget(250, func(v int) int64 { return 100 })
+	for i := 0; i < 3; i++ {
+		if _, err := l.GetOrCreate(i, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if entries, bytes := l.Stats(); entries != 2 || bytes != 200 {
+		t.Fatalf("after 3 inserts at budget 250: entries=%d bytes=%d, want 2/200", entries, bytes)
+	}
+	if _, ok := l.Get(0); ok {
+		t.Fatal("oldest entry survived byte eviction")
+	}
+	// An oversized MRU entry is kept (never evict down to zero): the budget
+	// evicts everything else instead.
+	l.SetByteBudget(250, func(v int) int64 {
+		if v == 99 {
+			return 1000
+		}
+		return 100
+	})
+	if _, err := l.GetOrCreate(99, func() (int, error) { return 99, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if entries, _ := l.Stats(); entries != 1 {
+		t.Fatalf("oversized MRU: entries=%d, want 1", entries)
+	}
+	if _, ok := l.Get(99); !ok {
+		t.Fatal("oversized MRU entry was evicted")
+	}
+}
+
+func TestGetOrCreateCtxPreCancelled(t *testing.T) {
+	l := New[string, int](4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.GetOrCreateCtx(ctx, "k", func(context.Context) (int, error) {
+		t.Error("constructor ran under pre-cancelled ctx")
+		return 0, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: %v", err)
+	}
 }

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CancelError wraps a context cancellation observed inside a solver with
+// partial-work accounting: how far the computation got before it stopped.
+// It unwraps to the underlying context error, so callers dispatch with
+// errors.Is(err, context.Canceled) / errors.Is(err, context.DeadlineExceeded)
+// and inspect the counters with errors.As when they want the accounting.
+type CancelError struct {
+	// Steps counts randomization/stepping iterations completed before the
+	// cancellation was observed.
+	Steps int
+	// Abscissae counts transform abscissae evaluated before the
+	// cancellation was observed.
+	Abscissae int
+	// Err is the underlying cause, context.Canceled or
+	// context.DeadlineExceeded (possibly already wrapped).
+	Err error
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("cancelled after %d steps, %d abscissae: %v", e.Steps, e.Abscissae, e.Err)
+}
+
+func (e *CancelError) Unwrap() error { return e.Err }
+
+// Cancelled wraps err with partial-work accounting. A nil err stays nil.
+// If err already carries a CancelError (a lower layer reported its own
+// progress), the counters accumulate into one error rather than nesting, so
+// the top-level caller sees the total work performed across layers.
+func Cancelled(err error, steps, abscissae int) error {
+	if err == nil {
+		return nil
+	}
+	var ce *CancelError
+	if errors.As(err, &ce) {
+		return &CancelError{Steps: ce.Steps + steps, Abscissae: ce.Abscissae + abscissae, Err: ce.Err}
+	}
+	return &CancelError{Steps: steps, Abscissae: abscissae, Err: err}
+}

@@ -1,0 +1,75 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestUnarmedIsFree(t *testing.T) {
+	Reset()
+	if err := Hit("nope"); err != nil {
+		t.Fatalf("unarmed Hit returned %v", err)
+	}
+}
+
+func TestErrorAfterTimes(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("s", Spec{Mode: ModeError, After: 2, Times: 1})
+	for i := 0; i < 2; i++ {
+		if err := Hit("s"); err != nil {
+			t.Fatalf("hit %d inside After window returned %v", i, err)
+		}
+	}
+	if err := Hit("s"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("hit 3 = %v, want ErrInjected", err)
+	}
+	if err := Hit("s"); err != nil {
+		t.Fatalf("hit 4 after Times exhausted returned %v", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Spec{Mode: ModePanic})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("armed panic site did not panic")
+		}
+	}()
+	_ = Hit("p")
+}
+
+func TestDelayMode(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("d", Spec{Mode: ModeDelay, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Hit("d"); err != nil {
+		t.Fatalf("delay Hit returned %v", err)
+	}
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Fatalf("delay Hit slept only %v", el)
+	}
+}
+
+func TestEnableFromSpec(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := EnableFromSpec("a=delay:5ms; b=error,after:1,times:2 ;c=panic"); err != nil {
+		t.Fatalf("EnableFromSpec: %v", err)
+	}
+	if err := Hit("b"); err != nil {
+		t.Fatalf("b within After window: %v", err)
+	}
+	if err := Hit("b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("b second hit = %v, want ErrInjected", err)
+	}
+	for _, bad := range []string{"=error", "x", "a=wat", "a=delay:zzz", "a=error,after:-1", "a=error,times:0", "a=error,bogus:1"} {
+		if err := EnableFromSpec(bad); err == nil {
+			t.Fatalf("EnableFromSpec(%q) accepted", bad)
+		}
+	}
+}

@@ -26,13 +26,20 @@
 package laplace
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
 
+	"regenrand/internal/core"
+	"regenrand/internal/faultpoint"
 	"regenrand/internal/pool"
 	"regenrand/internal/sparse"
 )
+
+// FaultBlock is the fault-injection site hit once per abscissa block in the
+// inversion sweep; chaos tests arm it to slow, fail, or crash inversions.
+const FaultBlock = "laplace.block"
 
 // DefaultTFactor is the paper's selected period multiplier κ (T = 8t).
 const DefaultTFactor = 8
@@ -179,6 +186,16 @@ func Invert(f BlockFunc, t float64, opt Options) (Result, error) {
 // (an output exhausting MaxTerms) the returned slice still carries the best
 // estimates.
 func InvertJoint(m int, f BlockFunc, t float64, opt Options) ([]Result, error) {
+	return InvertJointCtx(context.Background(), m, f, t, opt)
+}
+
+// InvertJointCtx is InvertJoint with cooperative cancellation: ctx is
+// tested once per abscissa block, so a cancel returns within one block's
+// latency. The returned slice still carries the best estimates at the point
+// of cancellation (flagged not Converged), and the error is a
+// core.CancelError recording the abscissae evaluated. A non-cancelled call
+// is bitwise-identical to InvertJoint.
+func InvertJointCtx(ctx context.Context, m int, f BlockFunc, t float64, opt Options) ([]Result, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
@@ -208,7 +225,16 @@ func InvertJoint(m int, f BlockFunc, t float64, opt Options) ([]Result, error) {
 	dst := make([]complex128, m*BlockLen)
 	evaluated := 0
 	remaining := m
+	var stopErr error
 	for k0 := 0; k0 <= opt.MaxTerms && remaining > 0; k0 += BlockLen {
+		if cerr := ctx.Err(); cerr != nil {
+			stopErr = core.Cancelled(cerr, 0, evaluated)
+			break
+		}
+		if ferr := faultpoint.Hit(FaultBlock); ferr != nil {
+			stopErr = ferr
+			break
+		}
 		bl := BlockLen
 		if k0+bl > opt.MaxTerms+1 {
 			bl = opt.MaxTerms + 1 - k0
@@ -264,7 +290,7 @@ func InvertJoint(m int, f BlockFunc, t float64, opt Options) ([]Result, error) {
 		}
 	}
 	results := make([]Result, m)
-	var err error
+	err := stopErr
 	for q := range states {
 		st := &states[q]
 		if !st.done {

@@ -19,7 +19,9 @@
 package par
 
 import (
+	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -52,14 +54,60 @@ func start() {
 	}
 }
 
+// WorkerPanic is re-raised on the For/ForCtx caller when fn panicked on a
+// pool worker. Value is the original panic value and Stack the panicking
+// worker's stack at recovery time — a recover() in the caller therefore
+// observes the panic on its own goroutine (the process does not die) while
+// keeping the evidence of where it happened.
+type WorkerPanic struct {
+	Value any
+	Stack []byte
+}
+
+func (p *WorkerPanic) String() string {
+	return "par: worker panic: " + stringify(p.Value) + "\n" + string(p.Stack)
+}
+
+func stringify(v any) string {
+	switch s := v.(type) {
+	case string:
+		return s
+	case error:
+		return s.Error()
+	default:
+		return "non-string panic value"
+	}
+}
+
 // For runs fn(i) for every i in [0, n), using up to GOMAXPROCS workers from
 // the persistent pool. The calling goroutine participates, so For never
 // blocks waiting for pool capacity. It returns when all n calls have
-// completed. fn must not call For on the same data it is indexed over, and
-// panics in fn are not recovered.
+// completed. fn must not call For on the same data it is indexed over. If
+// fn panics on a worker, the first panic is captured, remaining indices are
+// abandoned, and the panic is re-raised on the caller wrapped in
+// *WorkerPanic once all workers have stopped.
 func For(n int, fn func(i int)) {
+	_ = run(nil, n, fn)
+}
+
+// ForCtx is For with cooperative cancellation: each worker checks ctx
+// between index claims, so a cancel abandons the unclaimed tail promptly
+// (in-flight fn calls still complete). It returns the raw ctx.Err() when
+// the cancellation prevented some fn(i) calls, nil when every index ran.
+// Callers wrap the error with their own partial-work accounting; par stays
+// policy-free. Worker panics propagate exactly as in For.
+func ForCtx(ctx context.Context, n int, fn func(i int)) error {
+	return run(ctx, n, fn)
+}
+
+func run(ctx context.Context, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -67,21 +115,37 @@ func For(n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	startOnce.Do(start)
-	var next int64
-	var wg sync.WaitGroup
+	var (
+		next      int64
+		wg        sync.WaitGroup
+		pan       atomic.Pointer[WorkerPanic]
+		cancelled atomic.Bool
+	)
 	loop := func() {
 		defer wg.Done()
 		for {
+			if ctx != nil && ctx.Err() != nil {
+				cancelled.Store(true)
+				atomic.StoreInt64(&next, int64(n))
+				return
+			}
 			i := atomic.AddInt64(&next, 1) - 1
 			if i >= int64(n) {
 				return
 			}
-			fn(int(i))
+			if !call(fn, int(i), &pan, &next, n) {
+				return
+			}
 		}
 	}
 	wg.Add(workers)
@@ -98,4 +162,27 @@ func For(n int, fn func(i int)) {
 	}
 	loop()
 	wg.Wait()
+	if p := pan.Load(); p != nil {
+		panic(p)
+	}
+	if cancelled.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// call runs fn(i) capturing a panic: the first panic wins the slot, later
+// ones are dropped, and the claim counter is saturated so the other workers
+// abandon the remaining indices instead of computing results nobody will
+// observe.
+func call(fn func(int), i int, pan *atomic.Pointer[WorkerPanic], next *int64, n int) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			pan.CompareAndSwap(nil, &WorkerPanic{Value: r, Stack: debug.Stack()})
+			atomic.StoreInt64(next, int64(n))
+			ok = false
+		}
+	}()
+	fn(i)
+	return true
 }

@@ -1,0 +1,86 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForRunsEveryIndex(t *testing.T) {
+	const n = 1000
+	var hits [n]atomic.Int32
+	For(n, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs parallel path")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic did not propagate to caller")
+		}
+		wp, ok := r.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want *WorkerPanic", r)
+		}
+		if wp.Value != "boom" {
+			t.Fatalf("panic value = %v, want boom", wp.Value)
+		}
+		if len(wp.Stack) == 0 {
+			t.Fatal("worker panic carried no stack")
+		}
+	}()
+	For(64, func(i int) {
+		if i == 13 {
+			panic("boom")
+		}
+	})
+}
+
+func TestForCtxCancelAbandonsTail(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	const n = 100000
+	err := ForCtx(ctx, n, func(i int) {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForCtx = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= n {
+		t.Fatalf("cancel did not abandon the tail: %d of %d ran", got, n)
+	}
+}
+
+func TestForCtxCompletesWithoutCancel(t *testing.T) {
+	var ran atomic.Int64
+	if err := ForCtx(context.Background(), 257, func(i int) { ran.Add(1) }); err != nil {
+		t.Fatalf("ForCtx = %v", err)
+	}
+	if ran.Load() != 257 {
+		t.Fatalf("ran %d of 257", ran.Load())
+	}
+}
+
+func TestForCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	if err := ForCtx(ctx, 10, func(i int) { called = true }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForCtx = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Fatal("fn ran despite pre-cancelled ctx")
+	}
+}

@@ -1,9 +1,11 @@
 package regen
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"regenrand/internal/core"
 	"regenrand/internal/ctmc"
@@ -42,7 +44,18 @@ type Basis struct {
 	mu    sync.Mutex
 	main  *chainState // recording, reward-free; nil when mode is RetainNone
 	prime *chainState // nil when alphaR == 1 or mode is RetainNone
+
+	// retainedBytes accumulates the heap bytes of the retained chain store,
+	// updated per recorded step by the chain states. It feeds byte-budget
+	// cache eviction, so it must be readable without taking mu (a long
+	// extension holds mu for its whole loop).
+	retainedBytes atomic.Int64
 }
+
+// RetainedBytes returns the approximate heap bytes of the retained chain
+// store (stepped vectors plus per-step statistics; 0 in non-retaining
+// mode). Safe to call at any time, including while an extension is running.
+func (b *Basis) RetainedBytes() int64 { return b.retainedBytes.Load() }
 
 // RetainMode selects what the compile phase keeps of the stepped vectors.
 type RetainMode int
@@ -100,12 +113,12 @@ func NewBasisMode(model *ctmc.CTMC, regenState int, opts core.Options, mode Reta
 		compact := mode == RetainCompact
 		u0 := make([]float64, n)
 		u0[regenState] = 1
-		b.main = newChainState(n, b.plan, b.fr, u0, nil, 1, true, compact)
+		b.main = newChainState(n, b.plan, b.fr, u0, nil, 1, true, compact, &b.retainedBytes)
 		if b.alphaR < 1 {
 			up0 := make([]float64, n)
 			copy(up0, model.Initial())
 			up0[regenState] = 0
-			b.prime = newChainState(n, b.plan, b.fr, up0, nil, 1-b.alphaR, true, compact)
+			b.prime = newChainState(n, b.plan, b.fr, up0, nil, 1-b.alphaR, true, compact, &b.retainedBytes)
 		}
 	}
 	return b, nil
@@ -153,15 +166,26 @@ type chainSnapshot struct {
 // immutable snapshot. pred must be the same monotone bound Build uses, so
 // the binary-searched truncation level below is bitwise-identical to a
 // fresh fused build.
-func (b *Basis) extend(cs *chainState, pred func(a []float64, level int) bool) chainSnapshot {
+//
+// ctx is tested once per step: a cancel returns within one step's latency,
+// carrying the steps this call completed in a core.CancelError. The steps
+// already taken stay in the chain store — extension is append-only — so a
+// retry resumes where the cancelled call stopped and reaches bitwise the
+// same chain it would have built uninterrupted.
+func (b *Basis) extend(ctx context.Context, cs *chainState, pred func(a []float64, level int) bool) (chainSnapshot, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	steps := 0
 	for !cs.done {
 		level := len(cs.a) - 1
 		if pred(cs.a, level) {
 			break
 		}
+		if err := checkpoint(ctx, steps); err != nil {
+			return chainSnapshot{}, err
+		}
 		cs.step(b.dtmc, b.plan, nil)
+		steps++
 	}
 	snap := chainSnapshot{
 		a:    cs.a[:len(cs.a):len(cs.a)],
@@ -173,7 +197,7 @@ func (b *Basis) extend(cs *chainState, pred func(a []float64, level int) bool) c
 	for i := range cs.v {
 		snap.v[i] = cs.v[i][:len(cs.v[i]):len(cs.v[i])]
 	}
-	return snap
+	return snap, nil
 }
 
 // Binding is the reward-dependent layer over a Basis: one rewards vector,
@@ -261,12 +285,21 @@ func (b *Basis) chainBudget() float64 {
 // certify against the quantization-reduced budget of truncBudget, so the
 // total error stays within Epsilon.
 func (bd *Binding) SeriesFor(horizon float64) (*Series, error) {
+	return bd.SeriesForCtx(context.Background(), horizon)
+}
+
+// SeriesForCtx is SeriesFor with cooperative cancellation: ctx is tested
+// once per chain-extension step. A cancelled call leaves the basis's chain
+// store exactly as far as it got (append-only, never rolled back), so a
+// retry resumes there and returns a series bitwise-identical to an
+// uninterrupted call.
+func (bd *Binding) SeriesForCtx(ctx context.Context, horizon float64) (*Series, error) {
 	if err := checkHorizon(horizon); err != nil {
 		return nil, err
 	}
 	b := bd.basis
 	if b.mode == RetainNone {
-		return BuildWithDTMC(b.model, b.dtmc, bd.rewards, b.regenState, b.opts, horizon)
+		return BuildWithDTMCCtx(ctx, b.model, b.dtmc, bd.rewards, b.regenState, b.opts, horizon)
 	}
 	lam := b.dtmc.Lambda * horizon
 
@@ -289,7 +322,10 @@ func (bd *Binding) SeriesFor(horizon float64) (*Series, error) {
 	mainPred := func(a []float64, level int) bool {
 		return truncErrS(bd.rmax, a, level, lam) <= budget
 	}
-	snap := b.extend(b.main, mainPred)
+	snap, err := b.extend(ctx, b.main, mainPred)
+	if err != nil {
+		return nil, err
+	}
 	depth := len(snap.a) - 1
 	K := sort.Search(depth, func(cand int) bool { return mainPred(snap.a, cand) })
 	s.K = K
@@ -305,7 +341,10 @@ func (bd *Binding) SeriesFor(horizon float64) (*Series, error) {
 		primePred := func(a []float64, level int) bool {
 			return truncErrP(bd.rmax, a, level, lam) <= budget
 		}
-		psnap := b.extend(b.prime, primePred)
+		psnap, err := b.extend(ctx, b.prime, primePred)
+		if err != nil {
+			return nil, err
+		}
 		pdepth := len(psnap.a) - 1
 		L := sort.Search(pdepth, func(cand int) bool { return primePred(psnap.a, cand) })
 		s.L = L
@@ -424,6 +463,45 @@ func (b *Basis) BuildMany(rewardsList [][]float64, horizon float64) ([]*Series, 
 	return BuildManyWithDTMC(b.model, b.dtmc, rewardsList, b.regenState, b.opts, horizon)
 }
 
+// BuildManyCtx is BuildMany with cooperative cancellation (see
+// BuildManyWithDTMCCtx).
+func (b *Basis) BuildManyCtx(ctx context.Context, rewardsList [][]float64, horizon float64) ([]*Series, error) {
+	return BuildManyWithDTMCCtx(ctx, b.model, b.dtmc, rewardsList, b.regenState, b.opts, horizon)
+}
+
+// Prewarm eagerly extends the reward-free retained chains deep enough to
+// certify the given horizon for any rewards vector with rmax ≤ 1 (the
+// conditional series are scale-free in the rewards, so this is the natural
+// unit proxy; larger rmax at query time only extends further from where the
+// warmup stopped). It makes the otherwise lazy compile phase do its
+// expensive stepping up front — which is what gives a compile request a
+// real cancellation surface. No-op on a non-retaining basis. Prewarm does
+// not change any result: chains extend to at least this depth on first
+// query anyway.
+func (b *Basis) Prewarm(ctx context.Context, horizon float64) error {
+	if b.mode == RetainNone {
+		return nil
+	}
+	if err := checkHorizon(horizon); err != nil {
+		return err
+	}
+	lam := b.dtmc.Lambda * horizon
+	budget := b.chainBudget()
+	if _, err := b.extend(ctx, b.main, func(a []float64, level int) bool {
+		return truncErrS(1, a, level, lam) <= budget
+	}); err != nil {
+		return err
+	}
+	if b.prime != nil {
+		if _, err := b.extend(ctx, b.prime, func(a []float64, level int) bool {
+			return truncErrP(1, a, level, lam) <= budget
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // PrebindMany warms the b-series caches of several bindings of this basis
 // for one shared horizon: the chains are extended once under the deepest
 // requirement, and every binding's missing coefficients are replayed as
@@ -435,6 +513,13 @@ func (b *Basis) BuildMany(rewardsList [][]float64, horizon float64) ([]*Series, 
 // later SeriesFor call finds its coefficients cached. No-op on a
 // non-retaining basis.
 func (b *Basis) PrebindMany(bds []*Binding, horizon float64) error {
+	return b.PrebindManyCtx(context.Background(), bds, horizon)
+}
+
+// PrebindManyCtx is PrebindMany with cooperative cancellation during the
+// shared chain extension; the replay fill itself is not interrupted (it is
+// cheap relative to stepping and keeps the store append-consistent).
+func (b *Basis) PrebindManyCtx(ctx context.Context, bds []*Binding, horizon float64) error {
 	if b.mode == RetainNone || len(bds) == 0 {
 		return nil
 	}
@@ -464,7 +549,10 @@ func (b *Basis) PrebindMany(bds []*Binding, horizon float64) error {
 		}
 		return true
 	}
-	snap := b.extend(b.main, mainPred)
+	snap, err := b.extend(ctx, b.main, mainPred)
+	if err != nil {
+		return err
+	}
 	tops := make([]int, len(bds))
 	depth := len(snap.a) - 1
 	for i, bd := range bds {
@@ -483,7 +571,10 @@ func (b *Basis) PrebindMany(bds []*Binding, horizon float64) error {
 			}
 			return true
 		}
-		psnap := b.extend(b.prime, primePred)
+		psnap, err := b.extend(ctx, b.prime, primePred)
+		if err != nil {
+			return err
+		}
 		pdepth := len(psnap.a) - 1
 		for i, bd := range bds {
 			tops[i] = sort.Search(pdepth, func(cand int) bool {

@@ -21,6 +21,7 @@
 package regen
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -28,9 +29,31 @@ import (
 
 	"regenrand/internal/core"
 	"regenrand/internal/ctmc"
+	"regenrand/internal/faultpoint"
 	"regenrand/internal/poisson"
 	"regenrand/internal/sparse"
 )
+
+// FaultStep is the fault-injection site hit once per chain stepping
+// iteration in every construction loop (fused builds and basis extensions):
+// chaos tests arm it to slow, fail, or crash mid-compile.
+const FaultStep = "regen.step"
+
+// checkpoint is the per-step cancellation test of the construction loops:
+// the caller's ctx first, then the fault-injection site. steps is how many
+// stepping iterations this invocation completed, reported through
+// core.CancelError so callers see how far an abandoned construction got.
+// The work itself is never lost — chains are append-only, so a later retry
+// resumes (basis) or re-runs deterministically (fused build).
+func checkpoint(ctx context.Context, steps int) error {
+	if err := ctx.Err(); err != nil {
+		return core.Cancelled(err, steps, 0)
+	}
+	if err := faultpoint.Hit(FaultStep); err != nil {
+		return err
+	}
+	return nil
+}
 
 // underflowFloor stops the series construction once the surviving mass is
 // numerically negligible for any conceivable error budget.
@@ -301,9 +324,30 @@ type chainState struct {
 	us32    [][]float32
 	arena   slabArena
 	arena32 slab32Arena
+	// bytes, when non-nil, accumulates the retained heap bytes of this chain
+	// (stepped vectors plus per-step statistics) — the per-artifact size
+	// accounting byte-budget cache eviction reads. Updated per step with one
+	// atomic add so readers never contend on the basis lock a long extension
+	// holds.
+	bytes *atomic.Int64
+	n     int
 }
 
-func newChainState(n int, plan *zeroPlan, fr *sparse.Frontier, u0 []float64, rewards []float64, a0 float64, record, compact bool) *chainState {
+// retainedStepBytes returns the heap bytes one recorded step adds: the
+// retained vector at the chain's retention precision plus the appended
+// a/q/v statistics.
+func (cs *chainState) retainedStepBytes() int64 {
+	stats := int64(2+len(cs.v)) * 8
+	if cs.compact {
+		return int64(cs.n)*4 + stats
+	}
+	if cs.record {
+		return int64(cs.n)*8 + stats
+	}
+	return stats
+}
+
+func newChainState(n int, plan *zeroPlan, fr *sparse.Frontier, u0 []float64, rewards []float64, a0 float64, record, compact bool, bytes *atomic.Int64) *chainState {
 	cs := &chainState{
 		fr:       fr,
 		zeroVals: make([]float64, len(plan.zero)),
@@ -312,6 +356,8 @@ func newChainState(n int, plan *zeroPlan, fr *sparse.Frontier, u0 []float64, rew
 		compact:  record && compact,
 		arena:    slabArena{n: n},
 		arena32:  slab32Arena{n: n},
+		bytes:    bytes,
+		n:        n,
 	}
 	switch {
 	case cs.compact:
@@ -340,6 +386,9 @@ func newChainState(n int, plan *zeroPlan, fr *sparse.Frontier, u0 []float64, rew
 			cs.b = append(cs.b, 0)
 		}
 		cs.done = true
+	}
+	if cs.bytes != nil {
+		cs.bytes.Add(cs.retainedStepBytes())
 	}
 	return cs
 }
@@ -397,6 +446,9 @@ func (cs *chainState) finishStep(plan *zeroPlan, next, dot float64, haveRewards 
 	if next < underflowFloor {
 		cs.done = true
 	}
+	if cs.bytes != nil {
+		cs.bytes.Add(cs.retainedStepBytes())
+	}
 }
 
 // disableFrontier is the ablation/testing knob for reachability-frontier
@@ -426,7 +478,7 @@ type multiChain struct {
 
 func newMultiChain(n int, plan *zeroPlan, fr *sparse.Frontier, u0 []float64, rewardsList [][]float64, rewardsIx []float64, a0 float64) *multiChain {
 	mc := &multiChain{
-		cs:          newChainState(n, plan, fr, u0, nil, a0, false, false),
+		cs:          newChainState(n, plan, fr, u0, nil, a0, false, false, nil),
 		rewardsList: rewardsList,
 		rewardsIx:   rewardsIx,
 		bs:          make([][]float64, len(rewardsList)),
@@ -576,7 +628,13 @@ func frontierFor(model *ctmc.CTMC, d *ctmc.DTMC, regen int) *sparse.Frontier {
 // opts.UniformizationFactor (uniformization is deterministic, so a shared
 // DTMC yields series bitwise-identical to a per-call Uniformize).
 func BuildWithDTMC(model *ctmc.CTMC, d *ctmc.DTMC, rewards []float64, regen int, opts core.Options, horizon float64) (*Series, error) {
-	series, err := BuildManyWithDTMC(model, d, [][]float64{rewards}, regen, opts, horizon)
+	return BuildWithDTMCCtx(context.Background(), model, d, rewards, regen, opts, horizon)
+}
+
+// BuildWithDTMCCtx is BuildWithDTMC with cooperative cancellation (see
+// BuildManyWithDTMCCtx).
+func BuildWithDTMCCtx(ctx context.Context, model *ctmc.CTMC, d *ctmc.DTMC, rewards []float64, regen int, opts core.Options, horizon float64) (*Series, error) {
+	series, err := BuildManyWithDTMCCtx(ctx, model, d, [][]float64{rewards}, regen, opts, horizon)
 	if err != nil {
 		return nil, err
 	}
@@ -594,6 +652,15 @@ func BuildWithDTMC(model *ctmc.CTMC, d *ctmc.DTMC, rewards []float64, regen int,
 // from the same monotone bound searched over the same values, and lanes
 // that certify early only carry prefix slices of the shared arrays.
 func BuildManyWithDTMC(model *ctmc.CTMC, d *ctmc.DTMC, rewardsList [][]float64, regen int, opts core.Options, horizon float64) ([]*Series, error) {
+	return BuildManyWithDTMCCtx(context.Background(), model, d, rewardsList, regen, opts, horizon)
+}
+
+// BuildManyWithDTMCCtx is BuildManyWithDTMC with cooperative cancellation:
+// ctx is tested once per stepping iteration, so a cancel returns within one
+// step's latency carrying a core.CancelError with the steps completed. A
+// successful build is bitwise-identical to the ctx-free one — the ctx check
+// performs no arithmetic.
+func BuildManyWithDTMCCtx(ctx context.Context, model *ctmc.CTMC, d *ctmc.DTMC, rewardsList [][]float64, regen int, opts core.Options, horizon float64) ([]*Series, error) {
 	if err := validateRegenInputs(model, regen, &opts); err != nil {
 		return nil, err
 	}
@@ -686,14 +753,27 @@ func BuildManyWithDTMC(model *ctmc.CTMC, d *ctmc.DTMC, rewardsList [][]float64, 
 	// Lockstep phase: both chains advance through one matrix traversal per
 	// step while both still need depth (the common case is a short primed
 	// chain riding the main chain's early steps for free).
+	steps := 0
 	for mainNeeds() && primeNeeds() {
+		if err := checkpoint(ctx, steps); err != nil {
+			return nil, err
+		}
 		stepMulti(d, plan, []*multiChain{main, prime})
+		steps++
 	}
 	for mainNeeds() {
+		if err := checkpoint(ctx, steps); err != nil {
+			return nil, err
+		}
 		main.step(d, plan)
+		steps++
 	}
 	for primeNeeds() {
+		if err := checkpoint(ctx, steps); err != nil {
+			return nil, err
+		}
 		prime.step(d, plan)
+		steps++
 	}
 
 	for ri := range out {

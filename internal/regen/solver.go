@@ -1,6 +1,7 @@
 package regen
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -237,6 +238,55 @@ func (e *VEvaluator) MRR(ts []float64) ([]core.Result, error) {
 	}
 	res, _, err := e.run(ts, true)
 	return res, err
+}
+
+// TRRCtx, MRRCtx, TRRBoundsCtx and MRRBoundsCtx are the cancellation-aware
+// entry points the engine's ctx query path dispatches through. The V
+// solution is cheap relative to series construction (which the caller
+// already ran under ctx), so the checks here are coarse: once at entry and,
+// for bounds, again between the value and the occupancy-correction solves.
+// Results of a non-cancelled call are bitwise-identical to the ctx-free
+// methods.
+func (e *VEvaluator) TRRCtx(ctx context.Context, ts []float64) ([]core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, core.Cancelled(err, 0, 0)
+	}
+	return e.TRR(ts)
+}
+
+// MRRCtx is the ctx-aware MRR (see TRRCtx).
+func (e *VEvaluator) MRRCtx(ctx context.Context, ts []float64) ([]core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, core.Cancelled(err, 0, 0)
+	}
+	return e.MRR(ts)
+}
+
+// TRRBoundsCtx is the ctx-aware TRRBounds (see TRRCtx).
+func (e *VEvaluator) TRRBoundsCtx(ctx context.Context, ts []float64) ([]core.Bounds, error) {
+	return e.boundsCtx(ctx, ts, false)
+}
+
+// MRRBoundsCtx is the ctx-aware MRRBounds (see TRRCtx).
+func (e *VEvaluator) MRRBoundsCtx(ctx context.Context, ts []float64) ([]core.Bounds, error) {
+	return e.boundsCtx(ctx, ts, true)
+}
+
+func (e *VEvaluator) boundsCtx(ctx context.Context, ts []float64, mrr bool) ([]core.Bounds, error) {
+	if err := core.CheckTimes(ts); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, core.Cancelled(err, 0, 0)
+	}
+	values, _, err := e.run(ts, mrr)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, core.Cancelled(err, 0, 0)
+	}
+	return e.boundsFromValues(ts, values, mrr)
 }
 
 // TRRBounds returns certified enclosures of TRR.

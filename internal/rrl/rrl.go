@@ -41,6 +41,7 @@
 package rrl
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -286,6 +287,44 @@ func (e *Evaluator) TRRBounds(ts []float64) ([]core.Bounds, error) { return e.bo
 // MRRBounds returns certified enclosures of MRR.
 func (e *Evaluator) MRRBounds(ts []float64) ([]core.Bounds, error) { return e.bounds(ts, true) }
 
+// TRRCtx, MRRCtx, TRRBoundsCtx and MRRBoundsCtx are the
+// cancellation-aware entry points: ctx is threaded into the per-time-point
+// fan-out (unstarted points are abandoned) and into every inversion's block
+// loop (an in-flight inversion stops within one block's latency). A
+// cancelled call returns a core.CancelError carrying the abscissae the
+// interrupted inversion had evaluated; a non-cancelled call returns results
+// bitwise-identical to the ctx-free methods.
+func (e *Evaluator) TRRCtx(ctx context.Context, ts []float64) ([]core.Result, error) {
+	if err := core.CheckTimes(ts); err != nil {
+		return nil, err
+	}
+	return e.runCtx(ctx, ts, false, nil)
+}
+
+// MRRCtx is the ctx-aware MRR (see TRRCtx).
+func (e *Evaluator) MRRCtx(ctx context.Context, ts []float64) ([]core.Result, error) {
+	if err := core.CheckTimes(ts); err != nil {
+		return nil, err
+	}
+	return e.runCtx(ctx, ts, true, nil)
+}
+
+// TRRBoundsCtx is the ctx-aware TRRBounds (see TRRCtx).
+func (e *Evaluator) TRRBoundsCtx(ctx context.Context, ts []float64) ([]core.Bounds, error) {
+	if err := core.CheckTimes(ts); err != nil {
+		return nil, err
+	}
+	return e.runBoundsCtx(ctx, ts, false, nil)
+}
+
+// MRRBoundsCtx is the ctx-aware MRRBounds (see TRRCtx).
+func (e *Evaluator) MRRBoundsCtx(ctx context.Context, ts []float64) ([]core.Bounds, error) {
+	if err := core.CheckTimes(ts); err != nil {
+		return nil, err
+	}
+	return e.runBoundsCtx(ctx, ts, true, nil)
+}
+
 // invertOptions builds the inversion configuration of one time point: the
 // measure-specific damping of §2.2 over the shared period T = κt.
 func (e *Evaluator) invertOptions(t float64, mrr bool) laplace.Options {
@@ -339,6 +378,10 @@ func (e *Evaluator) tailTol(opt laplace.Options, t float64) float64 {
 }
 
 func (e *Evaluator) run(ts []float64, mrr bool, stats *core.StatsAccum) ([]core.Result, error) {
+	return e.runCtx(context.Background(), ts, mrr, stats)
+}
+
+func (e *Evaluator) runCtx(ctx context.Context, ts []float64, mrr bool, stats *core.StatsAccum) ([]core.Result, error) {
 	var rho0 float64
 	for _, t := range ts {
 		if t == 0 {
@@ -350,8 +393,10 @@ func (e *Evaluator) run(ts []float64, mrr bool, stats *core.StatsAccum) ([]core.
 	errs := make([]error, len(ts))
 	// Each time point inverts independently against the shared read-only
 	// transform; the batch fans out over the worker pool, writing i-indexed
-	// slots so results match a serial run bitwise.
-	par.For(len(ts), func(i int) {
+	// slots so results match a serial run bitwise. A cancel abandons the
+	// unstarted points (ForCtx) and interrupts in-flight inversions at their
+	// next block boundary (InvertJointCtx).
+	forErr := par.ForCtx(ctx, len(ts), func(i int) {
 		t := ts[i]
 		if t == 0 {
 			results[i] = core.Result{T: 0, Value: rho0}
@@ -359,11 +404,12 @@ func (e *Evaluator) run(ts []float64, mrr bool, stats *core.StatsAccum) ([]core.
 		}
 		opt := e.invertOptions(t, mrr)
 		f := e.tf.valueBlock(mrr, e.tailTol(opt, t))
-		res, err := laplace.Invert(f, t, opt)
+		rs, err := laplace.InvertJointCtx(ctx, 1, f, t, opt)
 		if err != nil {
 			errs[i] = fmt.Errorf("rrl: t=%v: %w", t, err)
 			return
 		}
+		res := rs[0]
 		value := res.Value
 		if mrr {
 			value /= t
@@ -382,6 +428,9 @@ func (e *Evaluator) run(ts []float64, mrr bool, stats *core.StatsAccum) ([]core.
 		if err != nil {
 			return nil, err
 		}
+	}
+	if forErr != nil {
+		return nil, core.Cancelled(forErr, 0, 0)
 	}
 	return results, nil
 }
@@ -408,6 +457,10 @@ func (e *Evaluator) bounds(ts []float64, mrr bool) ([]core.Bounds, error) {
 // with the mass transform's own, and the fused enclosures match the
 // separate-inversion reference (boundsSeparateRef) bitwise.
 func (e *Evaluator) runBounds(ts []float64, mrr bool, stats *core.StatsAccum) ([]core.Bounds, error) {
+	return e.runBoundsCtx(context.Background(), ts, mrr, stats)
+}
+
+func (e *Evaluator) runBoundsCtx(ctx context.Context, ts []float64, mrr bool, stats *core.StatsAccum) ([]core.Bounds, error) {
 	var rho0 float64
 	for _, t := range ts {
 		if t == 0 {
@@ -419,7 +472,7 @@ func (e *Evaluator) runBounds(ts []float64, mrr bool, stats *core.StatsAccum) ([
 	errs := make([]error, len(ts))
 	// The joint inversions are as independent as the value inversions; fan
 	// them out the same way.
-	par.For(len(ts), func(i int) {
+	forErr := par.ForCtx(ctx, len(ts), func(i int) {
 		t := ts[i]
 		if t == 0 {
 			out[i] = core.Bounds{T: 0, Lower: rho0, Upper: rho0}
@@ -427,7 +480,7 @@ func (e *Evaluator) runBounds(ts []float64, mrr bool, stats *core.StatsAccum) ([
 		}
 		opt := e.invertOptions(t, mrr)
 		f := e.tf.jointBlock(mrr, e.tailTol(opt, t))
-		rs, err := laplace.InvertJoint(2, f, t, opt)
+		rs, err := laplace.InvertJointCtx(ctx, 2, f, t, opt)
 		if err != nil {
 			errs[i] = fmt.Errorf("rrl: bounds at t=%v: %w", t, err)
 			return
@@ -452,6 +505,9 @@ func (e *Evaluator) runBounds(ts []float64, mrr bool, stats *core.StatsAccum) ([
 		if err != nil {
 			return nil, err
 		}
+	}
+	if forErr != nil {
+		return nil, core.Cancelled(forErr, 0, 0)
 	}
 	return out, nil
 }

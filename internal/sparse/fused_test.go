@@ -171,6 +171,65 @@ func TestRewardDotFusedBatchMatchesSingle(t *testing.T) {
 	}
 }
 
+// The batch kernel's register-chain rewrite splits the row loop into an
+// aligned-quad fast path, a per-row path for quads containing zeroed rows,
+// and a sub-quad tail. Each split must stay bitwise-identical to the
+// single-vector kernel under adversarial zero placements: runs of adjacent
+// zeros inside one quad, zeros at chunk boundaries, zeros in the tail rows,
+// everything zeroed, and nothing zeroed.
+func TestRewardDotFusedBatchZeroPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, n := range []int{5, 6, 7, 8, 9, 64, 257, 3001} {
+		m := randomKernelMatrix(t, rng, n, 4)
+		rewards := make([]float64, n)
+		for i := range rewards {
+			rewards[i] = 2*rng.Float64() - 0.5
+		}
+		all := make([]int32, n)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		patterns := map[string][]int32{
+			"nil":      nil,
+			"all":      all,
+			"first":    {0},
+			"last":     {int32(n - 1)},
+			"adjacent": {1, 2, 3},
+			"tail":     {int32(n - 2), int32(n - 1)},
+		}
+		// A run straddling a quad boundary plus isolated rows.
+		if n > 9 {
+			patterns["straddle"] = []int32{2, 3, 4, 5, int32(n / 2), int32(n - 3)}
+		}
+		// Dense random pattern: ~half the rows.
+		var dense []int32
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.5 {
+				dense = append(dense, int32(i))
+			}
+		}
+		patterns["dense"] = dense
+
+		xs := make([][]float64, 3) // odd count: lane 1 padded on the last pair
+		for b := range xs {
+			xs[b] = make([]float64, n)
+			for i := range xs[b] {
+				xs[b][i] = rng.NormFloat64()
+			}
+		}
+		out := make([]float64, len(xs))
+		for name, zero := range patterns {
+			m.RewardDotFusedBatch(xs, rewards, zero, out)
+			for b := range xs {
+				want := m.RewardDotFused(xs[b], rewards, zero)
+				if math.Float64bits(out[b]) != math.Float64bits(want) {
+					t.Fatalf("n=%d pattern %q lane %d: batch %v != single %v", n, name, b, out[b], want)
+				}
+			}
+		}
+	}
+}
+
 // The rebinding dot must also cross the parallel threshold bitwise-stably.
 func TestRewardDotFusedBitwiseAcrossGOMAXPROCS(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))

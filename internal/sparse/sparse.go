@@ -849,32 +849,94 @@ func (m *Matrix) RewardDotFusedBatch(xs [][]float64, rewards []float64, zero []i
 		for c := 0; c < nc; c++ {
 			lo, hi := m.chunks[c], m.chunks[c+1]
 			zi := sort.Search(len(zero), func(i int) bool { return int(zero[i]) >= lo })
-			var d0, c0, d1, c1 [4]float64
-			for j := lo; j < hi; j++ {
+			// Two lanes × four position-interleaved Kahan chains, all in
+			// named registers — an indexed [4]float64 rotation forces a
+			// store/load per row, which is the whole cost of a replay sweep
+			// (same rewrite as rewardDotRange, doubled).
+			var (
+				d00, e00, d01, e01, d02, e02, d03, e03 float64 // lane 0
+				d10, e10, d11, e11, d12, e12, d13, e13 float64 // lane 1
+			)
+			j := lo
+			for ; j+4 <= hi; j += 4 {
+				if zi < len(zero) && int(zero[zi]) < j+4 {
+					// A skipped row falls in this aligned quad: per-row path
+					// with the same positional chain assignment.
+					for g := 0; g < 4; g++ {
+						row := j + g
+						if zi < len(zero) && int(zero[zi]) == row {
+							zi++
+							continue
+						}
+						r := rewards[row]
+						y0 := x0[row] * r
+						y1 := x1[row] * r
+						switch g {
+						case 0:
+							d00, e00 = kahanAdd(d00, e00, y0)
+							d10, e10 = kahanAdd(d10, e10, y1)
+						case 1:
+							d01, e01 = kahanAdd(d01, e01, y0)
+							d11, e11 = kahanAdd(d11, e11, y1)
+						case 2:
+							d02, e02 = kahanAdd(d02, e02, y0)
+							d12, e12 = kahanAdd(d12, e12, y1)
+						case 3:
+							d03, e03 = kahanAdd(d03, e03, y0)
+							d13, e13 = kahanAdd(d13, e13, y1)
+						}
+					}
+					continue
+				}
+				r0, r1, r2, r3 := rewards[j], rewards[j+1], rewards[j+2], rewards[j+3]
+				d00, e00 = kahanAdd(d00, e00, x0[j]*r0)
+				d10, e10 = kahanAdd(d10, e10, x1[j]*r0)
+				d01, e01 = kahanAdd(d01, e01, x0[j+1]*r1)
+				d11, e11 = kahanAdd(d11, e11, x1[j+1]*r1)
+				d02, e02 = kahanAdd(d02, e02, x0[j+2]*r2)
+				d12, e12 = kahanAdd(d12, e12, x1[j+2]*r2)
+				d03, e03 = kahanAdd(d03, e03, x0[j+3]*r3)
+				d13, e13 = kahanAdd(d13, e13, x1[j+3]*r3)
+			}
+			for t := 0; j < hi; j, t = j+1, t+1 {
 				if zi < len(zero) && int(zero[zi]) == j {
 					zi++
 					continue
 				}
-				ch := (j - lo) & 3
 				r := rewards[j]
-				y0 := x0[j]*r - c0[ch]
-				y1 := x1[j]*r - c1[ch]
-				t0 := d0[ch] + y0
-				t1 := d1[ch] + y1
-				c0[ch] = (t0 - d0[ch]) - y0
-				c1[ch] = (t1 - d1[ch]) - y1
-				d0[ch] = t0
-				d1[ch] = t1
+				y0 := x0[j] * r
+				y1 := x1[j] * r
+				switch t {
+				case 0:
+					d00, e00 = kahanAdd(d00, e00, y0)
+					d10, e10 = kahanAdd(d10, e10, y1)
+				case 1:
+					d01, e01 = kahanAdd(d01, e01, y0)
+					d11, e11 = kahanAdd(d11, e11, y1)
+				case 2:
+					d02, e02 = kahanAdd(d02, e02, y0)
+					d12, e12 = kahanAdd(d12, e12, y1)
+				}
 			}
 			// Fold the four chains of this chunk exactly as foldChains does,
 			// then fold the chunk exactly as reducePartials does.
 			var f0, f1 Accumulator
-			for ch := 0; ch < 4; ch++ {
-				f0.Add(d0[ch])
-				f0.Add(-c0[ch])
-				f1.Add(d1[ch])
-				f1.Add(-c1[ch])
-			}
+			f0.Add(d00)
+			f0.Add(-e00)
+			f0.Add(d01)
+			f0.Add(-e01)
+			f0.Add(d02)
+			f0.Add(-e02)
+			f0.Add(d03)
+			f0.Add(-e03)
+			f1.Add(d10)
+			f1.Add(-e10)
+			f1.Add(d11)
+			f1.Add(-e11)
+			f1.Add(d12)
+			f1.Add(-e12)
+			f1.Add(d13)
+			f1.Add(-e13)
 			a0.Add(f0.sum)
 			a0.Add(-f0.comp)
 			a1.Add(f1.sum)

@@ -1,6 +1,7 @@
 package regenrand
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"math"
@@ -79,12 +80,15 @@ func fingerprint(q Query, rk string) string {
 	return string(h.Sum(nil))
 }
 
-// planBatch normalizes and deduplicates the requests, then prewarms the
+// planBatchCtx normalizes and deduplicates the requests, then prewarms the
 // grouped series/binding caches. It never fails: requests the planner
 // cannot place in a group (invalid times or rewards, non-regenerative
 // methods, no compiled regenerative state) are left for per-request
-// evaluation, which reports their errors in order.
-func (cm *CompiledModel) planBatch(qs []Query) batchPlan {
+// evaluation, which reports their errors in order. A cancelled ctx stops
+// the prewarm passes early — dedup information is still returned, and
+// evaluation (which observes the same ctx) reports the cancellation per
+// request.
+func (cm *CompiledModel) planBatchCtx(ctx context.Context, qs []Query) batchPlan {
 	p := batchPlan{dup: make(map[int]int)}
 	seen := make(map[string]int, len(qs))
 	// groups collects, per horizon class, the distinct measures of the
@@ -119,7 +123,7 @@ func (cm *CompiledModel) planBatch(qs []Query) batchPlan {
 		if planned >= plannerMeasureBudget {
 			continue
 		}
-		m, err := cm.measureByKey(rk, q.Rewards)
+		m, err := cm.measureByKeyCtx(ctx, rk, q.Rewards)
 		if err != nil {
 			continue
 		}
@@ -143,16 +147,20 @@ func (cm *CompiledModel) planBatch(qs []Query) batchPlan {
 		if len(g) < 2 {
 			continue // nothing to amortize; the lazy per-query path is exact
 		}
-		cm.prewarmGroup(math.Float64frombits(bits), g)
+		if ctx.Err() != nil {
+			break // prewarm is an optimization; evaluation reports the cancel
+		}
+		cm.prewarmGroup(ctx, math.Float64frombits(bits), g)
 	}
 	return p
 }
 
 // prewarmGroup executes one horizon class's reward vectors as lanes of one
 // stepping pass and seeds the per-measure caches the per-query path reads.
-// Prewarm failures are deliberately swallowed: evaluation re-runs the lazy
-// path and reports the error on the owning request.
-func (cm *CompiledModel) prewarmGroup(horizon float64, g map[string]groupMember) {
+// Prewarm failures — including cancellation mid-pass — are deliberately
+// swallowed: evaluation re-runs the lazy path and reports the error on the
+// owning request.
+func (cm *CompiledModel) prewarmGroup(ctx context.Context, horizon float64, g map[string]groupMember) {
 	if cm.basis.Retains() {
 		bds := make([]*regen.Binding, 0, len(g))
 		for _, mb := range g {
@@ -165,7 +173,9 @@ func (cm *CompiledModel) prewarmGroup(horizon float64, g map[string]groupMember)
 			if n > plannerMaxGroupLanes {
 				n = plannerMaxGroupLanes
 			}
-			_ = cm.basis.PrebindMany(bds[:n], horizon)
+			if err := cm.basis.PrebindManyCtx(ctx, bds[:n], horizon); err != nil {
+				return
+			}
 			bds = bds[n:]
 		}
 		return
@@ -189,7 +199,7 @@ func (cm *CompiledModel) prewarmGroup(horizon float64, g map[string]groupMember)
 		if n > plannerMaxGroupLanes {
 			n = plannerMaxGroupLanes
 		}
-		built, err := cm.basis.BuildMany(rewardsList[:n], horizon)
+		built, err := cm.basis.BuildManyCtx(ctx, rewardsList[:n], horizon)
 		if err != nil {
 			return
 		}

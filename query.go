@@ -1,6 +1,7 @@
 package regenrand
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -79,6 +80,18 @@ func (cm *CompiledModel) normalize(q Query) Query {
 // query returns bitwise-identical results whether it runs alone, serially
 // after other queries, or concurrently with them.
 func (cm *CompiledModel) Query(q Query) ([]Result, error) {
+	return cm.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query under a context. Cancellation is observed at the
+// engine's checkpoints — regenerative chain stepping, Laplace inversion
+// blocks, and the coarse method entry points — and surfaces as an error
+// wrapping ctx.Err() that carries the work already performed (see
+// core.CancelError). Cancellation never corrupts shared state: the chain
+// store is append-only, so a cancelled query leaves a valid prefix behind
+// and an identical retry resumes from it, returning results
+// bitwise-identical to an uncancelled run.
+func (cm *CompiledModel) QueryCtx(ctx context.Context, q Query) ([]Result, error) {
 	q = cm.normalize(q)
 	if err := core.CheckTimes(q.Times); err != nil {
 		return nil, err
@@ -86,23 +99,26 @@ func (cm *CompiledModel) Query(q Query) ([]Result, error) {
 	if q.Measure != MeasureTRR && q.Measure != MeasureMRR {
 		return nil, fmt.Errorf("regenrand: unknown measure %q", q.Measure)
 	}
-	m, err := cm.Measure(q.Rewards)
+	if err := ctx.Err(); err != nil {
+		return nil, core.Cancelled(err, 0, 0)
+	}
+	m, err := cm.measureByKeyCtx(ctx, rewardsKey(q.Rewards), q.Rewards)
 	if err != nil {
 		return nil, err
 	}
 	switch q.Method {
 	case MethodSR:
-		return m.lockedRun(q, &m.srMu, func() (core.Solver, error) {
+		return m.lockedRun(ctx, q, &m.srMu, func() (core.Solver, error) {
 			s, err := m.srSolver()
 			return s, err
 		})
 	case MethodRSD:
-		return m.lockedRun(q, &m.rsdMu, func() (core.Solver, error) {
+		return m.lockedRun(ctx, q, &m.rsdMu, func() (core.Solver, error) {
 			s, err := m.rsdSolver()
 			return s, err
 		})
 	case MethodAU:
-		return m.lockedRun(q, &m.auMu, func() (core.Solver, error) {
+		return m.lockedRun(ctx, q, &m.auMu, func() (core.Solver, error) {
 			s, err := m.auSolver()
 			return s, err
 		})
@@ -118,14 +134,14 @@ func (cm *CompiledModel) Query(q Query) ([]Result, error) {
 		}
 		return s.TRR(q.Times)
 	case MethodRR, MethodRRL:
-		eval, err := m.regenEvaluator(q.Method, core.MaxTime(q.Times))
+		eval, err := m.regenEvaluatorCtx(ctx, q.Method, core.MaxTime(q.Times))
 		if err != nil {
 			return nil, err
 		}
 		if q.Measure == MeasureMRR {
-			return eval.MRR(q.Times)
+			return eval.MRRCtx(ctx, q.Times)
 		}
-		return eval.TRR(q.Times)
+		return eval.TRRCtx(ctx, q.Times)
 	default:
 		return nil, fmt.Errorf("regenrand: unknown method %q", q.Method)
 	}
@@ -133,18 +149,20 @@ func (cm *CompiledModel) Query(q Query) ([]Result, error) {
 
 // measureEvaluator is the method set the RR and RRL evaluators share; the
 // engine dispatches on it so the two regenerative methods flow through one
-// code path.
+// code path. The evaluators' ctx methods return results bitwise-identical
+// to their ctx-free counterparts when the context is never cancelled.
 type measureEvaluator interface {
-	TRR(ts []float64) ([]core.Result, error)
-	MRR(ts []float64) ([]core.Result, error)
-	TRRBounds(ts []float64) ([]core.Bounds, error)
-	MRRBounds(ts []float64) ([]core.Bounds, error)
+	TRRCtx(ctx context.Context, ts []float64) ([]core.Result, error)
+	MRRCtx(ctx context.Context, ts []float64) ([]core.Result, error)
+	TRRBoundsCtx(ctx context.Context, ts []float64) ([]core.Bounds, error)
+	MRRBoundsCtx(ctx context.Context, ts []float64) ([]core.Bounds, error)
 }
 
-// regenEvaluator resolves the series for the horizon and returns the
+// regenEvaluatorCtx resolves the series for the horizon (under ctx — this
+// is where a query's dominant cancellable work happens) and returns the
 // method's cached evaluator.
-func (m *CompiledMeasure) regenEvaluator(method Method, horizon float64) (measureEvaluator, error) {
-	series, err := m.seriesFor(horizon)
+func (m *CompiledMeasure) regenEvaluatorCtx(ctx context.Context, method Method, horizon float64) (measureEvaluator, error) {
+	series, err := m.seriesForCtx(ctx, horizon)
 	if err != nil {
 		return nil, err
 	}
@@ -158,10 +176,15 @@ func (m *CompiledMeasure) regenEvaluator(method Method, horizon float64) (measur
 // per-(measure, method) mutex. The cached state those solvers carry
 // (stepped reward sequences, detection step) is deterministic and
 // append-only, so serialized access yields results independent of query
-// order.
-func (m *CompiledMeasure) lockedRun(q Query, mu *sync.Mutex, get func() (core.Solver, error)) ([]Result, error) {
+// order. The ctx check happens after the lock is acquired — the
+// non-regenerative solvers have no internal checkpoints, so this is the
+// last point a cancelled caller can bail before committing to the solve.
+func (m *CompiledMeasure) lockedRun(ctx context.Context, q Query, mu *sync.Mutex, get func() (core.Solver, error)) ([]Result, error) {
 	mu.Lock()
 	defer mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, core.Cancelled(err, 0, 0)
+	}
 	s, err := get()
 	if err != nil {
 		return nil, err
@@ -185,13 +208,32 @@ func (m *CompiledMeasure) lockedRun(q Query, mu *sync.Mutex, get func() (core.So
 // returned results as read-only (mutating a row in place would be visible
 // through its duplicates).
 func (cm *CompiledModel) QueryBatch(qs []Query) []QueryResult {
+	return cm.QueryBatchCtx(context.Background(), qs)
+}
+
+// QueryBatchCtx is QueryBatch under a context. On cancellation the batch
+// returns promptly with every row filled: rows that finished before the
+// cancel carry their complete results (bitwise-identical to an uncancelled
+// run — partial rows are never returned), the rest carry an error wrapping
+// ctx.Err(). Prewarmed series survive in the caches, so re-submitting the
+// batch resumes rather than restarts.
+func (cm *CompiledModel) QueryBatchCtx(ctx context.Context, qs []Query) []QueryResult {
 	out := make([]QueryResult, len(qs))
-	p := cm.planBatch(qs)
-	par.For(len(p.unique), func(i int) {
+	p := cm.planBatchCtx(ctx, qs)
+	done := make([]bool, len(p.unique))
+	forErr := par.ForCtx(ctx, len(p.unique), func(i int) {
 		idx := p.unique[i]
-		r, err := cm.Query(qs[idx])
+		r, err := cm.QueryCtx(ctx, qs[idx])
 		out[idx] = QueryResult{Results: r, Err: err}
+		done[i] = true
 	})
+	if forErr != nil {
+		for i, ok := range done {
+			if !ok {
+				out[p.unique[i]] = QueryResult{Err: core.Cancelled(forErr, 0, 0)}
+			}
+		}
+	}
 	for i, j := range p.dup {
 		out[i] = out[j]
 	}
@@ -213,13 +255,29 @@ type BoundsResult struct {
 // serially with QueryBounds; deduplicated entries share one Bounds slice —
 // treat returned results as read-only.
 func (cm *CompiledModel) QueryBoundsBatch(qs []Query) []BoundsResult {
+	return cm.QueryBoundsBatchCtx(context.Background(), qs)
+}
+
+// QueryBoundsBatchCtx is QueryBoundsBatch under a context, with the same
+// cancellation contract as QueryBatchCtx: prompt return, finished rows
+// intact, unfinished rows erroring with a wrapped ctx.Err().
+func (cm *CompiledModel) QueryBoundsBatchCtx(ctx context.Context, qs []Query) []BoundsResult {
 	out := make([]BoundsResult, len(qs))
-	p := cm.planBatch(qs)
-	par.For(len(p.unique), func(i int) {
+	p := cm.planBatchCtx(ctx, qs)
+	done := make([]bool, len(p.unique))
+	forErr := par.ForCtx(ctx, len(p.unique), func(i int) {
 		idx := p.unique[i]
-		b, err := cm.QueryBounds(qs[idx])
+		b, err := cm.QueryBoundsCtx(ctx, qs[idx])
 		out[idx] = BoundsResult{Bounds: b, Err: err}
+		done[i] = true
 	})
+	if forErr != nil {
+		for i, ok := range done {
+			if !ok {
+				out[p.unique[i]] = BoundsResult{Err: core.Cancelled(forErr, 0, 0)}
+			}
+		}
+	}
 	for i, j := range p.dup {
 		out[i] = out[j]
 	}
@@ -230,6 +288,12 @@ func (cm *CompiledModel) QueryBoundsBatch(qs []Query) []BoundsResult {
 // query (other methods do not produce bounds). RRL enclosures come from the
 // fused value+truncation-mass inversion; see rrl.Evaluator.
 func (cm *CompiledModel) QueryBounds(q Query) ([]Bounds, error) {
+	return cm.QueryBoundsCtx(context.Background(), q)
+}
+
+// QueryBoundsCtx is QueryBounds under a context; see QueryCtx for the
+// cancellation contract.
+func (cm *CompiledModel) QueryBoundsCtx(ctx context.Context, q Query) ([]Bounds, error) {
 	q = cm.normalize(q)
 	if err := core.CheckTimes(q.Times); err != nil {
 		return nil, err
@@ -240,16 +304,19 @@ func (cm *CompiledModel) QueryBounds(q Query) ([]Bounds, error) {
 	if q.Method != MethodRR && q.Method != MethodRRL {
 		return nil, fmt.Errorf("regenrand: method %q does not produce certified bounds (use RR or RRL)", q.Method)
 	}
-	m, err := cm.Measure(q.Rewards)
+	if err := ctx.Err(); err != nil {
+		return nil, core.Cancelled(err, 0, 0)
+	}
+	m, err := cm.measureByKeyCtx(ctx, rewardsKey(q.Rewards), q.Rewards)
 	if err != nil {
 		return nil, err
 	}
-	eval, err := m.regenEvaluator(q.Method, core.MaxTime(q.Times))
+	eval, err := m.regenEvaluatorCtx(ctx, q.Method, core.MaxTime(q.Times))
 	if err != nil {
 		return nil, err
 	}
 	if q.Measure == MeasureMRR {
-		return eval.MRRBounds(q.Times)
+		return eval.MRRBoundsCtx(ctx, q.Times)
 	}
-	return eval.TRRBounds(q.Times)
+	return eval.TRRBoundsCtx(ctx, q.Times)
 }
