@@ -611,6 +611,85 @@ func BenchmarkQueryPlanner(b *testing.B) {
 	}
 }
 
+// BenchmarkNearMissHorizons measures horizon bucketing's serving win: 32
+// distinct-measure RRL queries whose horizons are uniform in [t, 1.5t] —
+// realistic traffic that never repeats a horizon bit-for-bit. Exact-bit
+// grouping (the PR 5 planner without bucketing) sees 32 singleton horizon
+// classes and runs 32 separate series constructions; with HorizonBuckets=4
+// the whole spread collapses onto one geometric grid point and rides one
+// 32-lane stepping pass. The samehorizon variant (every query at exactly
+// 1.5t) is the ideal-traffic reference: bucketed near-miss traffic should
+// price like it. Fresh reward vectors per iteration keep every cache cold,
+// so each op pays the construction its grouping actually achieves.
+// "lanes/s" is measures solved per second; acceptance is bucketed ≥ 3×
+// exact.
+func BenchmarkNearMissHorizons(b *testing.B) {
+	m := raidModel(b, 20, false)
+	n := m.Chain.N()
+	opts := regenrand.DefaultOptions()
+	const queries = 32
+	const t0 = 100.0
+	// Deterministic pseudo-uniform horizons in [t0, 1.5·t0]: a multiplicative
+	// hash gives 32 distinct fractions, so no two queries share horizon bits.
+	horizons := make([]float64, queries)
+	for k := range horizons {
+		frac := float64(((k+1)*2654435761)%(1<<20)) / float64(1<<20)
+		horizons[k] = t0 * (1 + 0.5*frac)
+	}
+	salt := 0
+	freshBatch := func(sameHorizon bool) []regenrand.Query {
+		qs := make([]regenrand.Query, queries)
+		for k := range qs {
+			salt++
+			s := salt
+			tq := horizons[k]
+			if sameHorizon {
+				tq = 1.5 * t0
+			}
+			qs[k] = regenrand.Query{
+				Method: regenrand.MethodRRL,
+				Rewards: regenrand.RewardsFrom(n, func(j int) float64 {
+					return float64(((j+s)*2654435761)%(1<<20)) / float64(1<<20-1)
+				}),
+				Times: []float64{tq},
+			}
+		}
+		return qs
+	}
+	for _, variant := range []struct {
+		name    string
+		buckets int
+		same    bool
+	}{
+		{"grouping=exact", 0, false},
+		{"grouping=bucketed", 4, false},
+		{"grouping=samehorizon", 0, true},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			cm, err := regenrand.Compile(m.Chain, regenrand.CompileOptions{
+				Options: opts, RegenState: m.Pristine,
+				DisableRetention: true, HorizonBuckets: variant.buckets,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				qs := freshBatch(variant.same)
+				for _, qr := range cm.QueryBatch(qs) {
+					if qr.Err != nil {
+						b.Fatal(qr.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(queries), "lanes")
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(queries)*float64(b.N)/sec, "lanes/s")
+			}
+		})
+	}
+}
+
 // BenchmarkCompileRetention isolates the compile-phase retention cost on
 // the G=20 model: a full compile plus one t=1000 RRL query, with the
 // retained series as the dominant allocation. The compact (float32) mode

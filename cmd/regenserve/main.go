@@ -11,7 +11,14 @@
 //	                   ("compact": true selects float32 series retention —
 //	                   half the compile-phase memory, needs a loose epsilon;
 //	                   "prebuild_horizon": t eagerly extends the chains to
-//	                   certify horizon t; "timeout_ms" caps the request)
+//	                   certify horizon t; "horizon_buckets": k rounds each
+//	                   query horizon UP to a geometric grid with k points
+//	                   per decade so near-miss horizons share one series —
+//	                   answers are evaluated at the requested times but the
+//	                   series is certified at the bucketed horizon, so they
+//	                   can differ from the unbucketed ones within epsilon;
+//	                   the option is part of the model id;
+//	                   "timeout_ms" caps the request)
 //	                   → {"model_id": "...", "states": n, "transitions": nnz,
 //	                     "retained_bytes": b}
 //	POST /v1/query     {"model_id": "...", "queries": [{"method": "RRL",
@@ -34,13 +41,21 @@
 //	                   deadline-missed row is retried once at the server's
 //	                   -degrade-epsilon under a short grace budget and comes
 //	                   back flagged {"degraded": true, "epsilon": 1e-6} —
-//	                   still a certified bound, just a wider one
+//	                   still a certified bound, just a wider one. On a model
+//	                   compiled with "horizon_buckets" (settable inline here
+//	                   too), every row served at a rounded-up horizon carries
+//	                   "bucketed_horizon" disclosing the grid point its
+//	                   series was certified at
 //	GET  /healthz      → {"ok": true, "draining": false, "cached_models": k,
 //	                     "cache_bytes": b, "uptime_s": s} (503 while
 //	                     draining — load balancers stop routing here)
 //	GET  /varz         → flat JSON counters: requests, in-flight and queued
 //	                     compiles/queries, shed, timeouts, degraded, panics,
-//	                     cache entries/bytes, uptime
+//	                     cache entries/bytes, uptime, and the engine's
+//	                     work-sharing counters — series_cache_hits/misses,
+//	                     series_extensions, series_extension_steps_saved
+//	                     (how often a query reused or grew an existing
+//	                     series instead of rebuilding it)
 //
 // The model encoding is {"states": n, "transitions": [[from, to, rate],
 // ...], "initial": [[state, probability], ...]}. A model_id is the content

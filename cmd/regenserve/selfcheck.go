@@ -291,6 +291,9 @@ func runSelfcheck(srv *server, mux *http.ServeMux, chaos bool) error {
 		return fmt.Errorf("prebuild compile changed the model id: %s vs %s", warmComp.ModelID, comp.ModelID)
 	}
 
+	if err := checkBucketing(c, comp.ModelID, model, rewards); err != nil {
+		return err
+	}
 	if err := checkValidation(c, model); err != nil {
 		return err
 	}
@@ -303,6 +306,104 @@ func runSelfcheck(srv *server, mux *http.ServeMux, chaos bool) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// checkBucketing compiles the model with horizon bucketing enabled and
+// round-trips the bucketed-traffic contract: near-miss horizons collapse
+// onto one grid point (disclosed per row as "bucketed_horizon"), the
+// bucketed answers agree with the exact-horizon answers within the error
+// budget (bucketing deepens the truncation — it never loosens the
+// certificate), and the series-sharing counters move: the shared bucket
+// costs one construction with the other rows served as cache hits, and a
+// deeper bucket afterwards extends the same chains in place.
+func checkBucketing(c *checkClient, exactID string, model *modelJSON, rewards []float64) error {
+	var bcomp compileResponse
+	if err := c.post("/v1/compile", compileRequest{Model: model, HorizonBuckets: 4}, &bcomp); err != nil {
+		return fmt.Errorf("bucketed compile: %w", err)
+	}
+	if bcomp.ModelID == exactID {
+		return fmt.Errorf("bucketed compile shares the exact-horizon model id")
+	}
+
+	// Near-miss horizons: every row lands in the (56.2, 100] cell of the
+	// 4-points-per-decade grid, so one series at horizon 100 serves them all.
+	horizons := []float64{60, 82, 95}
+	var bq []queryJSON
+	for _, t := range horizons {
+		bq = append(bq, queryJSON{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: []float64{t}})
+	}
+	bq = append(bq, queryJSON{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: []float64{88}, Bounds: true})
+
+	_, v0, err := c.get("/varz")
+	if err != nil {
+		return err
+	}
+	var bresp queryResponse
+	if err := c.post("/v1/query", queryRequest{ModelID: bcomp.ModelID, Queries: bq}, &bresp); err != nil {
+		return fmt.Errorf("bucketed query: %w", err)
+	}
+	// The exact-horizon reference answers come from the unbucketed compile.
+	var eresp queryResponse
+	if err := c.post("/v1/query", queryRequest{ModelID: exactID, Queries: bq}, &eresp); err != nil {
+		return fmt.Errorf("exact-horizon reference: %w", err)
+	}
+	for i := range bq {
+		br, er := bresp.Results[i], eresp.Results[i]
+		if br.Error != "" || er.Error != "" {
+			return fmt.Errorf("bucketed round query %d: bucketed %q, exact %q", i, br.Error, er.Error)
+		}
+		if br.BucketedHorizon != 100 {
+			return fmt.Errorf("bucketed round query %d: bucketed_horizon %v, want 100", i, br.BucketedHorizon)
+		}
+		if er.BucketedHorizon != 0 {
+			return fmt.Errorf("exact-horizon model disclosed bucketed_horizon %v", er.BucketedHorizon)
+		}
+		for j := range br.Results {
+			b, e := br.Results[j], er.Results[j]
+			if math.Abs(b.Value-e.Value) > 1e-9 {
+				return fmt.Errorf("bucketed round query %d row %d: bucketed %v vs exact %v", i, j, b.Value, e.Value)
+			}
+			if b.Lower != nil && (e.Value < *b.Lower-1e-9 || e.Value > *b.Upper+1e-9) {
+				return fmt.Errorf("bucketed round query %d row %d: exact %v outside bucketed bounds [%v, %v]",
+					i, j, e.Value, *b.Lower, *b.Upper)
+			}
+		}
+	}
+	_, v1, err := c.get("/varz")
+	if err != nil {
+		return err
+	}
+	if d := v1["series_cache_misses"].(float64) - v0["series_cache_misses"].(float64); d < 1 {
+		return fmt.Errorf("bucketed round: series_cache_misses moved by %v, want >= 1", d)
+	}
+	if d := v1["series_cache_hits"].(float64) - v0["series_cache_hits"].(float64); d < 3 {
+		return fmt.Errorf("bucketed round: series_cache_hits moved by %v, want >= 3 (four rows share one bucket)", d)
+	}
+
+	// A horizon in the next grid cell must extend the already-stepped chains
+	// in place — steps 0..K(100) are reused, never recomputed.
+	var dresp queryResponse
+	if err := c.post("/v1/query", queryRequest{
+		ModelID: bcomp.ModelID,
+		Queries: []queryJSON{{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: []float64{150}}},
+	}, &dresp); err != nil {
+		return fmt.Errorf("bucketed deeper query: %w", err)
+	}
+	if dresp.Results[0].Error != "" {
+		return fmt.Errorf("bucketed deeper query: %s", dresp.Results[0].Error)
+	}
+	_, v2, err := c.get("/varz")
+	if err != nil {
+		return err
+	}
+	if d := v2["series_extensions"].(float64) - v1["series_extensions"].(float64); d < 1 {
+		return fmt.Errorf("bucketed deeper query: series_extensions moved by %v, want >= 1", d)
+	}
+	if d := v2["series_extension_steps_saved"].(float64) - v1["series_extension_steps_saved"].(float64); d < 1 {
+		return fmt.Errorf("bucketed deeper query: series_extension_steps_saved moved by %v, want >= 1", d)
+	}
+	fmt.Println("regenserve selfcheck: bucketed traffic OK (near-miss horizons share one grid series, deeper bucket extends in place)")
 	return nil
 }
 
@@ -385,7 +486,8 @@ func checkObservability(c *checkClient, srv *server) error {
 	if status != http.StatusOK {
 		return fmt.Errorf("/varz: HTTP %d", status)
 	}
-	for _, key := range []string{"requests", "in_flight_compiles", "in_flight_queries", "shed", "timeouts", "degraded", "panics", "cache_entries", "cache_bytes"} {
+	for _, key := range []string{"requests", "in_flight_compiles", "in_flight_queries", "shed", "timeouts", "degraded", "panics", "cache_entries", "cache_bytes",
+		"series_cache_hits", "series_cache_misses", "series_extensions", "series_extension_steps_saved"} {
 		if _, ok := v[key]; !ok {
 			return fmt.Errorf("/varz missing %q: %v", key, v)
 		}
@@ -395,6 +497,13 @@ func checkObservability(c *checkClient, srv *server) error {
 	}
 	if v["cache_bytes"].(float64) <= 0 {
 		return fmt.Errorf("/varz cache_bytes %v, want > 0", v["cache_bytes"])
+	}
+	// The query rounds above share series across clients and horizons, so
+	// the engine's work-sharing counters must all have moved.
+	for _, key := range []string{"series_cache_hits", "series_cache_misses", "series_extensions", "series_extension_steps_saved"} {
+		if v[key].(float64) <= 0 {
+			return fmt.Errorf("/varz %s %v, want > 0 after the query rounds", key, v[key])
+		}
 	}
 
 	// Drain: health goes 503, new work is refused with Retry-After, and

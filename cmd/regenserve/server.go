@@ -39,6 +39,15 @@ type compileRequest struct {
 	// budget; needs a loose epsilon (~1e-6 or above). See
 	// regenrand.CompileOptions.CompactRetention.
 	Compact bool `json:"compact,omitempty"`
+	// HorizonBuckets turns on horizon bucketing (grid points per decade):
+	// RR/RRL query horizons are rounded UP to a geometric grid so near-miss
+	// horizons share one series and one stepping pass. Bucketed answers are
+	// still certified within epsilon (strictly more accurate — the series is
+	// truncated deeper than the exact horizon needs) but differ from an
+	// unbucketed compile's, so the option is part of the model_id and every
+	// affected row discloses its certified horizon as "bucketed_horizon".
+	// See regenrand.CompileOptions.HorizonBuckets.
+	HorizonBuckets int `json:"horizon_buckets,omitempty"`
 	// PrebuildHorizon asks the compile to eagerly extend the regenerative
 	// chains to certify this horizon, so the first query at or below it is
 	// cheap; queries extend on demand either way, so results are identical.
@@ -79,6 +88,7 @@ type queryRequest struct {
 	Epsilon          float64     `json:"epsilon,omitempty"`
 	DisableRetention bool        `json:"disable_retention,omitempty"`
 	Compact          bool        `json:"compact,omitempty"`
+	HorizonBuckets   int         `json:"horizon_buckets,omitempty"`
 	Queries          []queryJSON `json:"queries"`
 	// TimeoutMS caps this request's processing time in milliseconds
 	// (bounded by -max-timeout; 0 = the -timeout default). Queries that
@@ -111,6 +121,11 @@ type queryResultJSON struct {
 	// Epsilon is the bound the degraded certificate holds at.
 	Degraded bool    `json:"degraded,omitempty"`
 	Epsilon  float64 `json:"epsilon,omitempty"`
+	// BucketedHorizon, on a model compiled with horizon_buckets, is the
+	// grid horizon this row's series certified when it differs from the
+	// row's own max time — full disclosure that the answer came from a
+	// deeper-truncated (more accurate, still certified) series.
+	BucketedHorizon float64 `json:"bucketed_horizon,omitempty"`
 }
 
 type queryResponse struct {
@@ -272,7 +287,7 @@ func (s *server) buildModel(m *modelJSON) (*regenrand.CTMC, error) {
 }
 
 // compileOptions translates the wire options.
-func compileOptions(regenState *int, epsilon float64, disableRetention, compact bool) regenrand.CompileOptions {
+func compileOptions(regenState *int, epsilon float64, disableRetention, compact bool, horizonBuckets int) regenrand.CompileOptions {
 	opts := regenrand.DefaultOptions()
 	if epsilon != 0 {
 		opts.Epsilon = epsilon
@@ -284,7 +299,13 @@ func compileOptions(regenState *int, epsilon float64, disableRetention, compact 
 	if rs < 0 {
 		rs = regenrand.NoRegen
 	}
-	return regenrand.CompileOptions{Options: opts, RegenState: rs, DisableRetention: disableRetention, CompactRetention: compact}
+	return regenrand.CompileOptions{
+		Options:          opts,
+		RegenState:       rs,
+		DisableRetention: disableRetention,
+		CompactRetention: compact,
+		HorizonBuckets:   horizonBuckets,
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -378,7 +399,11 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "building model: %v", err)
 		return
 	}
-	copts := compileOptions(req.RegenState, req.Epsilon, req.DisableRetention, req.Compact)
+	if req.HorizonBuckets < 0 {
+		writeError(w, http.StatusBadRequest, "horizon_buckets: %d, want >= 0", req.HorizonBuckets)
+		return
+	}
+	copts := compileOptions(req.RegenState, req.Epsilon, req.DisableRetention, req.Compact, req.HorizonBuckets)
 	if req.PrebuildHorizon > 0 && !math.IsInf(req.PrebuildHorizon, 0) && !math.IsNaN(req.PrebuildHorizon) {
 		copts.PrebuildHorizon = req.PrebuildHorizon
 	}
@@ -432,7 +457,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "building model: %v", err)
 			return
 		}
-		cm, err = s.cache.CompileCtx(ctx, model, compileOptions(req.RegenState, req.Epsilon, req.DisableRetention, req.Compact))
+		if req.HorizonBuckets < 0 {
+			writeError(w, http.StatusBadRequest, "horizon_buckets: %d, want >= 0", req.HorizonBuckets)
+			return
+		}
+		cm, err = s.cache.CompileCtx(ctx, model, compileOptions(req.RegenState, req.Epsilon, req.DisableRetention, req.Compact, req.HorizonBuckets))
 		if err != nil {
 			switch {
 			case errors.Is(err, context.DeadlineExceeded):
@@ -534,7 +563,38 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.degradeRows(r, cm, req, &resp)
 		}
 	}
+	discloseBuckets(cm, req, &resp)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// discloseBuckets annotates every successful RR/RRL row whose certified
+// horizon was rounded up by horizon bucketing with that grid horizon —
+// bucketed answers differ from an unbucketed compile's (more accurate,
+// still certified), so each affected row says so. Degraded rows are skipped:
+// their retry ran on a separate loose-epsilon compile without bucketing.
+func discloseBuckets(cm *regenrand.CompiledModel, req queryRequest, resp *queryResponse) {
+	for i, q := range req.Queries {
+		row := &resp.Results[i]
+		if row.Error != "" || row.Degraded || len(q.Times) == 0 {
+			continue
+		}
+		method := regenrand.Method(q.Method)
+		if method == "" && cm.RegenState() != regenrand.NoRegen {
+			method = regenrand.MethodRRL // the engine's default on regenerative compiles
+		}
+		if method != regenrand.MethodRR && method != regenrand.MethodRRL {
+			continue
+		}
+		maxT := q.Times[0]
+		for _, t := range q.Times[1:] {
+			if t > maxT {
+				maxT = t
+			}
+		}
+		if h, bucketed := cm.EffectiveHorizon(maxT); bucketed {
+			row.BucketedHorizon = h
+		}
+	}
 }
 
 // degradeRows retries deadline-missed rows once at the server's loosened
@@ -612,6 +672,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // totals, panic count, cache size. Flat keys, one JSON object — scrapable.
 func (s *server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	entries, bytes := s.cache.Stats()
+	es := regenrand.ReadEngineStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_s":           time.Since(s.start).Seconds(),
 		"requests":           s.requests.Load(),
@@ -626,6 +687,13 @@ func (s *server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		"cache_entries":      entries,
 		"cache_bytes":        bytes,
 		"draining":           s.draining.Load(),
+		// Engine work-sharing counters (process-wide, monotone): series
+		// cache traffic plus in-place chain extensions and the stepping
+		// work their reused prefixes saved.
+		"series_cache_hits":            es.SeriesCacheHits,
+		"series_cache_misses":          es.SeriesCacheMisses,
+		"series_extensions":            es.SeriesExtensions,
+		"series_extension_steps_saved": es.ExtensionStepsSaved,
 	})
 }
 

@@ -62,6 +62,22 @@ type CompileOptions struct {
 	// ablations). The zero value reproduces the paper. The knobs change
 	// query results, so they are part of the compile's content key.
 	RRL RRLConfig
+	// HorizonBuckets, when positive, turns on horizon bucketing for RR/RRL
+	// queries: every query horizon (the max of its times) is rounded UP to
+	// the geometric grid 10^(i/HorizonBuckets), so near-miss horizons share
+	// one series, one truncation depth, and one grouped stepping pass
+	// instead of each building its own. HorizonBuckets is the number of grid
+	// points per decade (4 is a reasonable serving default: buckets ~78%
+	// apart in time never more than one bucket deeper than needed).
+	//
+	// Bucketed answers are evaluated at the query's own time points against
+	// the bucket's deeper-truncated series, so they remain certified within
+	// Epsilon — strictly more accurate than the exact-horizon truncation —
+	// but they differ from an unbucketed compile's answers. Hence opt-in,
+	// part of the compile content key, and disclosed per row by the serving
+	// layer (see CompiledModel.EffectiveHorizon). Negative values are
+	// rejected; 0 (the default) disables bucketing.
+	HorizonBuckets int
 	// PrebuildHorizon, when positive, makes CompileCtx eagerly extend the
 	// retained regenerative chains deep enough to certify this horizon (for
 	// a unit-rmax proxy) instead of leaving all stepping to the first query.
@@ -136,6 +152,9 @@ func CompileCtx(ctx context.Context, model *CTMC, copts CompileOptions) (*Compil
 	if copts.CompactRetention && copts.DisableRetention {
 		return nil, fmt.Errorf("regenrand: CompactRetention and DisableRetention are mutually exclusive")
 	}
+	if copts.HorizonBuckets < 0 {
+		return nil, fmt.Errorf("regenrand: HorizonBuckets %d < 0 (0 disables bucketing)", copts.HorizonBuckets)
+	}
 	copts.Options = opts // normalized, so equivalent compiles share a key
 	cm := &CompiledModel{
 		model:    model,
@@ -170,7 +189,7 @@ func CompileCtx(ctx context.Context, model *CTMC, copts CompileOptions) (*Compil
 // interchangeable artifacts.
 func compileKey(model *CTMC, copts CompileOptions) string {
 	fp := model.Fingerprint()
-	var tail [34]byte
+	var tail [42]byte
 	binary.LittleEndian.PutUint64(tail[0:8], uint64(int64(copts.RegenState)))
 	binary.LittleEndian.PutUint64(tail[8:16], math.Float64bits(copts.Options.Epsilon))
 	binary.LittleEndian.PutUint64(tail[16:24], math.Float64bits(copts.Options.UniformizationFactor))
@@ -189,6 +208,9 @@ func compileKey(model *CTMC, copts CompileOptions) string {
 	if copts.RRL.DisableTailTruncation {
 		tail[33] |= 2
 	}
+	// Horizon bucketing rounds query horizons onto a geometric grid, which
+	// changes RR/RRL results, so the grid density splits the key too.
+	binary.LittleEndian.PutUint64(tail[34:42], uint64(int64(copts.HorizonBuckets)))
 	return hex.EncodeToString(fp[:]) + hex.EncodeToString(tail[:])
 }
 
@@ -245,14 +267,23 @@ func (cm *CompiledModel) BuildSteps() int {
 }
 
 // RetainedBytes estimates the memory this compiled model pins: the retained
-// step vectors of the regenerative chains (the dominant, growing cost) plus
-// a fixed baseline for the uniformized sparse chain. It is cheap (atomic
-// reads), monotone as queries extend the chains, and feeds the byte-budget
-// eviction of NewCompileCacheBytes.
+// step vectors of the regenerative chains (the dominant, growing cost), the
+// per-measure series stores that grow after compile — cached b(k)
+// coefficient bindings and, on non-retaining compiles, each binding's
+// incremental chains — plus a fixed baseline for the uniformized sparse
+// chain. It is cheap (atomic reads over the live measures), grows as queries
+// extend the chains, and feeds the byte-budget eviction of
+// NewCompileCacheBytes; evicted measures drop out of the sum, so the
+// accounting tracks what is actually held.
 func (cm *CompiledModel) RetainedBytes() int64 {
 	// Sparse chain baseline: value + column index per nonzero, in CSR-ish
 	// in/out copies, plus a few dense state-length vectors.
 	base := int64(cm.dtmc.P.NNZ())*24 + int64(cm.model.N())*64
+	cm.measures.Each(func(m *CompiledMeasure) {
+		if m.binding != nil {
+			base += m.binding.RetainedBytes()
+		}
+	})
 	if cm.basis == nil {
 		return base
 	}
@@ -395,11 +426,20 @@ func (m *CompiledMeasure) seriesForCtx(ctx context.Context, horizon float64) (*r
 	if m.binding == nil {
 		return nil, fmt.Errorf("regenrand: model was compiled without a regenerative state; RR/RRL queries need CompileOptions.RegenState")
 	}
+	created := false
 	s, err := m.series.GetOrCreateCtx(ctx, math.Float64bits(horizon), func(cctx context.Context) (*regen.Series, error) {
+		created = true
 		return m.binding.SeriesForCtx(cctx, horizon)
 	})
 	if err != nil {
 		return nil, wrapCtxErr(err)
+	}
+	// Single-flight: the caller whose closure ran counts the miss; waiters
+	// and later callers that found the entry count hits.
+	if created {
+		seriesMisses.Add(1)
+	} else {
+		seriesHits.Add(1)
 	}
 	return s, nil
 }

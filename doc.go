@@ -121,6 +121,36 @@
 // loops that drop per-call errors still fail at construction rather than
 // deep inside a solve.
 //
+// # Horizon bucketing and series extension
+//
+// Two compile-level mechanisms let near-miss traffic share series work
+// across requests. First, every RR/RRL series is grown by in-place
+// incremental extension: the chains stepped for a horizon are kept (in the
+// retained basis, or in a per-measure incremental store on non-retaining
+// compiles), and a later, longer horizon appends only the missing steps —
+// querying t=200 after t=100 pays steps K(100)..K(200), not a rebuild.
+// Extension is append-only and deterministic, so it is bitwise-invisible:
+// a model that served t₁ answers t₂ exactly like a fresh compile asked t₂
+// first, a cancelled extension leaves a valid prefix for the retry, and
+// concurrent extenders all read the same published coefficients (tested
+// under -race). Second, CompileOptions.HorizonBuckets opts into horizon
+// bucketing: each query horizon is rounded UP to the nearest point of a
+// geometric grid with HorizonBuckets points per decade, so horizons that
+// differ only by a few percent collapse onto one grid point — one deeper
+// series serves the whole bucket, the planner groups near-miss batches
+// into one multi-lane pass (BenchmarkNearMissHorizons: a 32-query spread
+// over [t, 1.5t] prices like ideal same-horizon traffic, ~6× over
+// exact-bit grouping), and repeat traffic hits the series cache instead of
+// building again. Bucketing rounds up only, so the bucketed series is
+// truncated for a deeper horizon than requested and every answer remains
+// certified within Epsilon — but answers are evaluated from a
+// differently-truncated series and are therefore not bitwise-identical to
+// an unbucketed compile, which is why the option is opt-in and part of the
+// compile content key (bucketed and exact models never share cache
+// entries). EffectiveHorizon reports the grid point a horizon is served
+// at; cmd/regenserve discloses it per row as "bucketed_horizon" and
+// exports the sharing counters (ReadEngineStats) as /varz variables.
+//
 // # Cancellation and serving robustness
 //
 // Every compile/query entry point has a context-taking variant —

@@ -1,0 +1,71 @@
+package regenrand
+
+import "math"
+
+// This file implements horizon bucketing, the cross-request half of the
+// series work-sharing layer (the cross-time half is the in-place incremental
+// extension in internal/regen). A compile with CompileOptions.HorizonBuckets
+// = B > 0 rounds every RR/RRL query horizon UP to the geometric grid
+//
+//	{ 10^(i/B) : i ∈ ℤ }
+//
+// before the series is resolved, so near-miss horizons (t = 100.0 and
+// t = 101.3, say) share one series-cache entry, one truncation depth, and —
+// in a batch — one multi-lane stepping pass, instead of each paying its own
+// construction.
+//
+// Rounding up is what keeps the answers certified: a series built for
+// horizon h is valid for every t ≤ h (the truncation-error bounds are
+// monotone in the horizon and the stopping rule is monotone in depth), so
+// evaluating a query's times against the bucket's deeper series yields
+// results that are still within the advertised Epsilon of the truth — in
+// fact strictly more accurate, since the truncation is deeper than the exact
+// horizon required. The values do change relative to an unbucketed compile,
+// which is why HorizonBuckets is opt-in and part of the compile content key.
+
+// bucketUp rounds t up to the smallest point of the geometric grid
+// 10^(i/perDecade) that is ≥ t. It is deterministic, monotone in t, and
+// idempotent (grid points map to themselves), so equal horizons — bucketed
+// or already on the grid — always share one series-cache key.
+func bucketUp(t float64, perDecade int) float64 {
+	b := float64(perDecade)
+	grid := func(i float64) float64 { return math.Pow(10, i/b) }
+	i := math.Ceil(b * math.Log10(t))
+	// log10/ceil rounding can land one grid step off in either direction;
+	// walk to the minimal i with grid(i) ≥ t.
+	for grid(i-1) >= t {
+		i--
+	}
+	for grid(i) < t {
+		i++
+	}
+	return grid(i)
+}
+
+// bucketHorizon maps a query horizon onto the compile's horizon grid: the
+// identity without bucketing, otherwise the smallest grid point ≥ t.
+// Invalid horizons (and grid points that would overflow to +Inf) pass
+// through unchanged so the series layer reports them like any other bad
+// horizon.
+func (cm *CompiledModel) bucketHorizon(t float64) float64 {
+	if cm.copts.HorizonBuckets <= 0 || !(t > 0) || math.IsInf(t, 1) {
+		return t
+	}
+	g := bucketUp(t, cm.copts.HorizonBuckets)
+	if math.IsInf(g, 1) || !(g > 0) {
+		return t
+	}
+	return g
+}
+
+// EffectiveHorizon reports the horizon the regenerative series certifies for
+// an RR/RRL query whose largest time point is t: t itself on a compile
+// without horizon bucketing, otherwise t rounded up to the compile's
+// geometric grid. The boolean reports whether bucketing changed the horizon
+// — the serving layer discloses that per result row, since bucketed answers
+// differ from an unbucketed compile's (they are strictly more accurate,
+// still certified within Epsilon).
+func (cm *CompiledModel) EffectiveHorizon(t float64) (float64, bool) {
+	h := cm.bucketHorizon(t)
+	return h, h != t
+}

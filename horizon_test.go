@@ -1,0 +1,220 @@
+package regenrand_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"regenrand"
+)
+
+// The bucketing grid, observed through EffectiveHorizon: every horizon
+// rounds UP to a grid point at most one cell away, grid points map to
+// themselves (idempotence), and the mapping is monotone — so a bucketed
+// horizon is always a certified-at-least-as-deep horizon and re-bucketing
+// is stable.
+func TestEffectiveHorizonGridProperties(t *testing.T) {
+	model, _ := raidTestModel(t, 1)
+	for _, perDecade := range []int{1, 4, 8} {
+		cm, err := regenrand.Compile(model, regenrand.CompileOptions{
+			Options: regenrand.DefaultOptions(), HorizonBuckets: perDecade,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cell := math.Pow(10, 1/float64(perDecade))
+		prev := 0.0
+		for k := 0; k <= 400; k++ {
+			tq := math.Pow(10, -2+float64(k)/50) // 1e-2 .. 1e6, log-spaced
+			h, bucketed := cm.EffectiveHorizon(tq)
+			if h < tq {
+				t.Fatalf("buckets=%d: EffectiveHorizon(%v) = %v rounds DOWN", perDecade, tq, h)
+			}
+			if bucketed != (h != tq) {
+				t.Fatalf("buckets=%d: EffectiveHorizon(%v) = (%v, %v) misreports bucketing", perDecade, tq, h, bucketed)
+			}
+			if h > tq*cell*(1+1e-12) {
+				t.Fatalf("buckets=%d: EffectiveHorizon(%v) = %v overshoots one grid cell (%v)", perDecade, tq, h, tq*cell)
+			}
+			h2, b2 := cm.EffectiveHorizon(h)
+			if h2 != h || b2 {
+				t.Fatalf("buckets=%d: grid point %v re-buckets to (%v, %v)", perDecade, h, h2, b2)
+			}
+			if h < prev {
+				t.Fatalf("buckets=%d: bucketing not monotone: %v then %v", perDecade, prev, h)
+			}
+			prev = h
+		}
+	}
+
+	// Bucketing off (the default): horizons pass through untouched.
+	plain, err := regenrand.Compile(model, regenrand.CompileOptions{Options: regenrand.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, bucketed := plain.EffectiveHorizon(3.7); h != 3.7 || bucketed {
+		t.Fatalf("bucketing disabled: EffectiveHorizon(3.7) = (%v, %v), want (3.7, false)", h, bucketed)
+	}
+}
+
+// HorizonBuckets is part of the compile content key — models compiled with
+// different grids never share cached artifacts — and negative values are
+// rejected at the trust boundary.
+func TestHorizonBucketsCompileKeyAndValidation(t *testing.T) {
+	model, _ := raidTestModel(t, 1)
+	opts := regenrand.DefaultOptions()
+	keys := make(map[string]int)
+	for _, buckets := range []int{0, 4, 8} {
+		cm, err := regenrand.Compile(model, regenrand.CompileOptions{Options: opts, HorizonBuckets: buckets})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := keys[cm.Key()]; dup {
+			t.Fatalf("HorizonBuckets %d and %d share a compile key", prev, buckets)
+		}
+		keys[cm.Key()] = buckets
+	}
+	_, err := regenrand.Compile(model, regenrand.CompileOptions{Options: opts, HorizonBuckets: -1})
+	if err == nil || !strings.Contains(err.Error(), "HorizonBuckets") {
+		t.Fatalf("negative HorizonBuckets: err %v, want a HorizonBuckets validation error", err)
+	}
+}
+
+// Bucketing changes answers only within the certified budget: both the
+// exact and the bucketed evaluation are within epsilon of the true value
+// (the bucketed series is truncated for a deeper horizon, which only
+// tightens the remainder), so they agree within the combined bound, and
+// the bucketed enclosures still contain the exact answers.
+func TestBucketedAnswersWithinEpsilon(t *testing.T) {
+	model, ua := raidTestModel(t, 2)
+	opts := regenrand.DefaultOptions()
+	exact, err := regenrand.Compile(model, regenrand.CompileOptions{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bucketed, err := regenrand.Compile(model, regenrand.CompileOptions{Options: opts, HorizonBuckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tq := range []float64{3, 17, 60, 444, 2718} {
+		q := regenrand.Query{Method: regenrand.MethodRRL, Rewards: ua, Times: []float64{tq}}
+		e, err := exact.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := bucketed.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(e[0].Value - b[0].Value); d > 1e-9 {
+			t.Errorf("t=%v: bucketed %v vs exact %v (Δ %v beyond the combined budget)", tq, b[0].Value, e[0].Value, d)
+		}
+		bb, err := bucketed.QueryBounds(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e[0].Value < bb[0].Lower-1e-9 || e[0].Value > bb[0].Upper+1e-9 {
+			t.Errorf("t=%v: exact %v outside bucketed bounds [%v, %v]", tq, e[0].Value, bb[0].Lower, bb[0].Upper)
+		}
+	}
+}
+
+// The planner groups bucketed traffic by grid point, so a batch of
+// near-miss horizons rides one multi-lane pass — and must stay
+// bitwise-identical to a serial per-query loop on an identically-compiled
+// model, exactly like exact-horizon planning.
+func TestBucketedBatchBitwiseEqualsSerial(t *testing.T) {
+	sc := plannerModels(t)[0] // Fig 3 G=20
+	n := sc.model.N()
+	// Distinct reward vectors × near-miss horizons that all round up to the
+	// same grid point (10 on the 4-per-decade grid).
+	var qs []regenrand.Query
+	for mi := 0; mi < 4; mi++ {
+		salt := mi
+		rw := regenrand.RewardsFrom(n, func(i int) float64 {
+			return float64((i*31+salt*7)%8) / 7
+		})
+		for _, tq := range []float64{6.0, 8.2, 9.5} {
+			qs = append(qs, regenrand.Query{Method: regenrand.MethodRRL, Rewards: rw, Times: []float64{tq}})
+		}
+	}
+	qs = append(qs, qs[0]) // byte-identical duplicate
+
+	for _, disableRetention := range []bool{false, true} {
+		copts := regenrand.CompileOptions{HorizonBuckets: 4, DisableRetention: disableRetention}
+		serial := compileFor(t, sc, copts)
+		want := make([]regenrand.QueryResult, len(qs))
+		for i, q := range qs {
+			r, err := serial.Query(q)
+			want[i] = regenrand.QueryResult{Results: r, Err: err}
+		}
+		batch := compileFor(t, sc, copts)
+		got := batch.QueryBatch(qs)
+		assertBatchesIdentical(t, got, want)
+	}
+}
+
+// RetainedBytes must account for series storage that grows after compile on
+// a NON-retaining model too: the incremental extension store keeps the
+// chains between queries, and the byte accounting must see them.
+func TestRetainedBytesGrowsWithoutRetention(t *testing.T) {
+	model, ua := raidTestModel(t, 1)
+	cm, err := regenrand.Compile(model, regenrand.CompileOptions{
+		Options: regenrand.DefaultOptions(), DisableRetention: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cm.RetainedBytes()
+	if _, err := cm.Query(regenrand.Query{Method: regenrand.MethodRRL, Rewards: ua, Times: []float64{100}}); err != nil {
+		t.Fatal(err)
+	}
+	mid := cm.RetainedBytes()
+	if mid <= before {
+		t.Fatalf("RetainedBytes did not grow with the incremental store: %d -> %d", before, mid)
+	}
+	if _, err := cm.Query(regenrand.Query{Method: regenrand.MethodRRL, Rewards: ua, Times: []float64{2000}}); err != nil {
+		t.Fatal(err)
+	}
+	if after := cm.RetainedBytes(); after <= mid {
+		t.Fatalf("RetainedBytes did not grow with the chain extension: %d -> %d", mid, after)
+	}
+}
+
+// The engine's work-sharing counters move with the traffic that causes
+// them. They are process-global and monotone, so the test asserts deltas
+// with >= — concurrent packages can only push them further.
+func TestEngineStatsCounters(t *testing.T) {
+	model, ua := raidTestModel(t, 1)
+	cm, err := regenrand.Compile(model, regenrand.CompileOptions{Options: regenrand.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := regenrand.Query{Method: regenrand.MethodRRL, Rewards: ua, Times: []float64{50}}
+
+	s0 := regenrand.ReadEngineStats()
+	if _, err := cm.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	s1 := regenrand.ReadEngineStats()
+	if s1.SeriesCacheMisses < s0.SeriesCacheMisses+1 {
+		t.Errorf("first query: misses %d -> %d, want +>=1", s0.SeriesCacheMisses, s1.SeriesCacheMisses)
+	}
+	if _, err := cm.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	s2 := regenrand.ReadEngineStats()
+	if s2.SeriesCacheHits < s1.SeriesCacheHits+1 {
+		t.Errorf("repeat query: hits %d -> %d, want +>=1", s1.SeriesCacheHits, s2.SeriesCacheHits)
+	}
+	if _, err := cm.Query(regenrand.Query{Method: regenrand.MethodRRL, Rewards: ua, Times: []float64{500}}); err != nil {
+		t.Fatal(err)
+	}
+	s3 := regenrand.ReadEngineStats()
+	if s3.SeriesExtensions < s2.SeriesExtensions+1 {
+		t.Errorf("deeper query: extensions %d -> %d, want +>=1", s2.SeriesExtensions, s3.SeriesExtensions)
+	}
+	if s3.ExtensionStepsSaved < s2.ExtensionStepsSaved+1 {
+		t.Errorf("deeper query: steps saved %d -> %d, want +>=1", s2.ExtensionStepsSaved, s3.ExtensionStepsSaved)
+	}
+}

@@ -111,6 +111,25 @@ func (l *LRU[K, V]) Stats() (entries int, bytes int64) {
 	return entries, bytes
 }
 
+// Each calls f with every populated, non-errored cached value, from most to
+// least recently used, without changing recency. In-flight entries are
+// skipped — Each never blocks on a constructor. The values are snapshotted
+// under the lock and f runs outside it, so f may itself use the cache.
+func (l *LRU[K, V]) Each(f func(V)) {
+	l.mu.Lock()
+	vals := make([]V, 0, l.order.Len())
+	for el := l.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[K, V])
+		if e.populated && e.err == nil {
+			vals = append(vals, e.val)
+		}
+	}
+	l.mu.Unlock()
+	for _, v := range vals {
+		f(v)
+	}
+}
+
 // Get returns the cached value for key, if present, marking it recently
 // used. It waits for an in-flight constructor on the same key; a failed
 // constructor reports absent.

@@ -22,9 +22,11 @@ import (
 // then a sweep of chunk-deterministic dot products over the retained
 // vectors (sparse.Matrix.RewardDotFused) instead of a fresh stepping pass,
 // and yields a Series bitwise-identical to Build. In non-retaining mode the
-// Basis only shares the DTMC and each binding re-runs the fused stepping
-// pass for its own rewards — the memory-lean configuration the wrapper
-// constructors use.
+// Basis only shares the DTMC and each binding owns a pair of reward-carrying
+// incremental chains (O(states) working vectors, O(K) scalars) that extend
+// monotonically as horizons grow — the memory-lean configuration the wrapper
+// constructors use; a deeper horizon pays only the step difference instead
+// of a fresh stepping pass.
 //
 // A Basis is safe for concurrent use: lazy extension of the chain store is
 // serialized by an internal mutex, published prefixes are append-only and
@@ -61,8 +63,9 @@ func (b *Basis) RetainedBytes() int64 { return b.retainedBytes.Load() }
 type RetainMode int
 
 const (
-	// RetainNone drops stepped vectors; every binding re-runs the fused
-	// stepping pass (memory O(states)).
+	// RetainNone drops stepped vectors; every binding steps reward-carrying
+	// incremental chains of its own (memory O(states) plus O(K) scalars),
+	// extended monotonically across horizons.
 	RetainNone RetainMode = iota
 	// RetainFull keeps every stepped vector at working precision; binding
 	// replays are bitwise-identical to a fused build (memory O(8·states·K)
@@ -175,6 +178,7 @@ type chainSnapshot struct {
 func (b *Basis) extend(ctx context.Context, cs *chainState, pred func(a []float64, level int) bool) (chainSnapshot, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	base := len(cs.a) - 1
 	steps := 0
 	for !cs.done {
 		level := len(cs.a) - 1
@@ -187,6 +191,7 @@ func (b *Basis) extend(ctx context.Context, cs *chainState, pred func(a []float6
 		cs.step(b.dtmc, b.plan, nil)
 		steps++
 	}
+	noteExtension(base, steps)
 	snap := chainSnapshot{
 		a:    cs.a[:len(cs.a):len(cs.a)],
 		q:    cs.q[:len(cs.q):len(cs.q)],
@@ -213,7 +218,27 @@ type Binding struct {
 	mu     sync.Mutex
 	bMain  []float64 // b(k) for k < len(bMain), over the retained main chain
 	bPrime []float64
+
+	// Non-retaining incremental store: on a RetainNone basis the binding owns
+	// reward-carrying chains of its own (O(states) working vectors plus O(K)
+	// scalar statistics) that extend monotonically under mu instead of
+	// re-stepping from scratch for every new horizon. nil until the first
+	// series request; see seriesByExtension.
+	incMain  *chainState
+	incPrime *chainState
+
+	// bytes accumulates this binding's own retained heap: cached b(k)
+	// coefficients (retaining basis) or the incremental chains' working
+	// vectors and per-step statistics (non-retaining). Atomic so byte-budget
+	// eviction can read it while a long extension holds mu.
+	bytes atomic.Int64
 }
+
+// RetainedBytes reports the approximate heap bytes this binding retains
+// beyond its basis: cached b(k) coefficient stores and, on a non-retaining
+// basis, the binding-owned incremental chains. Safe to call at any time,
+// including while an extension is running.
+func (bd *Binding) RetainedBytes() int64 { return bd.bytes.Load() }
 
 // Bind validates the rewards vector against the model and returns its
 // binding.
@@ -278,8 +303,10 @@ func (b *Basis) chainBudget() float64 {
 // SeriesFor returns the regenerative-randomization series of the bound
 // rewards certified for the given horizon — bitwise-identical to
 // Build(model, rewards, regenState, opts, horizon), but at the cost of a
-// coefficient binding (retaining basis, amortized across horizons) or one
-// fused stepping pass (non-retaining basis) instead of uniformize + step.
+// coefficient binding (retaining basis, amortized across horizons) or a
+// monotone extension of the binding's own incremental chains (non-retaining
+// basis; a deeper horizon pays only the steps between the two truncation
+// depths) instead of uniformize + step.
 // Under compact retention the b coefficients come from float32-rounded
 // vectors (not bitwise-identical to Build); the truncation levels then
 // certify against the quantization-reduced budget of truncBudget, so the
@@ -299,7 +326,7 @@ func (bd *Binding) SeriesForCtx(ctx context.Context, horizon float64) (*Series, 
 	}
 	b := bd.basis
 	if b.mode == RetainNone {
-		return BuildWithDTMCCtx(ctx, b.model, b.dtmc, bd.rewards, b.regenState, b.opts, horizon)
+		return bd.seriesByExtension(ctx, horizon)
 	}
 	lam := b.dtmc.Lambda * horizon
 
@@ -359,6 +386,129 @@ func (bd *Binding) SeriesForCtx(ctx context.Context, horizon float64) (*Series, 
 	return s, nil
 }
 
+// ensureIncLocked lazily creates the binding-owned reward-carrying chains of
+// the non-retaining incremental store. The chains start from the same u₀ /
+// u'₀ a fused build starts from and track the b series directly out of the
+// fused step kernel, so nothing beyond O(states) working vectors and O(K)
+// scalars is retained. Caller holds bd.mu.
+func (bd *Binding) ensureIncLocked() {
+	if bd.incMain != nil {
+		return
+	}
+	b := bd.basis
+	n := b.model.N()
+	u0 := make([]float64, n)
+	u0[b.regenState] = 1
+	bd.incMain = newChainState(n, b.plan, b.fr, u0, bd.rewards, 1, false, false, &bd.bytes)
+	bd.bytes.Add(int64(n) * 16) // the chain's two working vectors
+	if b.alphaR < 1 {
+		up0 := make([]float64, n)
+		copy(up0, b.model.Initial())
+		up0[b.regenState] = 0
+		bd.incPrime = newChainState(n, b.plan, b.fr, up0, bd.rewards, 1-b.alphaR, false, false, &bd.bytes)
+		bd.bytes.Add(int64(n) * 16)
+	}
+}
+
+// extendIncLocked grows one incremental chain until pred certifies the
+// current depth (or the chain exhausts), testing ctx once per step. Like the
+// basis extension, the store is append-only and never rolled back: a
+// cancelled call leaves a valid prefix, and a retry resumes from it to
+// bitwise the same chain an uninterrupted call would have built. Caller
+// holds bd.mu.
+func (bd *Binding) extendIncLocked(ctx context.Context, cs *chainState, pred func(a []float64, level int) bool) error {
+	b := bd.basis
+	base := cs.stepIndex()
+	steps := 0
+	for !cs.done && !pred(cs.a, cs.stepIndex()) {
+		if err := checkpoint(ctx, steps); err != nil {
+			return err
+		}
+		cs.step(b.dtmc, b.plan, bd.rewards)
+		steps++
+	}
+	noteExtension(base, steps)
+	return nil
+}
+
+// seriesByExtension is the non-retaining series path: instead of re-running
+// a fused build from step zero for every new horizon, the binding's own
+// chains extend monotonically — a t₂ request after t₁ < t₂ pays only the
+// steps between the two truncation depths. Each step runs the same
+// specialized fused kernel a single-rewards build runs (the kernel choice is
+// a pure function of the step index, and the single-lane kernel is
+// bitwise-identical per lane to the lockstep multi-lane one), so the
+// returned series is bitwise-identical to a fresh
+// Build(model, rewards, regen, opts, horizon). Truncation levels come from
+// the same monotone bound binary-searched over the (possibly deeper) chain,
+// hence are depth-independent; published slices are capacity-capped so later
+// extensions never mutate a returned series.
+func (bd *Binding) seriesByExtension(ctx context.Context, horizon float64) (*Series, error) {
+	b := bd.basis
+	lam := b.dtmc.Lambda * horizon
+	budget, err := bd.truncBudget()
+	if err != nil {
+		return nil, err
+	}
+	bd.mu.Lock()
+	defer bd.mu.Unlock()
+	bd.ensureIncLocked()
+
+	s := &Series{
+		Lambda:           b.dtmc.Lambda,
+		Regen:            b.regenState,
+		AlphaR:           b.alphaR,
+		Absorbing:        b.absorbing,
+		RewardsAbsorbing: bd.rAbs,
+		RMax:             bd.rmax,
+		Eps:              b.opts.Epsilon,
+		Horizon:          horizon,
+		L:                -1,
+	}
+	mainPred := func(a []float64, level int) bool {
+		return truncErrS(bd.rmax, a, level, lam) <= budget
+	}
+	if err := bd.extendIncLocked(ctx, bd.incMain, mainPred); err != nil {
+		return nil, err
+	}
+	cs := bd.incMain
+	depth := cs.stepIndex()
+	K := sort.Search(depth, func(cand int) bool { return mainPred(cs.a, cand) })
+	s.K = K
+	s.A = cs.a[:K+1 : K+1]
+	s.B = cs.b[:K+1 : K+1]
+	nq := min(K, len(cs.q))
+	s.Q = cs.q[:nq:nq]
+	s.V = make([][]float64, len(cs.v))
+	for i := range cs.v {
+		nv := min(K, len(cs.v[i]))
+		s.V[i] = cs.v[i][:nv:nv]
+	}
+
+	if b.alphaR < 1 {
+		primePred := func(a []float64, level int) bool {
+			return truncErrP(bd.rmax, a, level, lam) <= budget
+		}
+		if err := bd.extendIncLocked(ctx, bd.incPrime, primePred); err != nil {
+			return nil, err
+		}
+		ps := bd.incPrime
+		pdepth := ps.stepIndex()
+		L := sort.Search(pdepth, func(cand int) bool { return primePred(ps.a, cand) })
+		s.L = L
+		s.AP = ps.a[:L+1 : L+1]
+		s.BP = ps.b[:L+1 : L+1]
+		npq := min(L, len(ps.q))
+		s.QP = ps.q[:npq:npq]
+		s.VP = make([][]float64, len(ps.v))
+		for i := range ps.v {
+			nv := min(L, len(ps.v[i]))
+			s.VP[i] = ps.v[i][:nv:nv]
+		}
+	}
+	return s, nil
+}
+
 // bSeries returns b(0..top) for one chain, computing and caching missing
 // entries from the retained vectors. b(0) is the plain compensated dot the
 // fused build starts from; b(k ≥ 1) replays the dot side of the exact
@@ -373,7 +523,8 @@ func (bd *Binding) SeriesForCtx(ctx context.Context, horizon float64) (*Series, 
 func (bd *Binding) bSeries(store *[]float64, snap chainSnapshot, top int) []float64 {
 	bd.mu.Lock()
 	defer bd.mu.Unlock()
-	start := len(*store)
+	initial := len(*store)
+	start := initial
 	if start == 0 && top >= 0 {
 		*store = append(*store, bd.b0(snap))
 		start = 1
@@ -389,6 +540,9 @@ func (bd *Binding) bSeries(store *[]float64, snap chainSnapshot, top int) []floa
 			}
 			*store = append(*store, bk)
 		}
+	}
+	if grew := len(*store) - initial; grew > 0 {
+		bd.bytes.Add(8 * int64(grew))
 	}
 	return (*store)[:top+1]
 }
@@ -611,6 +765,7 @@ func (b *Basis) fillMany(bds []*Binding, snap chainSnapshot, tops []int, prime b
 		st := store(bd)
 		if len(*st) == 0 && top >= 0 {
 			*st = append(*st, bd.b0(snap))
+			bd.bytes.Add(8)
 		}
 		start := len(*st)
 		bd.mu.Unlock()
@@ -665,7 +820,8 @@ func (b *Basis) fillMany(bds []*Binding, snap chainSnapshot, tops []int, prime b
 	for i, nd := range needs {
 		nd.bd.mu.Lock()
 		st := store(nd.bd)
-		for kk := len(*st); kk <= nd.top; kk++ {
+		initial := len(*st)
+		for kk := initial; kk <= nd.top; kk++ {
 			d := outs[i][kk-lo]
 			ak := snap.a[kk]
 			var bk float64
@@ -673,6 +829,9 @@ func (b *Basis) fillMany(bds []*Binding, snap chainSnapshot, tops []int, prime b
 				bk = d / ak
 			}
 			*st = append(*st, bk)
+		}
+		if grew := len(*st) - initial; grew > 0 {
+			nd.bd.bytes.Add(8 * int64(grew))
 		}
 		nd.bd.mu.Unlock()
 	}

@@ -330,14 +330,18 @@ type chainState struct {
 	// atomic add so readers never contend on the basis lock a long extension
 	// holds.
 	bytes *atomic.Int64
+	haveB bool // rewards were given at creation: the b series is tracked
 	n     int
 }
 
 // retainedStepBytes returns the heap bytes one recorded step adds: the
 // retained vector at the chain's retention precision plus the appended
-// a/q/v statistics.
+// a/q/v (and, when tracked, b) statistics.
 func (cs *chainState) retainedStepBytes() int64 {
 	stats := int64(2+len(cs.v)) * 8
+	if cs.haveB {
+		stats += 8
+	}
 	if cs.compact {
 		return int64(cs.n)*4 + stats
 	}
@@ -357,6 +361,7 @@ func newChainState(n int, plan *zeroPlan, fr *sparse.Frontier, u0 []float64, rew
 		arena:    slabArena{n: n},
 		arena32:  slab32Arena{n: n},
 		bytes:    bytes,
+		haveB:    rewards != nil,
 		n:        n,
 	}
 	switch {

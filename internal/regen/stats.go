@@ -1,0 +1,32 @@
+package regen
+
+import "sync/atomic"
+
+// Process-wide extension telemetry. The serving layer (cmd/regenserve)
+// surfaces these through /varz; they are monotone counters, so readers
+// compare deltas.
+var (
+	extCount atomic.Int64
+	extSaved atomic.Int64
+)
+
+// noteExtension records the outcome of one chain-extension call: base is the
+// depth (steps) the chain already held when the call started, steps is how
+// many it appended. Only calls that grow an existing prefix count as
+// in-place extensions, and base is exactly the stepping work the reused
+// prefix saved versus building the same chain from scratch.
+func noteExtension(base, steps int) {
+	if steps > 0 && base > 0 {
+		extCount.Add(1)
+		extSaved.Add(int64(base))
+	}
+}
+
+// ExtensionStats reports the process-wide count of in-place series
+// extensions (a chain with an existing prefix grown deeper instead of
+// rebuilt) and the total full-model DTMC steps those reused prefixes saved.
+// Both counters are monotone; callers interested in one workload's effect
+// should difference two snapshots.
+func ExtensionStats() (extensions, stepsSaved int64) {
+	return extCount.Load(), extSaved.Load()
+}

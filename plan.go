@@ -17,8 +17,10 @@ import (
 //   - byte-identical requests are deduplicated by content fingerprint, so a
 //     batch that submits the same (method, measure, rewards, times) twice
 //     solves it once and fans the shared result out;
-//   - RR/RRL requests are grouped by horizon class (the exact certified
-//     horizon, max of the request's times), and each group's distinct
+//   - RR/RRL requests are grouped by horizon class (the certified horizon:
+//     the max of the request's times, rounded up to the compile's geometric
+//     grid when horizon bucketing is on — see horizon.go), and each group's
+//     distinct
 //     reward vectors are executed as dot lanes of ONE multi-lane stepping
 //     pass — regen.Basis.BuildMany on non-retaining compiled models (every
 //     lane rides one traversal of the DTMC per step), the grouped
@@ -116,7 +118,12 @@ func (cm *CompiledModel) planBatchCtx(ctx context.Context, qs []Query) batchPlan
 		if core.CheckTimes(q.Times) != nil {
 			continue
 		}
-		horizon := core.MaxTime(q.Times)
+		// Group by the effective (bucketed) horizon: with HorizonBuckets on,
+		// near-miss horizons collapse onto one grid point and ride one
+		// multi-lane pass instead of grouping only on exact-bit matches.
+		// The per-query path buckets identically (see QueryCtx), so the
+		// prewarmed series land under the keys evaluation reads.
+		horizon := cm.bucketHorizon(core.MaxTime(q.Times))
 		if horizon <= 0 {
 			continue
 		}

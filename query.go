@@ -134,7 +134,10 @@ func (cm *CompiledModel) QueryCtx(ctx context.Context, q Query) ([]Result, error
 		}
 		return s.TRR(q.Times)
 	case MethodRR, MethodRRL:
-		eval, err := m.regenEvaluatorCtx(ctx, q.Method, core.MaxTime(q.Times))
+		// The certified horizon is the max time, rounded up to the compile's
+		// horizon grid when bucketing is on (see horizon.go) — near-miss
+		// horizons then share one cached series.
+		eval, err := m.regenEvaluatorCtx(ctx, q.Method, cm.bucketHorizon(core.MaxTime(q.Times)))
 		if err != nil {
 			return nil, err
 		}
@@ -311,7 +314,7 @@ func (cm *CompiledModel) QueryBoundsCtx(ctx context.Context, q Query) ([]Bounds,
 	if err != nil {
 		return nil, err
 	}
-	eval, err := m.regenEvaluatorCtx(ctx, q.Method, core.MaxTime(q.Times))
+	eval, err := m.regenEvaluatorCtx(ctx, q.Method, cm.bucketHorizon(core.MaxTime(q.Times)))
 	if err != nil {
 		return nil, err
 	}

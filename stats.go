@@ -1,0 +1,49 @@
+package regenrand
+
+import (
+	"sync/atomic"
+
+	"regenrand/internal/regen"
+)
+
+// Process-wide series-cache telemetry, counted in the per-measure series
+// lookup (see CompiledMeasure.seriesForCtx). Under single-flight population
+// the constructor run counts as the miss and every waiter that shares its
+// result counts as a hit, which is the work-sharing quantity the serving
+// layer wants to watch.
+var (
+	seriesHits   atomic.Int64
+	seriesMisses atomic.Int64
+)
+
+// EngineStats is a snapshot of the engine's process-wide work-sharing
+// counters. All fields are monotone; compare deltas to attribute activity to
+// one workload.
+type EngineStats struct {
+	// SeriesCacheHits counts RR/RRL series resolutions served from a
+	// per-measure series cache (including waiters that shared an in-flight
+	// construction). Horizon bucketing raises this: near-miss horizons
+	// collapse onto one cached entry.
+	SeriesCacheHits int64
+	// SeriesCacheMisses counts series resolutions that ran a construction
+	// (fresh build or chain extension).
+	SeriesCacheMisses int64
+	// SeriesExtensions counts in-place chain extensions: a series
+	// construction that grew an already-stepped chain (retained basis or a
+	// non-retaining binding's incremental store) instead of rebuilding it.
+	SeriesExtensions int64
+	// ExtensionStepsSaved totals the full-model DTMC steps the reused
+	// prefixes of those extensions saved versus from-scratch builds.
+	ExtensionStepsSaved int64
+}
+
+// ReadEngineStats returns the current counter values.
+func ReadEngineStats() EngineStats {
+	ext, saved := regen.ExtensionStats()
+	return EngineStats{
+		SeriesCacheHits:     seriesHits.Load(),
+		SeriesCacheMisses:   seriesMisses.Load(),
+		SeriesExtensions:    ext,
+		ExtensionStepsSaved: saved,
+	}
+}
