@@ -760,3 +760,78 @@ func BenchmarkKernelVecMat(b *testing.B) {
 	}
 	b.ReportMetric(float64(m.Chain.NumTransitions()), "nnz")
 }
+
+// BenchmarkSnapshotLoad measures warm-restart economics. Both arms end in
+// the same ready-to-serve state — a compiled model whose retained chains
+// certify the scenario horizon: the /load arm gets there by LoadSnapshot
+// over snapshot bytes (decode + per-section checksums + content-key
+// recompute over the rebuilt model + chain cross-validation + aligned
+// zero-copy slab restore); the /recompile arm by a cold Compile with
+// PrebuildHorizon (generator analysis + the full series re-stepping the
+// snapshot carries). Their ratio is the restart win durable snapshots buy.
+//
+// The two models bracket the regimes: the 10⁴-state band model is the
+// verification-bound worst case (shallow chains over a wide state space —
+// loading must stream the whole slab from memory while recompiling re-steps
+// a sparse ~3n-nonzero operator per row), and the paper's G=20 RAID
+// instance at t=1000 is the stepping-bound regime real dependability models
+// live in (deep chains, compute-heavy steps). compact halves the slab via
+// float32 retention, roughly doubling the load-side win at equal stepping
+// cost. "bytes" on the /load arms is the snapshot blob size.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	band, err := ctmc.RandomBand(rand.New(rand.NewSource(42)), ctmc.BandOptions{States: 10000, Bandwidth: 8, Degree: 3, Absorbing: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	raid := raidModel(b, 20, false)
+	type scenario struct {
+		name    string
+		model   *regenrand.CTMC
+		regen   int
+		horizon float64
+		compact bool
+	}
+	scenarios := []scenario{
+		{"model=band1e4/t=100/retain=full", band, 0, 100, false},
+		{"model=band1e4/t=100/retain=compact", band, 0, 100, true},
+		{"model=G20/t=1000/retain=full", raid.Chain, raid.Pristine, 1000, false},
+		{"model=G20/t=1000/retain=compact", raid.Chain, raid.Pristine, 1000, true},
+	}
+	for _, sc := range scenarios {
+		opts := regenrand.DefaultOptions()
+		if sc.compact {
+			// float32 retention needs a truncation budget above the f32
+			// round-off floor.
+			opts.Epsilon = 1e-6
+		}
+		copts := regenrand.CompileOptions{
+			Options:          opts,
+			RegenState:       sc.regen,
+			CompactRetention: sc.compact,
+			PrebuildHorizon:  sc.horizon,
+		}
+		seed, err := regenrand.Compile(sc.model, copts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := seed.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(sc.name+"/load", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := regenrand.LoadSnapshot(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(data)), "bytes")
+		})
+		b.Run(sc.name+"/recompile", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := regenrand.Compile(sc.model, copts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

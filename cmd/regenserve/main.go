@@ -55,7 +55,10 @@
 //	                     work-sharing counters — series_cache_hits/misses,
 //	                     series_extensions, series_extension_steps_saved
 //	                     (how often a query reused or grew an existing
-//	                     series instead of rebuilding it)
+//	                     series instead of rebuilding it) — and the snapshot
+//	                     counters snapshot_loads, snapshot_load_failures,
+//	                     snapshot_writes, snapshot_write_failures,
+//	                     snapshot_bytes_written
 //
 // The model encoding is {"states": n, "transitions": [[from, to, rate],
 // ...], "initial": [[state, probability], ...]}. A model_id is the content
@@ -90,6 +93,29 @@
 //     serving; engine worker panics are already converted to errors before
 //     they reach the handler.
 //
+// # Snapshots and warm restarts
+//
+// With -snapshot-dir set, compiled artifacts survive the process: every
+// compile is written back in the background as a versioned, checksummed
+// snapshot (model + options + the retained regeneration chains; see
+// internal/snapshot), written atomically so a crash mid-write can never
+// leave a torn blob under a live name. At boot the server warm-starts the
+// cache from the directory, and at drain it re-snapshots every cached model
+// so the chains deepened by the traffic just served are captured. A restart
+// therefore resumes at its former depth and answers bitwise-identically to
+// the process that died — without re-uploading, recompiling, or
+// re-stepping.
+//
+// Nothing in the directory is trusted: a snapshot must pass per-section
+// CRCs, a content-key recomputation over the rebuilt model, and chain
+// cross-validation before it is served; anything that fails — truncated,
+// bit-flipped, version-mismatched, or misfiled — is logged, renamed to
+// *.corrupt for inspection, and silently replaced by a recompile. A bad
+// snapshot can cost a recompile, never a wrong answer and never a refusal
+// to boot. Snapshots from a different format version are rejected the same
+// way, so rolling the binary forward (or back) across a format change is
+// always safe.
+//
 // # Flags
 //
 //	-addr             listen address (default :8347)
@@ -113,13 +139,18 @@
 //	-degrade-grace    extra budget for the one degraded retry (default 2s)
 //	-drain            shutdown grace for in-flight requests after
 //	                  SIGTERM/SIGINT (default 30s)
+//	-snapshot-dir     directory for durable compiled-model snapshots; warm
+//	                  start at boot, background write-back per compile,
+//	                  flush at drain (empty = disabled)
 //	-selfcheck        start on an ephemeral port, drive a sample compile +
 //	                  concurrent batch query over HTTP, exit 0/1 (CI smoke)
 //	-chaos            with -selfcheck: additionally inject faults (stepping
-//	                  delays, inversion errors, compile panics) at the
-//	                  engine's fault points and assert the server stays
-//	                  live, bad rows fail cleanly, and answers after
-//	                  recovery are bitwise-identical to the quiet run
+//	                  delays, inversion errors, compile panics, snapshot
+//	                  store/decode failures) at the engine's fault points
+//	                  and assert the server stays live, bad rows fail
+//	                  cleanly, kill-and-restart recovery is
+//	                  bitwise-identical, and on-disk corruption is
+//	                  quarantined, not served
 package main
 
 import (
@@ -134,6 +165,7 @@ import (
 	"time"
 
 	"regenrand"
+	"regenrand/internal/store"
 )
 
 func main() {
@@ -152,6 +184,7 @@ func main() {
 	degradeEpsilon := flag.Float64("degrade-epsilon", 1e-6, "epsilon of certified degraded answers")
 	degradeGrace := flag.Duration("degrade-grace", 2*time.Second, "extra budget for one degraded retry")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown grace for in-flight requests")
+	snapshotDir := flag.String("snapshot-dir", "", "directory for durable compiled-model snapshots (empty = disabled)")
 	selfcheck := flag.Bool("selfcheck", false, "start on an ephemeral port, run a sample compile + concurrent batch query, exit")
 	chaos := flag.Bool("chaos", false, "with -selfcheck: inject engine faults and assert recovery (fault-injection smoke)")
 	flag.Parse()
@@ -184,6 +217,12 @@ func main() {
 		return
 	}
 
+	if *snapshotDir != "" {
+		if err := attachSnapshots(srv, *snapshotDir); err != nil {
+			log.Fatalf("regenserve: snapshot store: %v", err)
+		}
+	}
+
 	hs := &http.Server{Addr: *addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
@@ -206,8 +245,32 @@ func main() {
 			log.Printf("regenserve: drain incomplete: %v", err)
 			os.Exit(1)
 		}
+		if *snapshotDir != "" {
+			// Flush captures the chains as deepened by the traffic served
+			// since compile, so the next boot warm-starts at full depth.
+			written, failed := srv.cache.FlushSnapshots()
+			log.Printf("regenserve: snapshot flush: %d written, %d failed", written, failed)
+		}
 		log.Printf("regenserve: drained, exiting")
 	}
+}
+
+// attachSnapshots connects a local-directory snapshot store (with retrying
+// I/O) to the compile cache and warm-starts the cache from it: every stored
+// snapshot that passes decode + checksum + content-key verification is
+// loaded; corrupt ones are quarantined, logged, and recompiled on demand.
+func attachSnapshots(srv *server, dir string) error {
+	st, err := store.NewDir(dir)
+	if err != nil {
+		return err
+	}
+	srv.cache.SetSnapshotStore(store.WithRetry(st, 3, 25*time.Millisecond), log.Printf)
+	loaded, failed, err := srv.cache.WarmStart(context.Background())
+	if err != nil {
+		return err
+	}
+	log.Printf("regenserve: warm start from %s: %d snapshot(s) loaded, %d failed", dir, loaded, failed)
+	return nil
 }
 
 // newServer wires the cache, admission classes, and limits together.

@@ -7,6 +7,8 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -16,6 +18,7 @@ import (
 	"regenrand/internal/faultpoint"
 	"regenrand/internal/laplace"
 	"regenrand/internal/regen"
+	"regenrand/internal/store"
 )
 
 // sameRow compares two result rows by value (the bounds edges are pointers,
@@ -487,7 +490,8 @@ func checkObservability(c *checkClient, srv *server) error {
 		return fmt.Errorf("/varz: HTTP %d", status)
 	}
 	for _, key := range []string{"requests", "in_flight_compiles", "in_flight_queries", "shed", "timeouts", "degraded", "panics", "cache_entries", "cache_bytes",
-		"series_cache_hits", "series_cache_misses", "series_extensions", "series_extension_steps_saved"} {
+		"series_cache_hits", "series_cache_misses", "series_extensions", "series_extension_steps_saved",
+		"snapshot_loads", "snapshot_load_failures", "snapshot_writes", "snapshot_write_failures", "snapshot_bytes_written"} {
 		if _, ok := v[key]; !ok {
 			return fmt.Errorf("/varz missing %q: %v", key, v)
 		}
@@ -676,7 +680,14 @@ func runChaos(c *checkClient, srv *server, modelID string, model *modelJSON, rew
 		return err
 	}
 
-	fmt.Println("regenserve selfcheck: chaos rounds OK (stepping delay, inversion error, compile panic, degraded answers, shedding)")
+	// Rounds 6-8 — durable snapshots: kill-and-restart warm start,
+	// corruption on disk, and faults during store I/O, each recovering
+	// bitwise-identically.
+	if err := runSnapshotRounds(model, rewards); err != nil {
+		return err
+	}
+
+	fmt.Println("regenserve selfcheck: chaos rounds OK (stepping delay, inversion error, compile panic, degraded answers, shedding, snapshot durability)")
 	return nil
 }
 
@@ -746,6 +757,189 @@ func runShedRound(model *modelJSON, rewards []float64) error {
 	}
 	if v["shed"].(float64) < 1 {
 		return fmt.Errorf("chaos shed: /varz shed %v, want >= 1", v["shed"])
+	}
+	return nil
+}
+
+// runSnapshotRounds proves the durable-snapshot path fail-safe across
+// process lifetimes. A sequence of short-lived in-process servers shares
+// one snapshot directory:
+//
+//   - kill-and-restart: life 1 compiles and queries, then dies without any
+//     orderly flush (only the background write-back ran); life 2 must
+//     warm-start from the directory and answer bitwise-identically without
+//     the client re-uploading the model.
+//   - corrupt-on-disk: a byte of the stored blob is flipped; the next life
+//     must quarantine it (*.corrupt), recompile, answer bitwise-identically,
+//     and re-write a clean snapshot at drain.
+//   - fault-during-write-back: with the store.write fault point armed the
+//     flush must report the failure and leave no torn blob behind; with the
+//     fault cleared the flush succeeds.
+func runSnapshotRounds(model *modelJSON, rewards []float64) error {
+	dir, err := os.MkdirTemp("", "regenserve-snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	defer faultpoint.Reset()
+
+	// boot starts a fresh server life over the shared snapshot directory;
+	// the returned close function is an abrupt kill (no drain, no flush).
+	boot := func() (*server, func(), *checkClient, error) {
+		srv := newServer(serverConfig{
+			CacheEntries: 4,
+			Compiles:     2,
+			Queries:      4,
+			QueueDepth:   8,
+			QueueWait:    time.Second,
+			Limits: serverLimits{
+				DefaultTimeout: 10 * time.Second,
+				MaxTimeout:     10 * time.Second,
+				MaxBody:        8 << 20,
+				MaxStates:      1_000_000,
+				MaxTransitions: 10_000_000,
+				DegradeEpsilon: 1e-6,
+				DegradeGrace:   time.Second,
+			},
+		})
+		if err := attachSnapshots(srv, dir); err != nil {
+			return nil, nil, nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		hs := &http.Server{Handler: newMux(srv)}
+		go hs.Serve(ln)
+		return srv, func() { hs.Close() }, &checkClient{base: "http://" + ln.Addr().String()}, nil
+	}
+	ask := queryRequest{Queries: []queryJSON{{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: []float64{1, 10, 100}}}}
+
+	// Life 1: compile + query, wait for the background write-back, die hard.
+	srv1, kill1, c1, err := boot()
+	if err != nil {
+		return fmt.Errorf("chaos snapshot life 1: %w", err)
+	}
+	var comp compileResponse
+	if err := c1.post("/v1/compile", compileRequest{Model: model}, &comp); err != nil {
+		return fmt.Errorf("chaos snapshot life 1 compile: %w", err)
+	}
+	var want queryResponse
+	if err := c1.post("/v1/query", queryRequest{ModelID: comp.ModelID, Queries: ask.Queries}, &want); err != nil {
+		return fmt.Errorf("chaos snapshot life 1 query: %w", err)
+	}
+	if want.Results[0].Error != "" {
+		return fmt.Errorf("chaos snapshot life 1 query: %s", want.Results[0].Error)
+	}
+	srv1.cache.SnapshotWait()
+	kill1()
+
+	// sameAnswers replays the query on a later life and compares bitwise.
+	sameAnswers := func(c *checkClient, tag string) error {
+		var got queryResponse
+		if err := c.post("/v1/query", queryRequest{ModelID: comp.ModelID, Queries: ask.Queries}, &got); err != nil {
+			return fmt.Errorf("%s: %w", tag, err)
+		}
+		if got.Results[0].Error != "" {
+			return fmt.Errorf("%s: %s", tag, got.Results[0].Error)
+		}
+		for j := range want.Results[0].Results {
+			if !sameRow(got.Results[0].Results[j], want.Results[0].Results[j]) {
+				return fmt.Errorf("%s: row %d differs from the pre-restart answers", tag, j)
+			}
+		}
+		return nil
+	}
+
+	// Life 2: warm start must have loaded the write-back; the model id from
+	// the dead process must answer bitwise with no re-upload.
+	before := regenrand.ReadEngineStats()
+	srv2, kill2, c2, err := boot()
+	if err != nil {
+		return fmt.Errorf("chaos snapshot life 2: %w", err)
+	}
+	if d := regenrand.ReadEngineStats().SnapshotLoads - before.SnapshotLoads; d < 1 {
+		return fmt.Errorf("chaos snapshot life 2: warm start loaded %d snapshots, want >= 1", d)
+	}
+	if err := sameAnswers(c2, "chaos snapshot kill-and-restart"); err != nil {
+		return err
+	}
+	// Drain-time flush (the orderly-shutdown path) must succeed.
+	if written, failed := srv2.cache.FlushSnapshots(); written < 1 || failed != 0 {
+		kill2()
+		return fmt.Errorf("chaos snapshot life 2 flush: %d written, %d failed", written, failed)
+	}
+	kill2()
+
+	// Corrupt the stored blob in place: flip one byte mid-file.
+	blob := filepath.Join(dir, comp.ModelID)
+	raw, err := os.ReadFile(blob)
+	if err != nil {
+		return fmt.Errorf("chaos snapshot corrupt: %w", err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(blob, raw, 0o644); err != nil {
+		return fmt.Errorf("chaos snapshot corrupt: %w", err)
+	}
+
+	// Life 3: the corrupt blob must be quarantined, not served; the answers
+	// come from a recompile and still match bitwise; the drain flush
+	// re-writes a clean snapshot.
+	before = regenrand.ReadEngineStats()
+	srv3, kill3, c3, err := boot()
+	if err != nil {
+		return fmt.Errorf("chaos snapshot life 3: %w", err)
+	}
+	defer kill3()
+	if d := regenrand.ReadEngineStats().SnapshotLoadFailures - before.SnapshotLoadFailures; d < 1 {
+		return fmt.Errorf("chaos snapshot life 3: %d load failures after corruption, want >= 1", d)
+	}
+	if _, err := os.Stat(blob + ".corrupt"); err != nil {
+		return fmt.Errorf("chaos snapshot life 3: corrupt blob not quarantined: %v", err)
+	}
+	// The quarantined snapshot leaves the cache cold for that id, so the
+	// client re-uploads — the recompile must land on the same content key
+	// and the answers must still match the pre-corruption run bitwise.
+	var recomp compileResponse
+	if err := c3.post("/v1/compile", compileRequest{Model: model}, &recomp); err != nil {
+		return fmt.Errorf("chaos snapshot life 3 re-upload: %w", err)
+	}
+	if recomp.ModelID != comp.ModelID {
+		return fmt.Errorf("chaos snapshot life 3 re-upload: model id %s, want %s", recomp.ModelID, comp.ModelID)
+	}
+	if err := sameAnswers(c3, "chaos snapshot corrupt-on-disk"); err != nil {
+		return err
+	}
+	if written, failed := srv3.cache.FlushSnapshots(); written < 1 || failed != 0 {
+		return fmt.Errorf("chaos snapshot life 3 flush: %d written, %d failed", written, failed)
+	}
+	if _, err := os.Stat(blob); err != nil {
+		return fmt.Errorf("chaos snapshot life 3: clean snapshot not re-written: %v", err)
+	}
+
+	// Fault during write-back: the armed store.write site fails the flush
+	// (reported, not hidden), leaves no temp litter, and the next flush
+	// succeeds. Times matches the retry wrapper's attempt budget so the
+	// write exhausts its retries — fewer and the retry would mask the fault.
+	faultpoint.Enable(store.FaultWrite, faultpoint.Spec{Mode: faultpoint.ModeError, Times: 3})
+	if _, failed := srv3.cache.FlushSnapshots(); failed < 1 {
+		return fmt.Errorf("chaos snapshot write-fault flush: %d failed, want >= 1", failed)
+	}
+	faultpoint.Reset()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".wr-") {
+			return fmt.Errorf("chaos snapshot write-fault: temp file %s left behind", e.Name())
+		}
+	}
+	if written, failed := srv3.cache.FlushSnapshots(); written < 1 || failed != 0 {
+		return fmt.Errorf("chaos snapshot recovery flush: %d written, %d failed", written, failed)
+	}
+	if err := sameAnswers(c3, "chaos snapshot after write fault"); err != nil {
+		return err
 	}
 	return nil
 }

@@ -694,6 +694,14 @@ func (s *server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		"series_cache_misses":          es.SeriesCacheMisses,
 		"series_extensions":            es.SeriesExtensions,
 		"series_extension_steps_saved": es.ExtensionStepsSaved,
+		// Durable-snapshot traffic (zero unless -snapshot-dir is set):
+		// warm loads vs validation failures (corrupt blobs quarantined and
+		// recompiled), write-backs/flushes vs write failures, bytes stored.
+		"snapshot_loads":          es.SnapshotLoads,
+		"snapshot_load_failures":  es.SnapshotLoadFailures,
+		"snapshot_writes":         es.SnapshotWrites,
+		"snapshot_write_failures": es.SnapshotWriteFailures,
+		"snapshot_bytes_written":  es.SnapshotBytesWritten,
 	})
 }
 

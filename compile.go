@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"regenrand/internal/adaptive"
 	"regenrand/internal/cache"
@@ -502,6 +503,12 @@ func (m *CompiledMeasure) auSolver() (*adaptive.Solver, error) {
 // artifact cache the serving layer (cmd/regenserve) shares across requests.
 type CompileCache struct {
 	lru *cache.LRU[string, *CompiledModel]
+
+	// Snapshot load-through/write-back state; see SetSnapshotStore in
+	// snapshot.go. snap is nil until a store is attached, so the snapshot
+	// machinery costs an atomic load when unused.
+	snap   atomic.Pointer[snapshotBackend]
+	snapWG sync.WaitGroup
 }
 
 // NewCompileCache returns a cache holding at most capacity compiled models.
@@ -541,8 +548,21 @@ func (c *CompileCache) CompileCtx(ctx context.Context, model *CTMC, copts Compil
 	}
 	copts.Options = opts // normalized, so equivalent options share a key
 	copts.RRL = copts.RRL.Normalize()
-	cm, err := c.lru.GetOrCreateCtx(ctx, compileKey(model, copts), func(cctx context.Context) (*CompiledModel, error) {
-		return CompileCtx(cctx, model, copts)
+	key := compileKey(model, copts)
+	cm, err := c.lru.GetOrCreateCtx(ctx, key, func(cctx context.Context) (*CompiledModel, error) {
+		// Load-through: with a snapshot store attached, a cache miss first
+		// tries a stored snapshot (decode + verify); a corrupt or missing
+		// snapshot falls back to compiling, and the fresh artifact is
+		// written back in the background. Either way the answer is bitwise
+		// the same — the snapshot path only skips re-deriving it.
+		if loaded, ok := c.tryLoadSnapshot(cctx, key); ok {
+			return loaded, nil
+		}
+		built, err := CompileCtx(cctx, model, copts)
+		if err == nil {
+			c.writeBackAsync(built)
+		}
+		return built, err
 	})
 	if err != nil {
 		return nil, wrapCtxErr(err)

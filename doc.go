@@ -183,15 +183,42 @@
 // extension into the compile so a deadline covers it; it is pure warmup and
 // does not change the model's content key or any result.
 //
+// # Snapshots and warm restarts
+//
+// A compiled artifact is expensive state — the generator analysis plus
+// every retained chain step — and all of it dies with the process. The
+// snapshot layer makes it durable: CompiledModel.Snapshot serializes the
+// model, the compile options, and the retained chains into a versioned,
+// per-section-checksummed binary blob (internal/snapshot), and LoadSnapshot
+// rebuilds a compiled model whose answers and whose further chain extension
+// are bitwise-identical to the original's. Chains are stored as contiguous
+// slabs at 8-aligned offsets, so a load is a checksum pass plus zero-copy
+// views, not a re-stepping pass.
+//
+// CompileCache.SetSnapshotStore attaches a store (internal/store; the
+// local-directory backend writes temp-fsync-rename atomically, so a crash
+// mid-write can never leave a torn blob under a live name) and turns cache
+// misses into load-throughs: hit the store, decode, verify, serve — or
+// recompile and write back in the background. CompileCache.WarmStart and
+// FlushSnapshots are the boot- and drain-time bulk counterparts. Nothing
+// loaded is trusted: a snapshot must pass its CRCs, a content-key
+// recomputation over the model it rebuilds, and chain cross-validation;
+// whatever fails is quarantined and recompiled — a bad snapshot can cost a
+// recompile, never a wrong answer. ReadEngineStats exposes the
+// load/write/failure counters.
+//
 // Robustness is testable on purpose: internal/faultpoint exposes named
 // fault-injection sites in series stepping ("regen.step"), Laplace
-// inversion blocks ("laplace.block") and cache population
-// ("cache.populate") that tests arm to inject delays, errors, or panics
-// (REGENRAND_FAULTPOINTS arms them from the environment). Worker-pool and
-// cache-constructor panics are recovered into errors — a poisoned reward
-// vector fails its query, not the process — which is what lets
-// cmd/regenserve run a chaos selfcheck asserting the server stays live and
-// post-fault answers are bitwise-identical to a quiet run.
+// inversion blocks ("laplace.block"), cache population ("cache.populate"),
+// snapshot store I/O ("store.read", "store.write") and snapshot decoding
+// ("snapshot.decode") that tests arm to inject delays, errors, or panics
+// (REGENRAND_FAULTPOINTS arms them from the environment, rejecting unknown
+// site names at parse time). Worker-pool and cache-constructor panics are
+// recovered into errors — a poisoned reward vector fails its query, not the
+// process — which is what lets cmd/regenserve run a chaos selfcheck
+// asserting the server stays live, post-fault answers are
+// bitwise-identical to a quiet run, and a kill-and-restart over the
+// snapshot directory resumes bitwise where the dead process stopped.
 //
 // # Execution layer
 //

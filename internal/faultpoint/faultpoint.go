@@ -13,12 +13,19 @@
 // optional ',after:N' (skip the first N hits) and ',times:N' (trigger at
 // most N times). Modes: delay (arg is a time.Duration per triggered hit),
 // error (Hit returns ErrInjected), panic (Hit panics).
+//
+// EnableFromSpec (and hence the environment variable) accepts only the site
+// names compiled into this module — see knownSites. A typo in a chaos spec
+// would otherwise arm a site that nothing ever hits and the run would
+// silently test nothing; unknown names are rejected at parse. The
+// programmatic Enable has no such check (tests arm scratch sites freely).
 package faultpoint
 
 import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -49,6 +56,35 @@ type Spec struct {
 
 // ErrInjected is returned by ModeError sites, wrapped with the site name.
 var ErrInjected = errors.New("faultpoint: injected error")
+
+// knownSites is the registry of every fault-injection site compiled into
+// this module. The site-name constants live next to the code that hits them
+// (regen.FaultStep, cache.FaultPopulate, laplace.FaultBlock,
+// store.FaultRead/FaultWrite, snapshot.FaultDecode); this package cannot
+// import those packages, so the list is maintained here and each consumer's
+// tests assert Known(itsConstant) to keep the two in sync.
+var knownSites = map[string]bool{
+	"regen.step":      true,
+	"cache.populate":  true,
+	"laplace.block":   true,
+	"store.read":      true,
+	"store.write":     true,
+	"snapshot.decode": true,
+}
+
+// Known reports whether name is a registered fault-injection site.
+func Known(name string) bool { return knownSites[name] }
+
+// KnownSites returns the sorted registered site names (for error messages
+// and docs).
+func KnownSites() []string {
+	names := make([]string, 0, len(knownSites))
+	for n := range knownSites {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
 
 type site struct {
 	spec  Spec
@@ -152,6 +188,9 @@ func EnableFromSpec(v string) error {
 		name, rest, ok := strings.Cut(entry, "=")
 		if !ok || name == "" {
 			return fmt.Errorf("entry %q: want name=mode[:arg][,after:N][,times:N]", entry)
+		}
+		if !Known(name) {
+			return fmt.Errorf("entry %q: unknown fault site %q (known: %s)", entry, name, strings.Join(KnownSites(), ", "))
 		}
 		var spec Spec
 		for i, part := range strings.Split(rest, ",") {

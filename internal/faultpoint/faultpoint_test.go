@@ -2,6 +2,7 @@ package faultpoint
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 )
@@ -58,18 +59,57 @@ func TestDelayMode(t *testing.T) {
 func TestEnableFromSpec(t *testing.T) {
 	Reset()
 	defer Reset()
-	if err := EnableFromSpec("a=delay:5ms; b=error,after:1,times:2 ;c=panic"); err != nil {
+	if err := EnableFromSpec("regen.step=delay:5ms; cache.populate=error,after:1,times:2 ;laplace.block=panic"); err != nil {
 		t.Fatalf("EnableFromSpec: %v", err)
 	}
-	if err := Hit("b"); err != nil {
-		t.Fatalf("b within After window: %v", err)
+	if err := Hit("cache.populate"); err != nil {
+		t.Fatalf("cache.populate within After window: %v", err)
 	}
-	if err := Hit("b"); !errors.Is(err, ErrInjected) {
-		t.Fatalf("b second hit = %v, want ErrInjected", err)
+	if err := Hit("cache.populate"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("cache.populate second hit = %v, want ErrInjected", err)
 	}
-	for _, bad := range []string{"=error", "x", "a=wat", "a=delay:zzz", "a=error,after:-1", "a=error,times:0", "a=error,bogus:1"} {
+	for _, bad := range []string{
+		"=error", "x", "regen.step=wat", "regen.step=delay:zzz",
+		"regen.step=error,after:-1", "regen.step=error,times:0", "regen.step=error,bogus:1",
+	} {
 		if err := EnableFromSpec(bad); err == nil {
 			t.Fatalf("EnableFromSpec(%q) accepted", bad)
 		}
 	}
+}
+
+// A typo'd site name in a chaos spec must fail the parse loudly (and name
+// the known sites) instead of arming a site nothing ever hits.
+func TestEnableFromSpecRejectsUnknownSites(t *testing.T) {
+	Reset()
+	defer Reset()
+	for _, bad := range []string{
+		"regen.stepp=error",
+		"store.reed=delay:1ms",
+		"regen.step=delay:1ms;snapshot.decoder=error",
+	} {
+		err := EnableFromSpec(bad)
+		if err == nil {
+			t.Fatalf("EnableFromSpec(%q) accepted an unknown site", bad)
+		}
+		if !strings.Contains(err.Error(), "unknown fault site") {
+			t.Fatalf("EnableFromSpec(%q) error %q does not flag the unknown site", bad, err)
+		}
+		if !strings.Contains(err.Error(), "regen.step") {
+			t.Fatalf("EnableFromSpec(%q) error %q does not list the known sites", bad, err)
+		}
+	}
+	// Every registered name parses; the store/snapshot sites added for
+	// durability testing are registered.
+	for _, name := range KnownSites() {
+		if err := EnableFromSpec(name + "=error,times:1"); err != nil {
+			t.Fatalf("EnableFromSpec rejected registered site %q: %v", name, err)
+		}
+	}
+	for _, name := range []string{"store.read", "store.write", "snapshot.decode"} {
+		if !Known(name) {
+			t.Fatalf("site %q not registered", name)
+		}
+	}
+	Reset()
 }

@@ -1,0 +1,220 @@
+package regen
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChainDump is the serializable state of one retained chain of a Basis: the
+// per-step statistics plus the retained stepped vectors, flattened into one
+// contiguous slab (the on-disk layout of the snapshot subsystem). A dump of
+// a chain after k steps has len(A) == k+1, len(Q) == k and len(V[i]) == k,
+// and a retained slab of (k+1)·n entries.
+//
+// Exactly one of UsFlat/Us32Flat is populated, per the basis's retention
+// precision. Under compact retention the float64 stepping trajectory is NOT
+// recoverable from the float32 roundings, so the dump additionally carries
+// U, the current full-precision working vector — restoring it is what keeps
+// further chain extension bitwise-identical to a never-snapshotted basis.
+type ChainDump struct {
+	// Done marks an exhausted chain (surviving mass reached zero or the
+	// underflow floor); an exhausted chain is never stepped again.
+	Done bool
+	A    []float64
+	Q    []float64
+	V    [][]float64
+	// UsFlat is the retained u_0..u_k at working precision, row-major
+	// (UsFlat[k*n : (k+1)*n] is u_k). Populated under full retention.
+	UsFlat []float64
+	// Us32Flat is the float32 counterpart under compact retention.
+	Us32Flat []float32
+	// U is the current full-precision working vector (compact retention
+	// only; under full retention the last UsFlat row IS the working vector).
+	U []float64
+}
+
+// steps returns the number of recorded steps of the dump.
+func (d *ChainDump) steps() int { return len(d.A) - 1 }
+
+// DumpChains copies the retained chain state of the basis into serializable
+// dumps (nil, nil on a non-retaining basis; prime is nil when α_r = 1). The
+// copy is taken under the basis lock, so it is a consistent prefix even
+// while concurrent queries extend the chains; the returned dumps share no
+// memory with the basis.
+func (b *Basis) DumpChains() (main, prime *ChainDump) {
+	if b.mode == RetainNone {
+		return nil, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	main = dumpChain(b.main)
+	if b.prime != nil {
+		prime = dumpChain(b.prime)
+	}
+	return main, prime
+}
+
+func dumpChain(cs *chainState) *ChainDump {
+	n := cs.n
+	d := &ChainDump{
+		Done: cs.done,
+		A:    append([]float64(nil), cs.a...),
+		Q:    append([]float64(nil), cs.q...),
+		V:    make([][]float64, len(cs.v)),
+	}
+	for i := range cs.v {
+		d.V[i] = append([]float64(nil), cs.v[i]...)
+	}
+	if cs.compact {
+		d.Us32Flat = make([]float32, len(cs.us32)*n)
+		for k, u := range cs.us32 {
+			copy(d.Us32Flat[k*n:], u)
+		}
+		d.U = append([]float64(nil), cs.u...)
+	} else {
+		d.UsFlat = make([]float64, len(cs.us)*n)
+		for k, u := range cs.us {
+			copy(d.UsFlat[k*n:], u)
+		}
+	}
+	return d
+}
+
+// RestoreChains installs dumped chain state into a freshly created retaining
+// basis, replacing its step-0 chains. The basis must have been created with
+// NewBasisMode over the same (model, regenState, options, mode) the dump was
+// taken from and must not have been stepped yet. On success the basis takes
+// ownership of the dumps' slices.
+//
+// Restoration is validated, never trusted: dimensions, the retention mode,
+// the step-0 vectors (a pure function of the model, recomputed here and
+// compared bitwise) and the A/Q/V length invariants must all match, or an
+// error is returned and the basis is left untouched — the caller falls back
+// to stepping from scratch. A restored chain is a prefix of the same
+// deterministic step sequence a fresh basis produces (the kernel choice is a
+// pure function of the step index), so everything computed over it — further
+// extension included — is bitwise-identical to a never-snapshotted basis.
+func (b *Basis) RestoreChains(main, prime *ChainDump) error {
+	if b.mode == RetainNone {
+		return fmt.Errorf("regen: RestoreChains on a non-retaining basis")
+	}
+	if main == nil {
+		return fmt.Errorf("regen: RestoreChains needs a main chain dump")
+	}
+	if (b.prime != nil) != (prime != nil) {
+		return fmt.Errorf("regen: primed-chain dump mismatch (basis alphaR %v, dump prime %v)", b.alphaR, prime != nil)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.main.a) != 1 || (b.prime != nil && len(b.prime.a) != 1) {
+		return fmt.Errorf("regen: RestoreChains on an already-stepped basis")
+	}
+	// Validate both chains fully before touching either, so a bad dump
+	// leaves the basis consistent.
+	if err := b.validateDump(b.main, main); err != nil {
+		return fmt.Errorf("regen: main chain: %w", err)
+	}
+	if b.prime != nil {
+		if err := b.validateDump(b.prime, prime); err != nil {
+			return fmt.Errorf("regen: primed chain: %w", err)
+		}
+	}
+	b.main.install(main)
+	if b.prime != nil {
+		b.prime.install(prime)
+	}
+	total := int64(len(main.A)) * b.main.retainedStepBytes()
+	if b.prime != nil {
+		total += int64(len(prime.A)) * b.prime.retainedStepBytes()
+	}
+	b.retainedBytes.Store(total)
+	return nil
+}
+
+// validateDump checks d against the fresh step-0 chain cs (created by
+// NewBasisMode, so cs holds the authoritative u_0 and a(0)).
+func (b *Basis) validateDump(cs *chainState, d *ChainDump) error {
+	n := cs.n
+	k := d.steps()
+	if k < 0 {
+		return fmt.Errorf("empty A series")
+	}
+	if len(d.Q) != k {
+		return fmt.Errorf("len(Q) %d, want %d", len(d.Q), k)
+	}
+	if len(d.V) != len(cs.v) {
+		return fmt.Errorf("%d absorption series, want %d", len(d.V), len(cs.v))
+	}
+	for i := range d.V {
+		if len(d.V[i]) != k {
+			return fmt.Errorf("len(V[%d]) %d, want %d", i, len(d.V[i]), k)
+		}
+	}
+	if math.Float64bits(d.A[0]) != math.Float64bits(cs.a[0]) {
+		return fmt.Errorf("a(0) %v, want %v", d.A[0], cs.a[0])
+	}
+	if cs.compact {
+		if len(d.Us32Flat) != (k+1)*n || len(d.UsFlat) != 0 {
+			return fmt.Errorf("compact slab %d/%d entries, want %d float32", len(d.Us32Flat), len(d.UsFlat), (k+1)*n)
+		}
+		if len(d.U) != n {
+			return fmt.Errorf("working vector %d entries, want %d", len(d.U), n)
+		}
+		// u_0 is a pure function of the model; the fresh chain holds its
+		// authoritative rounding.
+		for i, x := range cs.us32[0] {
+			if math.Float32bits(d.Us32Flat[i]) != math.Float32bits(x) {
+				return fmt.Errorf("retained u_0[%d] = %v, want %v", i, d.Us32Flat[i], x)
+			}
+		}
+		if k == 0 {
+			// No steps were taken, so the working vector must still be u_0.
+			for i, x := range cs.u {
+				if math.Float64bits(d.U[i]) != math.Float64bits(x) {
+					return fmt.Errorf("working vector[%d] = %v, want u_0's %v", i, d.U[i], x)
+				}
+			}
+		}
+	} else {
+		if len(d.UsFlat) != (k+1)*n || len(d.Us32Flat) != 0 {
+			return fmt.Errorf("retained slab %d/%d entries, want %d float64", len(d.UsFlat), len(d.Us32Flat), (k+1)*n)
+		}
+		if len(d.U) != 0 {
+			return fmt.Errorf("unexpected compact working vector on a full-precision dump")
+		}
+		for i, x := range cs.us[0] {
+			if math.Float64bits(d.UsFlat[i]) != math.Float64bits(x) {
+				return fmt.Errorf("retained u_0[%d] = %v, want %v", i, d.UsFlat[i], x)
+			}
+		}
+	}
+	return nil
+}
+
+// install replaces the fresh chain's state with the validated dump, taking
+// ownership of its slices. The retained rows become views into the dump's
+// contiguous slab — the same layout the slab arenas produce, so the batched
+// reward-dot sweeps stream it identically.
+func (cs *chainState) install(d *ChainDump) {
+	n := cs.n
+	k := d.steps()
+	cs.a = d.A
+	cs.q = d.Q
+	cs.v = d.V
+	cs.done = d.Done
+	if cs.compact {
+		cs.us32 = make([][]float32, k+1)
+		for j := 0; j <= k; j++ {
+			cs.us32[j] = d.Us32Flat[j*n : (j+1)*n : (j+1)*n]
+		}
+		cs.u = d.U
+		cs.buf = make([]float64, n)
+	} else {
+		cs.us = make([][]float64, k+1)
+		for j := 0; j <= k; j++ {
+			cs.us[j] = d.UsFlat[j*n : (j+1)*n : (j+1)*n]
+		}
+		cs.u = cs.us[k]
+		cs.buf = cs.arena.next()
+	}
+}

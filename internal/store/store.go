@@ -1,0 +1,274 @@
+// Package store abstracts the blob storage compiled-artifact snapshots live
+// in. The interface is deliberately tiny — named blobs, atomic replacement,
+// quarantine — so backends beyond the local directory (an S3-compatible
+// object store for scale-out) only have to map five verbs.
+//
+// The contract every backend must honor is crash-safety of Write: a reader
+// observes either the previous blob or the new one in full, never a torn
+// mixture. The local-dir backend gets this from the classic temp-file +
+// fsync + rename sequence; an object-store backend gets it from single-PUT
+// atomicity.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"regenrand/internal/faultpoint"
+)
+
+// Fault-injection sites of the store layer: chaos tests arm them to fail
+// snapshot reads (load falls back to recompile) and writes (a write-back
+// dies without leaving a torn blob behind).
+const (
+	FaultRead  = "store.read"
+	FaultWrite = "store.write"
+)
+
+// ErrNotFound is returned by Read for a name with no stored blob. It is the
+// one error callers branch on (miss → compile), so wrappers must preserve it
+// with %w.
+var ErrNotFound = errors.New("store: not found")
+
+// Store is a named-blob store. Names are flat (no directories); see
+// CheckName for the accepted alphabet. Implementations must be safe for
+// concurrent use.
+type Store interface {
+	// Read returns the blob stored under name, or ErrNotFound.
+	Read(name string) ([]byte, error)
+	// Write atomically replaces the blob stored under name. A crash or
+	// error mid-write leaves the previous blob (or no blob) intact.
+	Write(name string, data []byte) error
+	// Delete removes the blob (nil if absent).
+	Delete(name string) error
+	// Quarantine moves the blob aside so subsequent Reads miss, keeping the
+	// bytes for forensics. Corrupt snapshots are quarantined, not deleted:
+	// a recurring corruption is a bug worth diagnosing. Nil if absent.
+	Quarantine(name string) error
+	// List returns the stored (non-quarantined) blob names.
+	List() ([]string, error)
+}
+
+// quarantineSuffix marks blobs set aside by Quarantine. They are invisible
+// to Read and List under their original name.
+const quarantineSuffix = ".corrupt"
+
+// CheckName validates a blob name: non-empty, no path separators or
+// traversal, no leading dot (temp files), and no quarantine suffix.
+func CheckName(name string) error {
+	switch {
+	case name == "":
+		return fmt.Errorf("store: empty blob name")
+	case strings.ContainsAny(name, "/\\") || name == "." || name == "..":
+		return fmt.Errorf("store: blob name %q contains a path separator", name)
+	case strings.HasPrefix(name, "."):
+		return fmt.Errorf("store: blob name %q starts with a dot", name)
+	case strings.HasSuffix(name, quarantineSuffix):
+		return fmt.Errorf("store: blob name %q uses the quarantine suffix", name)
+	}
+	return nil
+}
+
+// Dir is the local-directory backend: one file per blob, atomic replacement
+// via temp file + fsync + rename (+ best-effort directory fsync), quarantine
+// via rename to name + ".corrupt". It is the regenserve -snapshot-dir
+// backend.
+type Dir struct {
+	path string
+}
+
+// NewDir opens (creating if needed) the directory at path.
+func NewDir(path string) (*Dir, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open dir: %w", err)
+	}
+	return &Dir{path: path}, nil
+}
+
+// Path returns the backing directory.
+func (d *Dir) Path() string { return d.path }
+
+// Read returns the blob stored under name, or ErrNotFound.
+func (d *Dir) Read(name string) ([]byte, error) {
+	if err := CheckName(name); err != nil {
+		return nil, err
+	}
+	if err := faultpoint.Hit(FaultRead); err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(filepath.Join(d.path, name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read %s: %w", name, err)
+	}
+	return b, nil
+}
+
+// Write atomically replaces the blob stored under name: the bytes land in a
+// dot-prefixed temp file first (invisible to List and Read), are fsynced,
+// and only then renamed over the final name — a crash at any point leaves
+// the previous blob or no blob, never a torn one. The containing directory
+// is fsynced after the rename so the replacement itself is durable.
+func (d *Dir) Write(name string, data []byte) error {
+	if err := CheckName(name); err != nil {
+		return err
+	}
+	if err := faultpoint.Hit(FaultWrite); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(d.path, ".wr-*")
+	if err != nil {
+		return fmt.Errorf("store: write %s: %w", name, err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: write %s: %w", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: write %s: %w", name, err)
+	}
+	// A second shot at the fault site between the durable temp file and the
+	// publishing rename — the window a crash-mid-write-back test cares
+	// about. Failing here must leave no trace under the final name.
+	if err := faultpoint.Hit(FaultWrite); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(d.path, name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: write %s: %w", name, err)
+	}
+	d.syncDir()
+	return nil
+}
+
+// syncDir fsyncs the directory so a completed rename survives power loss.
+// Best-effort: some filesystems reject directory fsync, and the rename's
+// atomicity does not depend on it.
+func (d *Dir) syncDir() {
+	if dir, err := os.Open(d.path); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+}
+
+// Delete removes the blob (nil if absent).
+func (d *Dir) Delete(name string) error {
+	if err := CheckName(name); err != nil {
+		return err
+	}
+	err := os.Remove(filepath.Join(d.path, name))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: delete %s: %w", name, err)
+	}
+	return nil
+}
+
+// Quarantine renames the blob to name + ".corrupt" (replacing any earlier
+// quarantined copy), so subsequent Reads miss and recompile while the bytes
+// stay on disk for diagnosis. Nil if the blob is absent (a concurrent loader
+// may have quarantined it first).
+func (d *Dir) Quarantine(name string) error {
+	if err := CheckName(name); err != nil {
+		return err
+	}
+	p := filepath.Join(d.path, name)
+	err := os.Rename(p, p+quarantineSuffix)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: quarantine %s: %w", name, err)
+	}
+	d.syncDir()
+	return nil
+}
+
+// List returns the stored blob names, excluding temp files and quarantined
+// blobs.
+func (d *Dir) List() ([]string, error) {
+	ents, err := os.ReadDir(d.path)
+	if err != nil {
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || CheckName(name) != nil {
+			continue
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// WithRetry wraps s so transient failures are retried with exponential
+// backoff: up to attempts tries per call, sleeping backoff, 2·backoff, ...
+// between them. ErrNotFound and name-validation errors are terminal (they do
+// not change on retry). It is the wrapper to put around flaky network-backed
+// stores; the snapshot layer treats a still-failing call as a miss and
+// recompiles, so retries trade latency for fewer cold compiles, never
+// correctness.
+func WithRetry(s Store, attempts int, backoff time.Duration) Store {
+	if attempts < 1 {
+		attempts = 1
+	}
+	return &retrying{s: s, attempts: attempts, backoff: backoff}
+}
+
+type retrying struct {
+	s        Store
+	attempts int
+	backoff  time.Duration
+}
+
+// retry runs f up to r.attempts times. terminal errors short-circuit.
+func (r *retrying) retry(f func() error) error {
+	var err error
+	sleep := r.backoff
+	for i := 0; i < r.attempts; i++ {
+		if i > 0 {
+			time.Sleep(sleep)
+			sleep *= 2
+		}
+		if err = f(); err == nil || errors.Is(err, ErrNotFound) {
+			return err
+		}
+	}
+	return err
+}
+
+func (r *retrying) Read(name string) (b []byte, err error) {
+	err = r.retry(func() (e error) { b, e = r.s.Read(name); return e })
+	return b, err
+}
+
+func (r *retrying) Write(name string, data []byte) error {
+	return r.retry(func() error { return r.s.Write(name, data) })
+}
+
+func (r *retrying) Delete(name string) error {
+	return r.retry(func() error { return r.s.Delete(name) })
+}
+
+func (r *retrying) Quarantine(name string) error {
+	return r.retry(func() error { return r.s.Quarantine(name) })
+}
+
+func (r *retrying) List() (names []string, err error) {
+	err = r.retry(func() (e error) { names, e = r.s.List(); return e })
+	return names, err
+}

@@ -1,0 +1,212 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"regenrand/internal/faultpoint"
+)
+
+func newTestDir(t *testing.T) *Dir {
+	t.Helper()
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewDir: %v", err)
+	}
+	return d
+}
+
+func TestDirRoundTrip(t *testing.T) {
+	d := newTestDir(t)
+	if _, err := d.Read("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Read on empty dir = %v, want ErrNotFound", err)
+	}
+	blob := []byte("hello snapshot")
+	if err := d.Write("k", blob); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := d.Read("k")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("Read = %q, want %q", got, blob)
+	}
+	// Overwrite replaces atomically.
+	if err := d.Write("k", []byte("v2")); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	if got, _ := d.Read("k"); string(got) != "v2" {
+		t.Fatalf("Read after overwrite = %q", got)
+	}
+	if err := d.Delete("k"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := d.Read("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Read after Delete = %v, want ErrNotFound", err)
+	}
+	if err := d.Delete("k"); err != nil {
+		t.Fatalf("Delete of absent blob = %v, want nil", err)
+	}
+}
+
+func TestDirListSkipsTempAndQuarantined(t *testing.T) {
+	d := newTestDir(t)
+	for _, name := range []string{"b1", "b2"} {
+		if err := d.Write(name, []byte(name)); err != nil {
+			t.Fatalf("Write %s: %v", name, err)
+		}
+	}
+	// Simulate a crashed write (orphan temp file) and a quarantined blob.
+	if err := os.WriteFile(filepath.Join(d.Path(), ".wr-orphan"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Quarantine("b2"); err != nil {
+		t.Fatalf("Quarantine: %v", err)
+	}
+	names, err := d.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(names) != 1 || names[0] != "b1" {
+		t.Fatalf("List = %v, want [b1]", names)
+	}
+	if _, err := d.Read("b2"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Read of quarantined blob = %v, want ErrNotFound", err)
+	}
+	// The bytes survive for forensics under the quarantine name.
+	kept, err := os.ReadFile(filepath.Join(d.Path(), "b2.corrupt"))
+	if err != nil || string(kept) != "b2" {
+		t.Fatalf("quarantined bytes = %q, %v", kept, err)
+	}
+	// Quarantining again (already gone) is not an error.
+	if err := d.Quarantine("b2"); err != nil {
+		t.Fatalf("second Quarantine = %v, want nil", err)
+	}
+}
+
+func TestCheckNameRejectsUnsafeNames(t *testing.T) {
+	d := newTestDir(t)
+	for _, bad := range []string{
+		"", ".", "..", "a/b", `a\b`, "../escape", ".hidden", "x.corrupt",
+	} {
+		if err := CheckName(bad); err == nil {
+			t.Errorf("CheckName(%q) accepted", bad)
+		}
+		if err := d.Write(bad, []byte("x")); err == nil {
+			t.Errorf("Write(%q) accepted", bad)
+		}
+		if _, err := d.Read(bad); err == nil || errors.Is(err, ErrNotFound) {
+			t.Errorf("Read(%q) = %v, want validation error", bad, err)
+		}
+	}
+	if err := CheckName("a1b2c3deadbeef-42"); err != nil {
+		t.Errorf("CheckName rejected a safe name: %v", err)
+	}
+}
+
+// A write that fails at the fault site after the temp file is durable but
+// before the rename must leave nothing under the final name — the previous
+// blob (or absence) stays intact.
+func TestDirWriteFaultLeavesNoTornBlob(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	d := newTestDir(t)
+	if err := d.Write("k", []byte("old")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	// The write path hits FaultWrite twice (entry + pre-rename); fail the
+	// second hit so the temp file already exists when the fault fires.
+	faultpoint.Enable(FaultWrite, faultpoint.Spec{Mode: faultpoint.ModeError, After: 1, Times: 1})
+	if err := d.Write("k", []byte("new")); !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("faulted Write = %v, want ErrInjected", err)
+	}
+	got, err := d.Read("k")
+	if err != nil || string(got) != "old" {
+		t.Fatalf("after faulted write Read = %q, %v; want the old blob intact", got, err)
+	}
+	ents, _ := os.ReadDir(d.Path())
+	for _, e := range ents {
+		if e.Name() != "k" {
+			t.Fatalf("faulted write left %q behind", e.Name())
+		}
+	}
+}
+
+func TestFaultSitesAreRegistered(t *testing.T) {
+	for _, name := range []string{FaultRead, FaultWrite} {
+		if !faultpoint.Known(name) {
+			t.Errorf("fault site %q is not in faultpoint's known-site registry", name)
+		}
+	}
+}
+
+// countingStore fails the first n calls of each verb, then delegates.
+type countingStore struct {
+	*Dir
+	failFirst int
+	calls     map[string]int
+}
+
+func (c *countingStore) bump(verb string) error {
+	c.calls[verb]++
+	if c.calls[verb] <= c.failFirst {
+		return errors.New("transient")
+	}
+	return nil
+}
+
+func (c *countingStore) Read(name string) ([]byte, error) {
+	if err := c.bump("read"); err != nil {
+		return nil, err
+	}
+	return c.Dir.Read(name)
+}
+
+func (c *countingStore) Write(name string, data []byte) error {
+	if err := c.bump("write"); err != nil {
+		return err
+	}
+	return c.Dir.Write(name, data)
+}
+
+func TestWithRetryRecoversTransientFailures(t *testing.T) {
+	base := &countingStore{Dir: newTestDir(t), failFirst: 2, calls: map[string]int{}}
+	s := WithRetry(base, 3, time.Millisecond)
+	if err := s.Write("k", []byte("v")); err != nil {
+		t.Fatalf("Write through retry = %v", err)
+	}
+	if base.calls["write"] != 3 {
+		t.Fatalf("write attempted %d times, want 3", base.calls["write"])
+	}
+	got, err := s.Read("k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Read through retry = %q, %v", got, err)
+	}
+}
+
+func TestWithRetryDoesNotRetryNotFound(t *testing.T) {
+	base := &countingStore{Dir: newTestDir(t), failFirst: 0, calls: map[string]int{}}
+	s := WithRetry(base, 5, time.Millisecond)
+	if _, err := s.Read("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Read = %v, want ErrNotFound", err)
+	}
+	if base.calls["read"] != 1 {
+		t.Fatalf("ErrNotFound retried: %d attempts", base.calls["read"])
+	}
+}
+
+func TestWithRetryExhaustsAttempts(t *testing.T) {
+	base := &countingStore{Dir: newTestDir(t), failFirst: 100, calls: map[string]int{}}
+	s := WithRetry(base, 3, time.Microsecond)
+	if err := s.Write("k", []byte("v")); err == nil {
+		t.Fatal("Write through exhausted retry succeeded")
+	}
+	if base.calls["write"] != 3 {
+		t.Fatalf("write attempted %d times, want 3", base.calls["write"])
+	}
+}

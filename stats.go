@@ -35,15 +35,36 @@ type EngineStats struct {
 	// ExtensionStepsSaved totals the full-model DTMC steps the reused
 	// prefixes of those extensions saved versus from-scratch builds.
 	ExtensionStepsSaved int64
+	// SnapshotLoads counts compiled models rebuilt from stored snapshots
+	// (load-throughs and warm starts that passed every validation layer).
+	SnapshotLoads int64
+	// SnapshotLoadFailures counts snapshot loads that failed validation
+	// (corrupt, version-mismatched, wrong-key, or unreadable) and fell back
+	// to a recompile. The corrupt blob is quarantined in the store.
+	SnapshotLoadFailures int64
+	// SnapshotWrites counts snapshots stored (background write-backs and
+	// drain-time flushes).
+	SnapshotWrites int64
+	// SnapshotWriteFailures counts snapshot stores that failed; the only
+	// cost is a cold compile on some future restart.
+	SnapshotWriteFailures int64
+	// SnapshotBytesWritten totals the bytes of successfully stored
+	// snapshots.
+	SnapshotBytesWritten int64
 }
 
 // ReadEngineStats returns the current counter values.
 func ReadEngineStats() EngineStats {
 	ext, saved := regen.ExtensionStats()
 	return EngineStats{
-		SeriesCacheHits:     seriesHits.Load(),
-		SeriesCacheMisses:   seriesMisses.Load(),
-		SeriesExtensions:    ext,
-		ExtensionStepsSaved: saved,
+		SeriesCacheHits:       seriesHits.Load(),
+		SeriesCacheMisses:     seriesMisses.Load(),
+		SeriesExtensions:      ext,
+		ExtensionStepsSaved:   saved,
+		SnapshotLoads:         snapLoads.Load(),
+		SnapshotLoadFailures:  snapLoadFailures.Load(),
+		SnapshotWrites:        snapWrites.Load(),
+		SnapshotWriteFailures: snapWriteFailures.Load(),
+		SnapshotBytesWritten:  snapBytes.Load(),
 	}
 }
