@@ -1,0 +1,36 @@
+package regenrand
+
+import "testing"
+
+func TestReviewLargeModelSnapshotRoundtrip(t *testing.T) {
+	const n = 20000
+	b := NewBuilder(n)
+	// ring over transient states 0..n-2, state n-1 absorbing target
+	for i := 0; i < n-1; i++ {
+		j := (i + 1) % (n - 1)
+		if err := b.AddTransition(i, j, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddTransition(0, n-1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetInitial(0, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	model, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := Compile(model, CompileOptions{RegenState: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := cm.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(blob); err != nil {
+		t.Fatalf("LoadSnapshot of a freshly written snapshot failed: %v", err)
+	}
+}
