@@ -58,7 +58,10 @@
 //	                     series instead of rebuilding it) — and the snapshot
 //	                     counters snapshot_loads, snapshot_load_failures,
 //	                     snapshot_writes, snapshot_write_failures,
-//	                     snapshot_bytes_written
+//	                     snapshot_bytes_written, snapshot_quarantines, plus
+//	                     the store robustness counters store_retries,
+//	                     store_hedged_won, store_hedged_lost,
+//	                     store_breaker_opens, store_breaker_probes
 //
 // The model encoding is {"states": n, "transitions": [[from, to, rate],
 // ...], "initial": [[state, probability], ...]}. A model_id is the content
@@ -95,26 +98,56 @@
 //
 // # Snapshots and warm restarts
 //
-// With -snapshot-dir set, compiled artifacts survive the process: every
-// compile is written back in the background as a versioned, checksummed
-// snapshot (model + options + the retained regeneration chains; see
+// With -snapshot-dir (local directory) or -snapshot-url (S3-compatible
+// object store) set, compiled artifacts survive the process: every compile
+// is written back in the background as a versioned, checksummed snapshot
+// (model + options + the retained regeneration chains; see
 // internal/snapshot), written atomically so a crash mid-write can never
 // leave a torn blob under a live name. At boot the server warm-starts the
-// cache from the directory, and at drain it re-snapshots every cached model
-// so the chains deepened by the traffic just served are captured. A restart
-// therefore resumes at its former depth and answers bitwise-identically to
-// the process that died — without re-uploading, recompiling, or
-// re-stepping.
+// cache from the store (several blobs in flight at once against a network
+// store), and at drain it re-snapshots every cached model so the chains
+// deepened by the traffic just served are captured. A restart therefore
+// resumes at its former depth and answers bitwise-identically to the
+// process that died — without re-uploading, recompiling, or re-stepping.
 //
-// Nothing in the directory is trusted: a snapshot must pass per-section
-// CRCs, a content-key recomputation over the rebuilt model, and chain
+// Nothing in the store is trusted: a snapshot must pass per-section CRCs, a
+// content-key recomputation over the rebuilt model, and chain
 // cross-validation before it is served; anything that fails — truncated,
-// bit-flipped, version-mismatched, or misfiled — is logged, renamed to
-// *.corrupt for inspection, and silently replaced by a recompile. A bad
-// snapshot can cost a recompile, never a wrong answer and never a refusal
-// to boot. Snapshots from a different format version are rejected the same
-// way, so rolling the binary forward (or back) across a format change is
-// always safe.
+// bit-flipped, version-mismatched, or misfiled — is logged, moved aside to
+// *.corrupt for inspection (a rename locally, copy+delete in the object
+// store), and silently replaced by a recompile. A bad snapshot can cost a
+// recompile, never a wrong answer and never a refusal to boot. Snapshots
+// from a different format version are rejected the same way, so rolling the
+// binary forward (or back) across a format change is always safe.
+//
+// # Object-store robustness
+//
+// The -snapshot-url backend (internal/store/objstore) speaks plain S3 HTTP
+// — AWS S3, MinIO, Ceph RGW — with SigV4 credentials taken from
+// REGENRAND_S3_ACCESS_KEY / REGENRAND_S3_SECRET_KEY (unsigned requests when
+// unset, for anonymous or test endpoints). Store I/O runs behind a
+// composed robustness stack:
+//
+//   - Hedged reads: a read that has not answered within the hedge delay
+//     launches a second request and takes whichever finishes first, so one
+//     slow replica costs one slow blob, not a slow boot.
+//   - Deadline-aware retries: transient failures (5xx, connection resets,
+//     truncated bodies) retry with full-jitter exponential backoff, capped
+//     per sleep and in total; permanent failures (404, other 4xx,
+//     validation rejects) short-circuit immediately.
+//   - Circuit breaker: after enough consecutive transient failures the
+//     breaker opens and store calls fail fast — cache misses go straight to
+//     recompile instead of adding store timeouts to every cold query. After
+//     a cooldown one probe is admitted; success closes the circuit. Every
+//     transition is logged ("store breaker: open …", "… half-open probe",
+//     "… closed"), and the open/probe counts are on /varz.
+//
+// The degrade-to-recompile contract: a flaky or dead object store NEVER
+// fails a request and never changes an answer — it only costs latency
+// (recompiles instead of warm loads). Snapshot write-back uses conditional
+// writes (If-None-Match: *), so many nodes sharing one bucket compile a
+// given model once: the first write-back stores the blob, every other node
+// observes it already exists and skips the upload.
 //
 // # Flags
 //
@@ -142,15 +175,21 @@
 //	-snapshot-dir     directory for durable compiled-model snapshots; warm
 //	                  start at boot, background write-back per compile,
 //	                  flush at drain (empty = disabled)
+//	-snapshot-url     S3-compatible object store for snapshots,
+//	                  http[s]://host[:port]/bucket[/prefix]; same lifecycle
+//	                  as -snapshot-dir behind the hedge/retry/breaker stack;
+//	                  mutually exclusive with -snapshot-dir (empty =
+//	                  disabled)
 //	-selfcheck        start on an ephemeral port, drive a sample compile +
 //	                  concurrent batch query over HTTP, exit 0/1 (CI smoke)
 //	-chaos            with -selfcheck: additionally inject faults (stepping
 //	                  delays, inversion errors, compile panics, snapshot
-//	                  store/decode failures) at the engine's fault points
-//	                  and assert the server stays live, bad rows fail
-//	                  cleanly, kill-and-restart recovery is
-//	                  bitwise-identical, and on-disk corruption is
-//	                  quarantined, not served
+//	                  store/decode failures, object-store network faults)
+//	                  at the engine's fault points and assert the server
+//	                  stays live, bad rows fail cleanly, kill-and-restart
+//	                  recovery is bitwise-identical, corruption is
+//	                  quarantined, not served, and the circuit breaker
+//	                  opens against a dead store and recovers
 package main
 
 import (
@@ -166,6 +205,7 @@ import (
 
 	"regenrand"
 	"regenrand/internal/store"
+	"regenrand/internal/store/objstore"
 )
 
 func main() {
@@ -185,6 +225,7 @@ func main() {
 	degradeGrace := flag.Duration("degrade-grace", 2*time.Second, "extra budget for one degraded retry")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown grace for in-flight requests")
 	snapshotDir := flag.String("snapshot-dir", "", "directory for durable compiled-model snapshots (empty = disabled)")
+	snapshotURL := flag.String("snapshot-url", "", "S3-compatible object store for snapshots, http[s]://host[:port]/bucket[/prefix] (empty = disabled; credentials via REGENRAND_S3_ACCESS_KEY/SECRET_KEY)")
 	selfcheck := flag.Bool("selfcheck", false, "start on an ephemeral port, run a sample compile + concurrent batch query, exit")
 	chaos := flag.Bool("chaos", false, "with -selfcheck: inject engine faults and assert recovery (fault-injection smoke)")
 	flag.Parse()
@@ -217,9 +258,17 @@ func main() {
 		return
 	}
 
+	if *snapshotDir != "" && *snapshotURL != "" {
+		log.Fatalf("regenserve: -snapshot-dir and -snapshot-url are mutually exclusive")
+	}
 	if *snapshotDir != "" {
 		if err := attachSnapshots(srv, *snapshotDir); err != nil {
 			log.Fatalf("regenserve: snapshot store: %v", err)
+		}
+	}
+	if *snapshotURL != "" {
+		if err := attachSnapshotURL(srv, *snapshotURL); err != nil {
+			log.Fatalf("regenserve: snapshot object store: %v", err)
 		}
 	}
 
@@ -245,7 +294,7 @@ func main() {
 			log.Printf("regenserve: drain incomplete: %v", err)
 			os.Exit(1)
 		}
-		if *snapshotDir != "" {
+		if *snapshotDir != "" || *snapshotURL != "" {
 			// Flush captures the chains as deepened by the traffic served
 			// since compile, so the next boot warm-starts at full depth.
 			written, failed := srv.cache.FlushSnapshots()
@@ -265,11 +314,60 @@ func attachSnapshots(srv *server, dir string) error {
 		return err
 	}
 	srv.cache.SetSnapshotStore(store.WithRetry(st, 3, 25*time.Millisecond), log.Printf)
-	loaded, failed, err := srv.cache.WarmStart(context.Background())
+	return warmStart(srv, dir)
+}
+
+// attachSnapshotURL connects an S3-compatible object store behind the full
+// robustness stack — hedged reads inside deadline-aware full-jitter retries
+// inside a circuit breaker — and warm-starts from it with bounded
+// concurrency. Credentials come from REGENRAND_S3_ACCESS_KEY /
+// REGENRAND_S3_SECRET_KEY (unsigned requests when unset). A dead or flaky
+// store never takes the server down: reads degrade to recompiles, the
+// breaker's open/closed transitions land in the log, and the breaker probes
+// the store back into service when it recovers.
+func attachSnapshotURL(srv *server, rawURL string) error {
+	st, err := newObjstoreStack(rawURL)
 	if err != nil {
 		return err
 	}
-	log.Printf("regenserve: warm start from %s: %d snapshot(s) loaded, %d failed", dir, loaded, failed)
+	srv.cache.SetSnapshotStore(st, log.Printf)
+	return warmStart(srv, rawURL)
+}
+
+// newObjstoreStack builds the production wrapper composition over an
+// object-store URL: breaker(retry(hedge(client))). Hedge innermost so each
+// retry attempt gets its own tail-latency hedge; breaker outermost so one
+// logical operation counts as one verdict after its retries exhaust.
+func newObjstoreStack(rawURL string) (store.Store, error) {
+	cfg, err := objstore.ParseURL(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	cfg.AccessKey = os.Getenv("REGENRAND_S3_ACCESS_KEY")
+	cfg.SecretKey = os.Getenv("REGENRAND_S3_SECRET_KEY")
+	client, err := objstore.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return store.WithBreaker(
+		store.WithRetryPolicy(
+			store.WithHedge(client, 75*time.Millisecond),
+			store.RetryPolicy{Attempts: 3, Backoff: 50 * time.Millisecond, MaxElapsed: 5 * time.Second},
+		),
+		store.BreakerOptions{Failures: 5, Cooldown: 5 * time.Second, Logf: log.Printf},
+	), nil
+}
+
+// warmStart loads every verifiable snapshot from the attached store. A store
+// that cannot even list (down at boot) is logged, not fatal: the server
+// boots cold and the breaker re-probes as traffic arrives.
+func warmStart(srv *server, from string) error {
+	loaded, failed, err := srv.cache.WarmStart(context.Background())
+	if err != nil {
+		log.Printf("regenserve: warm start from %s unavailable (booting cold): %v", from, err)
+		return nil
+	}
+	log.Printf("regenserve: warm start from %s: %d snapshot(s) loaded, %d failed", from, loaded, failed)
 	return nil
 }
 

@@ -702,6 +702,18 @@ func (s *server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		"snapshot_writes":         es.SnapshotWrites,
 		"snapshot_write_failures": es.SnapshotWriteFailures,
 		"snapshot_bytes_written":  es.SnapshotBytesWritten,
+		"snapshot_quarantines":    es.SnapshotQuarantines,
+		// Store robustness counters (move under -snapshot-dir/-snapshot-url):
+		// backoff retries against a flaky store, hedged reads won by the
+		// hedge vs beaten by the primary, circuit-breaker opens and
+		// half-open probes. Retries climbing = transient faults; hedges
+		// winning = tail latency; breaker opening = the store is down and
+		// compiles have stopped waiting for it.
+		"store_retries":        es.StoreRetries,
+		"store_hedged_won":     es.StoreHedgedReadsWon,
+		"store_hedged_lost":    es.StoreHedgedReadsLost,
+		"store_breaker_opens":  es.StoreBreakerOpens,
+		"store_breaker_probes": es.StoreBreakerProbes,
 	})
 }
 

@@ -207,10 +207,27 @@
 // recompile, never a wrong answer. ReadEngineStats exposes the
 // load/write/failure counters.
 //
+// The same Store interface has a network backend: internal/store/objstore
+// speaks the S3 HTTP API (path-style, SigV4-signed, stdlib-only) so one
+// node's compile becomes every node's warm start. The client performs no
+// retries itself; robustness is composed from wrappers —
+// store.WithHedge(...) races a second GET against a slow first,
+// store.WithRetryPolicy(...) retries transient failures with full-jitter
+// backoff under the caller's context deadline, and store.WithBreaker(...)
+// trips after consecutive failed store conversations so a dead store costs
+// nanoseconds per miss, not a timeout each. Write-back uses conditional
+// PUTs (If-None-Match: *), so when many nodes compile the same content key
+// concurrently exactly one object is stored; corrupt remote blobs are
+// quarantined server-side (copy to *.corrupt, then delete). Every store
+// call is advisory: when the store is slow, lying, or gone, the engine
+// recompiles — degraded cost, never a degraded answer.
+//
 // Robustness is testable on purpose: internal/faultpoint exposes named
 // fault-injection sites in series stepping ("regen.step"), Laplace
 // inversion blocks ("laplace.block"), cache population ("cache.populate"),
-// snapshot store I/O ("store.read", "store.write") and snapshot decoding
+// snapshot store I/O ("store.read", "store.write"), object-store network
+// requests ("store.net.read", "store.net.write", "store.net.list") and
+// snapshot decoding
 // ("snapshot.decode") that tests arm to inject delays, errors, or panics
 // (REGENRAND_FAULTPOINTS arms them from the environment, rejecting unknown
 // site names at parse time). Worker-pool and cache-constructor panics are

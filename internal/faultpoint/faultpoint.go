@@ -60,7 +60,8 @@ var ErrInjected = errors.New("faultpoint: injected error")
 // knownSites is the registry of every fault-injection site compiled into
 // this module. The site-name constants live next to the code that hits them
 // (regen.FaultStep, cache.FaultPopulate, laplace.FaultBlock,
-// store.FaultRead/FaultWrite, snapshot.FaultDecode); this package cannot
+// store.FaultRead/FaultWrite, objstore.FaultNetRead/FaultNetWrite/FaultNetList,
+// snapshot.FaultDecode); this package cannot
 // import those packages, so the list is maintained here and each consumer's
 // tests assert Known(itsConstant) to keep the two in sync.
 var knownSites = map[string]bool{
@@ -69,6 +70,9 @@ var knownSites = map[string]bool{
 	"laplace.block":   true,
 	"store.read":      true,
 	"store.write":     true,
+	"store.net.read":  true,
+	"store.net.write": true,
+	"store.net.list":  true,
 	"snapshot.decode": true,
 }
 

@@ -524,7 +524,10 @@ func (r *rd) pad(n int) {
 	}
 }
 
-func decodeMeta(payload []byte) (Meta, error) {
+// decodeMeta parses the meta section. modelBytes is the combined size of the
+// transitions and initial sections — the parts of the blob that scale with
+// the state count — used to bound the count a hostile blob may claim.
+func decodeMeta(payload []byte, modelBytes int) (Meta, error) {
 	r := rd{p: payload}
 	var m Meta
 	keyLen := r.u32()
@@ -546,11 +549,14 @@ func decodeMeta(payload []byte) (Meta, error) {
 	m.TFactor = r.f64()
 	m.HorizonBuckets = int(int64(r.u64()))
 	states := r.u64()
-	// The decoder allocates O(n) for the model; a blob this small cannot
-	// legitimately describe that many states (every real snapshot carries
-	// the initial distribution and transition structure).
-	if r.err == nil && states > uint64(len(r.p))*64 {
-		r.fail("state count %d implausible for a %d-byte meta input", states, len(r.p))
+	// The decoder allocates O(n) for the model before parsing it; bound the
+	// claimed count against the sections that actually scale with states
+	// (transitions + initial distribution, not this fixed-size meta section)
+	// so a tiny hostile blob cannot drive a huge allocation, while a real
+	// n-state snapshot — which carries ≥ ~16 bytes of transition structure
+	// per non-absorbing state — always passes.
+	if r.err == nil && states > uint64(modelBytes)*64 {
+		r.fail("state count %d implausible for %d bytes of model sections", states, modelBytes)
 	}
 	m.States = int(states)
 	if r.err == nil && r.off != len(payload) {
@@ -756,7 +762,8 @@ func Decode(data []byte) (*Snapshot, error) {
 		}
 	}
 
-	meta, err := decodeMeta(payloads[sectionMeta])
+	meta, err := decodeMeta(payloads[sectionMeta],
+		len(payloads[sectionTransitions])+len(payloads[sectionInitial]))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,545 @@
+// Package objstore is the S3-compatible network backend for snapshot blobs:
+// compile once anywhere, serve everywhere. It maps the six store.Store verbs
+// onto plain HTTP against any S3-compatible endpoint (AWS S3, MinIO, Ceph RGW,
+// or the in-process fault-injecting testserver sub-package) using only the
+// standard library — requests are signed with a hand-rolled AWS Signature V4
+// when credentials are configured, or sent unsigned for anonymous/test
+// endpoints.
+//
+// Error classification is the contract the retry/breaker wrappers build on:
+// 404 maps to store.ErrNotFound, other 4xx responses are store.Permanent
+// (retrying a 403 cannot help) except 408 and 429 which stay transient, and
+// 5xx plus connection errors plus truncated bodies are transient. A response
+// shorter than its declared Content-Length is detected and surfaced as a
+// transient error rather than handed to the snapshot verifier as a mystery
+// corruption.
+//
+// The backend itself performs NO retries, hedging, or circuit breaking —
+// compose it:
+//
+//	st := store.WithBreaker(store.WithRetryPolicy(store.WithHedge(os, hedge), p), bo)
+//
+// Quarantine maps onto server-side COPY (x-amz-copy-source) to the
+// ".corrupt"-suffixed key followed by DELETE of the original, so a corrupt
+// blob stops serving fleet-wide while its bytes stay put for diagnosis.
+package objstore
+
+import (
+	"bytes"
+	"context"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"regenrand/internal/faultpoint"
+	"regenrand/internal/store"
+)
+
+// Fault-injection sites of the network store, hit once per HTTP operation.
+// Chaos runs arm them to fail or delay network traffic without a real flaky
+// network: reads (warm starts fall back to recompile), writes (write-back
+// dies, nothing tears), lists (warm start sees an empty store).
+const (
+	FaultNetRead  = "store.net.read"
+	FaultNetWrite = "store.net.write"
+	FaultNetList  = "store.net.list"
+)
+
+// Config describes an S3-compatible endpoint.
+type Config struct {
+	// Endpoint is the scheme://host[:port] of the service.
+	Endpoint string
+	// Bucket holds the snapshot blobs.
+	Bucket string
+	// Prefix is prepended to every blob name (key = Prefix + name), so one
+	// bucket can hold snapshots for several engine configurations.
+	Prefix string
+	// AccessKey/SecretKey are the SigV4 credentials. Empty AccessKey sends
+	// unsigned requests (anonymous buckets, the testserver).
+	AccessKey string
+	SecretKey string
+	// Region for SigV4 (default "us-east-1").
+	Region string
+	// Timeout bounds each HTTP request (default 10s). Callers wanting
+	// per-call deadlines pass them via ctx; Timeout is the backstop.
+	Timeout time.Duration
+	// HTTPClient overrides the transport (tests). Nil uses a private client
+	// with the configured Timeout.
+	HTTPClient *http.Client
+}
+
+// ParseURL builds a Config from a compact URL of the form
+//
+//	http[s]://host[:port]/bucket[/prefix...]
+//
+// — the format regenserve's -snapshot-url flag accepts. Credentials are not
+// part of the URL; fill them from the environment.
+func ParseURL(raw string) (Config, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return Config{}, fmt.Errorf("objstore: parse url: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return Config{}, fmt.Errorf("objstore: url %q: scheme must be http or https", raw)
+	}
+	if u.Host == "" {
+		return Config{}, fmt.Errorf("objstore: url %q: missing host", raw)
+	}
+	path := strings.Trim(u.Path, "/")
+	if path == "" {
+		return Config{}, fmt.Errorf("objstore: url %q: missing bucket (want scheme://host/bucket[/prefix])", raw)
+	}
+	bucket, prefix, _ := strings.Cut(path, "/")
+	if prefix != "" && !strings.HasSuffix(prefix, "/") {
+		prefix += "/"
+	}
+	return Config{
+		Endpoint: u.Scheme + "://" + u.Host,
+		Bucket:   bucket,
+		Prefix:   prefix,
+	}, nil
+}
+
+// Client implements store.Store against an S3-compatible endpoint.
+type Client struct {
+	cfg  Config
+	http *http.Client
+}
+
+// New validates cfg and returns a ready client. It performs no network I/O;
+// a dead endpoint surfaces on the first verb, where the retry/breaker stack
+// can see it.
+func New(cfg Config) (*Client, error) {
+	if cfg.Endpoint == "" || cfg.Bucket == "" {
+		return nil, errors.New("objstore: endpoint and bucket are required")
+	}
+	if strings.HasSuffix(cfg.Endpoint, "/") {
+		cfg.Endpoint = strings.TrimRight(cfg.Endpoint, "/")
+	}
+	if cfg.Region == "" {
+		cfg.Region = "us-east-1"
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: cfg.Timeout}
+	}
+	return &Client{cfg: cfg, http: hc}, nil
+}
+
+// key maps a blob name onto its object key.
+func (c *Client) key(name string) string { return c.cfg.Prefix + name }
+
+// objectURL is the full URL for an object key (path-style addressing, the
+// form every S3-compatible service accepts).
+func (c *Client) objectURL(key string) string {
+	return c.cfg.Endpoint + "/" + c.cfg.Bucket + "/" + escapeKey(key)
+}
+
+// escapeKey percent-encodes an object key for the URL path, keeping '/'
+// separators (S3 keys are slash-structured paths).
+func escapeKey(key string) string {
+	parts := strings.Split(key, "/")
+	for i, p := range parts {
+		parts[i] = url.PathEscape(p)
+	}
+	return strings.Join(parts, "/")
+}
+
+// classify turns an HTTP status into the store error taxonomy. body is the
+// drained response body, used only for the error message.
+func classify(op, name string, status int, body []byte) error {
+	msg := strings.TrimSpace(string(body))
+	if len(msg) > 200 {
+		msg = msg[:200] + "…"
+	}
+	err := fmt.Errorf("objstore: %s %s: http %d: %s", op, name, status, msg)
+	switch {
+	case status == http.StatusNotFound:
+		return fmt.Errorf("%w: %s", store.ErrNotFound, name)
+	case status == http.StatusRequestTimeout, status == http.StatusTooManyRequests:
+		return err // transient despite being 4xx
+	case status >= 400 && status < 500:
+		return store.Permanent(err)
+	default:
+		return err // 5xx and anything exotic: transient
+	}
+}
+
+// do signs (when configured) and executes one request, returning the
+// response. A connection error comes back transient; the caller owns the
+// body.
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	c.sign(req)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		if ctxErr := req.Context().Err(); ctxErr != nil {
+			return nil, ctxErr // cancellation, not a store fault
+		}
+		return nil, fmt.Errorf("objstore: %s %s: %w", req.Method, req.URL.Path, err)
+	}
+	return resp, nil
+}
+
+// drainClose reads the rest of a response body and closes it, so the
+// underlying connection is reusable.
+func drainClose(resp *http.Response) []byte {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return b
+}
+
+// Read fetches the blob. A body shorter than the declared Content-Length —
+// a connection cut mid-transfer — is a transient error, not data.
+func (c *Client) Read(ctx context.Context, name string) ([]byte, error) {
+	if err := checkCall(ctx, name); err != nil {
+		return nil, err
+	}
+	if err := faultpoint.Hit(FaultNetRead); err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.objectURL(c.key(name)), nil)
+	if err != nil {
+		return nil, store.Permanent(err)
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, classify("read", name, resp.StatusCode, drainClose(resp))
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("objstore: read %s: body: %w", name, err)
+	}
+	if resp.ContentLength >= 0 && int64(len(data)) != resp.ContentLength {
+		return nil, fmt.Errorf("objstore: read %s: truncated response (%d of %d bytes)",
+			name, len(data), resp.ContentLength)
+	}
+	return data, nil
+}
+
+// Write stores the blob with a single PUT — atomic on every S3-compatible
+// service: readers see the old object or the new one, never a mixture.
+func (c *Client) Write(ctx context.Context, name string, data []byte) error {
+	_, err := c.put(ctx, name, data, false)
+	return err
+}
+
+// WriteIfAbsent is Write with If-None-Match: * — the service refuses with
+// 412 when the key already exists, so exactly one of N concurrent writers
+// creates the object and the rest learn they lost without re-uploading.
+func (c *Client) WriteIfAbsent(ctx context.Context, name string, data []byte) (bool, error) {
+	return c.put(ctx, name, data, true)
+}
+
+func (c *Client) put(ctx context.Context, name string, data []byte, ifAbsent bool) (bool, error) {
+	if err := checkCall(ctx, name); err != nil {
+		return false, err
+	}
+	if err := faultpoint.Hit(FaultNetWrite); err != nil {
+		return false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.objectURL(c.key(name)), bytes.NewReader(data))
+	if err != nil {
+		return false, store.Permanent(err)
+	}
+	req.ContentLength = int64(len(data))
+	if ifAbsent {
+		req.Header.Set("If-None-Match", "*")
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return false, err
+	}
+	body := drainClose(resp)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return true, nil
+	case ifAbsent && resp.StatusCode == http.StatusPreconditionFailed:
+		return false, nil // someone else already stored it — the point of the call
+	default:
+		return false, classify("write", name, resp.StatusCode, body)
+	}
+}
+
+// Delete removes the blob (nil if absent — S3 DELETE is idempotent).
+func (c *Client) Delete(ctx context.Context, name string) error {
+	if err := checkCall(ctx, name); err != nil {
+		return err
+	}
+	if err := faultpoint.Hit(FaultNetWrite); err != nil {
+		return err
+	}
+	return c.deleteKey(ctx, c.key(name))
+}
+
+func (c *Client) deleteKey(ctx context.Context, key string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.objectURL(key), nil)
+	if err != nil {
+		return store.Permanent(err)
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	body := drainClose(resp)
+	if resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusOK ||
+		resp.StatusCode == http.StatusNotFound {
+		return nil
+	}
+	return classify("delete", key, resp.StatusCode, body)
+}
+
+// Quarantine moves the blob to its ".corrupt" key with a server-side COPY
+// followed by DELETE of the original, so the corrupt object stops serving on
+// every node sharing the bucket while its bytes survive for diagnosis. Not
+// atomic (S3 has no rename); the worst crash outcome is both keys present,
+// and the copy is idempotent so a retry converges. Nil if the blob is absent
+// — a peer node racing the same corrupt blob quarantines it first.
+func (c *Client) Quarantine(ctx context.Context, name string) error {
+	if err := checkCall(ctx, name); err != nil {
+		return err
+	}
+	if err := faultpoint.Hit(FaultNetWrite); err != nil {
+		return err
+	}
+	src, dst := c.key(name), c.key(name)+store.QuarantineSuffix()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.objectURL(dst), nil)
+	if err != nil {
+		return store.Permanent(err)
+	}
+	req.Header.Set("x-amz-copy-source", "/"+c.cfg.Bucket+"/"+escapeKey(src))
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	body := drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return c.deleteKey(ctx, src)
+	case http.StatusNotFound:
+		return nil // already quarantined (or never stored)
+	default:
+		return classify("quarantine", name, resp.StatusCode, body)
+	}
+}
+
+// List returns the stored blob names under the configured prefix, following
+// ListObjectsV2 continuation tokens. Keys that do not validate as blob names
+// (quarantined copies, foreign objects) are skipped.
+func (c *Client) List(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := faultpoint.Hit(FaultNetList); err != nil {
+		return nil, err
+	}
+	var names []string
+	token := ""
+	for {
+		page, next, err := c.listPage(ctx, token)
+		if err != nil {
+			return nil, err
+		}
+		for _, key := range page {
+			name := strings.TrimPrefix(key, c.cfg.Prefix)
+			if store.CheckName(name) != nil {
+				continue
+			}
+			names = append(names, name)
+		}
+		if next == "" {
+			return names, nil
+		}
+		token = next
+	}
+}
+
+// listV2Result is the slice of the ListObjectsV2 response we consume.
+type listV2Result struct {
+	XMLName               xml.Name `xml:"ListBucketResult"`
+	IsTruncated           bool     `xml:"IsTruncated"`
+	NextContinuationToken string   `xml:"NextContinuationToken"`
+	Contents              []struct {
+		Key string `xml:"Key"`
+	} `xml:"Contents"`
+}
+
+func (c *Client) listPage(ctx context.Context, token string) (keys []string, next string, err error) {
+	q := url.Values{}
+	q.Set("list-type", "2")
+	if c.cfg.Prefix != "" {
+		q.Set("prefix", c.cfg.Prefix)
+	}
+	if token != "" {
+		q.Set("continuation-token", token)
+	}
+	u := c.cfg.Endpoint + "/" + c.cfg.Bucket + "?" + q.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, "", store.Permanent(err)
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", classify("list", c.cfg.Bucket, resp.StatusCode, drainClose(resp))
+	}
+	var res listV2Result
+	err = xml.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if err != nil {
+		return nil, "", fmt.Errorf("objstore: list: decode: %w", err)
+	}
+	for _, c := range res.Contents {
+		keys = append(keys, c.Key)
+	}
+	if res.IsTruncated {
+		next = res.NextContinuationToken
+	}
+	return keys, next, nil
+}
+
+func checkCall(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return store.CheckName(name)
+}
+
+// ---- AWS Signature Version 4 (stdlib-only) ----------------------------------
+
+// sign adds an Authorization header per the SigV4 spec when credentials are
+// configured; unsigned otherwise. Payloads are hashed (not chunked), which is
+// fine at snapshot-blob sizes.
+func (c *Client) sign(req *http.Request) {
+	if c.cfg.AccessKey == "" {
+		return
+	}
+	now := time.Now().UTC()
+	amzDate := now.Format("20060102T150405Z")
+	dateStamp := now.Format("20060102")
+
+	payloadHash := emptyPayloadSHA256
+	if req.GetBody != nil && req.ContentLength > 0 {
+		// Request bodies here are always bytes.Reader, for which
+		// http.NewRequest installs a rewinding GetBody; hash a fresh copy so
+		// the transport still gets the original reader at position 0.
+		if body, err := req.GetBody(); err == nil {
+			h := sha256.New()
+			io.Copy(h, body)
+			body.Close()
+			payloadHash = hex.EncodeToString(h.Sum(nil))
+		}
+	}
+	req.Header.Set("x-amz-date", amzDate)
+	req.Header.Set("x-amz-content-sha256", payloadHash)
+	if req.Header.Get("Host") == "" {
+		req.Header.Set("Host", req.URL.Host)
+	}
+
+	// Canonical request.
+	var signedHeaders []string
+	for k := range req.Header {
+		lk := strings.ToLower(k)
+		if lk == "host" || strings.HasPrefix(lk, "x-amz-") || lk == "if-none-match" {
+			signedHeaders = append(signedHeaders, lk)
+		}
+	}
+	sort.Strings(signedHeaders)
+	var canonHeaders strings.Builder
+	for _, h := range signedHeaders {
+		canonHeaders.WriteString(h)
+		canonHeaders.WriteByte(':')
+		canonHeaders.WriteString(strings.TrimSpace(req.Header.Get(h)))
+		canonHeaders.WriteByte('\n')
+	}
+	canonQuery := canonicalQuery(req.URL.Query())
+	canonPath := req.URL.EscapedPath()
+	if canonPath == "" {
+		canonPath = "/"
+	}
+	canonReq := strings.Join([]string{
+		req.Method, canonPath, canonQuery,
+		canonHeaders.String(), strings.Join(signedHeaders, ";"), payloadHash,
+	}, "\n")
+
+	// String to sign and the signature itself.
+	scope := strings.Join([]string{dateStamp, c.cfg.Region, "s3", "aws4_request"}, "/")
+	sts := strings.Join([]string{
+		"AWS4-HMAC-SHA256", amzDate, scope, hexSHA256([]byte(canonReq)),
+	}, "\n")
+	key := hmacSHA256([]byte("AWS4"+c.cfg.SecretKey), dateStamp)
+	key = hmacSHA256(key, c.cfg.Region)
+	key = hmacSHA256(key, "s3")
+	key = hmacSHA256(key, "aws4_request")
+	sig := hex.EncodeToString(hmacSHA256(key, sts))
+
+	req.Header.Set("Authorization", fmt.Sprintf(
+		"AWS4-HMAC-SHA256 Credential=%s/%s, SignedHeaders=%s, Signature=%s",
+		c.cfg.AccessKey, scope, strings.Join(signedHeaders, ";"), sig))
+}
+
+// emptyPayloadSHA256 is sha256("") — the payload hash of body-less requests.
+const emptyPayloadSHA256 = "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+
+func hexSHA256(b []byte) string {
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+func hmacSHA256(key []byte, msg string) []byte {
+	m := hmac.New(sha256.New, key)
+	m.Write([]byte(msg))
+	return m.Sum(nil)
+}
+
+// canonicalQuery encodes query parameters in the sorted, strictly-escaped
+// form SigV4 requires.
+func canonicalQuery(q url.Values) string {
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		vals := append([]string(nil), q[k]...)
+		sort.Strings(vals)
+		for j, v := range vals {
+			if i > 0 || j > 0 {
+				b.WriteByte('&')
+			}
+			b.WriteString(awsEscape(k))
+			b.WriteByte('=')
+			b.WriteString(awsEscape(v))
+		}
+	}
+	return b.String()
+}
+
+// awsEscape is RFC 3986 escaping (url.QueryEscape turns ' ' into '+', which
+// SigV4 rejects).
+func awsEscape(s string) string {
+	e := url.QueryEscape(s)
+	e = strings.ReplaceAll(e, "+", "%20")
+	return e
+}
+
+// Sanity: Client satisfies the interface it exists for.
+var _ store.Store = (*Client)(nil)

@@ -1,0 +1,367 @@
+package objstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"regenrand/internal/faultpoint"
+	"regenrand/internal/store"
+	"regenrand/internal/store/objstore/testserver"
+)
+
+var ctx = context.Background()
+
+func newClient(t *testing.T) (*Client, *testserver.Server) {
+	t.Helper()
+	ts := testserver.New()
+	t.Cleanup(ts.Close)
+	cfg, err := ParseURL(ts.URL() + "/snapshots/node")
+	if err != nil {
+		t.Fatalf("ParseURL: %v", err)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c, ts
+}
+
+func TestParseURL(t *testing.T) {
+	cfg, err := ParseURL("http://127.0.0.1:9000/bucket/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Endpoint != "http://127.0.0.1:9000" || cfg.Bucket != "bucket" || cfg.Prefix != "a/b/" {
+		t.Fatalf("ParseURL = %+v", cfg)
+	}
+	if cfg, _ = ParseURL("https://s3.example.com/just-bucket"); cfg.Prefix != "" {
+		t.Fatalf("prefix = %q, want empty", cfg.Prefix)
+	}
+	for _, bad := range []string{"", "ftp://h/b", "http://", "http://host", "http://host/"} {
+		if _, err := ParseURL(bad); err == nil {
+			t.Errorf("ParseURL(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, ts := newClient(t)
+	if _, err := c.Read(ctx, "k"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("Read on empty store = %v, want ErrNotFound", err)
+	}
+	blob := bytes.Repeat([]byte("snapshot-bytes "), 100)
+	if err := c.Write(ctx, "k", blob); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := c.Read(ctx, "k")
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("Read = %d bytes, %v", len(got), err)
+	}
+	// The object landed under the configured prefix.
+	if _, ok := ts.Object("snapshots", "node/k"); !ok {
+		t.Fatalf("object not stored under prefix; keys = %v", ts.Keys("snapshots"))
+	}
+	if err := c.Delete(ctx, "k"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := c.Read(ctx, "k"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("Read after Delete = %v", err)
+	}
+	if err := c.Delete(ctx, "k"); err != nil {
+		t.Fatalf("idempotent Delete = %v", err)
+	}
+}
+
+func TestWriteIfAbsentConditionalPut(t *testing.T) {
+	c, ts := newClient(t)
+	created, err := c.WriteIfAbsent(ctx, "k", []byte("first"))
+	if err != nil || !created {
+		t.Fatalf("first WriteIfAbsent = (%v, %v)", created, err)
+	}
+	created, err = c.WriteIfAbsent(ctx, "k", []byte("second"))
+	if err != nil || created {
+		t.Fatalf("second WriteIfAbsent = (%v, %v), want (false, nil)", created, err)
+	}
+	got, _ := c.Read(ctx, "k")
+	if string(got) != "first" {
+		t.Fatalf("blob = %q; the losing conditional write replaced it", got)
+	}
+	if n := ts.CountersSnapshot().Creates; n != 1 {
+		t.Fatalf("server creates = %d, want exactly 1", n)
+	}
+}
+
+// N concurrent conditional writers of the same key: exactly one object
+// stored, exactly one writer told it created it — the cross-node write-back
+// dedupe contract.
+func TestConcurrentWriteIfAbsentExactlyOneWinner(t *testing.T) {
+	c, ts := newClient(t)
+	const n = 8
+	var wg sync.WaitGroup
+	createdCount := make(chan bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			created, err := c.WriteIfAbsent(ctx, "shared", []byte("payload"))
+			if err != nil {
+				t.Errorf("WriteIfAbsent: %v", err)
+				return
+			}
+			createdCount <- created
+		}()
+	}
+	wg.Wait()
+	close(createdCount)
+	winners := 0
+	for created := range createdCount {
+		if created {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d writers claim creation, want 1", winners)
+	}
+	if n := ts.CountersSnapshot().Creates; n != 1 {
+		t.Fatalf("server stored %d new objects, want 1", n)
+	}
+}
+
+func TestQuarantineMovesBlobAside(t *testing.T) {
+	c, ts := newClient(t)
+	if err := c.Write(ctx, "bad", []byte("corrupt-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quarantine(ctx, "bad"); err != nil {
+		t.Fatalf("Quarantine: %v", err)
+	}
+	if _, err := c.Read(ctx, "bad"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("Read after quarantine = %v, want ErrNotFound", err)
+	}
+	kept, ok := ts.Object("snapshots", "node/bad"+store.QuarantineSuffix())
+	if !ok || string(kept) != "corrupt-bytes" {
+		t.Fatalf("quarantined bytes = %q, %v; want preserved under .corrupt key", kept, ok)
+	}
+	// Idempotent: quarantining the now-absent blob is fine (a peer node may
+	// race the same corruption).
+	if err := c.Quarantine(ctx, "bad"); err != nil {
+		t.Fatalf("second Quarantine = %v", err)
+	}
+	// Quarantined keys stay out of List.
+	names, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if strings.HasSuffix(n, store.QuarantineSuffix()) {
+			t.Fatalf("List surfaced quarantined key %q", n)
+		}
+	}
+}
+
+func TestListFollowsContinuationTokens(t *testing.T) {
+	c, _ := newClient(t)
+	want := []string{"blob-a", "blob-b", "blob-c", "blob-d", "blob-e"}
+	for _, n := range want {
+		if err := c.Write(ctx, n, []byte(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The testserver pages at 2 keys, so this exercises 3 pages.
+	got, err := c.List(ctx)
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	sort.Strings(got)
+	if len(got) != len(want) {
+		t.Fatalf("List = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	c, ts := newClient(t)
+	if err := c.Write(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	// 5xx is transient.
+	ts.SetFault(testserver.Config{Mode: testserver.FaultError5xx})
+	if _, err := c.Read(ctx, "k"); err == nil || store.IsPermanent(err) {
+		t.Fatalf("5xx Read = %v, want transient error", err)
+	}
+	// A dropped connection is transient.
+	ts.SetFault(testserver.Config{Mode: testserver.FaultDrop})
+	if _, err := c.Read(ctx, "k"); err == nil || store.IsPermanent(err) {
+		t.Fatalf("dropped Read = %v, want transient error", err)
+	}
+	// A truncated body is detected and transient, never returned as data.
+	ts.SetFault(testserver.Config{Mode: testserver.FaultTruncate, Methods: []string{"GET"}})
+	if data, err := c.Read(ctx, "k"); err == nil {
+		t.Fatalf("truncated Read returned %d bytes with nil error", len(data))
+	} else if store.IsPermanent(err) {
+		t.Fatalf("truncated Read = %v, want transient", err)
+	}
+	// 404 is ErrNotFound (permanent).
+	ts.SetFault(testserver.Config{})
+	_, err := c.Read(ctx, "never-stored")
+	if !errors.Is(err, store.ErrNotFound) || !store.IsPermanent(err) {
+		t.Fatalf("missing Read = %v, want permanent ErrNotFound", err)
+	}
+	// Cancelled ctx surfaces as cancellation (permanent), not a store fault.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := c.Read(cctx, "k"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Read = %v, want context.Canceled", err)
+	}
+}
+
+func TestTruncatedWriteAckIsAnError(t *testing.T) {
+	c, ts := newClient(t)
+	ts.SetFault(testserver.Config{Mode: testserver.FaultTruncate, Methods: []string{"PUT"}, Times: 1})
+	err := c.Write(ctx, "k", []byte("v"))
+	if err == nil || store.IsPermanent(err) {
+		t.Fatalf("Write with severed ACK = %v, want transient error", err)
+	}
+	// The retryable failure converges: a second attempt succeeds and the
+	// blob reads back whole.
+	if err := c.Write(ctx, "k", []byte("v")); err != nil {
+		t.Fatalf("retried Write = %v", err)
+	}
+	got, err := c.Read(ctx, "k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+	_ = ts
+}
+
+// The full production composition — breaker(retry(hedge(client))) — rides
+// through a bounded fault burst and fails fast once the store is fully dead.
+func TestWrapperStackAgainstChaos(t *testing.T) {
+	c, ts := newClient(t)
+	if err := c.Write(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	s := store.WithBreaker(
+		store.WithRetryPolicy(
+			store.WithHedge(c, 20*time.Millisecond),
+			store.RetryPolicy{Attempts: 4, Backoff: 2 * time.Millisecond},
+		),
+		store.BreakerOptions{Failures: 3, Cooldown: 30 * time.Millisecond},
+	)
+
+	// Two 5xx then healthy: retries absorb the burst, the caller never sees
+	// an error.
+	ts.SetFault(testserver.Config{Mode: testserver.FaultError5xx, Times: 2})
+	got, err := s.Read(ctx, "k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Read through fault burst = %q, %v", got, err)
+	}
+
+	// Store drops dead: retries exhaust, the breaker opens, calls fail fast
+	// with ErrUnavailable instead of hammering a corpse.
+	ts.SetFault(testserver.Config{Mode: testserver.FaultDead})
+	for i := 0; i < 3; i++ {
+		if _, err := s.Read(ctx, "k"); err == nil {
+			t.Fatalf("Read %d against dead store succeeded", i)
+		}
+	}
+	start := time.Now()
+	_, err = s.Read(ctx, "k")
+	if !errors.Is(err, store.ErrUnavailable) {
+		t.Fatalf("Read after breaker open = %v, want ErrUnavailable", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Fatalf("fail-fast Read took %v", elapsed)
+	}
+
+	// Store recovers: the cooldown admits a probe, the circuit closes, reads
+	// work again.
+	ts.SetFault(testserver.Config{})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		got, err = s.Read(ctx, "k")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never recovered: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if string(got) != "v" {
+		t.Fatalf("Read after recovery = %q", got)
+	}
+}
+
+func TestNetFaultpointSites(t *testing.T) {
+	for _, name := range []string{FaultNetRead, FaultNetWrite, FaultNetList} {
+		if !faultpoint.Known(name) {
+			t.Errorf("fault site %q not registered with faultpoint", name)
+		}
+	}
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	c, _ := newClient(t)
+	if err := c.Write(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	faultpoint.Enable(FaultNetRead, faultpoint.Spec{Mode: faultpoint.ModeError})
+	if _, err := c.Read(ctx, "k"); !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("faulted Read = %v", err)
+	}
+	faultpoint.Reset()
+	faultpoint.Enable(FaultNetWrite, faultpoint.Spec{Mode: faultpoint.ModeError})
+	if err := c.Write(ctx, "k2", []byte("v")); !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("faulted Write = %v", err)
+	}
+	faultpoint.Reset()
+	faultpoint.Enable(FaultNetList, faultpoint.Spec{Mode: faultpoint.ModeError})
+	if _, err := c.List(ctx); !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("faulted List = %v", err)
+	}
+}
+
+// SigV4 signing must produce a well-formed Authorization header; the
+// testserver ignores auth, so this asserts shape, not acceptance.
+func TestSigV4HeaderShape(t *testing.T) {
+	c, _ := newClient(t)
+	c.cfg.AccessKey, c.cfg.SecretKey = "AKIDEXAMPLE", "secret"
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPut,
+		c.objectURL(c.key("blob")), bytes.NewReader([]byte("data")))
+	req.ContentLength = 4
+	c.sign(req)
+	auth := req.Header.Get("Authorization")
+	for _, want := range []string{
+		"AWS4-HMAC-SHA256 Credential=AKIDEXAMPLE/",
+		"/us-east-1/s3/aws4_request",
+		"SignedHeaders=",
+		"host;x-amz-content-sha256;x-amz-date",
+		"Signature=",
+	} {
+		if !strings.Contains(auth, want) {
+			t.Errorf("Authorization missing %q:\n%s", want, auth)
+		}
+	}
+	if req.Header.Get("x-amz-content-sha256") == emptyPayloadSHA256 {
+		t.Error("payload hash is the empty hash for a non-empty body")
+	}
+	// Unsigned when no credentials.
+	c.cfg.AccessKey = ""
+	req2, _ := http.NewRequestWithContext(ctx, http.MethodGet, c.objectURL("k"), nil)
+	c.sign(req2)
+	if req2.Header.Get("Authorization") != "" {
+		t.Error("unsigned client produced an Authorization header")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"regenrand/internal/snapshot"
@@ -132,17 +133,22 @@ func (c *CompileCache) SetSnapshotStore(s store.Store, logf func(format string, 
 
 // tryLoadSnapshot attempts a load-through for key. ok is false on a store
 // miss or any validation failure (the caller recompiles); failures other
-// than a plain miss are counted, logged and quarantined.
+// than a plain miss are counted, logged and quarantined. A cancelled context
+// is neither counted nor quarantined — an abandoned load says nothing about
+// the blob.
 func (c *CompileCache) tryLoadSnapshot(ctx context.Context, key string) (*CompiledModel, bool) {
 	b := c.snap.Load()
 	if b == nil {
 		return nil, false
 	}
-	data, err := b.store.Read(key)
+	data, err := b.store.Read(ctx, key)
 	if errors.Is(err, store.ErrNotFound) {
 		return nil, false
 	}
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, false // the caller gave up, not the store
+		}
 		snapLoadFailures.Add(1)
 		b.logPrintf("snapshot load %.16s…: read: %v", key, err)
 		return nil, false
@@ -155,10 +161,17 @@ func (c *CompileCache) tryLoadSnapshot(ctx context.Context, key string) (*Compil
 		cm = nil
 	}
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, false // an interrupted rebuild is not corruption
+		}
 		snapLoadFailures.Add(1)
 		b.logPrintf("snapshot load %.16s…: %v (quarantining)", key, err)
-		if qerr := b.store.Quarantine(key); qerr != nil {
+		// The quarantine must happen even if the triggering request is about
+		// to expire — otherwise the corrupt blob greets every future load.
+		if qerr := b.store.Quarantine(context.WithoutCancel(ctx), key); qerr != nil {
 			b.logPrintf("snapshot quarantine %.16s…: %v", key, qerr)
+		} else {
+			snapQuarantines.Add(1)
 		}
 		return nil, false
 	}
@@ -166,25 +179,38 @@ func (c *CompileCache) tryLoadSnapshot(ctx context.Context, key string) (*Compil
 	return cm, true
 }
 
-// writeSnapshot serializes and stores cm, updating the write counters.
-func (c *CompileCache) writeSnapshot(b *snapshotBackend, cm *CompiledModel) error {
+// writeSnapshot serializes and stores cm, updating the write counters. With
+// conditional set the store call is WriteIfAbsent: when several nodes share
+// one object store and compile the same key concurrently, exactly one uploads
+// — the rest learn the blob is already there and skip the bandwidth. Losing
+// the race is success, not failure.
+func (c *CompileCache) writeSnapshot(ctx context.Context, b *snapshotBackend, cm *CompiledModel, conditional bool) error {
 	data, err := cm.Snapshot()
+	stored := true
 	if err == nil {
-		err = b.store.Write(cm.Key(), data)
+		if conditional {
+			stored, err = b.store.WriteIfAbsent(ctx, cm.Key(), data)
+		} else {
+			err = b.store.Write(ctx, cm.Key(), data)
+		}
 	}
 	if err != nil {
 		snapWriteFailures.Add(1)
 		b.logPrintf("snapshot write %.16s…: %v", cm.Key(), err)
 		return err
 	}
-	snapWrites.Add(1)
-	snapBytes.Add(int64(len(data)))
+	if stored {
+		snapWrites.Add(1)
+		snapBytes.Add(int64(len(data)))
+	}
 	return nil
 }
 
-// writeBackAsync stores cm in the background. Failures only cost the next
+// writeBackAsync stores cm in the background, conditionally — a peer node
+// may have written the same content key already. Failures only cost the next
 // restart a recompile, so they are counted and logged, never surfaced to the
-// query that triggered the compile.
+// query that triggered the compile. The write runs under its own context:
+// the triggering request finishing (or dying) must not abort a useful upload.
 func (c *CompileCache) writeBackAsync(cm *CompiledModel) {
 	b := c.snap.Load()
 	if b == nil {
@@ -193,7 +219,7 @@ func (c *CompileCache) writeBackAsync(cm *CompiledModel) {
 	c.snapWG.Add(1)
 	go func() {
 		defer c.snapWG.Done()
-		_ = c.writeSnapshot(b, cm)
+		_ = c.writeSnapshot(context.Background(), b, cm, true)
 	}()
 }
 
@@ -208,7 +234,9 @@ func (c *CompileCache) FlushSnapshots() (written, failed int) {
 		return 0, 0
 	}
 	c.lru.Each(func(cm *CompiledModel) {
-		if c.writeSnapshot(b, cm) != nil {
+		// Unconditional Write: the chains have deepened since the compile-time
+		// write-back, and capturing that depth is the point of the flush.
+		if c.writeSnapshot(context.Background(), b, cm, false) != nil {
 			failed++
 		} else {
 			written++
@@ -217,37 +245,65 @@ func (c *CompileCache) FlushSnapshots() (written, failed int) {
 	return written, failed
 }
 
+// warmStartWorkers bounds WarmStart's load concurrency: enough to overlap
+// network reads with CPU-side rebuilds, few enough that a boot does not
+// monopolize either the store or the cores serving traffic.
+const warmStartWorkers = 4
+
 // WarmStart loads every snapshot in the store into the cache — the boot-time
-// counterpart of FlushSnapshots. Corrupt snapshots are quarantined and
-// skipped, exactly as a per-key load-through would; they do not abort the
-// warm start. Returns the loaded and failed snapshot counts.
+// counterpart of FlushSnapshots — fetching warmStartWorkers blobs
+// concurrently so a network store's latency is overlapped rather than
+// serialized. Corrupt snapshots are quarantined and skipped, exactly as a
+// per-key load-through would; they do not abort the warm start. A cancelled
+// ctx stops the workers promptly, counting neither the abandoned blobs nor
+// their quarantines. Returns the loaded and failed snapshot counts.
 func (c *CompileCache) WarmStart(ctx context.Context) (loaded, failed int, err error) {
 	b := c.snap.Load()
 	if b == nil {
 		return 0, 0, nil
 	}
-	names, err := b.store.List()
+	names, err := b.store.List(ctx)
 	if err != nil {
 		return 0, 0, err
 	}
-	for _, name := range names {
-		if ctx.Err() != nil {
-			return loaded, failed, ctx.Err()
-		}
-		cm, ok := c.tryLoadSnapshot(ctx, name)
-		if !ok {
-			failed++
-			continue
-		}
-		if _, cerr := c.lru.GetOrCreateCtx(ctx, cm.Key(), func(context.Context) (*CompiledModel, error) {
-			return cm, nil
-		}); cerr != nil {
-			failed++
-			continue
-		}
-		loaded++
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	work := make(chan string)
+	for i := 0; i < warmStartWorkers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name := range work {
+				cm, ok := c.tryLoadSnapshot(ctx, name)
+				if ok {
+					_, cerr := c.lru.GetOrCreateCtx(ctx, cm.Key(), func(context.Context) (*CompiledModel, error) {
+						return cm, nil
+					})
+					ok = cerr == nil
+				}
+				mu.Lock()
+				if ok {
+					loaded++
+				} else if ctx.Err() == nil {
+					failed++
+				}
+				mu.Unlock()
+			}
+		}()
 	}
-	return loaded, failed, nil
+feed:
+	for _, name := range names {
+		select {
+		case work <- name:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+	return loaded, failed, ctx.Err()
 }
 
 // Process-wide snapshot telemetry (see EngineStats).
@@ -257,6 +313,7 @@ var (
 	snapWrites        atomic.Int64
 	snapWriteFailures atomic.Int64
 	snapBytes         atomic.Int64
+	snapQuarantines   atomic.Int64
 )
 
 // SnapshotWait blocks until pending background snapshot write-backs have

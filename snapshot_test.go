@@ -310,7 +310,7 @@ func TestCompileCacheSnapshotLoadThrough(t *testing.T) {
 		t.Fatal(err)
 	}
 	c1.SnapshotWait()
-	names, err := dir.List()
+	names, err := dir.List(context.Background())
 	if err != nil || len(names) != 1 || names[0] != cm1.Key() {
 		t.Fatalf("after write-back List = %v, %v; want [%s]", names, err, cm1.Key())
 	}
@@ -354,7 +354,7 @@ func TestCompileCacheSnapshotLoadThrough(t *testing.T) {
 		t.Fatalf("corrupt snapshot was not quarantined: %v", err)
 	}
 	c3.SnapshotWait()
-	if names, _ := dir.List(); len(names) != 1 {
+	if names, _ := dir.List(context.Background()); len(names) != 1 {
 		t.Fatalf("recompile was not written back: List = %v", names)
 	}
 

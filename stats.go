@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"regenrand/internal/regen"
+	"regenrand/internal/store"
 )
 
 // Process-wide series-cache telemetry, counted in the per-measure series
@@ -51,11 +52,27 @@ type EngineStats struct {
 	// SnapshotBytesWritten totals the bytes of successfully stored
 	// snapshots.
 	SnapshotBytesWritten int64
+	// SnapshotQuarantines counts corrupt snapshots moved aside in the store
+	// (local rename or remote copy+delete) so they stop serving while their
+	// bytes survive for diagnosis.
+	SnapshotQuarantines int64
+	// StoreRetries, StoreHedgedReadsWon/Lost, StoreBreakerOpens and
+	// StoreBreakerProbes mirror the store wrapper counters (see
+	// store.ReadStats): backoff retries performed, hedged reads won by the
+	// hedge / beaten by the primary, circuit-breaker open transitions, and
+	// half-open probes. Together they are the outside view of a flaky
+	// snapshot store.
+	StoreRetries         int64
+	StoreHedgedReadsWon  int64
+	StoreHedgedReadsLost int64
+	StoreBreakerOpens    int64
+	StoreBreakerProbes   int64
 }
 
 // ReadEngineStats returns the current counter values.
 func ReadEngineStats() EngineStats {
 	ext, saved := regen.ExtensionStats()
+	st := store.ReadStats()
 	return EngineStats{
 		SeriesCacheHits:       seriesHits.Load(),
 		SeriesCacheMisses:     seriesMisses.Load(),
@@ -66,5 +83,11 @@ func ReadEngineStats() EngineStats {
 		SnapshotWrites:        snapWrites.Load(),
 		SnapshotWriteFailures: snapWriteFailures.Load(),
 		SnapshotBytesWritten:  snapBytes.Load(),
+		SnapshotQuarantines:   snapQuarantines.Load(),
+		StoreRetries:          st.Retries,
+		StoreHedgedReadsWon:   st.HedgedReadsWon,
+		StoreHedgedReadsLost:  st.HedgedReadsLost,
+		StoreBreakerOpens:     st.BreakerOpens,
+		StoreBreakerProbes:    st.BreakerProbes,
 	}
 }

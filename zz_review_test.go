@@ -22,7 +22,7 @@ func TestReviewLargeModelSnapshotRoundtrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cm, err := Compile(model, CompileOptions{RegenState: 0})
+	cm, err := Compile(model, CompileOptions{Options: DefaultOptions(), RegenState: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
