@@ -293,12 +293,17 @@ func BenchmarkExtensionAU(b *testing.B) {
 // rrlBatchTimes is the 16-point sweep of the RRL batch benchmarks.
 var rrlBatchTimes = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 1e4, 2e4, 5e4, 1e5}
 
-// reportAbscissae attaches the per-op abscissa count and the
-// abscissae-per-second throughput (the transform-evaluation rate the
-// blocked kernels are optimized for) to the benchmark output.
-func reportAbscissae(b *testing.B, perOp int) {
+// reportAbscissae attaches the per-op abscissa count, the per-time-point
+// average (the stopping-rule efficiency a backend buys — fewer transform
+// evaluations per inverted point), and the abscissae-per-second throughput
+// (the transform-evaluation rate the blocked kernels are optimized for) to
+// the benchmark output.
+func reportAbscissae(b *testing.B, perOp, points int) {
 	b.Helper()
 	b.ReportMetric(float64(perOp), "abscissae")
+	if points > 0 {
+		b.ReportMetric(float64(perOp)/float64(points), "abscissae/timepoint")
+	}
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(perOp)*float64(b.N)/sec, "abscissae/s")
 	}
@@ -341,7 +346,7 @@ func BenchmarkRRLBatch(b *testing.B) {
 					absc += r.Abscissae
 				}
 			}
-			reportAbscissae(b, absc)
+			reportAbscissae(b, absc, len(ts))
 		})
 	}
 }
@@ -385,8 +390,61 @@ func BenchmarkRRLBoundsBatch(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			reportAbscissae(b, (stats.Stats().Abscissae-before)/b.N)
+			reportAbscissae(b, (stats.Stats().Abscissae-before)/b.N, len(ts))
 		})
+	}
+}
+
+// BenchmarkRRLInverter compares the Laplace inversion backends on the
+// BenchmarkRRLBoundsBatch workload at ε=1e-6, the loosest common budget
+// (euler's certified roundoff floor rejects the paper's 1e-12): a 16-point
+// certified-bounds sweep per op, with the per-op abscissa count, the
+// per-time-point average, and the evaluation rate as metrics. Euler's
+// fixed-order binomial averaging over the exactly-alternating T=t series
+// needs fewer trailing terms than the ε-algorithm's streak rule on the
+// κ=8 discretization, so the euler rows should show lower
+// abscissae/timepoint at equal certification.
+func BenchmarkRRLInverter(b *testing.B) {
+	m := raidModel(b, 20, false)
+	rewards := m.UnavailabilityRewards()
+	opts := regenrand.DefaultOptions()
+	opts.Epsilon = 1e-6
+	ts := rrlBatchTimes
+	for _, inv := range []string{"durbin", "euler"} {
+		for _, measure := range []string{"TRR", "MRR"} {
+			b.Run(fmt.Sprintf("inverter=%s/%s", inv, measure), func(b *testing.B) {
+				s, err := regenrand.NewRRLWithConfig(m.Chain, rewards, m.Pristine, opts,
+					regenrand.RRLConfig{Inverter: inv})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bs, ok := s.(regenrand.BoundingSolver)
+				if !ok {
+					b.Fatal("RRL solver does not produce bounds")
+				}
+				stats, ok := s.(interface{ Stats() regenrand.Stats })
+				if !ok {
+					b.Fatal("RRL solver does not report stats")
+				}
+				if _, err := s.TRR(ts[len(ts)-1:]); err != nil {
+					b.Fatal(err)
+				}
+				before := stats.Stats().Abscissae
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var err error
+					if measure == "TRR" {
+						_, err = bs.TRRBounds(ts)
+					} else {
+						_, err = bs.MRRBounds(ts)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportAbscissae(b, (stats.Stats().Abscissae-before)/b.N, len(ts))
+			})
+		}
 	}
 }
 

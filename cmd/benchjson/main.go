@@ -186,6 +186,19 @@ func allocDelta(o, e Entry) string {
 	return fmt.Sprintf("  [%.0f→%.0f B/op, %.0f→%.0f allocs/op]", ob, nb, oa, na)
 }
 
+// abscDelta formats the abscissae-per-time-point movement between two
+// entries — the inversion-backend efficiency metric (transform evaluations
+// per inverted point) the RRL benchmarks report. Empty when either side
+// lacks it, so non-inversion rows stay compact.
+func abscDelta(o, e Entry) string {
+	op, okO := o.Metrics["abscissae/timepoint"]
+	np, okN := e.Metrics["abscissae/timepoint"]
+	if !okO || !okN {
+		return ""
+	}
+	return fmt.Sprintf("  [%.1f→%.1f absc/pt]", op, np)
+}
+
 // allocRegressionFloor ignores allocation growth below this many bytes/op:
 // a hot path that grows from 3 to 5 allocations is jitter, one that grows
 // past a kilobyte per op is a pooled path that started allocating.
@@ -275,7 +288,7 @@ func diffFiles(w io.Writer, oldPath, newPath string, threshold float64) (int, er
 		fmt.Fprintf(w, "WARNING: CPU differs (%q vs %q); deltas may reflect hardware, not code\n", oldF.CPU, newF.CPU)
 	}
 	regressions := 0
-	var nsGeo, bytesGeo, allocsGeo metricGeomean
+	var nsGeo, bytesGeo, allocsGeo, abscPtGeo, abscRateGeo metricGeomean
 	seen := make(map[string]bool, len(newF.Entries))
 	for _, e := range newF.Entries {
 		seen[e.Name] = true
@@ -291,6 +304,8 @@ func diffFiles(w io.Writer, oldPath, newPath string, threshold float64) (int, er
 		nsGeo.add(o.NsPerOp, e.NsPerOp)
 		bytesGeo.add(o.Metrics["B/op"], e.Metrics["B/op"])
 		allocsGeo.add(o.Metrics["allocs/op"], e.Metrics["allocs/op"])
+		abscPtGeo.add(o.Metrics["abscissae/timepoint"], e.Metrics["abscissae/timepoint"])
+		abscRateGeo.add(o.Metrics["abscissae/s"], e.Metrics["abscissae/s"])
 		flag := ""
 		switch {
 		case delta > threshold:
@@ -305,8 +320,8 @@ func diffFiles(w io.Writer, oldPath, newPath string, threshold float64) (int, er
 			flag += a
 			regressions++
 		}
-		fmt.Fprintf(w, "  %-60s %12.0f → %12.0f ns/op  %+7.1f%%%s%s\n",
-			e.Name, o.NsPerOp, e.NsPerOp, delta, allocDelta(o, e), flag)
+		fmt.Fprintf(w, "  %-60s %12.0f → %12.0f ns/op  %+7.1f%%%s%s%s\n",
+			e.Name, o.NsPerOp, e.NsPerOp, delta, allocDelta(o, e), abscDelta(o, e), flag)
 	}
 	for _, o := range oldF.Entries {
 		if !seen[o.Name] {
@@ -319,6 +334,8 @@ func diffFiles(w io.Writer, oldPath, newPath string, threshold float64) (int, er
 	nsGeo.line(w, "ns/op")
 	bytesGeo.line(w, "B/op")
 	allocsGeo.line(w, "allocs/op")
+	abscPtGeo.line(w, "abscissae/timepoint")
+	abscRateGeo.line(w, "abscissae/s")
 	if regressions > 0 {
 		fmt.Fprintf(w, "benchjson diff: %d regression(s) beyond %.0f%%\n", regressions, threshold)
 	} else {

@@ -18,6 +18,10 @@
 //	                   series is certified at the bucketed horizon, so they
 //	                   can differ from the unbucketed ones within epsilon;
 //	                   the option is part of the model id;
+//	                   "inverter": "durbin" (default) or "euler" selects the
+//	                   Laplace inversion backend for RRL queries — part of
+//	                   the model id; euler rejects epsilons tighter than its
+//	                   certified roundoff floor with 400;
 //	                   "timeout_ms" caps the request)
 //	                   → {"model_id": "...", "states": n, "transitions": nnz,
 //	                     "retained_bytes": b}
@@ -28,6 +32,12 @@
 //	                   a query with "bounds": true returns certified
 //	                   enclosures (rows carry "lower"/"upper"; RR/RRL only,
 //	                   served by the fused value+bounds inversion)
+//	                   a query with "inverter": "euler" (or "durbin")
+//	                   overrides the compile's inversion backend for that
+//	                   row (RRL only; other methods reject it per-row);
+//	                   queries on different backends are never grouped into
+//	                   one lane pass, and every RRL result row discloses
+//	                   the backend that served it as "inverter"
 //	                   batches are planned before execution: byte-identical
 //	                   queries are solved once, and same-horizon RR/RRL
 //	                   queries share one multi-lane series construction —

@@ -298,6 +298,9 @@ func runSelfcheck(srv *server, mux *http.ServeMux, chaos bool) error {
 		return fmt.Errorf("prebuild compile changed the model id: %s vs %s", warmComp.ModelID, comp.ModelID)
 	}
 
+	if err := checkInverter(c, comp.ModelID, model, rewards, times); err != nil {
+		return err
+	}
 	if err := checkBucketing(c, comp.ModelID, model, rewards); err != nil {
 		return err
 	}
@@ -313,6 +316,116 @@ func runSelfcheck(srv *server, mux *http.ServeMux, chaos bool) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// checkInverter round-trips the pluggable-inversion wire contract: an
+// "inverter": "euler" compile gets its own model id, euler and durbin
+// answers agree within the combined certified budgets, every RRL row
+// discloses the backend that served it, a per-query override on a durbin
+// compile answers bitwise-identically to the euler compile (same series,
+// same epsilon — only the inversion backend differs), euler's certified
+// roundoff floor rejects the default tight epsilon with a clean per-row
+// error, and an unknown backend name answers 400 at the trust boundary.
+func checkInverter(c *checkClient, exactID string, model *modelJSON, rewards []float64, times []float64) error {
+	// The default-epsilon (1e-12) compile accepts "euler" — backend validity
+	// is a compile-time property, the roundoff-floor check is per inversion.
+	var tight compileResponse
+	if err := c.post("/v1/compile", compileRequest{Model: model, Inverter: "euler"}, &tight); err != nil {
+		return fmt.Errorf("euler tight compile: %w", err)
+	}
+	if tight.ModelID == exactID {
+		return fmt.Errorf("euler compile shares the durbin model id")
+	}
+	var tr queryResponse
+	if err := c.post("/v1/query", queryRequest{
+		ModelID: tight.ModelID,
+		Queries: []queryJSON{{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: times}},
+	}, &tr); err != nil {
+		return fmt.Errorf("euler tight query: %w", err)
+	}
+	if !strings.Contains(tr.Results[0].Error, "cannot meet tolerance") {
+		return fmt.Errorf("euler at epsilon 1e-12: row error %q, want the certified budget rejection", tr.Results[0].Error)
+	}
+
+	// At a loose epsilon both backends answer; their certified enclosures
+	// both contain the truth, so the values agree within the combined budget.
+	var du, eu compileResponse
+	if err := c.post("/v1/compile", compileRequest{Model: model, Epsilon: 1e-6, Inverter: "durbin"}, &du); err != nil {
+		return fmt.Errorf("durbin loose compile: %w", err)
+	}
+	if err := c.post("/v1/compile", compileRequest{Model: model, Epsilon: 1e-6, Inverter: "euler"}, &eu); err != nil {
+		return fmt.Errorf("euler loose compile: %w", err)
+	}
+	if du.ModelID == eu.ModelID {
+		return fmt.Errorf("durbin and euler compiles share one model id")
+	}
+	ask := []queryJSON{{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: times}}
+	var dresp, eresp queryResponse
+	if err := c.post("/v1/query", queryRequest{ModelID: du.ModelID, Queries: ask}, &dresp); err != nil {
+		return fmt.Errorf("durbin loose query: %w", err)
+	}
+	if err := c.post("/v1/query", queryRequest{ModelID: eu.ModelID, Queries: ask}, &eresp); err != nil {
+		return fmt.Errorf("euler loose query: %w", err)
+	}
+	if dresp.Results[0].Error != "" || eresp.Results[0].Error != "" {
+		return fmt.Errorf("loose inverter round: durbin %q, euler %q", dresp.Results[0].Error, eresp.Results[0].Error)
+	}
+	if got := dresp.Results[0].Inverter; got != "durbin" {
+		return fmt.Errorf("durbin row discloses inverter %q, want durbin", got)
+	}
+	if got := eresp.Results[0].Inverter; got != "euler" {
+		return fmt.Errorf("euler row discloses inverter %q, want euler", got)
+	}
+	for j := range times {
+		d, e := dresp.Results[0].Results[j].Value, eresp.Results[0].Results[j].Value
+		if math.Abs(d-e) > 2e-6 {
+			return fmt.Errorf("cross-backend disagreement at t=%v: durbin %v vs euler %v", times[j], d, e)
+		}
+	}
+
+	// A per-query override on the durbin compile runs the euler evaluator
+	// over the same retained series at the same epsilon — bitwise-identical
+	// to the euler compile's own answers.
+	var oresp queryResponse
+	if err := c.post("/v1/query", queryRequest{
+		ModelID: du.ModelID,
+		Queries: []queryJSON{{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: times, Inverter: "euler"}},
+	}, &oresp); err != nil {
+		return fmt.Errorf("per-query euler override: %w", err)
+	}
+	if oresp.Results[0].Error != "" {
+		return fmt.Errorf("per-query euler override: %s", oresp.Results[0].Error)
+	}
+	if got := oresp.Results[0].Inverter; got != "euler" {
+		return fmt.Errorf("override row discloses inverter %q, want euler", got)
+	}
+	for j := range times {
+		if !sameRow(oresp.Results[0].Results[j], eresp.Results[0].Results[j]) {
+			return fmt.Errorf("per-query euler override row %d differs from the euler compile's answer", j)
+		}
+	}
+
+	// Unknown backend names reject at the trust boundary: 400 on compile,
+	// a per-row error on a query-level override.
+	status, msg, err := c.postRaw("/v1/compile", mustJSON(compileRequest{Model: model, Inverter: "talbot"}))
+	if err != nil {
+		return err
+	}
+	if status != http.StatusBadRequest || !strings.Contains(msg, "talbot") {
+		return fmt.Errorf("unknown inverter compile: HTTP %d %q, want 400 naming the backend", status, msg)
+	}
+	var bad queryResponse
+	if err := c.post("/v1/query", queryRequest{
+		ModelID: du.ModelID,
+		Queries: []queryJSON{{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: times, Inverter: "talbot"}},
+	}, &bad); err != nil {
+		return fmt.Errorf("unknown inverter query: %w", err)
+	}
+	if !strings.Contains(bad.Results[0].Error, "talbot") {
+		return fmt.Errorf("unknown inverter query: row error %q, want it to name the backend", bad.Results[0].Error)
+	}
+	fmt.Println("regenserve selfcheck: inversion backends OK (separate model ids, cross-backend agreement, per-row disclosure, override bitwise, budget + name rejections)")
 	return nil
 }
 
@@ -612,6 +725,14 @@ func runChaos(c *checkClient, srv *server, modelID string, model *modelJSON, rew
 		return err
 	}
 
+	// Round 2b — per-backend inversion failure: the euler-specific fault site
+	// fails only rows served by the euler backend; a durbin row (per-query
+	// override) in the same batch still answers, and after reset the euler
+	// answers are bitwise-identical to the quiet run.
+	if err := runChaosEuler(c, model, rewards); err != nil {
+		return err
+	}
+
 	// Round 3 — compile panic: a constructor panic in cache population is
 	// recovered into an error for that request (no crash, no poisoned
 	// entry); the immediate retry compiles clean.
@@ -708,6 +829,59 @@ func runChaos(c *checkClient, srv *server, modelID string, model *modelJSON, rew
 	}
 
 	fmt.Println("regenserve selfcheck: chaos rounds OK (stepping delay, inversion error, compile panic, degraded answers, shedding, snapshot durability, object-store chaos, two-node sharing)")
+	return nil
+}
+
+// runChaosEuler arms the euler backend's own fault site and proves the
+// fault's blast radius is exactly the rows that backend serves: the euler
+// row fails with the injected error, the durbin row in the same batch is
+// untouched, and post-reset euler answers are bitwise-identical to the
+// quiet run (the fault changed availability, never values).
+func runChaosEuler(c *checkClient, model *modelJSON, rewards []float64) error {
+	var comp compileResponse
+	if err := c.post("/v1/compile", compileRequest{Model: model, Epsilon: 1e-6, Inverter: "euler"}, &comp); err != nil {
+		return fmt.Errorf("chaos euler compile: %w", err)
+	}
+	ask := []queryJSON{
+		{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: []float64{7, 77}},
+		{Method: "RRL", Measure: "TRR", Rewards: rewards, Times: []float64{7, 77}, Inverter: "durbin"},
+	}
+	var quiet queryResponse
+	if err := c.post("/v1/query", queryRequest{ModelID: comp.ModelID, Queries: ask}, &quiet); err != nil {
+		return fmt.Errorf("chaos euler quiet run: %w", err)
+	}
+	for i := range quiet.Results {
+		if quiet.Results[i].Error != "" {
+			return fmt.Errorf("chaos euler quiet run query %d: %s", i, quiet.Results[i].Error)
+		}
+	}
+	faultpoint.Enable(laplace.FaultBlockEuler, faultpoint.Spec{Mode: faultpoint.ModeError, After: 1})
+	var faulted queryResponse
+	if err := c.post("/v1/query", queryRequest{ModelID: comp.ModelID, Queries: ask}, &faulted); err != nil {
+		faultpoint.Reset()
+		return fmt.Errorf("chaos euler faulted run: %w", err)
+	}
+	faultpoint.Reset()
+	if !strings.Contains(faulted.Results[0].Error, "injected") {
+		return fmt.Errorf("chaos euler: euler row error %q, want the injected error", faulted.Results[0].Error)
+	}
+	if faulted.Results[1].Error != "" {
+		return fmt.Errorf("chaos euler: durbin row collateral damage: %s", faulted.Results[1].Error)
+	}
+	var after queryResponse
+	if err := c.post("/v1/query", queryRequest{ModelID: comp.ModelID, Queries: ask}, &after); err != nil {
+		return fmt.Errorf("chaos euler post-fault run: %w", err)
+	}
+	for i := range after.Results {
+		if after.Results[i].Error != "" {
+			return fmt.Errorf("chaos euler post-fault query %d: %s", i, after.Results[i].Error)
+		}
+		for j := range after.Results[i].Results {
+			if !sameRow(after.Results[i].Results[j], quiet.Results[i].Results[j]) {
+				return fmt.Errorf("chaos euler: post-fault query %d row %d differs from the quiet run", i, j)
+			}
+		}
+	}
 	return nil
 }
 

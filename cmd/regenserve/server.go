@@ -48,6 +48,14 @@ type compileRequest struct {
 	// affected row discloses its certified horizon as "bucketed_horizon".
 	// See regenrand.CompileOptions.HorizonBuckets.
 	HorizonBuckets int `json:"horizon_buckets,omitempty"`
+	// Inverter selects the Laplace inversion backend for RRL queries on this
+	// compile: "durbin" (default) or "euler". Part of the model_id — the two
+	// backends produce different (both certified-within-epsilon) answers.
+	// The euler backend rejects very tight epsilons whose certified roundoff
+	// floor cannot be met; such compiles answer 400. Per-query override via
+	// the query-level "inverter" field. Every RRL row discloses the backend
+	// that served it as "inverter".
+	Inverter string `json:"inverter,omitempty"`
 	// PrebuildHorizon asks the compile to eagerly extend the regenerative
 	// chains to certify this horizon, so the first query at or below it is
 	// cheap; queries extend on demand either way, so results are identical.
@@ -78,6 +86,11 @@ type queryJSON struct {
 	// values alone; rows then carry "lower"/"upper" alongside "value" (the
 	// midpoint).
 	Bounds bool `json:"bounds,omitempty"`
+	// Inverter overrides the compile's Laplace inversion backend for this
+	// query ("durbin" or "euler"; RRL only — other methods reject it with a
+	// per-row error). Queries with different backends are never grouped into
+	// one lane pass. The serving row discloses the effective backend.
+	Inverter string `json:"inverter,omitempty"`
 }
 
 type queryRequest struct {
@@ -89,6 +102,7 @@ type queryRequest struct {
 	DisableRetention bool        `json:"disable_retention,omitempty"`
 	Compact          bool        `json:"compact,omitempty"`
 	HorizonBuckets   int         `json:"horizon_buckets,omitempty"`
+	Inverter         string      `json:"inverter,omitempty"`
 	Queries          []queryJSON `json:"queries"`
 	// TimeoutMS caps this request's processing time in milliseconds
 	// (bounded by -max-timeout; 0 = the -timeout default). Queries that
@@ -126,6 +140,11 @@ type queryResultJSON struct {
 	// row's own max time — full disclosure that the answer came from a
 	// deeper-truncated (more accurate, still certified) series.
 	BucketedHorizon float64 `json:"bucketed_horizon,omitempty"`
+	// Inverter, on RRL rows, is the Laplace inversion backend that served
+	// the row: the query's "inverter" override when set, the compile's
+	// backend otherwise. Backends produce different (both certified)
+	// answers, so each row says which one it came from.
+	Inverter string `json:"inverter,omitempty"`
 }
 
 type queryResponse struct {
@@ -287,7 +306,7 @@ func (s *server) buildModel(m *modelJSON) (*regenrand.CTMC, error) {
 }
 
 // compileOptions translates the wire options.
-func compileOptions(regenState *int, epsilon float64, disableRetention, compact bool, horizonBuckets int) regenrand.CompileOptions {
+func compileOptions(regenState *int, epsilon float64, disableRetention, compact bool, horizonBuckets int, inverter string) regenrand.CompileOptions {
 	opts := regenrand.DefaultOptions()
 	if epsilon != 0 {
 		opts.Epsilon = epsilon
@@ -305,6 +324,7 @@ func compileOptions(regenState *int, epsilon float64, disableRetention, compact 
 		DisableRetention: disableRetention,
 		CompactRetention: compact,
 		HorizonBuckets:   horizonBuckets,
+		RRL:              regenrand.RRLConfig{Inverter: inverter},
 	}
 }
 
@@ -403,7 +423,7 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "horizon_buckets: %d, want >= 0", req.HorizonBuckets)
 		return
 	}
-	copts := compileOptions(req.RegenState, req.Epsilon, req.DisableRetention, req.Compact, req.HorizonBuckets)
+	copts := compileOptions(req.RegenState, req.Epsilon, req.DisableRetention, req.Compact, req.HorizonBuckets, req.Inverter)
 	if req.PrebuildHorizon > 0 && !math.IsInf(req.PrebuildHorizon, 0) && !math.IsNaN(req.PrebuildHorizon) {
 		copts.PrebuildHorizon = req.PrebuildHorizon
 	}
@@ -461,7 +481,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "horizon_buckets: %d, want >= 0", req.HorizonBuckets)
 			return
 		}
-		cm, err = s.cache.CompileCtx(ctx, model, compileOptions(req.RegenState, req.Epsilon, req.DisableRetention, req.Compact, req.HorizonBuckets))
+		cm, err = s.cache.CompileCtx(ctx, model, compileOptions(req.RegenState, req.Epsilon, req.DisableRetention, req.Compact, req.HorizonBuckets, req.Inverter))
 		if err != nil {
 			switch {
 			case errors.Is(err, context.DeadlineExceeded):
@@ -500,6 +520,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Rewards:    q.Rewards,
 			Times:      q.Times,
 			BlockSteps: q.BlockSteps,
+			Inverter:   q.Inverter,
 		}
 	}
 	resp := queryResponse{ModelID: cm.Key(), Results: make([]queryResultJSON, len(req.Queries))}
@@ -564,6 +585,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	discloseBuckets(cm, req, &resp)
+	discloseInverters(cm, req, &resp)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -597,6 +619,33 @@ func discloseBuckets(cm *regenrand.CompiledModel, req queryRequest, resp *queryR
 	}
 }
 
+// discloseInverters annotates every successful RRL row with the Laplace
+// inversion backend that served it — the query's override when set, the
+// compile's (normalized) backend otherwise. The backends produce different,
+// individually certified answers, so each row names its own. Degraded rows
+// are included: the degraded retry carries the compile's RRL config and the
+// row's own override, so the effective backend is the same.
+func discloseInverters(cm *regenrand.CompiledModel, req queryRequest, resp *queryResponse) {
+	for i, q := range req.Queries {
+		row := &resp.Results[i]
+		if row.Error != "" {
+			continue
+		}
+		method := regenrand.Method(q.Method)
+		if method == "" && cm.RegenState() != regenrand.NoRegen {
+			method = regenrand.MethodRRL // the engine's default on regenerative compiles
+		}
+		if method != regenrand.MethodRRL {
+			continue // only RRL inverts
+		}
+		if q.Inverter != "" {
+			row.Inverter = q.Inverter
+		} else {
+			row.Inverter = cm.RRLConfig().Inverter
+		}
+	}
+}
+
 // degradeRows retries deadline-missed rows once at the server's loosened
 // epsilon under a short grace budget detached from the (already expired)
 // request deadline. The degraded compile goes through the shared cache, so
@@ -609,7 +658,10 @@ func (s *server) degradeRows(r *http.Request, cm *regenrand.CompiledModel, req q
 	}
 	gctx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), s.limits.DegradeGrace)
 	defer cancel()
-	dcopts := regenrand.CompileOptions{Options: cm.Options(), RegenState: cm.RegenState()}
+	// The degraded retry keeps the compile's RRL config (in particular the
+	// inversion backend) — a degraded answer loosens epsilon, it does not
+	// silently switch numerical methods.
+	dcopts := regenrand.CompileOptions{Options: cm.Options(), RegenState: cm.RegenState(), RRL: cm.RRLConfig()}
 	dcopts.Options.Epsilon = degEps
 	dcm, err := s.cache.CompileCtx(gctx, cm.Model(), dcopts)
 	if err != nil {
@@ -625,6 +677,7 @@ func (s *server) degradeRows(r *http.Request, cm *regenrand.CompiledModel, req q
 			Rewards:    req.Queries[i].Rewards,
 			Times:      req.Queries[i].Times,
 			BlockSteps: req.Queries[i].BlockSteps,
+			Inverter:   req.Queries[i].Inverter,
 		}
 		if req.Queries[i].Bounds {
 			bs, err := dcm.QueryBoundsCtx(gctx, q)

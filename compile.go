@@ -15,6 +15,7 @@ import (
 	"regenrand/internal/cache"
 	"regenrand/internal/core"
 	"regenrand/internal/ctmc"
+	"regenrand/internal/laplace"
 	"regenrand/internal/multistep"
 	"regenrand/internal/regen"
 	"regenrand/internal/rrl"
@@ -59,9 +60,12 @@ type CompileOptions struct {
 	// key.
 	CompactRetention bool
 	// RRL carries the inversion knobs every RRL query against this compiled
-	// model runs under (period factor κ, acceleration and tail-truncation
-	// ablations). The zero value reproduces the paper. The knobs change
-	// query results, so they are part of the compile's content key.
+	// model runs under: the Laplace backend (RRLConfig.Inverter — "durbin",
+	// the paper's configuration and the default, or "euler"; a Query may
+	// override it per request), period factor κ, acceleration and
+	// tail-truncation ablations. The zero value reproduces the paper. The
+	// knobs change query results, so they are part of the compile's content
+	// key.
 	RRL RRLConfig
 	// HorizonBuckets, when positive, turns on horizon bucketing for RR/RRL
 	// queries: every query horizon (the max of its times) is rounded UP to
@@ -150,6 +154,9 @@ func CompileCtx(ctx context.Context, model *CTMC, copts CompileOptions) (*Compil
 	if !(copts.RRL.TFactor >= 1) { // also rejects NaN
 		return nil, fmt.Errorf("regenrand: RRL period factor %v < 1", copts.RRL.TFactor)
 	}
+	if _, err := laplace.ForName(copts.RRL.Inverter); err != nil {
+		return nil, fmt.Errorf("regenrand: %w", err)
+	}
 	if copts.CompactRetention && copts.DisableRetention {
 		return nil, fmt.Errorf("regenrand: CompactRetention and DisableRetention are mutually exclusive")
 	}
@@ -190,7 +197,7 @@ func CompileCtx(ctx context.Context, model *CTMC, copts CompileOptions) (*Compil
 // interchangeable artifacts.
 func compileKey(model *CTMC, copts CompileOptions) string {
 	fp := model.Fingerprint()
-	var tail [42]byte
+	var tail [43]byte
 	binary.LittleEndian.PutUint64(tail[0:8], uint64(int64(copts.RegenState)))
 	binary.LittleEndian.PutUint64(tail[8:16], math.Float64bits(copts.Options.Epsilon))
 	binary.LittleEndian.PutUint64(tail[16:24], math.Float64bits(copts.Options.UniformizationFactor))
@@ -212,6 +219,16 @@ func compileKey(model *CTMC, copts CompileOptions) string {
 	// Horizon bucketing rounds query horizons onto a geometric grid, which
 	// changes RR/RRL results, so the grid density splits the key too.
 	binary.LittleEndian.PutUint64(tail[34:42], uint64(int64(copts.HorizonBuckets)))
+	// The Laplace backend changes RRL results (different sampling and
+	// acceleration within the same certified budget), so its stable one-byte
+	// ID splits the key: the same model compiled for durbin and for euler
+	// occupies two cache entries and two snapshot blobs. compileKey runs
+	// after validation, so the fallback byte is unreachable in a stored key.
+	if inv, err := laplace.ForName(copts.RRL.Inverter); err == nil {
+		tail[42] = inv.ID()
+	} else {
+		tail[42] = 0xff
+	}
 	return hex.EncodeToString(fp[:]) + hex.EncodeToString(tail[:])
 }
 
@@ -243,6 +260,10 @@ func (cm *CompiledModel) Model() *CTMC { return cm.model }
 
 // Options returns the normalized solver options of the compile.
 func (cm *CompiledModel) Options() Options { return cm.opts }
+
+// RRLConfig returns the normalized RRL inversion configuration of the
+// compile (the serving layer discloses its Inverter per answer row).
+func (cm *CompiledModel) RRLConfig() RRLConfig { return cm.copts.RRL }
 
 // RegenState returns the compiled regenerative state, or NoRegen.
 func (cm *CompiledModel) RegenState() int {
@@ -362,8 +383,13 @@ func (cm *CompiledModel) newMeasure(rewards []float64) (*CompiledMeasure, error)
 	return m, nil
 }
 
-// klKey identifies a truncation level pair.
-type klKey struct{ k, l int }
+// klKey identifies a truncation level pair; for RRL evaluators it also
+// carries the effective Laplace backend, so a per-query inverter override
+// gets its own cached evaluator instead of mutating the compile default's.
+type klKey struct {
+	k, l     int
+	inverter string
+}
 
 // CompiledMeasure is the reward-dependent layer over a CompiledModel: one
 // reward vector, its series binding, and per-method evaluation caches.
@@ -446,16 +472,22 @@ func (m *CompiledMeasure) seriesForCtx(ctx context.Context, horizon float64) (*r
 }
 
 // rrlEvaluator returns the packed-transform evaluator of the series,
-// shared across horizons with identical truncation levels.
-func (m *CompiledMeasure) rrlEvaluator(s *regen.Series) (*rrl.Evaluator, error) {
-	return m.rrlEvs.GetOrCreate(klKey{s.K, s.L}, func() (*rrl.Evaluator, error) {
-		return rrl.NewEvaluator(s, m.rho0, m.cm.opts.Epsilon, m.cm.copts.RRL), nil
+// shared across horizons with identical truncation levels. inverter is the
+// query-level backend override ("" = the compile's RRL.Inverter); each
+// effective backend gets its own cached evaluator.
+func (m *CompiledMeasure) rrlEvaluator(s *regen.Series, inverter string) (*rrl.Evaluator, error) {
+	conf := m.cm.copts.RRL
+	if inverter != "" {
+		conf.Inverter = inverter
+	}
+	return m.rrlEvs.GetOrCreate(klKey{k: s.K, l: s.L, inverter: conf.Inverter}, func() (*rrl.Evaluator, error) {
+		return rrl.NewEvaluator(s, m.rho0, m.cm.opts.Epsilon, conf)
 	})
 }
 
 // rrEvaluator returns the V_{K,L} evaluator of the series.
 func (m *CompiledMeasure) rrEvaluator(s *regen.Series) (*regen.VEvaluator, error) {
-	return m.rrEvals.GetOrCreate(klKey{s.K, s.L}, func() (*regen.VEvaluator, error) {
+	return m.rrEvals.GetOrCreate(klKey{k: s.K, l: s.L}, func() (*regen.VEvaluator, error) {
 		return regen.NewVEvaluator(s, m.cm.opts)
 	})
 }

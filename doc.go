@@ -13,8 +13,9 @@
 //   - RR  — regenerative randomization: a truncated transformed chain V_{K,L}
 //     is built from regeneration statistics and solved by SR;
 //   - RRL — the paper's contribution: the transformed chain is solved in
-//     closed form in the Laplace domain and inverted numerically
-//     (Durbin's formula, T = 8t, epsilon-algorithm acceleration);
+//     closed form in the Laplace domain and inverted numerically through a
+//     pluggable backend (Durbin's formula with T = 8t and epsilon-algorithm
+//     acceleration by default; see "Inversion backends and error budgets");
 //   - AU  — adaptive uniformization (van Moorsel & Sanders) and
 //   - MS  — multistep randomization (Reibman & Trivedi), the related-work
 //     methods the paper's introduction positions RR/RRL against.
@@ -224,7 +225,10 @@
 //
 // Robustness is testable on purpose: internal/faultpoint exposes named
 // fault-injection sites in series stepping ("regen.step"), Laplace
-// inversion blocks ("laplace.block"), cache population ("cache.populate"),
+// inversion blocks ("laplace.block", plus the per-backend
+// "laplace.block.durbin" and "laplace.block.euler" so chaos tests can fail
+// one backend and assert the other is untouched), cache population
+// ("cache.populate"),
 // snapshot store I/O ("store.read", "store.write"), object-store network
 // requests ("store.net.read", "store.net.write", "store.net.list") and
 // snapshot decoding
@@ -315,6 +319,53 @@
 // so values are bit-identical to a plain query. A scalar full-sweep
 // reference kernel is retained and the blocked/truncated/fused paths are
 // equivalence-tested against it at the ulp level.
+//
+// # Inversion backends and error budgets
+//
+// The numerical inversion behind RRL is pluggable. A backend
+// (internal/laplace.Inverter) consumes the same block-of-8 transform
+// evaluator, the same fused value+bounds path, and the same cancellation
+// accounting; what it chooses is the sampling contour and the convergence
+// acceleration. Two backends ship:
+//
+//   - "durbin" (the default, DurbinInverter) is the paper's configuration:
+//     the trapezoidal discretization at period T = 8t with Wynn's
+//     epsilon-algorithm accelerating the partial sums. Results are
+//     bitwise-identical to every release since the package existed.
+//   - "euler" (EulerInverter) is the Abate–Whitt Euler method: the same
+//     discretization taken at T = t, where consecutive terms rotate by
+//     exactly (−1)^k, accelerated by binomial (Euler) averaging of the last
+//     twelve partial sums with per-output Kahan-compensated weights. The
+//     alternating series converges in far fewer terms, so a typical query
+//     spends ~35% fewer transform evaluations per time point
+//     (BenchmarkRRLInverter) — the abscissae count that dominates
+//     steady-state RRL cost.
+//
+// The backends differ in how the error budget is spent, not in how much of
+// it there is: both charge discretization against the same ε carve-out and
+// stop by the same certified rules, so either answer is within
+// Options.Epsilon. The trade is the roundoff floor. Euler's shorter period
+// needs a larger damping e^{a·t}, which amplifies machine rounding of the
+// summed transform values; the backend computes that floor a priori
+// (e^{a·t}·2⁻⁵⁰·f̃max against the stopping tolerance) and REJECTS the
+// request with a budget error when the configuration cannot be certified —
+// with the TRR damping rule the floor admits ε down to ≈ 3e-9·rmax, so the
+// paper-strength ε = 1e-12 stays on Durbin while loose serving tolerances
+// (ε = 1e-6) take the cheaper contour. A rejection is an error, never a
+// silently degraded answer.
+//
+// Selection is plumbed through every sharing layer: RRLConfig.Inverter picks
+// the compile-wide backend and is part of the compile content key (durbin
+// and euler compiles of one model are distinct cache entries and distinct
+// snapshot blobs, and the choice survives a snapshot round trip);
+// Query.Inverter overrides it per request (RRL only — methods that never
+// invert reject the field); the query planner fingerprints the backend and
+// never groups queries with different effective backends into one lane
+// pass; and cmd/regenserve exposes the compile-level field and the
+// per-query override on the wire, disclosing the effective backend on every
+// RRL result row. The backends stand as oracles for each other: a standing
+// test inverts the paper's Fig 3/4 models and a 10⁴-state band through
+// both and requires agreement within the combined certified budgets.
 //
 // Performance is tracked PR-over-PR with cmd/benchjson, which runs the
 // Benchmark* suite and emits a BENCH_<date>.json trajectory file;

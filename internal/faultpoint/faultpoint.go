@@ -59,21 +59,24 @@ var ErrInjected = errors.New("faultpoint: injected error")
 
 // knownSites is the registry of every fault-injection site compiled into
 // this module. The site-name constants live next to the code that hits them
-// (regen.FaultStep, cache.FaultPopulate, laplace.FaultBlock,
+// (regen.FaultStep, cache.FaultPopulate, laplace.FaultBlock with its
+// per-backend laplace.FaultBlockDurbin/FaultBlockEuler,
 // store.FaultRead/FaultWrite, objstore.FaultNetRead/FaultNetWrite/FaultNetList,
 // snapshot.FaultDecode); this package cannot
 // import those packages, so the list is maintained here and each consumer's
 // tests assert Known(itsConstant) to keep the two in sync.
 var knownSites = map[string]bool{
-	"regen.step":      true,
-	"cache.populate":  true,
-	"laplace.block":   true,
-	"store.read":      true,
-	"store.write":     true,
-	"store.net.read":  true,
-	"store.net.write": true,
-	"store.net.list":  true,
-	"snapshot.decode": true,
+	"regen.step":           true,
+	"cache.populate":       true,
+	"laplace.block":        true,
+	"laplace.block.durbin": true,
+	"laplace.block.euler":  true,
+	"store.read":           true,
+	"store.write":          true,
+	"store.net.read":       true,
+	"store.net.write":      true,
+	"store.net.list":       true,
+	"snapshot.decode":      true,
 }
 
 // Known reports whether name is a registered fault-injection site.

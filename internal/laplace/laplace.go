@@ -23,6 +23,18 @@
 // keeps its own compensated partial sums, epsilon table and stopping rule,
 // so a joint inversion returns, output by output, exactly the bits a
 // standalone inversion with the same Options would.
+//
+// The machinery is exposed behind the Inverter interface. Two backends
+// share the block-evaluation loop, the per-output compensated series and
+// the streak stopping rule, and differ only in the period, the rotation
+// factors and the series acceleration: Durbin (the paper's configuration,
+// κ = 8 with Wynn's epsilon algorithm — the default, and what the
+// package-level Invert/InvertJoint functions run) and Euler (the
+// Abate–Whitt binomial-averaging variant with κ = 1, whose exactly
+// alternating rotations need far fewer abscissae per time point; see
+// euler.go for its certified-error control). ForName resolves a backend
+// from its registry name; each backend carries a stable one-byte ID for
+// content keys and snapshot encodings, and its own fault-injection site.
 package laplace
 
 import (
@@ -39,7 +51,16 @@ import (
 
 // FaultBlock is the fault-injection site hit once per abscissa block in the
 // inversion sweep; chaos tests arm it to slow, fail, or crash inversions.
+// It fires for every backend; FaultBlockDurbin and FaultBlockEuler are the
+// per-backend sites hit alongside it, so a chaos test can target one
+// backend's inversions without touching the other's.
 const FaultBlock = "laplace.block"
+
+// Per-backend fault-injection sites (see FaultBlock).
+const (
+	FaultBlockDurbin = "laplace.block.durbin"
+	FaultBlockEuler  = "laplace.block.euler"
+)
 
 // DefaultTFactor is the paper's selected period multiplier κ (T = 8t).
 const DefaultTFactor = 8
@@ -103,6 +124,15 @@ type Options struct {
 	// min-limited to ~1e-13 relative — the "~14 digits" the paper reports
 	// demanding from the inversion at ε = 1e-12.
 	NoiseRel float64
+	// FMax is the caller's magnitude bound on the original (|f(τ)| ≤ FMax
+	// over the horizon of interest) — optional context for backends with an
+	// a-priori certified roundoff floor. The Euler backend rejects a
+	// configuration (ErrBudget) when its amplified roundoff floor
+	// e^{a·t}·2⁻⁵⁰·FMax exceeds Tol, since no number of terms can then meet
+	// the certified budget. Zero disables the check; Durbin ignores the
+	// field (its epsilon acceleration works at κ = 8 damping levels where
+	// the floor is governed by NoiseRel instead).
+	FMax float64
 }
 
 func (o *Options) validate() error {
@@ -146,16 +176,28 @@ type Result struct {
 	Converged bool
 }
 
+// accel accelerates the convergence of a stream of partial sums: push folds
+// the next sum into the accelerator's state and returns the current best
+// estimate of the limit, and release recycles any pooled scratch (the
+// accelerator must not be used afterwards). Backends plug their own
+// implementation into the shared inversion loop — Durbin's Wynn epsilon
+// table (wynn), Euler's binomial averaging window (eulerAvg) — so a
+// non-series backend never carries another backend's dead state.
+type accel interface {
+	push(s float64) float64
+	release()
+}
+
 // invState tracks one output of a (possibly joint) inversion: its Kahan
-// partial sums, epsilon table, and stopping-rule state.
+// partial sums, acceleration state, and stopping-rule state.
 type invState struct {
 	// series holds the trapezoidal partial sums with Kahan compensation
 	// (sparse.Accumulator): the terms cancel heavily, and the compensated
-	// sums keep the noise floor of the epsilon-accelerated estimates at the
+	// sums keep the noise floor of the accelerated estimates at the
 	// level of the transform evaluations rather than the accumulation
 	// length.
 	series sparse.Accumulator
-	acc    *wynn
+	acc    accel
 	prev   float64
 	est    float64
 	maxMag float64
@@ -196,6 +238,95 @@ func InvertJoint(m int, f BlockFunc, t float64, opt Options) ([]Result, error) {
 // core.CancelError recording the abscissae evaluated. A non-cancelled call
 // is bitwise-identical to InvertJoint.
 func InvertJointCtx(ctx context.Context, m int, f BlockFunc, t float64, opt Options) ([]Result, error) {
+	return Durbin{}.InvertJointCtx(ctx, m, f, t, opt)
+}
+
+// Inverter is a numerical Laplace inversion backend. Implementations share
+// the block-of-8 BlockFunc contract, the fused joint value+bounds path and
+// the core.CancelError abscissae accounting of the package-level functions;
+// they differ in how the complex plane is sampled and how the series is
+// accelerated, and therefore in how many abscissae a time point costs and
+// which (damping, tolerance) configurations their certified error bounds
+// admit.
+type Inverter interface {
+	// Name returns the backend's registry name (DurbinName, EulerName).
+	Name() string
+	// ID returns the backend's stable one-byte identifier, used in compile
+	// content keys and snapshot encodings; IDs are never reused.
+	ID() byte
+	// InvertJointCtx inverts m transforms sharing their abscissae in one
+	// sweep, with the contract of the package-level InvertJointCtx. A
+	// backend whose certified error bound cannot meet opt.Tol for this
+	// configuration rejects the call with an error wrapping ErrBudget.
+	InvertJointCtx(ctx context.Context, m int, f BlockFunc, t float64, opt Options) ([]Result, error)
+}
+
+// Registry names of the built-in backends.
+const (
+	DurbinName = "durbin"
+	EulerName  = "euler"
+)
+
+// ForName resolves an Inverter from its registry name; the empty string
+// selects Durbin, the default backend.
+func ForName(name string) (Inverter, error) {
+	switch name {
+	case "", DurbinName:
+		return Durbin{}, nil
+	case EulerName:
+		return Euler{}, nil
+	}
+	return nil, fmt.Errorf("laplace: unknown inverter %q (known: %v)", name, Names())
+}
+
+// Names lists the registry names of the built-in backends.
+func Names() []string { return []string{DurbinName, EulerName} }
+
+// InvertJointVia inverts through the given backend with a direct
+// (devirtualized) call. An interface method call makes the callee opaque to
+// escape analysis, forcing the caller's BlockFunc closure — and everything
+// it captures — onto the heap, one allocation per inversion on the hottest
+// query path; the registry is closed (ForName is the only constructor), so
+// dispatching by concrete type keeps the closure on the stack. Results are
+// identical to inv.InvertJointCtx.
+func InvertJointVia(ctx context.Context, inv Inverter, m int, f BlockFunc, t float64, opt Options) ([]Result, error) {
+	switch b := inv.(type) {
+	case Durbin:
+		return b.InvertJointCtx(ctx, m, f, t, opt)
+	case Euler:
+		return b.InvertJointCtx(ctx, m, f, t, opt)
+	}
+	return nil, fmt.Errorf("laplace: unregistered inverter %T", inv)
+}
+
+// Durbin is the paper's inversion backend: trapezoidal discretization at
+// κ = 8 with Wynn's epsilon acceleration. It is the default, and the
+// package-level Invert/InvertJoint/InvertJointCtx functions are exactly
+// this backend.
+type Durbin struct{}
+
+// Name implements Inverter.
+func (Durbin) Name() string { return DurbinName }
+
+// ID implements Inverter.
+func (Durbin) ID() byte { return 0 }
+
+// InvertJointCtx implements Inverter.
+func (Durbin) InvertJointCtx(ctx context.Context, m int, f BlockFunc, t float64, opt Options) ([]Result, error) {
+	return invertLoop(ctx, m, f, t, opt, invertParams{site: FaultBlockDurbin})
+}
+
+// invertParams selects the backend-specific pieces of the shared inversion
+// loop: the per-backend fault site, the rotation factors e^{ikπt/T}
+// (Durbin evaluates them trigonometrically; Euler's T = t makes them
+// exactly (−1)^k), and the series acceleration (Wynn's epsilon table for
+// Durbin, a binomial averaging window for Euler).
+type invertParams struct {
+	site  string
+	euler bool
+}
+
+func invertLoop(ctx context.Context, m int, f BlockFunc, t float64, opt Options, p invertParams) ([]Result, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
@@ -212,7 +343,11 @@ func InvertJointCtx(ctx context.Context, m int, f BlockFunc, t float64, opt Opti
 
 	states := make([]invState, m)
 	for q := range states {
-		states[q].acc = newWynn(opt.Accelerate)
+		if p.euler {
+			states[q].acc = newEulerAvg(opt.Accelerate)
+		} else {
+			states[q].acc = newWynn(opt.Accelerate)
+		}
 		states[q].prev = math.Inf(1)
 	}
 	defer func() {
@@ -235,6 +370,10 @@ func InvertJointCtx(ctx context.Context, m int, f BlockFunc, t float64, opt Opti
 			stopErr = ferr
 			break
 		}
+		if ferr := faultpoint.Hit(p.site); ferr != nil {
+			stopErr = ferr
+			break
+		}
 		bl := BlockLen
 		if k0+bl > opt.MaxTerms+1 {
 			bl = opt.MaxTerms + 1 - k0
@@ -248,7 +387,14 @@ func InvertJointCtx(ctx context.Context, m int, f BlockFunc, t float64, opt Opti
 			k := k0 + j
 			var rot complex128
 			if k > 0 {
-				rot = cmplx.Exp(complex(0, float64(k)*h*t))
+				if p.euler {
+					// T = t makes e^{ikπt/T} = (−1)^k exactly; evaluating it
+					// trigonometrically would smear the alternation with ~ulp
+					// imaginary noise.
+					rot = complex(1-2*float64(k&1), 0)
+				} else {
+					rot = cmplx.Exp(complex(0, float64(k)*h*t))
+				}
 			}
 			for q := range states {
 				st := &states[q]

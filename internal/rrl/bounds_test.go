@@ -192,8 +192,14 @@ func TestFusedBoundsFig34(t *testing.T) {
 			if series.RMax != 1 {
 				t.Fatalf("paper model r_max = %v, want 1", series.RMax)
 			}
-			prod := NewEvaluator(series, nil, core.DefaultEpsilon, Config{})
-			noTrunc := NewEvaluator(series, nil, core.DefaultEpsilon, Config{DisableTailTruncation: true})
+			prod, err := NewEvaluator(series, nil, core.DefaultEpsilon, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			noTrunc, err := NewEvaluator(series, nil, core.DefaultEpsilon, Config{DisableTailTruncation: true})
+			if err != nil {
+				t.Fatal(err)
+			}
 			for _, mrr := range []bool{false, true} {
 				fused, err := prod.runBounds(ts, mrr, nil)
 				if err != nil {

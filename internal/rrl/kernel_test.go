@@ -250,8 +250,14 @@ func TestTailTruncationWithinBudget(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		prod := NewEvaluator(series, nil, core.DefaultEpsilon, Config{})
-		ref := NewEvaluator(series, nil, core.DefaultEpsilon, Config{DisableTailTruncation: true})
+		prod, err := NewEvaluator(series, nil, core.DefaultEpsilon, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewEvaluator(series, nil, core.DefaultEpsilon, Config{DisableTailTruncation: true})
+		if err != nil {
+			t.Fatal(err)
+		}
 		ts := []float64{0.5, 5, 50, 200}
 		for _, mrr := range []bool{false, true} {
 			a, err := runMeasure(prod, ts, mrr)

@@ -13,8 +13,11 @@
 //	         − (Λ/(s+Λ)) Σ_{k<L} (Σ_i v'^i_k) a'(k) z^k − a'(L) z^{L+1}
 //
 // (A(s) = 1 when α_r = 1), evaluated at the abscissae demanded by the
-// Durbin/Crump/Piessens inversion of package laplace with T = 8t. MRR is
-// obtained by inverting C̃(s) = TRR̃(s)/s and dividing by t.
+// numerical inversion of package laplace — by default the
+// Durbin/Crump/Piessens formula with T = 8t; Config.Inverter swaps in the
+// Abate–Whitt Euler backend (T = t, binomial averaging), which spends fewer
+// abscissae per time point but rejects budgets under its certified roundoff
+// floor. MRR is obtained by inverting C̃(s) = TRR̃(s)/s and dividing by t.
 //
 // The four series per chain are stored as one interleaved coefficient array
 // ([a|c|vs|vr] packed per degree) and evaluated in a single ascending pass
@@ -68,14 +71,25 @@ type Config struct {
 	// suffix[d]·|z|^d falls below the evaluation's tail tolerance
 	// (reference/ablation configuration; see the package comment).
 	DisableTailTruncation bool
+	// Inverter selects the Laplace inversion backend by registry name
+	// (laplace.ForName): "durbin" — the paper's configuration and the
+	// default — or "euler", the Abate–Whitt binomial-averaging backend
+	// that needs far fewer abscissae per time point but whose certified
+	// roundoff floor rejects tight budgets (ε ⪅ 3e-9·r_max; such queries
+	// fail with laplace.ErrBudget rather than return uncertified values).
+	// TFactor only applies to the Durbin backend; Euler fixes κ = 1.
+	Inverter string
 }
 
-// Normalize fills the configuration defaults (the paper's κ = 8); the
-// compile phase normalizes before keying its artifact cache so equivalent
-// configurations share compiled models.
+// Normalize fills the configuration defaults (the paper's κ = 8, Durbin
+// inversion); the compile phase normalizes before keying its artifact
+// cache so equivalent configurations share compiled models.
 func (c Config) Normalize() Config {
 	if c.TFactor == 0 {
 		c.TFactor = laplace.DefaultTFactor
+	}
+	if c.Inverter == "" {
+		c.Inverter = laplace.DurbinName
 	}
 	return c
 }
@@ -139,6 +153,9 @@ func NewWithSource(src regen.SeriesSource, rho0 func() float64, opts core.Option
 	if !(conf.TFactor >= 1) { // also rejects NaN
 		return nil, fmt.Errorf("rrl: TFactor %v < 1", conf.TFactor)
 	}
+	if _, err := laplace.ForName(conf.Inverter); err != nil {
+		return nil, fmt.Errorf("rrl: %w", err)
+	}
 	return &Solver{rho0Dot: rho0, opts: opts, conf: conf, src: src}, nil
 }
 
@@ -161,7 +178,11 @@ func (s *Solver) ensure(horizon float64) error {
 		return err
 	}
 	s.series = series
-	s.eval = NewEvaluator(series, s.rho0Dot, s.opts.Epsilon, s.conf)
+	eval, err := NewEvaluator(series, s.rho0Dot, s.opts.Epsilon, s.conf)
+	if err != nil {
+		return err
+	}
+	s.eval = eval
 	s.stats.Add(core.Stats{
 		BuildSteps: series.Steps(),
 		MatVecs:    series.Steps(),
@@ -248,19 +269,28 @@ type Evaluator struct {
 	rho0   func() float64
 	eps    float64
 	conf   Config
+	inv    laplace.Inverter
 }
 
 // NewEvaluator packs the transform coefficients of a built series. rho0
 // supplies π(0)·r̄ for the t = 0 shortcut (it is called lazily, only for
 // batches containing t = 0, and may be nil if such batches never occur).
 // conf.TFactor must be normalized (nonzero); eps is the total error budget
-// the series was built for.
-func NewEvaluator(series *regen.Series, rho0 func() float64, eps float64, conf Config) *Evaluator {
+// the series was built for. An unknown conf.Inverter is an error (the
+// empty string selects Durbin).
+func NewEvaluator(series *regen.Series, rho0 func() float64, eps float64, conf Config) (*Evaluator, error) {
 	if conf.TFactor == 0 {
 		conf.TFactor = laplace.DefaultTFactor
 	}
-	return &Evaluator{series: series, tf: newTransform(series), rho0: rho0, eps: eps, conf: conf}
+	inv, err := laplace.ForName(conf.Inverter)
+	if err != nil {
+		return nil, fmt.Errorf("rrl: %w", err)
+	}
+	return &Evaluator{series: series, tf: newTransform(series), rho0: rho0, eps: eps, conf: conf, inv: inv}, nil
 }
+
+// Inverter returns the registry name of the evaluator's Laplace backend.
+func (e *Evaluator) Inverter() string { return e.inv.Name() }
 
 // Series returns the evaluated series.
 func (e *Evaluator) Series() *regen.Series { return e.series }
@@ -326,22 +356,33 @@ func (e *Evaluator) MRRBoundsCtx(ctx context.Context, ts []float64) ([]core.Boun
 }
 
 // invertOptions builds the inversion configuration of one time point: the
-// measure-specific damping of §2.2 over the shared period T = κt.
+// measure-specific damping of §2.2 over the backend's period T = κt
+// (κ = conf.TFactor for Durbin; Euler fixes κ = 1, and the damping must be
+// computed for the period the backend actually sums at or the certified
+// discretization bound would not hold). FMax hands the backend the
+// magnitude scale of the original so Euler can apply its certified
+// roundoff rejection; Durbin ignores it.
 func (e *Evaluator) invertOptions(t float64, mrr bool) laplace.Options {
-	T := e.conf.TFactor * t
+	tfac := e.conf.TFactor
+	if e.inv.Name() == laplace.EulerName {
+		tfac = 1
+	}
+	T := tfac * t
 	if mrr {
 		return laplace.Options{
-			TFactor:    e.conf.TFactor,
+			TFactor:    tfac,
 			Damping:    laplace.DampingCumulative(e.series.RMax, e.eps, t, T),
 			Tol:        t * e.eps / 100,
 			Accelerate: !e.conf.DisableAcceleration,
+			FMax:       t * e.series.RMax,
 		}
 	}
 	return laplace.Options{
-		TFactor:    e.conf.TFactor,
+		TFactor:    tfac,
 		Damping:    laplace.DampingTRR(e.series.RMax, e.eps/4, T),
 		Tol:        e.eps / 100,
 		Accelerate: !e.conf.DisableAcceleration,
+		FMax:       e.series.RMax,
 	}
 }
 
@@ -369,7 +410,7 @@ func (e *Evaluator) tailTol(opt laplace.Options, t float64) float64 {
 	if e.conf.DisableTailTruncation {
 		return 0
 	}
-	scale := math.Exp(opt.Damping*t) / (e.conf.TFactor * t)
+	scale := math.Exp(opt.Damping*t) / (opt.TFactor * t)
 	tol := tailTolFrac * opt.Tol / scale
 	if floor := tailNoiseRel * e.tf.coefMass; floor > tol {
 		tol = floor
@@ -404,7 +445,7 @@ func (e *Evaluator) runCtx(ctx context.Context, ts []float64, mrr bool, stats *c
 		}
 		opt := e.invertOptions(t, mrr)
 		f := e.tf.valueBlock(mrr, e.tailTol(opt, t))
-		rs, err := laplace.InvertJointCtx(ctx, 1, f, t, opt)
+		rs, err := laplace.InvertJointVia(ctx, e.inv, 1, f, t, opt)
 		if err != nil {
 			errs[i] = fmt.Errorf("rrl: t=%v: %w", t, err)
 			return
@@ -480,7 +521,7 @@ func (e *Evaluator) runBoundsCtx(ctx context.Context, ts []float64, mrr bool, st
 		}
 		opt := e.invertOptions(t, mrr)
 		f := e.tf.jointBlock(mrr, e.tailTol(opt, t))
-		rs, err := laplace.InvertJointCtx(ctx, 2, f, t, opt)
+		rs, err := laplace.InvertJointVia(ctx, e.inv, 2, f, t, opt)
 		if err != nil {
 			errs[i] = fmt.Errorf("rrl: bounds at t=%v: %w", t, err)
 			return

@@ -60,8 +60,10 @@ import (
 const FaultDecode = "snapshot.decode"
 
 // Version is the current format version. Decode accepts exactly this
-// version.
-const Version = 1
+// version. Version 2 added the Laplace backend name (Meta.Inverter) to the
+// meta section; version-1 blobs are rejected (ErrVersion) and recompiled,
+// per the versioned-not-migrated policy above.
+const Version = 2
 
 const magic = "RGSNAP"
 
@@ -100,6 +102,11 @@ type Meta struct {
 	DisableAcceleration   bool
 	DisableTailTruncation bool
 	HorizonBuckets        int
+	// Inverter is the Laplace backend registry name the model compiled for
+	// (RRLConfig.Inverter, normalized — "durbin" or "euler"). Part of the
+	// compile content key, so the loader's key recomputation verifies it
+	// like every other option.
+	Inverter string
 	// States is the model dimension n, needed to frame the chain slabs.
 	States int
 }
@@ -220,6 +227,8 @@ func encodeMeta(m *Meta) []byte {
 	w.f64(m.TFactor)
 	w.u64(uint64(int64(m.HorizonBuckets)))
 	w.u64(uint64(m.States))
+	w.u32(uint32(len(m.Inverter)))
+	w.b = append(w.b, m.Inverter...)
 	return w.b
 }
 
@@ -559,6 +568,11 @@ func decodeMeta(payload []byte, modelBytes int) (Meta, error) {
 		r.fail("state count %d implausible for %d bytes of model sections", states, modelBytes)
 	}
 	m.States = int(states)
+	invLen := r.u32()
+	if r.err == nil && invLen > maxKeyLen {
+		r.fail("inverter length %d exceeds %d", invLen, maxKeyLen)
+	}
+	m.Inverter = string(r.bytes(int(invLen)))
 	if r.err == nil && r.off != len(payload) {
 		r.fail("%d trailing bytes in meta section", len(payload)-r.off)
 	}

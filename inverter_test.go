@@ -1,0 +1,236 @@
+package regenrand_test
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"regenrand"
+)
+
+// inverterOptions is the cross-backend oracle's solver configuration:
+// ε = 1e-6 sits inside Euler's certified roundoff floor (≈ 3e-9·rmax) while
+// the paper-strength default 1e-12 does not — that rejection has its own
+// test below.
+func inverterOptions() regenrand.Options {
+	opts := regenrand.DefaultOptions()
+	opts.Epsilon = 1e-6
+	return opts
+}
+
+// inverterWorkload builds an RRL batch over distinct reward vectors, both
+// measures, and the scenario's horizon sweep.
+func inverterWorkload(sc plannerScenario, measures int) []regenrand.Query {
+	n := sc.model.N()
+	var qs []regenrand.Query
+	for mi := 0; mi < measures; mi++ {
+		salt := mi
+		rw := regenrand.RewardsFrom(n, func(i int) float64 {
+			return float64((i*31+salt*7)%8) / 7
+		})
+		measure := regenrand.MeasureTRR
+		if mi%2 == 1 {
+			measure = regenrand.MeasureMRR
+		}
+		qs = append(qs, regenrand.Query{Method: regenrand.MethodRRL, Measure: measure, Rewards: rw, Times: sc.times})
+	}
+	return qs
+}
+
+// The standing cross-backend oracle: on the paper's Fig 3/4 G=20 models and
+// the 10⁴-state band, Durbin and Euler each certify ε = 1e-6, so their
+// values must agree within the combined budgets — and each backend's
+// certified enclosure must contain the other backend's value. Pinned at
+// GOMAXPROCS 1 and 8 (run under -race in CI), where each backend's batch
+// must also stay bitwise-identical to its own serial loop.
+func TestInverterCrossBackendOracle(t *testing.T) {
+	const budget = 2e-6 // ε_durbin + ε_euler
+	for _, sc := range plannerModels(t) {
+		measures := 4
+		if sc.name == "band1e4" {
+			measures = 2 // 10⁴-state series builds; keep the suite quick
+		}
+		qs := inverterWorkload(sc, measures)
+
+		type backendRun struct {
+			name   string
+			serial []regenrand.QueryResult
+			bounds []regenrand.BoundsResult
+		}
+		runs := make(map[string]*backendRun)
+		for _, backend := range []string{regenrand.DurbinInverter, regenrand.EulerInverter} {
+			copts := regenrand.CompileOptions{Options: inverterOptions(), RRL: regenrand.RRLConfig{Inverter: backend}}
+			serial := compileFor(t, sc, copts)
+			run := &backendRun{name: backend, serial: make([]regenrand.QueryResult, len(qs)), bounds: make([]regenrand.BoundsResult, len(qs))}
+			for i, q := range qs {
+				r, err := serial.Query(q)
+				if err != nil {
+					t.Fatalf("%s/%s query %d: %v", sc.name, backend, i, err)
+				}
+				run.serial[i] = regenrand.QueryResult{Results: r}
+				b, err := serial.QueryBounds(q)
+				if err != nil {
+					t.Fatalf("%s/%s bounds %d: %v", sc.name, backend, i, err)
+				}
+				run.bounds[i] = regenrand.BoundsResult{Bounds: b}
+			}
+			runs[backend] = run
+
+			for _, procs := range []int{1, 8} {
+				old := runtime.GOMAXPROCS(procs)
+				batch := compileFor(t, sc, copts)
+				got := batch.QueryBatch(qs)
+				runtime.GOMAXPROCS(old)
+				assertBatchesIdentical(t, got, run.serial)
+			}
+		}
+
+		du, eu := runs[regenrand.DurbinInverter], runs[regenrand.EulerInverter]
+		for i := range qs {
+			for j := range du.serial[i].Results {
+				d := du.serial[i].Results[j]
+				e := eu.serial[i].Results[j]
+				if diff := math.Abs(d.Value - e.Value); diff > budget {
+					t.Errorf("%s query %d t=%v: durbin %v vs euler %v (Δ %g beyond the combined budget)",
+						sc.name, i, d.T, d.Value, e.Value, diff)
+				}
+				// Cross-enclosure: each backend's certified interval must
+				// contain the other backend's value within that backend's ε.
+				db, eb := du.bounds[i].Bounds[j], eu.bounds[i].Bounds[j]
+				if e.Value < db.Lower-1e-6 || e.Value > db.Upper+1e-6 {
+					t.Errorf("%s query %d t=%v: euler %v outside durbin bounds [%v, %v]",
+						sc.name, i, d.T, e.Value, db.Lower, db.Upper)
+				}
+				if d.Value < eb.Lower-1e-6 || d.Value > eb.Upper+1e-6 {
+					t.Errorf("%s query %d t=%v: durbin %v outside euler bounds [%v, %v]",
+						sc.name, i, d.T, d.Value, eb.Lower, eb.Upper)
+				}
+			}
+		}
+	}
+}
+
+// The backend is part of the compile's content key: durbin and euler
+// compiles of one model must occupy distinct cache/snapshot identities,
+// while the empty default normalizes onto durbin's.
+func TestInverterSplitsCompileKey(t *testing.T) {
+	model, _ := raidTestModel(t, 2)
+	keys := make(map[string]string)
+	for _, backend := range []string{"", regenrand.DurbinInverter, regenrand.EulerInverter} {
+		cm, err := regenrand.Compile(model, regenrand.CompileOptions{Options: inverterOptions(), RRL: regenrand.RRLConfig{Inverter: backend}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[backend] = cm.Key()
+		if want := backend; want == "" {
+			want = regenrand.DurbinInverter
+		} else if got := cm.RRLConfig().Inverter; got != want {
+			t.Errorf("RRLConfig().Inverter = %q, want %q", got, want)
+		}
+	}
+	if keys[""] != keys[regenrand.DurbinInverter] {
+		t.Error("default-inverter compile does not share the explicit durbin key")
+	}
+	if keys[regenrand.EulerInverter] == keys[regenrand.DurbinInverter] {
+		t.Error("euler compile shares the durbin key")
+	}
+	if _, err := regenrand.Compile(model, regenrand.CompileOptions{Options: inverterOptions(), RRL: regenrand.RRLConfig{Inverter: "talbot"}}); err == nil || !strings.Contains(err.Error(), "talbot") {
+		t.Errorf("unknown backend compile: %v, want an error naming it", err)
+	}
+}
+
+// The inverter selection must survive a snapshot round trip: a warm restart
+// of an euler compile answers bitwise-identically and keeps the euler key.
+func TestInverterSnapshotRoundTrip(t *testing.T) {
+	model, ua := raidTestModel(t, 2)
+	cm, err := regenrand.Compile(model, regenrand.CompileOptions{Options: inverterOptions(), RRL: regenrand.RRLConfig{Inverter: regenrand.EulerInverter}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := regenrand.Query{Method: regenrand.MethodRRL, Rewards: ua, Times: []float64{1, 10, 100}}
+	want, err := cm.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := cm.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := regenrand.LoadSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Key() != cm.Key() {
+		t.Error("restored compile does not share the euler key")
+	}
+	if got := warm.RRLConfig().Inverter; got != regenrand.EulerInverter {
+		t.Errorf("restored RRLConfig().Inverter = %q, want euler", got)
+	}
+	got, err := warm.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if math.Float64bits(got[j].Value) != math.Float64bits(want[j].Value) {
+			t.Errorf("t=%v: restored %v differs from pre-snapshot %v", want[j].T, got[j].Value, want[j].Value)
+		}
+	}
+}
+
+// A per-query override on a durbin compile runs the same retained series
+// through the euler evaluator, so it must reproduce the euler compile's own
+// answers bitwise; overrides on methods that never invert, and unknown
+// names, are per-query errors.
+func TestQueryInverterOverride(t *testing.T) {
+	model, ua := raidTestModel(t, 2)
+	durbin, err := regenrand.Compile(model, regenrand.CompileOptions{Options: inverterOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	euler, err := regenrand.Compile(model, regenrand.CompileOptions{Options: inverterOptions(), RRL: regenrand.RRLConfig{Inverter: regenrand.EulerInverter}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []float64{1, 10, 100}
+	want, err := euler.Query(regenrand.Query{Method: regenrand.MethodRRL, Rewards: ua, Times: times})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := durbin.Query(regenrand.Query{Method: regenrand.MethodRRL, Rewards: ua, Times: times, Inverter: regenrand.EulerInverter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if math.Float64bits(got[j].Value) != math.Float64bits(want[j].Value) {
+			t.Errorf("t=%v: override %v differs from euler compile %v", want[j].T, got[j].Value, want[j].Value)
+		}
+	}
+	if _, err := durbin.Query(regenrand.Query{Method: regenrand.MethodSR, Rewards: ua, Times: times, Inverter: regenrand.EulerInverter}); err == nil || !strings.Contains(err.Error(), "only RRL inverts") {
+		t.Errorf("SR with an inverter override: %v, want the only-RRL rejection", err)
+	}
+	if _, err := durbin.Query(regenrand.Query{Method: regenrand.MethodRRL, Rewards: ua, Times: times, Inverter: "talbot"}); err == nil || !strings.Contains(err.Error(), "talbot") {
+		t.Errorf("unknown override: %v, want an error naming it", err)
+	}
+}
+
+// Euler's certified roundoff floor cannot meet the paper-strength
+// ε = 1e-12: the compile succeeds (backend validity is a compile property,
+// the floor depends on the query's budget arithmetic), and every RRL query
+// is rejected with the budget error instead of returning an uncertified
+// value.
+func TestEulerRejectsPaperStrengthEpsilon(t *testing.T) {
+	model, ua := raidTestModel(t, 2)
+	cm, err := regenrand.Compile(model, regenrand.CompileOptions{Options: regenrand.DefaultOptions(), RRL: regenrand.RRLConfig{Inverter: regenrand.EulerInverter}})
+	if err != nil {
+		t.Fatalf("euler compile at ε=1e-12 must succeed: %v", err)
+	}
+	if _, err := cm.Query(regenrand.Query{Method: regenrand.MethodRRL, Rewards: ua, Times: []float64{10}}); err == nil || !strings.Contains(err.Error(), "cannot meet tolerance") {
+		t.Errorf("euler RRL query at ε=1e-12: %v, want the certified-budget rejection", err)
+	}
+	// The non-inverting methods on the same compile are untouched by the
+	// backend choice and still run at full strength.
+	if _, err := cm.Query(regenrand.Query{Method: regenrand.MethodSR, Rewards: ua, Times: []float64{10}}); err != nil {
+		t.Errorf("SR on the euler compile: %v", err)
+	}
+}

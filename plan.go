@@ -47,6 +47,17 @@ type groupMember struct {
 	rewards []float64
 }
 
+// planGroupKey is the lane-pass grouping key: the effective (bucketed)
+// horizon's bits plus the effective Laplace backend. Queries with different
+// backends are never grouped into one lane pass, even at the same horizon —
+// their evaluators differ, so sharing a pass would couple requests whose
+// inversion configurations (and failure modes, e.g. Euler's budget
+// rejection) are independent.
+type planGroupKey struct {
+	horizon  uint64
+	inverter string
+}
+
 // plannerMaxGroupLanes bounds the reward lanes of one grouped stepping
 // pass; larger groups run as consecutive multi-lane passes, keeping the
 // interleaved-rewards copy and per-lane accumulator scratch bounded.
@@ -73,6 +84,8 @@ func fingerprint(q Query, rk string) string {
 	h.Write([]byte{0})
 	h.Write([]byte(q.Measure))
 	h.Write([]byte{0})
+	h.Write([]byte(q.Inverter))
+	h.Write([]byte{0})
 	u64(uint64(int64(q.BlockSteps)))
 	u64(uint64(len(q.Times)))
 	for _, t := range q.Times {
@@ -93,9 +106,10 @@ func fingerprint(q Query, rk string) string {
 func (cm *CompiledModel) planBatchCtx(ctx context.Context, qs []Query) batchPlan {
 	p := batchPlan{dup: make(map[int]int)}
 	seen := make(map[string]int, len(qs))
-	// groups collects, per horizon class, the distinct measures of the
-	// batch's RR/RRL requests (keyed by rewards content hash).
-	groups := make(map[uint64]map[string]groupMember)
+	// groups collects, per (horizon class, effective backend), the distinct
+	// measures of the batch's RR/RRL requests (keyed by rewards content
+	// hash).
+	groups := make(map[planGroupKey]map[string]groupMember)
 	// planned counts measures in groups that can actually be grouped (≥2
 	// members); horizon singletons never prewarm, so they must not consume
 	// the budget — a long time sweep ahead of a groupable tail would
@@ -134,10 +148,15 @@ func (cm *CompiledModel) planBatchCtx(ctx context.Context, qs []Query) batchPlan
 		if err != nil {
 			continue
 		}
-		g := groups[math.Float64bits(horizon)]
+		inverter := q.Inverter
+		if inverter == "" {
+			inverter = cm.copts.RRL.Inverter
+		}
+		gk := planGroupKey{horizon: math.Float64bits(horizon), inverter: inverter}
+		g := groups[gk]
 		if g == nil {
 			g = make(map[string]groupMember)
-			groups[math.Float64bits(horizon)] = g
+			groups[gk] = g
 		}
 		if _, ok := g[rk]; !ok {
 			g[rk] = groupMember{m: m, rewards: m.rewards}
@@ -150,14 +169,14 @@ func (cm *CompiledModel) planBatchCtx(ctx context.Context, qs []Query) batchPlan
 			}
 		}
 	}
-	for bits, g := range groups {
+	for gk, g := range groups {
 		if len(g) < 2 {
 			continue // nothing to amortize; the lazy per-query path is exact
 		}
 		if ctx.Err() != nil {
 			break // prewarm is an optimization; evaluation reports the cancel
 		}
-		cm.prewarmGroup(ctx, math.Float64frombits(bits), g)
+		cm.prewarmGroup(ctx, math.Float64frombits(gk.horizon), g)
 	}
 	return p
 }

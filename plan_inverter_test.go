@@ -1,0 +1,81 @@
+package regenrand
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// The planner must never group queries with different effective backends
+// into one lane pass. The observable: singleton groups skip the prewarm, so
+// two same-horizon queries that differ only in backend leave the series
+// caches cold, while the same pair under one backend warms both.
+func TestPlannerSplitsMixedBackendGroups(t *testing.T) {
+	rm, err := BuildRAID(DefaultRAIDParams(2), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Epsilon = 1e-6 // inside euler's certified floor
+	n := rm.Chain.N()
+	rewards := func(salt int) []float64 {
+		return RewardsFrom(n, func(i int) float64 { return float64((i*13+salt*3)%5) / 4 })
+	}
+	times := []float64{5}
+	queries := func(secondBackend string) []Query {
+		return []Query{
+			{Method: MethodRRL, Rewards: rewards(0), Times: times, Inverter: DurbinInverter},
+			{Method: MethodRRL, Rewards: rewards(1), Times: times, Inverter: secondBackend},
+		}
+	}
+	// DisableRetention makes the prewarm observable: the non-retaining path
+	// seeds each measure's per-horizon series cache.
+	compile := func() *CompiledModel {
+		cm, err := Compile(rm.Chain, CompileOptions{Options: opts, RegenState: rm.Pristine, DisableRetention: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cm
+	}
+	warmed := func(cm *CompiledModel, q Query) bool {
+		m, err := cm.measureByKeyCtx(context.Background(), rewardsKey(q.Rewards), q.Rewards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ok := m.series.Get(math.Float64bits(cm.bucketHorizon(times[0])))
+		return ok
+	}
+
+	// Control: one backend, two measures, one horizon — a real group, so
+	// planning prewarms both series (proves the observable is live).
+	cm := compile()
+	cm.planBatchCtx(context.Background(), queries(DurbinInverter))
+	for i, q := range queries(DurbinInverter) {
+		if !warmed(cm, q) {
+			t.Fatalf("same-backend control: measure %d not prewarmed — the observable is dead, fix the test", i)
+		}
+	}
+
+	// Mixed backends at the same horizon: two singleton groups, no prewarm.
+	cm = compile()
+	plan := cm.planBatchCtx(context.Background(), queries(EulerInverter))
+	if len(plan.unique) != 2 || len(plan.dup) != 0 {
+		t.Fatalf("mixed-backend pair planned as unique=%d dup=%d, want 2 distinct requests", len(plan.unique), len(plan.dup))
+	}
+	for i, q := range queries(EulerInverter) {
+		if warmed(cm, q) {
+			t.Errorf("mixed-backend query %d was prewarmed: the planner grouped across backends", i)
+		}
+	}
+
+	// Requests identical up to the backend are distinct, not duplicates.
+	q := Query{Method: MethodRRL, Rewards: rewards(0), Times: times}
+	cm = compile()
+	plan = cm.planBatchCtx(context.Background(), []Query{
+		{Method: q.Method, Rewards: q.Rewards, Times: q.Times, Inverter: DurbinInverter},
+		{Method: q.Method, Rewards: q.Rewards, Times: q.Times, Inverter: EulerInverter},
+	})
+	if len(plan.dup) != 0 {
+		t.Error("queries differing only in backend were deduplicated into one solve")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"regenrand/internal/core"
+	"regenrand/internal/laplace"
 	"regenrand/internal/par"
 )
 
@@ -51,6 +52,13 @@ type Query struct {
 	// BlockSteps fixes the randomization steps per block for MS (0 =
 	// automatic); ignored by other methods.
 	BlockSteps int
+	// Inverter overrides the compile's Laplace backend (RRLConfig.Inverter)
+	// for this request: "durbin" or "euler"; "" keeps the compile default.
+	// Only RRL queries invert, so other methods reject a non-empty value
+	// rather than silently ignore it. Part of the planner's request
+	// fingerprint, and queries with different effective backends are never
+	// grouped into one lane pass.
+	Inverter string
 }
 
 // QueryResult pairs one query's results with its error.
@@ -99,6 +107,9 @@ func (cm *CompiledModel) QueryCtx(ctx context.Context, q Query) ([]Result, error
 	if q.Measure != MeasureTRR && q.Measure != MeasureMRR {
 		return nil, fmt.Errorf("regenrand: unknown measure %q", q.Measure)
 	}
+	if err := q.validateInverter(); err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, core.Cancelled(err, 0, 0)
 	}
@@ -137,7 +148,7 @@ func (cm *CompiledModel) QueryCtx(ctx context.Context, q Query) ([]Result, error
 		// The certified horizon is the max time, rounded up to the compile's
 		// horizon grid when bucketing is on (see horizon.go) — near-miss
 		// horizons then share one cached series.
-		eval, err := m.regenEvaluatorCtx(ctx, q.Method, cm.bucketHorizon(core.MaxTime(q.Times)))
+		eval, err := m.regenEvaluatorCtx(ctx, q.Method, cm.bucketHorizon(core.MaxTime(q.Times)), q.Inverter)
 		if err != nil {
 			return nil, err
 		}
@@ -163,8 +174,9 @@ type measureEvaluator interface {
 
 // regenEvaluatorCtx resolves the series for the horizon (under ctx — this
 // is where a query's dominant cancellable work happens) and returns the
-// method's cached evaluator.
-func (m *CompiledMeasure) regenEvaluatorCtx(ctx context.Context, method Method, horizon float64) (measureEvaluator, error) {
+// method's cached evaluator. inverter is the RRL backend override ("" =
+// compile default); RR ignores it (nothing to invert).
+func (m *CompiledMeasure) regenEvaluatorCtx(ctx context.Context, method Method, horizon float64, inverter string) (measureEvaluator, error) {
 	series, err := m.seriesForCtx(ctx, horizon)
 	if err != nil {
 		return nil, err
@@ -172,7 +184,22 @@ func (m *CompiledMeasure) regenEvaluatorCtx(ctx context.Context, method Method, 
 	if method == MethodRR {
 		return m.rrEvaluator(series)
 	}
-	return m.rrlEvaluator(series)
+	return m.rrlEvaluator(series, inverter)
+}
+
+// validateInverter rejects a per-query backend override on methods that
+// never invert, and unknown backend names.
+func (q Query) validateInverter() error {
+	if q.Inverter == "" {
+		return nil
+	}
+	if q.Method != MethodRRL {
+		return fmt.Errorf("regenrand: Inverter %q set on method %q (only RRL inverts)", q.Inverter, q.Method)
+	}
+	if _, err := laplace.ForName(q.Inverter); err != nil {
+		return fmt.Errorf("regenrand: %w", err)
+	}
+	return nil
 }
 
 // lockedRun serializes access to one shared single-caller solver under its
@@ -307,6 +334,9 @@ func (cm *CompiledModel) QueryBoundsCtx(ctx context.Context, q Query) ([]Bounds,
 	if q.Method != MethodRR && q.Method != MethodRRL {
 		return nil, fmt.Errorf("regenrand: method %q does not produce certified bounds (use RR or RRL)", q.Method)
 	}
+	if err := q.validateInverter(); err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, core.Cancelled(err, 0, 0)
 	}
@@ -314,7 +344,7 @@ func (cm *CompiledModel) QueryBoundsCtx(ctx context.Context, q Query) ([]Bounds,
 	if err != nil {
 		return nil, err
 	}
-	eval, err := m.regenEvaluatorCtx(ctx, q.Method, cm.bucketHorizon(core.MaxTime(q.Times)))
+	eval, err := m.regenEvaluatorCtx(ctx, q.Method, cm.bucketHorizon(core.MaxTime(q.Times)), q.Inverter)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"regenrand/internal/core"
 	"regenrand/internal/ctmc"
 	"regenrand/internal/expm"
+	"regenrand/internal/laplace"
 	"regenrand/internal/linsolve"
 	"regenrand/internal/multistep"
 	"regenrand/internal/raid"
@@ -50,6 +51,17 @@ type (
 
 // DefaultEpsilon is the error bound used throughout the paper (1e-12).
 const DefaultEpsilon = core.DefaultEpsilon
+
+// Laplace inversion backend names, accepted by RRLConfig.Inverter (the
+// compile default) and Query.Inverter (the per-request override). Durbin is
+// the paper's configuration and the default; Euler trades the paper-strength
+// tolerances for fewer transform evaluations per time point and rejects
+// budgets its certified roundoff floor cannot meet (see doc.go, "Inversion
+// backends and error budgets").
+const (
+	DurbinInverter = laplace.DurbinName
+	EulerInverter  = laplace.EulerName
+)
 
 // NewBuilder returns a Builder for a chain with n states (indices 0..n-1).
 func NewBuilder(n int) *Builder { return ctmc.NewBuilder(n) }

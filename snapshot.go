@@ -34,6 +34,7 @@ func (cm *CompiledModel) Snapshot() ([]byte, error) {
 			DisableAcceleration:   cm.copts.RRL.DisableAcceleration,
 			DisableTailTruncation: cm.copts.RRL.DisableTailTruncation,
 			HorizonBuckets:        cm.copts.HorizonBuckets,
+			Inverter:              cm.copts.RRL.Inverter,
 			States:                cm.model.N(),
 		},
 		Model: cm.model,
@@ -75,6 +76,7 @@ func LoadSnapshotCtx(ctx context.Context, data []byte) (*CompiledModel, error) {
 			TFactor:               s.Meta.TFactor,
 			DisableAcceleration:   s.Meta.DisableAcceleration,
 			DisableTailTruncation: s.Meta.DisableTailTruncation,
+			Inverter:              s.Meta.Inverter,
 		},
 		HorizonBuckets: s.Meta.HorizonBuckets,
 	}
